@@ -1,0 +1,137 @@
+// Benchmarks regenerating the paper's evaluation, one per table and
+// figure (§VI). Each benchmark runs the corresponding experiment of
+// internal/experiments at a reduced dataset scale so the full suite
+// completes in minutes; `cmd/ftpm-bench -scale 1 -maxk 3` reproduces the
+// paper-sized runs. Run with:
+//
+//	go test -bench=. -benchmem -benchtime=1x
+//
+// The per-iteration time of a Table benchmark is the wall time of
+// regenerating that entire table (all cells, all methods).
+package ftpm_test
+
+import (
+	"testing"
+
+	"ftpm"
+	"ftpm/internal/experiments"
+	"ftpm/internal/paperex"
+)
+
+// benchOpt is the reduced-scale configuration of the bench suite.
+func benchOpt() experiments.Options {
+	return experiments.Options{Scale: 0.01, MaxK: 2}
+}
+
+func runExperiment(b *testing.B, id string, opt experiments.Options) {
+	b.Helper()
+	runner := experiments.Registry()[id]
+	if runner == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := runner(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+		rows := 0
+		for _, t := range tables {
+			rows += len(t.Rows)
+		}
+		b.ReportMetric(float64(rows), "rows")
+	}
+}
+
+// BenchmarkTable4Datasets regenerates Table IV (dataset characteristics).
+func BenchmarkTable4Datasets(b *testing.B) { runExperiment(b, "table4", benchOpt()) }
+
+// BenchmarkTable5PatternCounts regenerates Table V (number of extracted
+// patterns over the sigma x delta grid, 4 datasets).
+func BenchmarkTable5PatternCounts(b *testing.B) { runExperiment(b, "table5", benchOpt()) }
+
+// BenchmarkTable6InterestingPatterns regenerates Table VI (qualitative
+// pattern listing).
+func BenchmarkTable6InterestingPatterns(b *testing.B) { runExperiment(b, "table6", benchOpt()) }
+
+// BenchmarkTable7Runtime regenerates Table VII (runtime comparison of
+// H-DFS, IEMiner, TPMiner, E-HTPGM and A-HTPGM at four µ settings).
+func BenchmarkTable7Runtime(b *testing.B) { runExperiment(b, "table7", benchOpt()) }
+
+// BenchmarkTable8Memory regenerates Table VIII (peak memory comparison).
+func BenchmarkTable8Memory(b *testing.B) { runExperiment(b, "table8", benchOpt()) }
+
+// BenchmarkTable9Accuracy regenerates Table IX (accuracy of A-HTPGM).
+func BenchmarkTable9Accuracy(b *testing.B) { runExperiment(b, "table9", benchOpt()) }
+
+// BenchmarkFig6PruningNIST regenerates Fig 6 (pruning ablation on NIST;
+// mines to level 3, where transitivity pruning acts).
+func BenchmarkFig6PruningNIST(b *testing.B) { runExperiment(b, "fig6", benchOpt()) }
+
+// BenchmarkFig7PruningSmartCity regenerates Fig 7 (ablation, Smart City).
+func BenchmarkFig7PruningSmartCity(b *testing.B) { runExperiment(b, "fig7", benchOpt()) }
+
+// BenchmarkFig8PrunedCDF regenerates Fig 8 (confidence CDF of the
+// patterns A-HTPGM prunes).
+func BenchmarkFig8PrunedCDF(b *testing.B) { runExperiment(b, "fig8", benchOpt()) }
+
+// BenchmarkFig9TradeOff regenerates Fig 9 (accuracy vs runtime gain).
+func BenchmarkFig9TradeOff(b *testing.B) { runExperiment(b, "fig9", benchOpt()) }
+
+// BenchmarkFig10ScaleDataNIST regenerates Fig 10 (runtime vs %sequences,
+// NIST x4).
+func BenchmarkFig10ScaleDataNIST(b *testing.B) { runExperiment(b, "fig10", benchOpt()) }
+
+// BenchmarkFig11ScaleDataSmartCity regenerates Fig 11 (Smart City x4).
+func BenchmarkFig11ScaleDataSmartCity(b *testing.B) { runExperiment(b, "fig11", benchOpt()) }
+
+// BenchmarkFig12ScaleAttrsNIST regenerates Fig 12 (runtime vs
+// %attributes, NIST).
+func BenchmarkFig12ScaleAttrsNIST(b *testing.B) { runExperiment(b, "fig12", benchOpt()) }
+
+// BenchmarkFig13ScaleAttrsSmartCity regenerates Fig 13 (Smart City).
+func BenchmarkFig13ScaleAttrsSmartCity(b *testing.B) { runExperiment(b, "fig13", benchOpt()) }
+
+// BenchmarkEndToEndPaperExample measures the full public-API pipeline on
+// the paper's Table I example (symbolic database -> DSEQ -> E-HTPGM).
+func BenchmarkEndToEndPaperExample(b *testing.B) {
+	sdb := paperex.SymbolicDB()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := ftpm.MineSymbolic(sdb, ftpm.Options{
+			MinSupport:    0.7,
+			MinConfidence: 0.7,
+			NumWindows:    4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Patterns) == 0 {
+			b.Fatal("no patterns")
+		}
+	}
+}
+
+// BenchmarkEndToEndApprox measures the A-HTPGM pipeline including NMI
+// computation and correlation-graph construction.
+func BenchmarkEndToEndApprox(b *testing.B) {
+	sdb := paperex.SymbolicDB()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := ftpm.MineSymbolic(sdb, ftpm.Options{
+			MinSupport:    0.7,
+			MinConfidence: 0.7,
+			NumWindows:    4,
+			Approx:        &ftpm.ApproxOptions{Density: 0.4},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Graph == nil {
+			b.Fatal("no graph")
+		}
+	}
+}

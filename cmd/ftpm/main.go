@@ -1,0 +1,144 @@
+// Command ftpm mines frequent temporal patterns from time series stored
+// as CSV — the end-to-end FTPMfTS process of the paper.
+//
+// Usage:
+//
+//	ftpm -in energy.csv -supp 0.2 -conf 0.5 -windows 24
+//	ftpm -in energy.csv -symbolic -supp 0.2 -conf 0.5 -window 86400 -overlap 3600
+//	ftpm -in energy.csv -supp 0.2 -conf 0.5 -windows 24 -approx-density 0.6
+//
+// Numeric input is symbolized with the On/Off threshold mapper
+// (-threshold); pass -symbolic when the CSV already contains symbols.
+// With -approx-mu or -approx-density the run uses A-HTPGM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ftpm"
+	"ftpm/internal/csvio"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "input CSV (wide layout; see internal/csvio)")
+		symbolic  = flag.Bool("symbolic", false, "input is already symbolic")
+		threshold = flag.Float64("threshold", 0.05, "On/Off threshold for numeric input (paper §VI-A2)")
+		supp      = flag.Float64("supp", 0.2, "minimum relative support σ")
+		conf      = flag.Float64("conf", 0.5, "minimum confidence δ")
+		windows   = flag.Int("windows", 0, "split into this many equal windows")
+		window    = flag.Int64("window", 0, "window length in ticks (alternative to -windows)")
+		overlap   = flag.Int64("overlap", 0, "window overlap t_ov in ticks")
+		epsilon   = flag.Int64("epsilon", 0, "relation buffer ε in ticks")
+		minOv     = flag.Int64("min-overlap", 1, "minimal Overlap duration d_o in ticks")
+		tmax      = flag.Int64("tmax", 0, "maximal pattern duration (0 = unbounded)")
+		maxK      = flag.Int("maxk", 0, "maximal pattern size (0 = unbounded)")
+		mu        = flag.Float64("approx-mu", 0, "A-HTPGM: MI threshold µ in (0,1]")
+		density   = flag.Float64("approx-density", 0, "A-HTPGM: correlation-graph density for µ selection")
+		top       = flag.Int("top", 25, "print at most this many patterns (0 = all)")
+		stats     = flag.Bool("stats", false, "print mining statistics")
+		jsonOut   = flag.Bool("json", false, "emit the full result as JSON instead of text")
+		maximal   = flag.Bool("maximal", false, "report only maximal patterns (not contained in a larger one)")
+	)
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "ftpm: -in is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+
+	var sdb *ftpm.SymbolicDB
+	if *symbolic {
+		sdb, err = csvio.ReadSymbolic(f)
+	} else {
+		var series []*ftpm.TimeSeries
+		series, err = csvio.ReadNumeric(f)
+		if err == nil {
+			sdb, err = ftpm.Symbolize(series, func(string) ftpm.Symbolizer {
+				return ftpm.OnOff(*threshold)
+			})
+		}
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	opt := ftpm.Options{
+		MinSupport:     *supp,
+		MinConfidence:  *conf,
+		Epsilon:        *epsilon,
+		MinOverlap:     *minOv,
+		TMax:           *tmax,
+		MaxPatternSize: *maxK,
+		WindowLength:   *window,
+		NumWindows:     *windows,
+		Overlap:        *overlap,
+	}
+	switch {
+	case *mu > 0 && *density > 0:
+		fail(fmt.Errorf("set only one of -approx-mu and -approx-density"))
+	case *mu > 0:
+		opt.Approx = &ftpm.ApproxOptions{Mu: *mu}
+	case *density > 0:
+		opt.Approx = &ftpm.ApproxOptions{Density: *density}
+	}
+
+	res, err := ftpm.MineSymbolic(sdb, opt)
+	if err != nil {
+		fail(err)
+	}
+	if *maximal {
+		res.Patterns = res.Maximal()
+	}
+	if *jsonOut {
+		if err := res.ExportJSON(os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if res.Graph != nil {
+		fmt.Printf("A-HTPGM: µ=%.3f, correlated series: %v\n", res.Mu, res.Graph.Vertices())
+	}
+	fmt.Printf("%d sequences, %d frequent events, %d frequent temporal patterns\n",
+		res.Stats.Sequences, len(res.Singles), len(res.Patterns))
+
+	patterns := append([]ftpm.PatternInfo(nil), res.Patterns...)
+	sort.SliceStable(patterns, func(i, j int) bool {
+		if patterns[i].Support != patterns[j].Support {
+			return patterns[i].Support > patterns[j].Support
+		}
+		return patterns[i].Confidence > patterns[j].Confidence
+	})
+	n := len(patterns)
+	if *top > 0 && n > *top {
+		n = *top
+	}
+	for _, p := range patterns[:n] {
+		fmt.Printf("supp=%3.0f%% conf=%3.0f%%  %s\n", p.RelSupport*100, p.Confidence*100, res.Describe(p))
+	}
+	if n < len(patterns) {
+		fmt.Printf("... and %d more (raise -top to see them)\n", len(patterns)-n)
+	}
+
+	if *stats {
+		fmt.Println("\nlevel statistics:")
+		for _, l := range res.Stats.Levels {
+			fmt.Printf("  L%d: candidates=%d apriori-pruned=%d trans-pruned=%d verified=%d green=%d patterns=%d (%v)\n",
+				l.K, l.Candidates, l.PrunedApriori, l.PrunedTrans, l.NodesVerified, l.GreenNodes, l.Patterns, l.Duration)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "ftpm: %v\n", err)
+	os.Exit(1)
+}

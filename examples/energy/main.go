@@ -1,0 +1,130 @@
+// Energy demonstrates the full numeric pipeline on a simulated smart-home
+// scenario, the paper's motivating use case (§I, Fig 1): appliance power
+// readings are symbolized with the On/Off threshold mapper (§VI-A2), the
+// symbolic database is split into overlapping daily sequences, and the
+// miner extracts routines such as "kitchen lights contain kettle use,
+// then the toaster follows" — the kind of insight that enables smart-home
+// automation like pre-heating water before the 6:00 shower.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"ftpm"
+)
+
+const (
+	days          = 60
+	samplesPerDay = 96 // 15-minute readings
+	step          = 900
+)
+
+// appliance simulates a power draw profile: a base load plus usage bursts
+// around preferred hours.
+type appliance struct {
+	name      string
+	watts     float64
+	hours     []int   // preferred start hours
+	onChance  float64 // chance the routine happens on a given day
+	duration  int     // samples the appliance stays on
+	lagOffset int     // samples after the hour it typically starts
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(6))
+	appliances := []appliance{
+		{"KitchenLights", 40, []int{6, 18}, 0.9, 6, 0},
+		{"Kettle", 2000, []int{6, 18}, 0.8, 1, 1},
+		{"Toaster", 900, []int{6}, 0.7, 1, 2},
+		{"Microwave", 1100, []int{18}, 0.6, 1, 3},
+		{"WashingMachine", 500, []int{20}, 0.3, 8, 0},
+		{"TV", 120, []int{19}, 0.85, 12, 1},
+	}
+
+	// 1. Simulate numeric power readings.
+	var series []*ftpm.TimeSeries
+	for _, a := range appliances {
+		values := make([]float64, days*samplesPerDay)
+		for d := 0; d < days; d++ {
+			for _, h := range a.hours {
+				if rng.Float64() > a.onChance {
+					continue
+				}
+				start := d*samplesPerDay + h*4 + a.lagOffset + rng.Intn(2)
+				for i := 0; i < a.duration; i++ {
+					if idx := start + i; idx < len(values) {
+						values[idx] = a.watts * (0.8 + 0.4*rng.Float64())
+					}
+				}
+			}
+		}
+		s, err := ftpm.NewTimeSeries(a.name, 0, step, values)
+		if err != nil {
+			log.Fatal(err)
+		}
+		series = append(series, s)
+	}
+
+	// 2. Symbolize: On when the appliance draws at least 5 W (the paper
+	// uses >= 0.05 on normalized readings).
+	sdb, err := ftpm.Symbolize(series, func(string) ftpm.Symbolizer {
+		return ftpm.OnOff(5)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Mine daily sequences with a one-hour overlap so routines that
+	// straddle midnight are preserved (§IV-B2).
+	res, err := ftpm.MineSymbolic(sdb, ftpm.Options{
+		MinSupport:     0.3,
+		MinConfidence:  0.4,
+		WindowLength:   samplesPerDay * step,
+		Overlap:        4 * step, // one hour
+		TMax:           4 * 3600, // routines span at most 4 hours
+		MaxPatternSize: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d sequences, %d frequent events, %d patterns\n\n",
+		res.Stats.Sequences, len(res.Singles), len(res.Patterns))
+
+	// 4. Show the strongest cross-appliance "On" routines.
+	type row struct {
+		p     ftpm.PatternInfo
+		score float64
+	}
+	var routines []row
+	for _, p := range res.Patterns {
+		allOn := true
+		names := map[string]bool{}
+		for _, e := range p.Pattern.Events {
+			def := res.DB.Vocab.Def(e)
+			if def.Symbol != "On" {
+				allOn = false
+				break
+			}
+			names[def.Series] = true
+		}
+		if !allOn || len(names) < 2 {
+			continue
+		}
+		routines = append(routines, row{p, float64(p.Pattern.K()) + p.Confidence})
+	}
+	sort.Slice(routines, func(i, j int) bool { return routines[i].score > routines[j].score })
+
+	fmt.Println("strongest cross-appliance routines:")
+	max := 10
+	if len(routines) < max {
+		max = len(routines)
+	}
+	for _, r := range routines[:max] {
+		fmt.Printf("  supp=%3.0f%% conf=%3.0f%%  %s\n",
+			r.p.RelSupport*100, r.p.Confidence*100, res.Describe(r.p))
+	}
+}

@@ -1,0 +1,141 @@
+package base
+
+import (
+	"testing"
+
+	"ftpm/internal/core"
+	"ftpm/internal/events"
+	"ftpm/internal/paperex"
+	"ftpm/internal/pattern"
+	"ftpm/internal/temporal"
+)
+
+func TestFromConfigDefaults(t *testing.T) {
+	p, err := FromConfig(core.Config{MinSupport: 0.5, MinConfidence: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rel != temporal.DefaultConfig() {
+		t.Errorf("relation defaults not applied: %+v", p.Rel)
+	}
+	if p.MaxK != 1<<30 {
+		t.Errorf("unbounded MaxK not normalized: %d", p.MaxK)
+	}
+	if _, err := FromConfig(core.Config{MinSupport: 0}); err == nil {
+		t.Error("invalid config must be rejected")
+	}
+	custom := core.Config{MinSupport: 0.5, Relations: temporal.Config{Epsilon: 1, MinOverlap: 5}, MaxK: 3}
+	p2, _ := FromConfig(custom)
+	if p2.Rel.Epsilon != 1 || p2.MaxK != 3 {
+		t.Error("explicit values must pass through")
+	}
+}
+
+func TestAbsSupport(t *testing.T) {
+	p := Params{MinSupport: 0.7}
+	if got := p.AbsSupport(4); got != 3 {
+		t.Errorf("AbsSupport(4) = %d, want 3", got)
+	}
+}
+
+func TestSpanOK(t *testing.T) {
+	p := Params{TMax: 100}
+	ins := events.Instance{Interval: temporal.NewInterval(50, 120)}
+	if !p.SpanOK(30, ins) {
+		t.Error("span 90 <= 100 must pass")
+	}
+	if p.SpanOK(10, ins) {
+		t.Error("span 110 > 100 must fail")
+	}
+	if !(Params{}).SpanOK(0, ins) {
+		t.Error("TMax 0 disables the check")
+	}
+}
+
+func TestEventSupports(t *testing.T) {
+	db := paperex.SequenceDB()
+	supp := EventSupports(db)
+	kOn, _ := db.Vocab.Lookup("K", "On")
+	iOn, _ := db.Vocab.Lookup("I", "On")
+	if supp[kOn] != 4 {
+		t.Errorf("supp(K=On) = %d, want 4", supp[kOn])
+	}
+	if supp[iOn] != 2 {
+		t.Errorf("supp(I=On) = %d, want 2", supp[iOn])
+	}
+	if MaxEventSupport(supp, []events.EventID{kOn, iOn}) != 4 {
+		t.Error("MaxEventSupport wrong")
+	}
+}
+
+func TestCollector(t *testing.T) {
+	db := paperex.SequenceDB()
+	supp := EventSupports(db)
+	kOn, _ := db.Vocab.Lookup("K", "On")
+	tOn, _ := db.Vocab.Lookup("T", "On")
+	iOn, _ := db.Vocab.Lookup("I", "On")
+
+	c := NewCollector()
+	frequent := pattern.Pair(kOn, temporal.Contain, tOn)
+	rare := pattern.Pair(kOn, temporal.Follow, iOn)
+	for s := 0; s < 4; s++ {
+		c.Add(frequent, s)
+	}
+	c.Add(frequent, 2) // duplicate sequence: support must stay 4
+	c.Add(rare, 0)
+	if c.Len() != 2 {
+		t.Fatalf("collector len = %d", c.Len())
+	}
+
+	p := Params{MinSupport: 0.7, MinConfidence: 0.5, Rel: temporal.DefaultConfig(), MaxK: 4}
+	res := c.Result(db, p, supp)
+	if len(res.Patterns) != 1 {
+		t.Fatalf("result patterns = %d, want 1 (rare pattern filtered)", len(res.Patterns))
+	}
+	got := res.Patterns[0]
+	if got.Support != 4 || got.Confidence != 1 {
+		t.Errorf("pattern stats: supp=%d conf=%v", got.Support, got.Confidence)
+	}
+	if len(res.Singles) != 11 {
+		t.Errorf("singles = %d, want 11", len(res.Singles))
+	}
+}
+
+func TestPatternOf(t *testing.T) {
+	db := paperex.SequenceDB()
+	seq := db.Sequences[0]
+	// First two instances of the first sequence always classify (they are
+	// chronological); construct via index 0 and 1.
+	pat, ok := PatternOf(seq, []int32{0, 1}, temporal.DefaultConfig())
+	if !ok {
+		t.Fatal("adjacent instances must form a relation")
+	}
+	if pat.K() != 2 || !pat.Rels[0].Valid() {
+		t.Errorf("pattern malformed: %v", pat)
+	}
+	// A pair with no relation: overlap below d_o.
+	strict := temporal.Config{Epsilon: 0, MinOverlap: 1 << 40}
+	s := events.NewSequence(0, temporal.NewInterval(0, 100), []events.Instance{
+		{Event: 0, Interval: temporal.NewInterval(0, 50)},
+		{Event: 1, Interval: temporal.NewInterval(25, 80)},
+	})
+	if _, ok := PatternOf(s, []int32{0, 1}, strict); ok {
+		t.Error("sub-d_o overlap must yield no pattern")
+	}
+}
+
+func TestAppendPattern(t *testing.T) {
+	parent := pattern.Pair(1, temporal.Follow, 2)
+	child := AppendPattern(parent, 3, []temporal.Relation{temporal.Contain, temporal.Overlap})
+	if child.K() != 3 {
+		t.Fatalf("child k = %d", child.K())
+	}
+	if child.Relation(0, 1) != temporal.Follow ||
+		child.Relation(0, 2) != temporal.Contain ||
+		child.Relation(1, 2) != temporal.Overlap {
+		t.Errorf("relations misplaced: %v", child)
+	}
+	if child.Events[2] != 3 {
+		t.Error("event not appended")
+	}
+}

@@ -1,0 +1,214 @@
+// Package baselines_test verifies that the three baseline miners solve
+// exactly the same FTPMfTS problem as E-HTPGM: identical pattern sets,
+// supports and confidences on randomized databases and on the paper's
+// running example. This mirrors the paper's setup, where all methods are
+// exact and differ only in cost.
+package baselines_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ftpm/internal/baselines/hdfs"
+	"ftpm/internal/baselines/ieminer"
+	"ftpm/internal/baselines/tpminer"
+	"ftpm/internal/core"
+	"ftpm/internal/events"
+	"ftpm/internal/paperex"
+	"ftpm/internal/temporal"
+	"ftpm/internal/timeseries"
+)
+
+type minerFn func(*events.DB, core.Config) (*core.Result, error)
+
+var miners = map[string]minerFn{
+	"H-DFS":   hdfs.Mine,
+	"IEMiner": ieminer.Mine,
+	"TPMiner": tpminer.Mine,
+}
+
+func randomDB(rng *rand.Rand) *events.DB {
+	nSeries := 2 + rng.Intn(3)
+	nSamples := 24 + rng.Intn(16)
+	series := make([]*timeseries.SymbolicSeries, nSeries)
+	for i := range series {
+		alpha := []string{"Off", "On"}
+		if rng.Intn(4) == 0 {
+			alpha = []string{"Lo", "Mid", "Hi"}
+		}
+		syms := make([]int, nSamples)
+		cur := rng.Intn(len(alpha))
+		for j := range syms {
+			if rng.Float64() < 0.4 {
+				cur = rng.Intn(len(alpha))
+			}
+			syms[j] = cur
+		}
+		series[i] = &timeseries.SymbolicSeries{
+			Name: fmt.Sprintf("S%d", i), Start: 0, Step: 10,
+			Alphabet: alpha, Symbols: syms,
+		}
+	}
+	sdb, err := timeseries.NewSymbolicDB(series...)
+	if err != nil {
+		panic(err)
+	}
+	db, err := events.Convert(sdb, events.SplitOptions{NumWindows: 3 + rng.Intn(2)})
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+func asMap(res *core.Result) map[string]string {
+	out := make(map[string]string, len(res.Patterns))
+	for _, p := range res.Patterns {
+		out[p.Pattern.Key()] = fmt.Sprintf("s=%d c=%.6f", p.Support, p.Confidence)
+	}
+	return out
+}
+
+// TestBaselinesMatchHTPGM is the equivalence test: every baseline must
+// produce E-HTPGM's exact pattern set on random databases.
+func TestBaselinesMatchHTPGM(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	trials := 20
+	if testing.Short() {
+		trials = 6
+	}
+	for trial := 0; trial < trials; trial++ {
+		db := randomDB(rng)
+		cfg := core.Config{
+			MinSupport:    0.3 + rng.Float64()*0.4,
+			MinConfidence: rng.Float64() * 0.6,
+			MaxK:          4,
+		}
+		if rng.Intn(2) == 0 {
+			cfg.TMax = 40 + temporal.Duration(rng.Intn(120))
+		}
+		want, err := core.Mine(db, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wm := asMap(want)
+		for name, fn := range miners {
+			got, err := fn(db, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gm := asMap(got)
+			for k, v := range wm {
+				if g, ok := gm[k]; !ok {
+					t.Errorf("trial %d %s: missing pattern (HTPGM: %s)", trial, name, v)
+				} else if g != v {
+					t.Errorf("trial %d %s: stats %s, HTPGM %s", trial, name, g, v)
+				}
+			}
+			for k := range gm {
+				if _, ok := wm[k]; !ok {
+					t.Errorf("trial %d %s: extra pattern mined", trial, name)
+				}
+			}
+			if t.Failed() {
+				t.Fatalf("stopping at trial %d (%s): %d vs %d patterns", trial, name, len(gm), len(wm))
+			}
+		}
+	}
+}
+
+// TestBaselinesOnPaperExample pins the Table III example: identical
+// singles and pattern sets at the paper's sigma = delta = 0.7.
+func TestBaselinesOnPaperExample(t *testing.T) {
+	db := paperex.SequenceDB()
+	cfg := core.Config{MinSupport: 0.7, MinConfidence: 0.7}
+	want, err := core.Mine(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Patterns) == 0 {
+		t.Fatal("paper example must yield patterns")
+	}
+	wm := asMap(want)
+	for name, fn := range miners {
+		got, err := fn(db, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Singles) != len(want.Singles) {
+			t.Errorf("%s: %d singles, want %d", name, len(got.Singles), len(want.Singles))
+		}
+		gm := asMap(got)
+		if len(gm) != len(wm) {
+			t.Errorf("%s: %d patterns, want %d", name, len(gm), len(wm))
+		}
+		for k, v := range wm {
+			if gm[k] != v {
+				t.Errorf("%s: pattern stats mismatch (%q vs %q)", name, gm[k], v)
+			}
+		}
+	}
+}
+
+// TestBaselinesHonourMaxK checks the level bound.
+func TestBaselinesHonourMaxK(t *testing.T) {
+	db := paperex.SequenceDB()
+	cfg := core.Config{MinSupport: 0.5, MinConfidence: 0.3, MaxK: 2}
+	for name, fn := range miners {
+		res, err := fn(db, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range res.Patterns {
+			if p.Pattern.K() > 2 {
+				t.Errorf("%s: MaxK=2 violated by %v", name, p.Pattern)
+			}
+		}
+	}
+}
+
+// TestBaselinesValidateConfig checks that invalid configurations are
+// rejected uniformly.
+func TestBaselinesValidateConfig(t *testing.T) {
+	db := paperex.SequenceDB()
+	for name, fn := range miners {
+		if _, err := fn(db, core.Config{MinSupport: 0}); err == nil {
+			t.Errorf("%s accepted an invalid config", name)
+		}
+	}
+}
+
+// TestBaselinesEpsilonBuffer runs the miners with a non-zero epsilon and a
+// larger minimal overlap to confirm the relation parameters are honoured
+// identically.
+func TestBaselinesEpsilonBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := randomDB(rng)
+	cfg := core.Config{
+		MinSupport:    0.4,
+		MinConfidence: 0.2,
+		MaxK:          3,
+		Relations:     temporal.Config{Epsilon: 5, MinOverlap: 20},
+	}
+	want, err := core.Mine(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm := asMap(want)
+	for name, fn := range miners {
+		got, err := fn(db, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gm := asMap(got)
+		if len(gm) != len(wm) {
+			t.Errorf("%s: %d patterns, want %d", name, len(gm), len(wm))
+		}
+		for k, v := range wm {
+			if gm[k] != v {
+				t.Errorf("%s: mismatch under epsilon buffer", name)
+				break
+			}
+		}
+	}
+}

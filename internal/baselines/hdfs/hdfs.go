@@ -1,0 +1,207 @@
+// Package hdfs reimplements H-DFS, the hybrid breadth-first/depth-first
+// arrangement miner of Papapetrou et al. ("Mining frequent arrangements of
+// temporal intervals", KAIS 2009), as used as a baseline in the paper's
+// evaluation.
+//
+// H-DFS first runs one breadth-first pass to build the vertical ID-List
+// representation (event -> sequences -> instances) and find the frequent
+// single events. It then grows arrangements depth-first: an arrangement (a
+// temporal pattern plus the full list of its occurrences) is extended by
+// merging its occurrence list with the ID-List of every frequent event.
+// Characteristic costs that the paper exploits in its comparison:
+//
+//   - every extension re-merges the complete ID-List of the new event, so
+//     work per step is proportional to the raw instance lists, not to the
+//     surviving occurrences;
+//   - complete occurrence lists are materialized for every arrangement on
+//     the DFS stack (the memory footprint of Table VIII);
+//   - only support is pruned during the search; the confidence threshold
+//     is applied when results are emitted (no Lemma 3/6/7 analogue).
+package hdfs
+
+import (
+	"sort"
+	"time"
+
+	"ftpm/internal/baselines/base"
+	"ftpm/internal/core"
+	"ftpm/internal/events"
+	"ftpm/internal/pattern"
+	"ftpm/internal/temporal"
+)
+
+// idList is the vertical representation of one event: for every sequence,
+// the instance indexes where the event occurs.
+type idList struct {
+	event events.EventID
+	seqs  map[int][]int32
+}
+
+// occurrence is one realization of an arrangement in a sequence.
+type occurrence []int32
+
+// arrangement is a pattern plus its complete occurrence lists.
+type arrangement struct {
+	pat  pattern.Pattern
+	occs map[int][]occurrence
+}
+
+// Mine runs H-DFS over the database with the thresholds of cfg.
+func Mine(db *events.DB, cfg core.Config) (*core.Result, error) {
+	p, err := base.FromConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	n := db.Size()
+	minSupp := p.AbsSupport(n)
+
+	// Breadth-first pass: build ID-Lists and single-event supports.
+	supports := base.EventSupports(db)
+	var frequent []*idList
+	for id := 0; id < db.Vocab.Size(); id++ {
+		e := events.EventID(id)
+		if supports[e] < minSupp {
+			continue
+		}
+		il := &idList{event: e, seqs: make(map[int][]int32)}
+		for _, s := range db.Sequences {
+			if idxs := s.InstancesOf(e); len(idxs) > 0 {
+				il.seqs[s.ID] = idxs
+			}
+		}
+		frequent = append(frequent, il)
+	}
+	sort.Slice(frequent, func(i, j int) bool { return frequent[i].event < frequent[j].event })
+
+	m := &miner{db: db, p: p, minSupp: minSupp, frequent: frequent, collector: base.NewCollector()}
+
+	// Depth-first growth from every frequent event.
+	for _, il := range frequent {
+		seed := &arrangement{
+			pat:  pattern.Pattern{Events: []events.EventID{il.event}},
+			occs: make(map[int][]occurrence, len(il.seqs)),
+		}
+		for seqID, idxs := range il.seqs {
+			occs := make([]occurrence, 0, len(idxs))
+			for _, idx := range idxs {
+				ins := m.db.Sequences[seqID].Instances[idx]
+				if !p.SpanOK(ins.Start, ins) {
+					continue
+				}
+				occs = append(occs, occurrence{idx})
+			}
+			if len(occs) > 0 {
+				seed.occs[seqID] = occs
+			}
+		}
+		m.dfs(seed)
+	}
+
+	res := m.collector.Result(db, p, supports)
+	res.Stats.Duration = time.Since(start)
+	return res, nil
+}
+
+type miner struct {
+	db        *events.DB
+	p         base.Params
+	minSupp   int
+	frequent  []*idList
+	collector *base.Collector
+}
+
+// dfs extends the arrangement with every frequent event's ID-List, emits
+// the frequent children and recurses.
+func (m *miner) dfs(arr *arrangement) {
+	if arr.pat.K() >= m.p.MaxK {
+		return
+	}
+	for _, il := range m.frequent {
+		for _, child := range m.merge(arr, il) {
+			if len(child.occs) < m.minSupp {
+				continue // support pruning, the only pruning H-DFS has
+			}
+			for seqID := range child.occs {
+				m.collector.Add(child.pat, seqID)
+			}
+			m.dfs(child)
+		}
+	}
+}
+
+// merge joins the arrangement's occurrence lists with the event's ID-List:
+// every occurrence is extended with every instance of the event that
+// starts no earlier than the occurrence's last element. Children are
+// grouped by the extended pattern. This is the characteristic H-DFS
+// operation — it walks the complete ID-List of e in every sequence the
+// arrangement occurs in.
+func (m *miner) merge(arr *arrangement, il *idList) []*arrangement {
+	children := make(map[string]*arrangement)
+	k := arr.pat.K()
+
+	seqIDs := make([]int, 0, len(arr.occs))
+	for seqID := range arr.occs {
+		if _, ok := il.seqs[seqID]; ok {
+			seqIDs = append(seqIDs, seqID)
+		}
+	}
+	sort.Ints(seqIDs)
+
+	newRels := make([]temporal.Relation, k)
+	for _, seqID := range seqIDs {
+		seq := m.db.Sequences[seqID]
+		for _, occ := range arr.occs[seqID] {
+			last := occ[len(occ)-1]
+			firstStart := seq.Instances[occ[0]].Start
+			// Walk the full ID-List of e in this sequence (including the
+			// prefix that cannot extend — the merge cost of H-DFS).
+			for _, ie := range il.seqs[seqID] {
+				if ie <= last {
+					continue
+				}
+				ins := seq.Instances[ie]
+				if m.p.TMax > 0 && ins.Start-firstStart > m.p.TMax {
+					break
+				}
+				if !m.p.SpanOK(firstStart, ins) {
+					continue
+				}
+				ok := true
+				for i, oi := range occ {
+					r := m.p.Rel.Classify(seq.Instances[oi].Interval, ins.Interval)
+					if r == temporal.None {
+						ok = false
+						break
+					}
+					newRels[i] = r
+				}
+				if !ok {
+					continue
+				}
+				childPat := base.AppendPattern(arr.pat, il.event, newRels)
+				key := childPat.Key()
+				child := children[key]
+				if child == nil {
+					child = &arrangement{pat: childPat, occs: make(map[int][]occurrence)}
+					children[key] = child
+				}
+				ext := make(occurrence, 0, k+1)
+				ext = append(ext, occ...)
+				ext = append(ext, ie)
+				child.occs[seqID] = append(child.occs[seqID], ext)
+			}
+		}
+	}
+
+	keys := make([]string, 0, len(children))
+	for key := range children {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	out := make([]*arrangement, 0, len(children))
+	for _, key := range keys {
+		out = append(out, children[key])
+	}
+	return out
+}

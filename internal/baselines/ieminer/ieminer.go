@@ -1,0 +1,195 @@
+// Package ieminer reimplements IEMiner, the Apriori-style interval-event
+// miner of Patel, Hsu and Lee ("Mining relationships among interval-based
+// events for classification", SIGMOD 2008), as used as a baseline in the
+// paper's evaluation.
+//
+// IEMiner mines level-wise over a hierarchical lossless representation:
+// candidate k-event combinations are generated from the frequent (k-1)
+// level with classic Apriori subset pruning, and each level's supports are
+// counted by scanning the entire horizontal database again. Characteristic
+// costs the paper exploits in its comparison:
+//
+//   - one full database scan per level (no bitmaps, no vertical lists, no
+//     carried occurrence state between levels — occurrences are
+//     re-enumerated from scratch for every level);
+//   - candidate filtering on event combinations only (support-based
+//     Apriori); no confidence pruning and no transitivity reasoning — the
+//     confidence threshold is applied to the final output.
+package ieminer
+
+import (
+	"sort"
+	"time"
+
+	"ftpm/internal/baselines/base"
+	"ftpm/internal/core"
+	"ftpm/internal/events"
+	"ftpm/internal/pattern"
+)
+
+// Mine runs IEMiner over the database with the thresholds of cfg.
+func Mine(db *events.DB, cfg core.Config) (*core.Result, error) {
+	p, err := base.FromConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	n := db.Size()
+	minSupp := p.AbsSupport(n)
+
+	supports := base.EventSupports(db)
+	var f1 []events.EventID
+	for id := 0; id < db.Vocab.Size(); id++ {
+		e := events.EventID(id)
+		if supports[e] >= minSupp {
+			f1 = append(f1, e)
+		}
+	}
+	sort.Slice(f1, func(i, j int) bool { return f1[i] < f1[j] })
+
+	collector := base.NewCollector()
+	// Frequent event multisets of the previous level (canonical keys).
+	prevSets := make(map[string][]events.EventID)
+	for _, e := range f1 {
+		ms := []events.EventID{e}
+		prevSets[pattern.MultisetKey(ms)] = ms
+	}
+
+	for k := 2; k <= p.MaxK && len(prevSets) > 0; k++ {
+		candidates := generateCandidates(prevSets, f1, k)
+		if len(candidates) == 0 {
+			break
+		}
+		// One full horizontal scan: enumerate the occurrences of every
+		// candidate multiset in every sequence, from scratch.
+		counted := make(map[string]*base.Found)
+		for _, seq := range db.Sequences {
+			for _, cand := range candidates {
+				enumerateMultiset(seq, cand, p, func(tuple []int32) {
+					pat, ok := base.PatternOf(seq, tuple, p.Rel)
+					if !ok {
+						return
+					}
+					key := pat.Key()
+					f := counted[key]
+					if f == nil {
+						f = &base.Found{Pat: pat, Seqs: make(map[int]bool)}
+						counted[key] = f
+					}
+					f.Seqs[seq.ID] = true
+				})
+			}
+		}
+		// Keep the frequent patterns; their event multisets seed level k+1.
+		nextSets := make(map[string][]events.EventID)
+		for _, f := range counted {
+			if len(f.Seqs) < minSupp {
+				continue
+			}
+			for seqID := range f.Seqs {
+				collector.Add(f.Pat, seqID)
+			}
+			ms := f.Pat.EventMultiset()
+			nextSets[pattern.MultisetKey(ms)] = ms
+		}
+		prevSets = nextSets
+	}
+
+	res := collector.Result(db, p, supports)
+	res.Stats.Duration = time.Since(start)
+	return res, nil
+}
+
+// generateCandidates builds the level-k candidate multisets: every
+// frequent (k-1) multiset extended with a frequent event no smaller than
+// its maximum (unique generation), kept only if every (k-1)-sub-multiset
+// is frequent (Apriori subset pruning).
+func generateCandidates(prevSets map[string][]events.EventID, f1 []events.EventID, k int) [][]events.EventID {
+	keys := make([]string, 0, len(prevSets))
+	for key := range prevSets {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+
+	var out [][]events.EventID
+	for _, key := range keys {
+		ms := prevSets[key]
+		last := ms[len(ms)-1]
+		for _, e := range f1 {
+			if e < last {
+				continue
+			}
+			cand := append(append([]events.EventID(nil), ms...), e)
+			if k > 2 && !allSubsetsFrequent(cand, prevSets) {
+				continue
+			}
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// allSubsetsFrequent checks that every (k-1)-sub-multiset of cand is a
+// frequent multiset of the previous level.
+func allSubsetsFrequent(cand []events.EventID, prevSets map[string][]events.EventID) bool {
+	sub := make([]events.EventID, 0, len(cand)-1)
+	for drop := 0; drop < len(cand); drop++ {
+		if drop > 0 && cand[drop] == cand[drop-1] {
+			continue // dropping equal elements yields the same sub-multiset
+		}
+		sub = sub[:0]
+		sub = append(sub, cand[:drop]...)
+		sub = append(sub, cand[drop+1:]...)
+		if _, ok := prevSets[pattern.MultisetKey(sub)]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// enumerateMultiset emits every chronological instance tuple of seq whose
+// event multiset equals cand (sorted), honouring t_max.
+func enumerateMultiset(seq *events.Sequence, cand []events.EventID, p base.Params, emit func([]int32)) {
+	need := make(map[events.EventID]int, len(cand))
+	for _, e := range cand {
+		need[e]++
+	}
+	for e, cnt := range need {
+		if len(seq.InstancesOf(e)) < cnt {
+			return
+		}
+	}
+	tuple := make([]int32, 0, len(cand))
+	var rec func(from int)
+	rec = func(from int) {
+		if len(tuple) == len(cand) {
+			out := make([]int32, len(tuple))
+			copy(out, tuple)
+			emit(out)
+			return
+		}
+		for i := from; i < seq.Len(); i++ {
+			ins := seq.Instances[i]
+			if need[ins.Event] == 0 {
+				continue
+			}
+			if len(tuple) > 0 {
+				firstStart := seq.Instances[tuple[0]].Start
+				if p.TMax > 0 && ins.Start-firstStart > p.TMax {
+					return
+				}
+				if !p.SpanOK(firstStart, ins) {
+					continue
+				}
+			} else if !p.SpanOK(ins.Start, ins) {
+				continue
+			}
+			need[ins.Event]--
+			tuple = append(tuple, int32(i))
+			rec(i + 1)
+			tuple = tuple[:len(tuple)-1]
+			need[ins.Event]++
+		}
+	}
+	rec(0)
+}

@@ -1,0 +1,230 @@
+// Package tpminer reimplements TPMiner, the endpoint-representation
+// temporal pattern miner of Chen, Peng and Lee ("Mining temporal patterns
+// in time interval-based data", TKDE 2015), as used as a baseline in the
+// paper's evaluation.
+//
+// TPMiner simplifies the complex relations among events by working on the
+// endpoint sequence of each temporal sequence (every interval contributes
+// a start and an end point) and grows patterns depth-first, PrefixSpan
+// style: each prefix carries a projected database — for every sequence,
+// the positions where the prefix's occurrences end — so an extension step
+// only scans endpoints after the frontier instead of re-merging complete
+// event lists (its main advantage over H-DFS). Support is pruned during
+// the search; additionally, extensions are skipped when the (last event,
+// new event) pair was never frequent (an endpoint-pair pruning from the
+// TPMiner paper). Like the other baselines it has no confidence pruning —
+// delta is applied to the final output.
+package tpminer
+
+import (
+	"sort"
+	"time"
+
+	"ftpm/internal/baselines/base"
+	"ftpm/internal/core"
+	"ftpm/internal/events"
+	"ftpm/internal/pattern"
+	"ftpm/internal/temporal"
+)
+
+// Mine runs TPMiner over the database with the thresholds of cfg.
+func Mine(db *events.DB, cfg core.Config) (*core.Result, error) {
+	p, err := base.FromConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	n := db.Size()
+	minSupp := p.AbsSupport(n)
+
+	supports := base.EventSupports(db)
+	var f1 []events.EventID
+	for id := 0; id < db.Vocab.Size(); id++ {
+		e := events.EventID(id)
+		if supports[e] >= minSupp {
+			f1 = append(f1, e)
+		}
+	}
+	sort.Slice(f1, func(i, j int) bool { return f1[i] < f1[j] })
+
+	m := &miner{db: db, p: p, minSupp: minSupp, f1: f1, collector: base.NewCollector()}
+	m.buildPairSupports()
+
+	for _, e := range f1 {
+		proj := make(map[int][]projEntry)
+		for _, seq := range db.Sequences {
+			for _, idx := range seq.InstancesOf(e) {
+				ins := seq.Instances[idx]
+				if !p.SpanOK(ins.Start, ins) {
+					continue
+				}
+				proj[seq.ID] = append(proj[seq.ID], projEntry{tuple: []int32{idx}})
+			}
+		}
+		if len(proj) < minSupp {
+			continue
+		}
+		m.grow(pattern.Pattern{Events: []events.EventID{e}}, proj)
+	}
+
+	res := m.collector.Result(db, p, supports)
+	res.Stats.Duration = time.Since(start)
+	return res, nil
+}
+
+// projEntry is one occurrence of the current prefix; the frontier for
+// extension is the last tuple element (endpoint position).
+type projEntry struct {
+	tuple []int32
+}
+
+type miner struct {
+	db        *events.DB
+	p         base.Params
+	minSupp   int
+	f1        []events.EventID
+	collector *base.Collector
+	// pairOK[a][b] records that some frequent chronological pair (a then
+	// b) exists — the endpoint-pair pruning table.
+	pairOK map[events.EventID]map[events.EventID]bool
+}
+
+// buildPairSupports performs TPMiner's cheap pre-pass over the endpoint
+// sequences: it counts, per ordered event pair, the sequences containing a
+// related chronological instance pair, and keeps the frequent ones.
+func (m *miner) buildPairSupports() {
+	counts := make(map[events.EventID]map[events.EventID]map[int]bool)
+	for _, seq := range m.db.Sequences {
+		for i := 0; i < seq.Len(); i++ {
+			a := seq.Instances[i]
+			if !m.p.SpanOK(a.Start, a) {
+				continue
+			}
+			for j := i + 1; j < seq.Len(); j++ {
+				b := seq.Instances[j]
+				if m.p.TMax > 0 && b.Start-a.Start > m.p.TMax {
+					break
+				}
+				if !m.p.SpanOK(a.Start, b) {
+					continue
+				}
+				if m.p.Rel.Classify(a.Interval, b.Interval) == temporal.None {
+					continue
+				}
+				byB := counts[a.Event]
+				if byB == nil {
+					byB = make(map[events.EventID]map[int]bool)
+					counts[a.Event] = byB
+				}
+				seqs := byB[b.Event]
+				if seqs == nil {
+					seqs = make(map[int]bool)
+					byB[b.Event] = seqs
+				}
+				seqs[seq.ID] = true
+			}
+		}
+	}
+	m.pairOK = make(map[events.EventID]map[events.EventID]bool)
+	for a, byB := range counts {
+		for b, seqs := range byB {
+			if len(seqs) >= m.minSupp {
+				inner := m.pairOK[a]
+				if inner == nil {
+					inner = make(map[events.EventID]bool)
+					m.pairOK[a] = inner
+				}
+				inner[b] = true
+			}
+		}
+	}
+}
+
+// grow extends the prefix pattern depth-first using the projected
+// database.
+func (m *miner) grow(prefix pattern.Pattern, proj map[int][]projEntry) {
+	if prefix.K() >= m.p.MaxK {
+		return
+	}
+	k := prefix.K()
+	lastEvent := prefix.Events[k-1]
+
+	for _, e := range m.f1 {
+		// Endpoint-pair pruning: if (lastEvent, e) never forms a frequent
+		// chronological pair, no extension of this prefix by e can be
+		// frequent (the pair is a sub-pattern of every such extension).
+		if !m.pairOK[lastEvent][e] {
+			continue
+		}
+		children := make(map[string]map[int][]projEntry)
+		childPats := make(map[string]pattern.Pattern)
+		newRels := make([]temporal.Relation, k)
+
+		seqIDs := make([]int, 0, len(proj))
+		for seqID := range proj {
+			seqIDs = append(seqIDs, seqID)
+		}
+		sort.Ints(seqIDs)
+
+		for _, seqID := range seqIDs {
+			seq := m.db.Sequences[seqID]
+			eIdxs := seq.InstancesOf(e)
+			if len(eIdxs) == 0 {
+				continue
+			}
+			for _, entry := range proj[seqID] {
+				last := entry.tuple[len(entry.tuple)-1]
+				firstStart := seq.Instances[entry.tuple[0]].Start
+				// Scan only endpoints after the frontier (projection).
+				pos := sort.Search(len(eIdxs), func(i int) bool { return eIdxs[i] > last })
+				for _, ie := range eIdxs[pos:] {
+					ins := seq.Instances[ie]
+					if m.p.TMax > 0 && ins.Start-firstStart > m.p.TMax {
+						break
+					}
+					if !m.p.SpanOK(firstStart, ins) {
+						continue
+					}
+					ok := true
+					for i, oi := range entry.tuple {
+						r := m.p.Rel.Classify(seq.Instances[oi].Interval, ins.Interval)
+						if r == temporal.None {
+							ok = false
+							break
+						}
+						newRels[i] = r
+					}
+					if !ok {
+						continue
+					}
+					childPat := base.AppendPattern(prefix, e, newRels)
+					key := childPat.Key()
+					if _, seen := childPats[key]; !seen {
+						childPats[key] = childPat
+						children[key] = make(map[int][]projEntry)
+					}
+					ext := make([]int32, 0, k+1)
+					ext = append(ext, entry.tuple...)
+					ext = append(ext, ie)
+					children[key][seqID] = append(children[key][seqID], projEntry{tuple: ext})
+				}
+			}
+		}
+
+		keys := make([]string, 0, len(children))
+		for key := range children {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			childProj := children[key]
+			if len(childProj) < m.minSupp {
+				continue
+			}
+			for seqID := range childProj {
+				m.collector.Add(childPats[key], seqID)
+			}
+			m.grow(childPats[key], childProj)
+		}
+	}
+}

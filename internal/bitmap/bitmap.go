@@ -1,0 +1,226 @@
+// Package bitmap provides the fixed-length bit vectors HTPGM uses to index
+// which sequences of the temporal sequence database contain an event or
+// support a pattern (paper §IV-C, "Efficient bitmap indexing").
+//
+// A Bitmap has a fixed logical length (the number of sequences in DSEQ);
+// support counting is a population count, and the joint occurrences of an
+// event group are the AND of the members' bitmaps (Alg 1, line 8).
+package bitmap
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Bitmap is a fixed-length bit vector. The zero value is an empty bitmap of
+// length 0; use New to create one of a given length.
+type Bitmap struct {
+	words []uint64
+	n     int // logical length in bits
+}
+
+// New returns a bitmap of n bits, all zero.
+func New(n int) *Bitmap {
+	if n < 0 {
+		panic(fmt.Sprintf("bitmap: negative length %d", n))
+	}
+	return &Bitmap{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromIndices returns a bitmap of length n with the given bits set.
+func FromIndices(n int, idx ...int) *Bitmap {
+	b := New(n)
+	for _, i := range idx {
+		b.Set(i)
+	}
+	return b
+}
+
+// Len returns the logical length in bits.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set sets bit i.
+func (b *Bitmap) Set(i int) {
+	b.check(i)
+	b.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Clear clears bit i.
+func (b *Bitmap) Clear(i int) {
+	b.check(i)
+	b.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Get reports whether bit i is set.
+func (b *Bitmap) Get(i int) bool {
+	b.check(i)
+	return b.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+func (b *Bitmap) check(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitmap: index %d out of range [0,%d)", i, b.n))
+	}
+}
+
+// Count returns the number of set bits (the support counter of Alg 1,
+// countBitmap).
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether at least one bit is set.
+func (b *Bitmap) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy.
+func (b *Bitmap) Clone() *Bitmap {
+	c := &Bitmap{words: make([]uint64, len(b.words)), n: b.n}
+	copy(c.words, b.words)
+	return c
+}
+
+// And returns a new bitmap b & o. Both operands must have equal length.
+func (b *Bitmap) And(o *Bitmap) *Bitmap {
+	b.sameLen(o)
+	r := &Bitmap{words: make([]uint64, len(b.words)), n: b.n}
+	for i := range b.words {
+		r.words[i] = b.words[i] & o.words[i]
+	}
+	return r
+}
+
+// AndCount returns Count(b & o) without allocating the intermediate bitmap.
+// It is the hot operation of the Apriori node filter (Alg 1, lines 8-9).
+func (b *Bitmap) AndCount(o *Bitmap) int {
+	b.sameLen(o)
+	c := 0
+	for i := range b.words {
+		c += bits.OnesCount64(b.words[i] & o.words[i])
+	}
+	return c
+}
+
+// Or returns a new bitmap b | o.
+func (b *Bitmap) Or(o *Bitmap) *Bitmap {
+	b.sameLen(o)
+	r := &Bitmap{words: make([]uint64, len(b.words)), n: b.n}
+	for i := range b.words {
+		r.words[i] = b.words[i] | o.words[i]
+	}
+	return r
+}
+
+// AndNot returns a new bitmap b &^ o (bits set in b but not in o).
+func (b *Bitmap) AndNot(o *Bitmap) *Bitmap {
+	b.sameLen(o)
+	r := &Bitmap{words: make([]uint64, len(b.words)), n: b.n}
+	for i := range b.words {
+		r.words[i] = b.words[i] &^ o.words[i]
+	}
+	return r
+}
+
+// InPlaceAnd sets b = b & o and returns b.
+func (b *Bitmap) InPlaceAnd(o *Bitmap) *Bitmap {
+	b.sameLen(o)
+	for i := range b.words {
+		b.words[i] &= o.words[i]
+	}
+	return b
+}
+
+// InPlaceOr sets b = b | o and returns b.
+func (b *Bitmap) InPlaceOr(o *Bitmap) *Bitmap {
+	b.sameLen(o)
+	for i := range b.words {
+		b.words[i] |= o.words[i]
+	}
+	return b
+}
+
+// Equal reports whether b and o have identical length and bits.
+func (b *Bitmap) Equal(o *Bitmap) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSubsetOf reports whether every set bit of b is also set in o.
+func (b *Bitmap) IsSubsetOf(o *Bitmap) bool {
+	b.sameLen(o)
+	for i := range b.words {
+		if b.words[i]&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every set bit in ascending order. If fn returns
+// false, iteration stops.
+func (b *Bitmap) ForEach(fn func(i int) bool) {
+	for wi, w := range b.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + tz) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Indices returns the positions of all set bits in ascending order.
+func (b *Bitmap) Indices() []int {
+	out := make([]int, 0, b.Count())
+	b.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// SizeBytes returns the heap footprint of the word storage, used by the
+// memory accounting of the experiment harness.
+func (b *Bitmap) SizeBytes() int { return len(b.words) * 8 }
+
+func (b *Bitmap) sameLen(o *Bitmap) {
+	if b.n != o.n {
+		panic(fmt.Sprintf("bitmap: length mismatch %d vs %d", b.n, o.n))
+	}
+}
+
+// String renders the bitmap as a 0/1 string, most significant sequence
+// last, e.g. "1011".
+func (b *Bitmap) String() string {
+	var sb strings.Builder
+	sb.Grow(b.n)
+	for i := 0; i < b.n; i++ {
+		if b.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,61 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchBitmaps(n int) (*Bitmap, *Bitmap) {
+	rng := rand.New(rand.NewSource(1))
+	a, b := New(n), New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			a.Set(i)
+		}
+		if rng.Intn(2) == 0 {
+			b.Set(i)
+		}
+	}
+	return a, b
+}
+
+// BenchmarkAndCount measures the hot Apriori filter operation (Alg 1
+// line 8-9) at the paper's dataset size (1460 sequences).
+func BenchmarkAndCount(b *testing.B) {
+	x, y := benchBitmaps(1460)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if x.AndCount(y) < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+// BenchmarkAnd measures the allocating variant used when the joint bitmap
+// is retained on a node.
+func BenchmarkAnd(b *testing.B) {
+	x, y := benchBitmaps(1460)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.And(y)
+	}
+}
+
+// BenchmarkCount measures support counting.
+func BenchmarkCount(b *testing.B) {
+	x, _ := benchBitmaps(1460)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Count()
+	}
+}
+
+// BenchmarkForEach measures supporting-sequence iteration.
+func BenchmarkForEach(b *testing.B) {
+	x, _ := benchBitmaps(1460)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sum := 0
+		x.ForEach(func(i int) bool { sum += i; return true })
+	}
+}

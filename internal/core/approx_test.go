@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ftpm/internal/events"
+	"ftpm/internal/mi"
+	"ftpm/internal/paperex"
+	"ftpm/internal/timeseries"
+)
+
+func graphFor(t *testing.T, db *timeseries.SymbolicDB, density float64) *mi.Graph {
+	t.Helper()
+	pw, err := mi.ComputePairwise(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := pw.MuForDensity(density)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu > 1 {
+		mu = 1
+	}
+	g, err := pw.Graph(mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestApproxSubsetOfExact: A-HTPGM only ever prunes, so its pattern set
+// must be a subset of E-HTPGM's, with identical supports and confidences
+// for retained patterns (the basis of Table IX's accuracy metric).
+func TestApproxSubsetOfExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 15; trial++ {
+		sdb := randomSymbolicDB(rng)
+		db, err := events.Convert(sdb, events.SplitOptions{NumWindows: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{MinSupport: 0.25 + rng.Float64()*0.35, MinConfidence: rng.Float64() * 0.4, MaxK: 4}
+		exact, err := Mine(db, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactSet := make(map[string]PatternInfo, len(exact.Patterns))
+		for _, p := range exact.Patterns {
+			exactSet[p.Pattern.Key()] = p
+		}
+		for _, density := range []float64{0.2, 0.5, 0.8} {
+			c := cfg
+			c.Filter = graphFor(t, sdb, density)
+			ap, err := Mine(db, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range ap.Patterns {
+				ex, ok := exactSet[p.Pattern.Key()]
+				if !ok {
+					t.Fatalf("trial %d density %v: approximate miner invented pattern %v",
+						trial, density, p.Pattern)
+				}
+				if ex.Support != p.Support || ex.Confidence != p.Confidence {
+					t.Fatalf("trial %d: retained pattern stats differ", trial)
+				}
+			}
+			acc := Accuracy(ap, exact)
+			if acc < 0 || acc > 1 {
+				t.Fatalf("accuracy out of range: %v", acc)
+			}
+		}
+	}
+}
+
+// TestApproxFullDensityIsExact: with every correlation edge retained,
+// A-HTPGM must equal E-HTPGM exactly.
+func TestApproxFullDensityIsExact(t *testing.T) {
+	sdb := paperex.SymbolicDB()
+	db := paperex.SequenceDB()
+	cfg := Config{MinSupport: 0.5, MinConfidence: 0.5, MaxK: 4}
+	exact, err := Mine(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Filter = graphFor(t, sdb, 1.0)
+	ap, err := Mine(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ap.Patterns) != len(exact.Patterns) {
+		t.Fatalf("full-density approx found %d patterns, exact %d", len(ap.Patterns), len(exact.Patterns))
+	}
+	if acc := Accuracy(ap, exact); acc != 1 {
+		t.Fatalf("accuracy = %v, want 1", acc)
+	}
+}
+
+// TestApproxPrunesUncorrelated: on the paper example at 40% density, only
+// K, T, M, C survive (Fig 5), so no mined pattern may involve I or B, and
+// the candidate space must shrink.
+func TestApproxPrunesUncorrelated(t *testing.T) {
+	sdb := paperex.SymbolicDB()
+	db := paperex.SequenceDB()
+	cfg := Config{MinSupport: 0.5, MinConfidence: 0.5, MaxK: 3}
+	exact, err := Mine(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Filter = graphFor(t, sdb, 0.4)
+	ap, err := Mine(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ap.Patterns {
+		for _, e := range p.Pattern.Events {
+			series := db.Vocab.Def(e).Series
+			if series == "I" || series == "B" {
+				t.Fatalf("pattern %v uses pruned series %s", p.Pattern, series)
+			}
+		}
+	}
+	if ap.Stats.SeriesFiltered != 2 {
+		t.Errorf("SeriesFiltered = %d, want 2 (I and B)", ap.Stats.SeriesFiltered)
+	}
+	if ap.Stats.TotalCandidates() >= exact.Stats.TotalCandidates() {
+		t.Errorf("approx candidates (%d) must be fewer than exact (%d)",
+			ap.Stats.TotalCandidates(), exact.Stats.TotalCandidates())
+	}
+	if acc := Accuracy(ap, exact); acc <= 0 {
+		t.Errorf("accuracy = %v, want positive (correlated patterns retained)", acc)
+	}
+}
+
+// TestApproxPairFiltering: events of the same series always combine even
+// at minimal density, while cross-series pairs require an edge.
+func TestApproxPairFiltering(t *testing.T) {
+	sdb := paperex.SymbolicDB()
+	db := paperex.SequenceDB()
+	cfg := Config{MinSupport: 0.5, MinConfidence: 0.0, MaxK: 2}
+	// At 60% density the graph keeps 9 of 15 edges over 5 vertices
+	// (C(5,2)=10), so exactly one vertex pair lacks an edge and pair
+	// filtering must trigger.
+	cfg.Filter = graphFor(t, sdb, 0.6)
+	ap, err := Mine(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap.Stats.PairsFiltered == 0 {
+		t.Error("pair filtering must trigger at 60% density")
+	}
+	sameSeries := false
+	for _, p := range ap.Patterns {
+		a := db.Vocab.Def(p.Pattern.Events[0]).Series
+		b := db.Vocab.Def(p.Pattern.Events[1]).Series
+		if a == b {
+			sameSeries = true
+			continue
+		}
+		if !cfg.Filter.PairAllowed(a, b) {
+			t.Fatalf("pattern %v crosses a missing correlation edge (%s,%s)", p.Pattern, a, b)
+		}
+	}
+	if !sameSeries {
+		t.Error("same-series patterns (e.g. K=On -> K=On) must survive any density")
+	}
+}
+
+func TestAccuracyEdgeCases(t *testing.T) {
+	empty := &Result{}
+	if Accuracy(empty, empty) != 1 {
+		t.Error("empty exact set must give accuracy 1")
+	}
+}
+
+// randomSymbolicDB generates series with planted correlation: half the
+// series follow a common driver with noise, half are independent.
+func randomSymbolicDB(rng *rand.Rand) *timeseries.SymbolicDB {
+	n := 4 + rng.Intn(3)
+	samples := 48
+	driver := make([]int, samples)
+	cur := 0
+	for i := range driver {
+		if rng.Float64() < 0.3 {
+			cur = rng.Intn(2)
+		}
+		driver[i] = cur
+	}
+	series := make([]*timeseries.SymbolicSeries, n)
+	for i := range series {
+		syms := make([]int, samples)
+		if i < n/2 {
+			for j := range syms {
+				syms[j] = driver[j]
+				if rng.Float64() < 0.15 {
+					syms[j] = rng.Intn(2)
+				}
+			}
+		} else {
+			c := rng.Intn(2)
+			for j := range syms {
+				if rng.Float64() < 0.35 {
+					c = rng.Intn(2)
+				}
+				syms[j] = c
+			}
+		}
+		series[i] = &timeseries.SymbolicSeries{
+			Name: fmt.Sprintf("V%d", i), Start: 0, Step: 10,
+			Alphabet: []string{"Off", "On"}, Symbols: syms,
+		}
+	}
+	db, err := timeseries.NewSymbolicDB(series...)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// eventGraphFor builds an event-level correlation graph for the database.
+func eventGraphFor(t *testing.T, db *timeseries.SymbolicDB, density float64) *mi.EventGraph {
+	t.Helper()
+	pw, err := mi.ComputeEventPairwise(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := pw.MuForDensity(density)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu > 1 {
+		mu = 1
+	}
+	g, err := pw.Graph(mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestEventLevelApproxSubset: event-level pruning (the paper's future
+// work) must also only ever prune — results are subsets of the exact
+// miner's with identical statistics.
+func TestEventLevelApproxSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 8; trial++ {
+		sdb := randomSymbolicDB(rng)
+		db, err := events.Convert(sdb, events.SplitOptions{NumWindows: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{MinSupport: 0.3, MinConfidence: 0.2, MaxK: 3}
+		exact, err := Mine(db, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactSet := make(map[string]PatternInfo, len(exact.Patterns))
+		for _, p := range exact.Patterns {
+			exactSet[p.Pattern.Key()] = p
+		}
+		for _, density := range []float64{0.3, 0.7} {
+			c := cfg
+			c.EventFilter = eventGraphFor(t, sdb, density)
+			ap, err := Mine(db, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range ap.Patterns {
+				ex, ok := exactSet[p.Pattern.Key()]
+				if !ok {
+					t.Fatalf("trial %d: event-level filter invented pattern %v", trial, p.Pattern)
+				}
+				if ex.Support != p.Support || ex.Confidence != p.Confidence {
+					t.Fatalf("trial %d: stats differ for retained pattern", trial)
+				}
+			}
+			if len(ap.Patterns) > len(exact.Patterns) {
+				t.Fatal("event-level filter must only prune")
+			}
+		}
+	}
+}
+
+// TestEventLevelFinerThanSeriesLevel: on the paper example, an event
+// graph at low density prunes pairs inside correlated series that the
+// series-level graph keeps — the motivation for the extension.
+func TestEventLevelFinerThanSeriesLevel(t *testing.T) {
+	sdb := paperex.SymbolicDB()
+	db := paperex.SequenceDB()
+	cfg := Config{MinSupport: 0.5, MinConfidence: 0, MaxK: 2}
+
+	cfg.Filter = graphFor(t, sdb, 0.4) // series level: K,T,M,C complete
+	series, err := Mine(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Filter = nil
+	cfg.EventFilter = eventGraphFor(t, sdb, 0.2)
+	eventLevel, err := Mine(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eventLevel.Patterns) >= len(series.Patterns) {
+		t.Errorf("event-level at 20%% density should prune more: %d vs %d patterns",
+			len(eventLevel.Patterns), len(series.Patterns))
+	}
+	if len(eventLevel.Patterns) == 0 {
+		t.Error("event-level filter must keep the strongly correlated pairs")
+	}
+}

@@ -1,0 +1,749 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ftpm/internal/bitmap"
+	"ftpm/internal/events"
+	"ftpm/internal/hpg"
+	"ftpm/internal/pattern"
+	"ftpm/internal/temporal"
+)
+
+// Mine runs HTPGM over the temporal sequence database. With a nil
+// Config.Filter this is the exact E-HTPGM (Alg 1); with a correlation
+// filter it is A-HTPGM (Alg 2).
+func Mine(db *events.DB, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if db == nil || db.Size() == 0 {
+		return nil, fmt.Errorf("core: empty sequence database")
+	}
+	for i, s := range db.Sequences {
+		if s.ID != i {
+			return nil, fmt.Errorf("core: sequence %d carries id %d; ids must be positional", i, s.ID)
+		}
+	}
+
+	m := &miner{
+		db:      db,
+		cfg:     cfg,
+		rel:     cfg.relations(),
+		n:       db.Size(),
+		minSupp: cfg.AbsoluteSupport(db.Size()),
+		graph:   &hpg.Graph{},
+	}
+	m.stats.Sequences = m.n
+	m.stats.AbsoluteSupport = m.minSupp
+
+	start := time.Now()
+	m.mineSingles()
+	if cfg.MaxK != 1 && len(m.oneFreq) > 0 {
+		m.mineLevel2()
+		for k := 3; ; k++ {
+			if cfg.MaxK > 0 && k > cfg.MaxK {
+				break
+			}
+			prev := m.graph.Level(k - 1)
+			if prev == nil || prev.Size() == 0 {
+				break
+			}
+			if m.mineLevelK(k) == 0 {
+				break
+			}
+		}
+	}
+	m.stats.Duration = time.Since(start)
+	return m.buildResult(), nil
+}
+
+// miner carries the run state.
+type miner struct {
+	db      *events.DB
+	cfg     Config
+	rel     temporal.Config
+	n       int // |DSEQ|
+	minSupp int
+
+	// support and bitmap of every event (also infrequent ones, needed for
+	// the confidence denominators of Def 3.16).
+	eventSupp map[events.EventID]int
+	eventBm   map[events.EventID]*bitmap.Bitmap
+	oneFreq   []events.EventID // frequent singles after the series filter
+
+	graph *hpg.Graph
+	stats Stats
+
+	// scr is the scratch for the serial path; parallel workers get their
+	// own (see runParallel).
+	scr scratch
+}
+
+// scratch holds the per-worker reusable buffers of the hot extension
+// path.
+type scratch struct {
+	keyBuf  []byte
+	relsBuf []temporal.Relation
+}
+
+// seriesOf returns the originating series of an event.
+func (m *miner) seriesOf(e events.EventID) string { return m.db.Vocab.Def(e).Series }
+
+// pairAllowed applies the A-HTPGM correlation filters at L2 (Alg 2 lines
+// 9-11). For the series-level filter, same-series pairs always pass; the
+// event-level filter (future-work extension) decides per event pair, with
+// self-pairs always allowed.
+func (m *miner) pairAllowed(a, b events.EventID) bool {
+	if m.cfg.Filter != nil {
+		sa, sb := m.seriesOf(a), m.seriesOf(b)
+		if sa != sb && !m.cfg.Filter.PairAllowed(sa, sb) {
+			return false
+		}
+	}
+	if m.cfg.EventFilter != nil && a != b {
+		da, db := m.db.Vocab.Def(a), m.db.Vocab.Def(b)
+		if !m.cfg.EventFilter.EventPairAllowed(da.Series, da.Symbol, db.Series, db.Symbol) {
+			return false
+		}
+	}
+	return true
+}
+
+// eventAllowed applies the L1 filters to a single event.
+func (m *miner) eventAllowed(e events.EventID) bool {
+	d := m.db.Vocab.Def(e)
+	if m.cfg.Filter != nil && !m.cfg.Filter.SeriesAllowed(d.Series) {
+		return false
+	}
+	if m.cfg.EventFilter != nil && !m.cfg.EventFilter.EventAllowed(d.Series, d.Symbol) {
+		return false
+	}
+	return true
+}
+
+// maxEventSupport returns max support over the pattern's events — the
+// denominator of Def 3.16.
+func (m *miner) maxEventSupport(evs []events.EventID) int {
+	mx := 0
+	for _, e := range evs {
+		if s := m.eventSupp[e]; s > mx {
+			mx = s
+		}
+	}
+	return mx
+}
+
+// spanOK checks the maximal-duration constraint of §III-C. The paper
+// phrases it as "end time of the last instance minus start time of the
+// first"; we apply the equivalent monotone form — every instance must end
+// within first.Start + t_max — so that the constraint is closed under
+// sub-patterns and Apriori reasoning stays exact (see DESIGN.md).
+func (m *miner) spanOK(first, other events.Instance) bool {
+	if m.cfg.TMax <= 0 {
+		return true
+	}
+	end := other.End
+	if first.End > end {
+		end = first.End
+	}
+	return end-first.Start <= m.cfg.TMax
+}
+
+// mineSingles is step 1 of Alg 1 (lines 1-4): frequent single events.
+func (m *miner) mineSingles() {
+	t0 := time.Now()
+	vocabSize := m.db.Vocab.Size()
+	m.eventSupp = make(map[events.EventID]int, vocabSize)
+	m.eventBm = make(map[events.EventID]*bitmap.Bitmap, vocabSize)
+
+	level := hpg.NewLevel(1)
+	allowedSeries := make(map[string]bool)
+	for id := 0; id < vocabSize; id++ {
+		e := events.EventID(id)
+		bm := bitmap.New(m.n)
+		for _, s := range m.db.Sequences {
+			if s.Has(e) {
+				bm.Set(s.ID)
+			}
+		}
+		supp := bm.Count()
+		m.eventSupp[e] = supp
+		m.eventBm[e] = bm
+
+		if !m.eventAllowed(e) {
+			continue
+		}
+		allowedSeries[m.seriesOf(e)] = true
+		m.stats.SinglesConsidered++
+		if supp < m.minSupp {
+			continue
+		}
+		m.oneFreq = append(m.oneFreq, e)
+		level.Add(hpg.NewNode([]events.EventID{e}, bm, supp, 1))
+	}
+	if m.cfg.Filter != nil {
+		total := make(map[string]bool)
+		for id := 0; id < vocabSize; id++ {
+			total[m.seriesOf(events.EventID(id))] = true
+		}
+		m.stats.SeriesFiltered = len(total) - len(allowedSeries)
+	}
+	sort.Slice(m.oneFreq, func(i, j int) bool { return m.oneFreq[i] < m.oneFreq[j] })
+	m.stats.SinglesFrequent = len(m.oneFreq)
+	m.graph.Levels = append(m.graph.Levels, level)
+	m.stats.Levels = append(m.stats.Levels, LevelStats{K: 1, Candidates: m.stats.SinglesConsidered,
+		NodesVerified: m.stats.SinglesConsidered, GreenNodes: len(m.oneFreq), Duration: time.Since(t0)})
+}
+
+// pendingPattern accumulates one candidate pattern during node
+// verification. occs is nil when the level cannot be extended further
+// (k == MaxK): then only the bitmap and one sample occurrence are kept,
+// which bounds the memory of the deepest (largest) level.
+type pendingPattern struct {
+	pat       pattern.Pattern
+	bm        *bitmap.Bitmap
+	occs      map[int][]hpg.Occurrence
+	nOcc      int
+	sampleSeq int
+	sampleOcc hpg.Occurrence
+}
+
+// keepOccsAt reports whether occurrences of level k must be stored: they
+// are needed when level k+1 will extend them, or when the caller wants
+// the full graph.
+func (m *miner) keepOccsAt(k int) bool {
+	return m.cfg.KeepGraph || m.cfg.MaxK == 0 || k < m.cfg.MaxK
+}
+
+// mineLevel2 is step 2 of Alg 1 (lines 5-14): frequent 2-event patterns.
+// Candidate pairs are verified independently — serially or sharded over
+// Config.Workers.
+func (m *miner) mineLevel2() {
+	t0 := time.Now()
+	ls := LevelStats{K: 2}
+	level := hpg.NewLevel(2)
+
+	var tasks []pairTask
+	for i, a := range m.oneFreq {
+		for _, b := range m.oneFreq[i:] {
+			if !m.pairAllowed(a, b) {
+				m.stats.PairsFiltered++
+				continue
+			}
+			tasks = append(tasks, pairTask{a, b})
+		}
+	}
+	outcomes := runParallel(m.workers(), tasks, m.verifyPairTask)
+	mergeOutcomes(level, &ls, outcomes)
+
+	m.graph.Levels = append(m.graph.Levels, level)
+	ls.Duration = time.Since(t0)
+	m.stats.Levels = append(m.stats.Levels, ls)
+}
+
+// verifyPair mines the frequent 2-event patterns of one node (step 2.2):
+// it retrieves the instance pairs in every sequence where both events
+// occur, classifies their relation, and keeps the frequent and confident
+// ones.
+func (m *miner) verifyPair(node *hpg.Node, scr *scratch, ls *LevelStats) {
+	a, b := node.Events[0], node.Events[1]
+	pend := make(map[string]*pendingPattern)
+
+	node.Bitmap.ForEach(func(seqIdx int) bool {
+		seq := m.db.Sequences[seqIdx]
+		ia := seq.InstancesOf(a)
+		ib := seq.InstancesOf(b)
+		if a == b {
+			// Self-relation: ordered pairs of distinct instances.
+			for x := 0; x < len(ia); x++ {
+				for y := x + 1; y < len(ia); y++ {
+					m.classifyInto(pend, seq, seqIdx, ia[x], ia[y])
+				}
+			}
+			return true
+		}
+		for _, x := range ia {
+			for _, y := range ib {
+				// Order the two instances chronologically; instance order
+				// in the sequence equals index order.
+				lo, hi := x, y
+				if hi < lo {
+					lo, hi = hi, lo
+				}
+				m.classifyInto(pend, seq, seqIdx, lo, hi)
+			}
+		}
+		return true
+	})
+
+	m.flushPending(node, pend, ls)
+}
+
+// classifyInto classifies the instance pair (lo before hi) and records the
+// resulting 2-event pattern occurrence.
+func (m *miner) classifyInto(pend map[string]*pendingPattern, seq *events.Sequence, seqIdx int, lo, hi int32) {
+	first, second := seq.Instances[lo], seq.Instances[hi]
+	if !m.spanOK(first, second) {
+		return
+	}
+	rel := m.rel.Classify(first.Interval, second.Interval)
+	if rel == temporal.None {
+		return
+	}
+	pat := pattern.Pair(first.Event, rel, second.Event)
+	m.addOccurrence(pend, pat, seqIdx, hpg.Occurrence{lo, hi}, m.keepOccsAt(2))
+}
+
+// addOccurrence files an occurrence under its pattern, honouring the
+// per-sequence cap. keepOccs=false records only the bitmap and sample.
+func (m *miner) addOccurrence(pend map[string]*pendingPattern, pat pattern.Pattern, seqIdx int, occ hpg.Occurrence, keepOccs bool) {
+	key := pat.Key()
+	pp := pend[key]
+	if pp == nil {
+		pp = &pendingPattern{pat: pat, bm: bitmap.New(m.n), sampleSeq: -1}
+		if keepOccs {
+			pp.occs = make(map[int][]hpg.Occurrence)
+		}
+		pend[key] = pp
+	}
+	pp.record(m, seqIdx, occ)
+}
+
+// record registers one occurrence on a pending pattern.
+func (pp *pendingPattern) record(m *miner, seqIdx int, occ hpg.Occurrence) {
+	pp.bm.Set(seqIdx)
+	if pp.sampleSeq == -1 || seqIdx < pp.sampleSeq {
+		pp.sampleSeq = seqIdx
+		pp.sampleOcc = occ
+	}
+	if pp.occs == nil {
+		return
+	}
+	if cap := m.cfg.MaxOccurrencesPerSeq; cap > 0 && len(pp.occs[seqIdx]) >= cap {
+		return
+	}
+	pp.occs[seqIdx] = append(pp.occs[seqIdx], occ)
+	pp.nOcc++
+}
+
+// flushPending applies the final sigma/delta thresholds (the problem
+// definition, applied in every pruning mode) and stores survivors in the
+// node. Pending entries may be keyed by extension composites (parent,
+// position, relations); entries realizing the same canonical pattern are
+// merged first, in deterministic order.
+func (m *miner) flushPending(node *hpg.Node, pend map[string]*pendingPattern, ls *LevelStats) {
+	compKeys := make([]string, 0, len(pend))
+	for k := range pend {
+		compKeys = append(compKeys, k)
+	}
+	sort.Strings(compKeys)
+	merged := make(map[string]*pendingPattern, len(pend))
+	keys := make([]string, 0, len(pend))
+	for _, ck := range compKeys {
+		pp := pend[ck]
+		key := pp.pat.Key()
+		ex := merged[key]
+		if ex == nil {
+			merged[key] = pp
+			keys = append(keys, key)
+			continue
+		}
+		ex.bm.InPlaceOr(pp.bm)
+		for seqIdx, occs := range pp.occs {
+			ex.occs[seqIdx] = append(ex.occs[seqIdx], occs...)
+			if cap := m.cfg.MaxOccurrencesPerSeq; cap > 0 && len(ex.occs[seqIdx]) > cap {
+				ex.occs[seqIdx] = ex.occs[seqIdx][:cap]
+			}
+		}
+		ex.nOcc += pp.nOcc
+		if pp.sampleSeq >= 0 && (ex.sampleSeq < 0 || pp.sampleSeq < ex.sampleSeq) {
+			ex.sampleSeq = pp.sampleSeq
+			ex.sampleOcc = pp.sampleOcc
+		}
+	}
+	sort.Strings(keys)
+	maxSupp := m.maxEventSupport(node.Events)
+	for _, k := range keys {
+		pp := merged[k]
+		supp := pp.bm.Count()
+		if supp < m.minSupp {
+			continue
+		}
+		conf := float64(supp) / float64(maxSupp)
+		if conf < m.cfg.MinConfidence {
+			continue
+		}
+		node.AddPattern(&hpg.PatternData{
+			Pattern:    pp.pat,
+			Bitmap:     pp.bm,
+			Support:    supp,
+			Confidence: conf,
+			Occs:       pp.occs,
+			SampleSeq:  pp.sampleSeq,
+			SampleOcc:  pp.sampleOcc,
+		})
+		ls.Patterns++
+		ls.Occurrences += pp.nOcc
+	}
+}
+
+// mineLevelK is step 3 of Alg 1 (lines 15-20): frequent k-event patterns
+// for k >= 3. It returns the number of green nodes added.
+func (m *miner) mineLevelK(k int) int {
+	t0 := time.Now()
+	ls := LevelStats{K: k}
+	prev := m.graph.Level(k - 1)
+	level := hpg.NewLevel(k)
+
+	// Filtered1Freq (Lemma 5): with transitivity pruning only events that
+	// appear in some frequent (k-1)-pattern can extend; otherwise all
+	// frequent singles are used.
+	src := m.oneFreq
+	if m.cfg.Pruning.trans() {
+		src = prev.DistinctEvents()
+	}
+
+	var tasks []extendTask
+	for _, node := range prev.Nodes() {
+		// Establish the node's deterministic pattern order now, single
+		// threaded: workers read Patterns() concurrently and the lazy
+		// sort must not race.
+		node.Patterns()
+		last := node.Events[len(node.Events)-1]
+		for _, e := range src {
+			if e < last {
+				// Extending with the largest event only generates each
+				// multiset exactly once.
+				continue
+			}
+			tasks = append(tasks, extendTask{parent: node, e: e})
+		}
+	}
+	outcomes := runParallel(m.workers(), tasks, m.extendNodeTask)
+	mergeOutcomes(level, &ls, outcomes)
+
+	// Level k-1 occurrences can be released: only level k extends them.
+	if !m.cfg.KeepGraph {
+		for _, n := range prev.Nodes() {
+			n.DropOccurrences()
+		}
+	}
+	m.graph.Levels = append(m.graph.Levels, level)
+	ls.Duration = time.Since(t0)
+	m.stats.Levels = append(m.stats.Levels, ls)
+	return ls.GreenNodes
+}
+
+// lemma5Allows implements the Lemma 5 candidate filter: the new event must
+// form at least one frequent relation (a green L2 node) with some event of
+// the parent combination.
+func (m *miner) lemma5Allows(node *hpg.Node, e events.EventID) bool {
+	l2 := m.graph.Level(2)
+	for _, ei := range node.Events {
+		lo, hi := ei, e
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		if l2.Get([]events.EventID{lo, hi}) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// extendNode mines the k-event patterns of child = parent ∪ {e} by
+// inserting instances of e into the stored occurrences of the parent's
+// frequent (k-1)-patterns (Lemma 4: the new instance always relates to all
+// existing ones). With transitivity pruning each new triple is verified
+// against L2 (Lemmas 6-7) before the occurrence is accepted.
+func (m *miner) extendNode(parent *hpg.Node, e events.EventID, child *hpg.Node, scr *scratch, ls *LevelStats) {
+	pend := make(map[string]*pendingPattern)
+	trans := m.cfg.Pruning.trans()
+	keepOccs := m.keepOccsAt(child.K())
+	dup := false // does e already occur in the parent's events?
+	for _, pe := range parent.Events {
+		if pe == e {
+			dup = true
+			break
+		}
+	}
+	parentPatterns := parent.Patterns()
+
+	child.Bitmap.ForEach(func(seqIdx int) bool {
+		seq := m.db.Sequences[seqIdx]
+		eIdxs := seq.InstancesOf(e)
+		if len(eIdxs) == 0 {
+			return true
+		}
+		// Dedup occurrences across parent patterns: with duplicate events
+		// the same child tuple can be reached from two parent occurrences.
+		var seen map[string]bool
+		if dup {
+			seen = make(map[string]bool)
+		}
+		for _, pd := range parentPatterns {
+			occs := pd.Occs[seqIdx]
+			if len(occs) == 0 {
+				continue
+			}
+			parentKey := pd.Pattern.Key()
+			for _, occ := range occs {
+				for _, ie := range eIdxs {
+					if dup && occ.Contains(ie) {
+						continue
+					}
+					m.tryExtend(pend, seq, seqIdx, pd.Pattern, parentKey, occ, ie, seen, trans, keepOccs, scr, ls)
+				}
+			}
+		}
+		return true
+	})
+
+	m.flushPending(child, pend, ls)
+}
+
+// tryExtend inserts instance ie into occurrence occ, classifies the new
+// triples, and records the occurrence under its extension composite key
+// (parent pattern, insert position, new event, new relations). The child
+// pattern is spliced only when the composite is seen for the first time;
+// composites that canonicalize to the same pattern are merged in
+// flushPending.
+func (m *miner) tryExtend(pend map[string]*pendingPattern, seq *events.Sequence, seqIdx int,
+	parentPat pattern.Pattern, parentKey string, occ hpg.Occurrence, ie int32, seen map[string]bool, trans, keepOccs bool, scr *scratch, ls *LevelStats) {
+
+	k := len(occ) + 1
+	// Instance order in a sequence equals chronological order, so the
+	// insert position is found by index comparison.
+	pos := len(occ)
+	for i, idx := range occ {
+		if ie < idx {
+			pos = i
+			break
+		}
+	}
+	// roleIdx maps a role of the extended occurrence to its instance
+	// index without materializing the new tuple.
+	roleIdx := func(j int) int32 {
+		switch {
+		case j == pos:
+			return ie
+		case j < pos:
+			return occ[j]
+		default:
+			return occ[j-1]
+		}
+	}
+
+	if seen != nil {
+		kb := scr.keyBuf[:0]
+		for j := 0; j < k; j++ {
+			idx := roleIdx(j)
+			kb = append(kb, byte(idx), byte(idx>>8), byte(idx>>16), byte(idx>>24))
+		}
+		scr.keyBuf = kb
+		if seen[string(kb)] {
+			return
+		}
+		seen[string(kb)] = true
+	}
+
+	// Monotone t_max span check (see occSpanOK), without materializing.
+	if m.cfg.TMax > 0 {
+		firstStart := seq.Instances[roleIdx(0)].Start
+		maxEnd := seq.Instances[ie].End
+		for _, idx := range occ {
+			if e := seq.Instances[idx].End; e > maxEnd {
+				maxEnd = e
+			}
+		}
+		if maxEnd-firstStart > m.cfg.TMax {
+			return
+		}
+	}
+
+	// Classify the k-1 new triples between ie and every other role.
+	newIns := seq.Instances[ie]
+	if cap(scr.relsBuf) < k {
+		scr.relsBuf = make([]temporal.Relation, k)
+	}
+	rels := scr.relsBuf[:k] // rels[j] for role j (pos slot unused)
+	for j := 0; j < k; j++ {
+		if j == pos {
+			continue
+		}
+		other := seq.Instances[roleIdx(j)]
+		var rel temporal.Relation
+		if j < pos {
+			rel = m.rel.Classify(other.Interval, newIns.Interval)
+		} else {
+			rel = m.rel.Classify(newIns.Interval, other.Interval)
+		}
+		if rel == temporal.None {
+			return
+		}
+		if trans {
+			// Iterative verification (Lemmas 4, 6, 7): the new triple must
+			// itself be a frequent, confident 2-event pattern in L2.
+			ok := false
+			if j < pos {
+				ok = m.l2HasPair(other.Event, rel, newIns.Event)
+			} else {
+				ok = m.l2HasPair(newIns.Event, rel, other.Event)
+			}
+			if !ok {
+				ls.TripleChecksFailed++
+				return
+			}
+		}
+		rels[j] = rel
+	}
+
+	// Composite pending key: parent pattern + insert position + event +
+	// new relations. Unique per (child pattern, position).
+	kb := scr.keyBuf[:0]
+	kb = append(kb, parentKey...)
+	kb = append(kb, byte(pos))
+	kb = append(kb, byte(newIns.Event), byte(newIns.Event>>8), byte(newIns.Event>>16), byte(newIns.Event>>24))
+	for j := 0; j < k; j++ {
+		if j != pos {
+			kb = append(kb, byte(rels[j]))
+		}
+	}
+	scr.keyBuf = kb
+
+	pp := pend[string(kb)]
+	if pp == nil {
+		pp = &pendingPattern{
+			pat:       splice(parentPat, pos, newIns.Event, rels),
+			bm:        bitmap.New(m.n),
+			sampleSeq: -1,
+		}
+		if keepOccs {
+			pp.occs = make(map[int][]hpg.Occurrence)
+		}
+		pend[string(kb)] = pp
+	}
+	if pp.occs == nil && pp.sampleSeq >= 0 && seqIdx > pp.sampleSeq {
+		// Nothing further to record: bitmap bit and sample suffice.
+		pp.bm.Set(seqIdx)
+		return
+	}
+	newOcc := make(hpg.Occurrence, 0, k)
+	newOcc = append(newOcc, occ[:pos]...)
+	newOcc = append(newOcc, ie)
+	newOcc = append(newOcc, occ[pos:]...)
+	pp.record(m, seqIdx, newOcc)
+}
+
+// l2HasPair reports whether the triple (a, rel, b) was mined as a
+// frequent, confident 2-event pattern at L2, without allocating.
+func (m *miner) l2HasPair(a events.EventID, rel temporal.Relation, b events.EventID) bool {
+	lo, hi := a, b
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	var mk [8]byte
+	mk[0], mk[1], mk[2], mk[3] = byte(lo), byte(lo>>8), byte(lo>>16), byte(lo>>24)
+	mk[4], mk[5], mk[6], mk[7] = byte(hi), byte(hi>>8), byte(hi>>16), byte(hi>>24)
+	node := m.graph.Level(2).GetKey(string(mk[:]))
+	if node == nil {
+		return false
+	}
+	// Pattern key layout (see pattern.Pattern.Key): k, events, relations.
+	var pk [10]byte
+	pk[0] = 2
+	pk[1], pk[2], pk[3], pk[4] = byte(a), byte(a>>8), byte(a>>16), byte(a>>24)
+	pk[5], pk[6], pk[7], pk[8] = byte(b), byte(b>>8), byte(b>>16), byte(b>>24)
+	pk[9] = byte(rel)
+	return node.Pattern(string(pk[:])) != nil
+}
+
+// splice builds the (k)-event pattern obtained by inserting newEvent at
+// chronological role pos into parent (a (k-1)-event pattern), with
+// newRels[j] the relation between the inserted role and role j of the new
+// pattern (j != pos).
+func splice(parent pattern.Pattern, pos int, newEvent events.EventID, newRels []temporal.Relation) pattern.Pattern {
+	k := parent.K() + 1
+	evs := make([]events.EventID, 0, k)
+	evs = append(evs, parent.Events[:pos]...)
+	evs = append(evs, newEvent)
+	evs = append(evs, parent.Events[pos:]...)
+
+	rels := make([]temporal.Relation, pattern.TriLen(k))
+	// Copy parent relations with shifted roles.
+	for i := 0; i < parent.K(); i++ {
+		ni := i
+		if i >= pos {
+			ni = i + 1
+		}
+		for j := i + 1; j < parent.K(); j++ {
+			nj := j
+			if j >= pos {
+				nj = j + 1
+			}
+			rels[pattern.TriIndex(ni, nj, k)] = parent.Relation(i, j)
+		}
+	}
+	// Insert the new triples.
+	for j := 0; j < k; j++ {
+		if j == pos {
+			continue
+		}
+		if j < pos {
+			rels[pattern.TriIndex(j, pos, k)] = newRels[j]
+		} else {
+			rels[pattern.TriIndex(pos, j, k)] = newRels[j]
+		}
+	}
+	return pattern.New(evs, rels)
+}
+
+// buildResult assembles the deterministic result listing.
+func (m *miner) buildResult() *Result {
+	res := &Result{Stats: m.stats}
+	if l1 := m.graph.Level(1); l1 != nil {
+		for _, n := range l1.Nodes() {
+			res.Singles = append(res.Singles, EventInfo{
+				Event:      n.Events[0],
+				Support:    n.Support,
+				RelSupport: float64(n.Support) / float64(m.n),
+				Bitmap:     n.Bitmap,
+			})
+		}
+		sort.Slice(res.Singles, func(i, j int) bool { return res.Singles[i].Event < res.Singles[j].Event })
+	}
+	for k := 2; k <= m.graph.Height(); k++ {
+		for _, node := range m.graph.Level(k).Nodes() {
+			for _, pd := range node.Patterns() {
+				res.Patterns = append(res.Patterns, PatternInfo{
+					Pattern:    pd.Pattern,
+					Support:    pd.Support,
+					RelSupport: float64(pd.Support) / float64(m.n),
+					Confidence: pd.Confidence,
+					SampleSeq:  pd.SampleSeq,
+					Sample:     pd.SampleOcc,
+				})
+			}
+		}
+	}
+	sortPatterns(res.Patterns)
+	if m.cfg.KeepGraph {
+		res.Graph = m.graph
+	} else if h := m.graph.Height(); h >= 2 {
+		for _, n := range m.graph.Level(h).Nodes() {
+			n.DropOccurrences()
+		}
+	}
+	return res
+}
+
+// workers returns the effective parallelism of the run.
+func (m *miner) workers() int {
+	if m.cfg.Workers <= 1 {
+		return 1
+	}
+	return m.cfg.Workers
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"ftpm/internal/datagen"
+	"ftpm/internal/events"
+	"ftpm/internal/paperex"
+)
+
+// BenchmarkMinePaperExample measures the exact miner on the paper's
+// running example (Table III, sigma = delta = 0.7).
+func BenchmarkMinePaperExample(b *testing.B) {
+	db := paperex.SequenceDB()
+	cfg := Config{MinSupport: 0.7, MinConfidence: 0.7}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Mine(db, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Patterns) == 0 {
+			b.Fatal("no patterns")
+		}
+	}
+}
+
+func benchDB(b *testing.B, name string, frac float64) *events.DB {
+	b.Helper()
+	p, err := datagen.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, _, err := p.Build(datagen.Options{SequenceFraction: frac})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// BenchmarkMineNIST measures the exact miner across pruning modes on a
+// small NIST slice — the microscopic version of Fig 6.
+func BenchmarkMineNIST(b *testing.B) {
+	db := benchDB(b, "NIST", 0.01)
+	for _, mode := range []PruningMode{PruneAll, PruneApriori, PruneTrans, PruneNone} {
+		b.Run(mode.String(), func(b *testing.B) {
+			cfg := Config{MinSupport: 0.6, MinConfidence: 0.6, MaxK: 3, Pruning: mode}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Mine(db, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMineWorkers measures the parallel-verification extension.
+func BenchmarkMineWorkers(b *testing.B) {
+	db := benchDB(b, "NIST", 0.02)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := Config{MinSupport: 0.5, MinConfidence: 0.5, MaxK: 3, Workers: workers}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Mine(db, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLevelSplit isolates the level costs: MaxK=1 (singles only),
+// MaxK=2 (pairs) and MaxK=3 expose how work distributes over levels.
+func BenchmarkLevelSplit(b *testing.B) {
+	db := benchDB(b, "DataPort", 0.02)
+	for k := 1; k <= 3; k++ {
+		b.Run(fmt.Sprintf("maxk=%d", k), func(b *testing.B) {
+			cfg := Config{MinSupport: 0.5, MinConfidence: 0.5, MaxK: k}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Mine(db, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ftpm/internal/events"
+	"ftpm/internal/hpg"
+)
+
+// nodeOutcome is the result of verifying one candidate event combination:
+// the green node (nil if pruned or patternless) and the local stat deltas.
+type nodeOutcome struct {
+	node *hpg.Node
+	ls   LevelStats
+}
+
+// runParallel fans the tasks out over the configured workers, each with
+// its own scratch, and returns the outcomes in task order — parallel runs
+// therefore produce byte-identical results to serial runs.
+func runParallel[T any](workers int, tasks []T, fn func(*scratch, T) nodeOutcome) []nodeOutcome {
+	out := make([]nodeOutcome, len(tasks))
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		scr := &scratch{}
+		for i, t := range tasks {
+			out[i] = fn(scr, t)
+		}
+		return out
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scr := &scratch{}
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				out[i] = fn(scr, tasks[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// mergeOutcomes folds worker outcomes into the level and its stats, in
+// task order.
+func mergeOutcomes(level *hpg.Level, ls *LevelStats, outcomes []nodeOutcome) {
+	for _, o := range outcomes {
+		ls.Candidates += o.ls.Candidates
+		ls.PrunedApriori += o.ls.PrunedApriori
+		ls.PrunedTrans += o.ls.PrunedTrans
+		ls.NodesVerified += o.ls.NodesVerified
+		ls.Patterns += o.ls.Patterns
+		ls.Occurrences += o.ls.Occurrences
+		ls.TripleChecksFailed += o.ls.TripleChecksFailed
+		if o.node != nil {
+			level.Add(o.node)
+			ls.GreenNodes++
+		}
+	}
+}
+
+// pairTask is one L2 candidate.
+type pairTask struct{ a, b events.EventID }
+
+// extendTask is one L_k candidate: a parent node and the event extending
+// it.
+type extendTask struct {
+	parent *hpg.Node
+	e      events.EventID
+}
+
+// verifyPairTask runs the full L2 treatment of one candidate pair:
+// Apriori filtering (when enabled) and relation verification.
+func (m *miner) verifyPairTask(scr *scratch, t pairTask) nodeOutcome {
+	var o nodeOutcome
+	o.ls.Candidates++
+	bm := m.eventBm[t.a].And(m.eventBm[t.b])
+	supp := bm.Count()
+	groupConf := float64(supp) / float64(m.maxEventSupport([]events.EventID{t.a, t.b}))
+	if m.cfg.Pruning.apriori() && (supp < m.minSupp || groupConf < m.cfg.MinConfidence) {
+		o.ls.PrunedApriori++
+		return o
+	}
+	o.ls.NodesVerified++
+	node := hpg.NewNode([]events.EventID{t.a, t.b}, bm, supp, groupConf)
+	m.verifyPair(node, scr, &o.ls)
+	if node.NumPatterns() > 0 {
+		o.node = node
+	}
+	return o
+}
+
+// extendNodeTask runs the full L_k treatment of one candidate extension:
+// Lemma 5 and Apriori filtering (when enabled) and occurrence extension.
+func (m *miner) extendNodeTask(scr *scratch, t extendTask) nodeOutcome {
+	var o nodeOutcome
+	o.ls.Candidates++
+	if m.cfg.Pruning.trans() && !m.lemma5Allows(t.parent, t.e) {
+		o.ls.PrunedTrans++
+		return o
+	}
+	bm := t.parent.Bitmap.And(m.eventBm[t.e])
+	supp := bm.Count()
+	groupEvents := append(append([]events.EventID(nil), t.parent.Events...), t.e)
+	groupConf := float64(supp) / float64(m.maxEventSupport(groupEvents))
+	if m.cfg.Pruning.apriori() && (supp < m.minSupp || groupConf < m.cfg.MinConfidence) {
+		o.ls.PrunedApriori++
+		return o
+	}
+	o.ls.NodesVerified++
+	child := hpg.NewNode(groupEvents, bm, supp, groupConf)
+	m.extendNode(t.parent, t.e, child, scr, &o.ls)
+	if child.NumPatterns() > 0 {
+		o.node = child
+	}
+	return o
+}

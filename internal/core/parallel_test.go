@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"ftpm/internal/events"
+	"ftpm/internal/timeseries"
+)
+
+// TestParallelMatchesSerial: the Workers option must not change any
+// output — patterns, supports, confidences, samples, or stats counters.
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 12; trial++ {
+		db := randomDB(rng)
+		cfg := Config{
+			MinSupport:    0.25 + rng.Float64()*0.4,
+			MinConfidence: rng.Float64() * 0.5,
+			MaxK:          4,
+		}
+		serial, err := Mine(db, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, runtime.NumCPU()} {
+			c := cfg
+			c.Workers = workers
+			par, err := Mine(db, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par.Patterns) != len(serial.Patterns) {
+				t.Fatalf("trial %d workers %d: %d patterns vs %d serial",
+					trial, workers, len(par.Patterns), len(serial.Patterns))
+			}
+			for i := range par.Patterns {
+				a, b := par.Patterns[i], serial.Patterns[i]
+				if a.Pattern.Key() != b.Pattern.Key() || a.Support != b.Support ||
+					a.Confidence != b.Confidence || a.SampleSeq != b.SampleSeq {
+					t.Fatalf("trial %d workers %d: pattern %d differs", trial, workers, i)
+				}
+				if fmt.Sprint(a.Sample) != fmt.Sprint(b.Sample) {
+					t.Fatalf("trial %d workers %d: sample %d differs", trial, workers, i)
+				}
+			}
+			for li := range par.Stats.Levels {
+				a, b := par.Stats.Levels[li], serial.Stats.Levels[li]
+				if a.Candidates != b.Candidates || a.PrunedApriori != b.PrunedApriori ||
+					a.PrunedTrans != b.PrunedTrans || a.GreenNodes != b.GreenNodes ||
+					a.Patterns != b.Patterns {
+					t.Fatalf("trial %d workers %d: level %d stats differ: %+v vs %+v",
+						trial, workers, li, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelWithApprox combines Workers with the correlation filter.
+func TestParallelWithApprox(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sdb := randomSymbolicDB(rng)
+	db, err := eventsConvert(sdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{MinSupport: 0.3, MinConfidence: 0.2, MaxK: 3, Filter: graphFor(t, sdb, 0.5)}
+	serial, err := Mine(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := Mine(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Patterns) != len(serial.Patterns) {
+		t.Fatalf("parallel approx differs: %d vs %d", len(par.Patterns), len(serial.Patterns))
+	}
+}
+
+func TestWorkersValidation(t *testing.T) {
+	if err := (Config{MinSupport: 0.5, Workers: -1}).Validate(); err == nil {
+		t.Error("negative workers must be rejected")
+	}
+	if err := (Config{MinSupport: 0.5, Workers: 8}).Validate(); err != nil {
+		t.Errorf("valid workers rejected: %v", err)
+	}
+}
+
+// eventsConvert converts a symbolic database with the default 4-window
+// split used across these tests.
+func eventsConvert(sdb *timeseries.SymbolicDB) (*events.DB, error) {
+	return events.Convert(sdb, events.SplitOptions{NumWindows: 4})
+}

@@ -1,0 +1,200 @@
+// Package csvio loads and stores time series as CSV, the interchange
+// format of the command-line tools. Two layouts are supported:
+//
+// Numeric ("wide") layout — first column is the timestamp in ticks, one
+// column per series:
+//
+//	time,Kitchen,Toaster
+//	0,0.85,0.02
+//	300,0.91,0.75
+//
+// Symbolic layout — same shape with symbol names as values:
+//
+//	time,Kitchen,Toaster
+//	0,On,Off
+//	300,On,On
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"ftpm/internal/temporal"
+	"ftpm/internal/timeseries"
+)
+
+// WriteNumeric writes aligned numeric series in the wide layout. All
+// series must share start, step and length.
+func WriteNumeric(w io.Writer, series []*timeseries.Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("csvio: nothing to write")
+	}
+	first := series[0]
+	for _, s := range series {
+		if s.Start != first.Start || s.Step != first.Step || s.Len() != first.Len() {
+			return fmt.Errorf("csvio: series %q not aligned with %q", s.Name, first.Name)
+		}
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(series)+1)
+	header = append(header, "time")
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(series)+1)
+	for i := 0; i < first.Len(); i++ {
+		row[0] = strconv.FormatInt(first.TimeAt(i), 10)
+		for j, s := range series {
+			row[j+1] = strconv.FormatFloat(s.Values[i], 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadNumeric parses the wide numeric layout. Timestamps must be evenly
+// spaced and ascending.
+func ReadNumeric(r io.Reader) ([]*timeseries.Series, error) {
+	rows, names, times, err := readWide(r)
+	if err != nil {
+		return nil, err
+	}
+	start, step, err := inferGrid(times)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*timeseries.Series, len(names))
+	for j, name := range names {
+		values := make([]float64, len(rows))
+		for i, row := range rows {
+			v, err := strconv.ParseFloat(row[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("csvio: row %d column %q: %v", i+2, name, err)
+			}
+			values[i] = v
+		}
+		s, err := timeseries.NewSeries(name, start, step, values)
+		if err != nil {
+			return nil, err
+		}
+		out[j] = s
+	}
+	return out, nil
+}
+
+// WriteSymbolic writes an aligned symbolic database in the wide layout.
+func WriteSymbolic(w io.Writer, db *timeseries.SymbolicDB) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(db.Series)+1)
+	header = append(header, "time")
+	for _, s := range db.Series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(db.Series)+1)
+	for i := 0; i < db.Len(); i++ {
+		row[0] = strconv.FormatInt(db.Series[0].TimeAt(i), 10)
+		for j, s := range db.Series {
+			row[j+1] = s.SymbolAt(i)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadSymbolic parses the wide symbolic layout; each column's alphabet is
+// the set of distinct symbols observed, in first-appearance order.
+func ReadSymbolic(r io.Reader) (*timeseries.SymbolicDB, error) {
+	rows, names, times, err := readWide(r)
+	if err != nil {
+		return nil, err
+	}
+	start, step, err := inferGrid(times)
+	if err != nil {
+		return nil, err
+	}
+	series := make([]*timeseries.SymbolicSeries, len(names))
+	for j, name := range names {
+		var alphabet []string
+		index := make(map[string]int)
+		syms := make([]int, len(rows))
+		for i, row := range rows {
+			sym := row[j]
+			id, ok := index[sym]
+			if !ok {
+				id = len(alphabet)
+				alphabet = append(alphabet, sym)
+				index[sym] = id
+			}
+			syms[i] = id
+		}
+		series[j] = &timeseries.SymbolicSeries{
+			Name: name, Start: start, Step: step, Alphabet: alphabet, Symbols: syms,
+		}
+	}
+	return timeseries.NewSymbolicDB(series...)
+}
+
+// readWide parses the common wide shape: header row, then a timestamp
+// column followed by one column per series.
+func readWide(r io.Reader) (rows [][]string, names []string, times []temporal.Time, err error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	all, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("csvio: %v", err)
+	}
+	if len(all) < 2 {
+		return nil, nil, nil, fmt.Errorf("csvio: need a header and at least one data row")
+	}
+	header := all[0]
+	if len(header) < 2 || header[0] != "time" {
+		return nil, nil, nil, fmt.Errorf("csvio: header must start with \"time\" and name at least one series")
+	}
+	names = header[1:]
+	for i, row := range all[1:] {
+		if len(row) != len(header) {
+			return nil, nil, nil, fmt.Errorf("csvio: row %d has %d fields, want %d", i+2, len(row), len(header))
+		}
+		t, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("csvio: row %d timestamp: %v", i+2, err)
+		}
+		times = append(times, t)
+		rows = append(rows, row[1:])
+	}
+	return rows, names, times, nil
+}
+
+// inferGrid validates even ascending spacing and returns (start, step).
+func inferGrid(times []temporal.Time) (temporal.Time, temporal.Duration, error) {
+	if len(times) == 0 {
+		return 0, 0, fmt.Errorf("csvio: no samples")
+	}
+	if len(times) == 1 {
+		return times[0], 1, nil
+	}
+	step := times[1] - times[0]
+	if step <= 0 {
+		return 0, 0, fmt.Errorf("csvio: timestamps must be strictly ascending")
+	}
+	for i := 2; i < len(times); i++ {
+		if times[i]-times[i-1] != step {
+			return 0, 0, fmt.Errorf("csvio: uneven sampling at row %d (%d vs step %d)", i+2, times[i]-times[i-1], step)
+		}
+	}
+	return times[0], step, nil
+}

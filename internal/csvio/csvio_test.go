@@ -1,0 +1,126 @@
+package csvio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ftpm/internal/paperex"
+	"ftpm/internal/timeseries"
+)
+
+func TestNumericRoundTrip(t *testing.T) {
+	a, _ := timeseries.NewSeries("A", 100, 50, []float64{1.5, 2.25, 0})
+	b, _ := timeseries.NewSeries("B", 100, 50, []float64{-1, 0.001, 1e6})
+	var buf bytes.Buffer
+	if err := WriteNumeric(&buf, []*timeseries.Series{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNumeric(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Name != "A" || back[1].Name != "B" {
+		t.Fatalf("names lost: %v", back)
+	}
+	if back[0].Start != 100 || back[0].Step != 50 {
+		t.Errorf("grid lost: start=%d step=%d", back[0].Start, back[0].Step)
+	}
+	for i, v := range a.Values {
+		if back[0].Values[i] != v {
+			t.Errorf("A[%d] = %v, want %v", i, back[0].Values[i], v)
+		}
+	}
+	for i, v := range b.Values {
+		if back[1].Values[i] != v {
+			t.Errorf("B[%d] = %v, want %v", i, back[1].Values[i], v)
+		}
+	}
+}
+
+func TestSymbolicRoundTrip(t *testing.T) {
+	db := paperex.SymbolicDB()
+	var buf bytes.Buffer
+	if err := WriteSymbolic(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSymbolic(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Series) != len(db.Series) {
+		t.Fatalf("series count %d, want %d", len(back.Series), len(db.Series))
+	}
+	for i, s := range db.Series {
+		r := back.Series[i]
+		if r.Name != s.Name || r.Start != s.Start || r.Step != s.Step || r.Len() != s.Len() {
+			t.Fatalf("series %s geometry lost", s.Name)
+		}
+		for j := 0; j < s.Len(); j++ {
+			if r.SymbolAt(j) != s.SymbolAt(j) {
+				t.Fatalf("series %s sample %d: %s vs %s", s.Name, j, r.SymbolAt(j), s.SymbolAt(j))
+			}
+		}
+	}
+}
+
+func TestWriteNumericValidation(t *testing.T) {
+	if err := WriteNumeric(&bytes.Buffer{}, nil); err == nil {
+		t.Error("empty input must error")
+	}
+	a, _ := timeseries.NewSeries("A", 0, 50, []float64{1})
+	b, _ := timeseries.NewSeries("B", 5, 50, []float64{1})
+	if err := WriteNumeric(&bytes.Buffer{}, []*timeseries.Series{a, b}); err == nil {
+		t.Error("misaligned series must error")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"header only":      "time,A\n",
+		"bad header":       "when,A\n0,1\n",
+		"no series":        "time\n0\n",
+		"ragged row":       "time,A\n0,1,2\n",
+		"bad timestamp":    "time,A\nx,1\n",
+		"bad value":        "time,A\n0,abc\n",
+		"descending times": "time,A\n10,1\n0,2\n",
+		"uneven grid":      "time,A\n0,1\n10,2\n30,3\n",
+	}
+	for name, data := range cases {
+		if _, err := ReadNumeric(strings.NewReader(data)); err == nil {
+			t.Errorf("ReadNumeric(%s) must error", name)
+		}
+	}
+	// Symbolic reader shares the grid validation.
+	if _, err := ReadSymbolic(strings.NewReader("time,A\n0,On\n5,Off\n20,On\n")); err == nil {
+		t.Error("uneven symbolic grid must error")
+	}
+}
+
+func TestSingleSampleGrid(t *testing.T) {
+	got, err := ReadNumeric(strings.NewReader("time,A\n42,7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Start != 42 || got[0].Len() != 1 {
+		t.Errorf("single sample grid wrong: %+v", got[0])
+	}
+}
+
+func TestSymbolicAlphabetOrder(t *testing.T) {
+	db, err := ReadSymbolic(strings.NewReader("time,A\n0,High\n1,Low\n2,High\n3,Mid\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Series[0]
+	want := []string{"High", "Low", "Mid"}
+	if len(s.Alphabet) != 3 {
+		t.Fatalf("alphabet = %v", s.Alphabet)
+	}
+	for i, w := range want {
+		if s.Alphabet[i] != w {
+			t.Errorf("alphabet[%d] = %s, want %s (first-appearance order)", i, s.Alphabet[i], w)
+		}
+	}
+}

@@ -1,0 +1,421 @@
+// Package datagen synthesizes the evaluation datasets. The paper evaluates
+// on four real-world collections (Table IV): three smart-energy datasets —
+// NIST, UKDALE, DataPort — and a Smart City dataset (NYC weather + vehicle
+// collisions). Those datasets are not redistributable, so this package
+// generates seeded synthetic equivalents that match the characteristics
+// the mining cost depends on: number of sequences, number of variables,
+// alphabet sizes (distinct events), and average instances per sequence —
+// with planted correlation structure (appliance clusters that co-activate
+// with lags; weather conditions driving collision severities) so that
+// temporal patterns and MI-correlations exist to be found, plus
+// independent noise variables so that A-HTPGM has something to prune.
+// DESIGN.md §3 documents the substitution argument.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ftpm/internal/events"
+	"ftpm/internal/temporal"
+	"ftpm/internal/timeseries"
+)
+
+// Cluster is a group of co-activating variables: member i reacts to the
+// cluster's hidden driver with lag i*LagStep samples plus jitter.
+type Cluster struct {
+	Members int
+	// BurstRate is the per-sample probability that the driver starts a
+	// burst.
+	BurstRate float64
+	// MeanDuration is the mean burst length in samples (geometric).
+	MeanDuration float64
+	// LagStep is the member-to-member activation lag in samples.
+	LagStep int
+	// Dropout is the probability a member misses a burst entirely.
+	Dropout float64
+}
+
+// Profile describes one synthetic dataset.
+type Profile struct {
+	Name string
+	// Sequences is the Table IV sequence count at scale 1.
+	Sequences int
+	// SamplesPerSeq is the window length in samples; Step the sampling
+	// interval in ticks.
+	SamplesPerSeq int
+	Step          temporal.Duration
+	// Clusters hold the correlated variables; Noise counts additional
+	// independent binary variables.
+	Clusters []Cluster
+	Noise    int
+	// NoiseBurstRate/NoiseMeanDuration parameterize the noise variables.
+	NoiseBurstRate    float64
+	NoiseMeanDuration float64
+	// States, when > 2, turns variables into multi-state ones (quantile
+	// alphabets like the Smart City weather variables); binary otherwise.
+	// MultiStateShare is the fraction of variables that are multi-state.
+	States          int
+	MultiStateShare float64
+	// Seed is the deterministic base seed.
+	Seed int64
+}
+
+// Variables returns the total variable count of the profile.
+func (p Profile) Variables() int {
+	n := p.Noise
+	for _, c := range p.Clusters {
+		n += c.Members
+	}
+	return n
+}
+
+// NIST models the NIST Net-Zero residential test facility dataset:
+// 72 variables, 1460 sequences, 144 distinct (binary) events, ~140
+// instances per sequence (Table IV).
+func NIST() Profile {
+	return Profile{
+		Name:          "NIST",
+		Sequences:     1460,
+		SamplesPerSeq: 48,
+		Step:          1800, // 30-minute samples, one-day windows
+		Clusters: []Cluster{
+			{Members: 8, BurstRate: 0.020, MeanDuration: 4, LagStep: 1, Dropout: 0.25}, // kitchen
+			{Members: 7, BurstRate: 0.018, MeanDuration: 5, LagStep: 2, Dropout: 0.30}, // lights
+			{Members: 6, BurstRate: 0.015, MeanDuration: 6, LagStep: 2, Dropout: 0.30}, // laundry
+			{Members: 6, BurstRate: 0.012, MeanDuration: 3, LagStep: 1, Dropout: 0.35}, // bathroom
+			{Members: 5, BurstRate: 0.015, MeanDuration: 4, LagStep: 3, Dropout: 0.35}, // HVAC
+		},
+		Noise:             40,
+		NoiseBurstRate:    0.015,
+		NoiseMeanDuration: 4,
+		States:            2,
+		Seed:              19,
+	}
+}
+
+// UKDALE models the UK-DALE appliance-level dataset: 53 variables, 1520
+// sequences, 106 distinct events, ~126 instances per sequence.
+func UKDALE() Profile {
+	return Profile{
+		Name:          "UKDALE",
+		Sequences:     1520,
+		SamplesPerSeq: 48,
+		Step:          1800,
+		Clusters: []Cluster{
+			{Members: 7, BurstRate: 0.018, MeanDuration: 4, LagStep: 1, Dropout: 0.25},
+			{Members: 6, BurstRate: 0.015, MeanDuration: 5, LagStep: 2, Dropout: 0.30},
+			{Members: 5, BurstRate: 0.012, MeanDuration: 4, LagStep: 2, Dropout: 0.35},
+		},
+		Noise:             35,
+		NoiseBurstRate:    0.014,
+		NoiseMeanDuration: 4,
+		States:            2,
+		Seed:              20,
+	}
+}
+
+// DataPort models the Pecan Street Dataport dataset: 21 variables, 1210
+// sequences, 42 distinct events, ~163 instances per sequence.
+func DataPort() Profile {
+	return Profile{
+		Name:          "DataPort",
+		Sequences:     1210,
+		SamplesPerSeq: 48,
+		Step:          1800,
+		Clusters: []Cluster{
+			{Members: 6, BurstRate: 0.085, MeanDuration: 3, LagStep: 1, Dropout: 0.20},
+			{Members: 5, BurstRate: 0.075, MeanDuration: 3, LagStep: 2, Dropout: 0.25},
+		},
+		Noise:             10,
+		NoiseBurstRate:    0.080,
+		NoiseMeanDuration: 3,
+		States:            2,
+		Seed:              21,
+	}
+}
+
+// SmartCity models the NYC weather + vehicle-collision dataset: 59
+// variables, 1216 sequences, 266 distinct events (multi-state alphabets),
+// ~155 instances per sequence.
+func SmartCity() Profile {
+	return Profile{
+		Name:          "SmartCity",
+		Sequences:     1216,
+		SamplesPerSeq: 48,
+		Step:          1800,
+		Clusters: []Cluster{
+			{Members: 10, BurstRate: 0.020, MeanDuration: 6, LagStep: 1, Dropout: 0.20}, // storm front
+			{Members: 9, BurstRate: 0.016, MeanDuration: 5, LagStep: 2, Dropout: 0.25},  // cold snap
+			{Members: 8, BurstRate: 0.014, MeanDuration: 4, LagStep: 2, Dropout: 0.30},  // rush-hour collisions
+		},
+		Noise:             32,
+		NoiseBurstRate:    0.016,
+		NoiseMeanDuration: 5,
+		States:            5,
+		MultiStateShare:   0.75,
+		Seed:              22,
+	}
+}
+
+// Profiles lists the four evaluation datasets in paper order.
+func Profiles() []Profile {
+	return []Profile{NIST(), UKDALE(), DataPort(), SmartCity()}
+}
+
+// ByName returns the profile with the given name.
+func ByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("datagen: unknown dataset %q", name)
+}
+
+// Options scales a generation run.
+type Options struct {
+	// SequenceFraction in (0,1] keeps the first fraction of sequences
+	// (the %-of-data sweeps); 0 means 1.
+	SequenceFraction float64
+	// AttributeFraction in (0,1] keeps the first fraction of variables
+	// (the %-of-attributes sweeps); 0 means 1. Variables are kept in an
+	// interleaved order so clusters shrink proportionally.
+	AttributeFraction float64
+	// SizeMultiplier repeats the sequence budget (the "4 times bigger"
+	// synthetic datasets of §VI-C4); 0 means 1.
+	SizeMultiplier int
+	// SeedOffset perturbs the profile seed for independent replicas.
+	SeedOffset int64
+}
+
+func (o Options) normalize() Options {
+	if o.SequenceFraction <= 0 || o.SequenceFraction > 1 {
+		o.SequenceFraction = 1
+	}
+	if o.AttributeFraction <= 0 || o.AttributeFraction > 1 {
+		o.AttributeFraction = 1
+	}
+	if o.SizeMultiplier < 1 {
+		o.SizeMultiplier = 1
+	}
+	return o
+}
+
+// stateNames are the alphabets used for multi-state variables.
+var stateNames = [][]string{
+	{"Off", "On"},
+	{"Low", "Medium", "High"},
+	{"None", "Low", "Medium", "High"},
+	{"VeryLow", "Low", "Medium", "High", "VeryHigh"},
+}
+
+func alphabetFor(states int) []string {
+	switch {
+	case states <= 2:
+		return stateNames[0]
+	case states == 3:
+		return stateNames[1]
+	case states == 4:
+		return stateNames[2]
+	default:
+		return stateNames[3]
+	}
+}
+
+// Generate produces the symbolic database of the profile under the given
+// options. Generation is deterministic in (profile seed, options).
+func (p Profile) Generate(opt Options) (*timeseries.SymbolicDB, error) {
+	opt = opt.normalize()
+	nSeq := int(float64(p.Sequences*opt.SizeMultiplier) * opt.SequenceFraction)
+	if nSeq < 1 {
+		nSeq = 1
+	}
+	samples := nSeq * p.SamplesPerSeq
+	rng := rand.New(rand.NewSource(p.Seed*1_000_003 + opt.SeedOffset))
+
+	type varSpec struct {
+		name    string
+		states  int
+		cluster int // -1 for noise
+		lag     int
+		dropout float64
+	}
+	var specs []varSpec
+	for ci, c := range p.Clusters {
+		for mi := 0; mi < c.Members; mi++ {
+			specs = append(specs, varSpec{
+				name:    fmt.Sprintf("%s_C%d_V%d", p.Name, ci, mi),
+				states:  p.statesFor(rng),
+				cluster: ci,
+				lag:     mi * c.LagStep,
+				dropout: c.Dropout,
+			})
+		}
+	}
+	for ni := 0; ni < p.Noise; ni++ {
+		specs = append(specs, varSpec{
+			name:    fmt.Sprintf("%s_N%d", p.Name, ni),
+			states:  p.statesFor(rng),
+			cluster: -1,
+		})
+	}
+	// Interleave cluster members and noise so attribute-fraction sweeps
+	// shrink both proportionally: order by (index within group, group).
+	ordered := interleave(specs, len(p.Clusters))
+	keep := int(float64(len(ordered)) * opt.AttributeFraction)
+	if keep < 2 {
+		keep = 2
+	}
+	ordered = ordered[:keep]
+
+	// Drivers: binary burst schedules per cluster.
+	drivers := make([][]bool, len(p.Clusters))
+	for ci, c := range p.Clusters {
+		drivers[ci] = burstSchedule(rng, samples, c.BurstRate, c.MeanDuration)
+	}
+
+	series := make([]*timeseries.SymbolicSeries, 0, len(ordered))
+	for _, spec := range ordered {
+		syms := make([]int, samples)
+		states := spec.states
+		if spec.cluster >= 0 {
+			drv := drivers[spec.cluster]
+			fillFromDriver(rng, syms, drv, spec.lag, spec.dropout, states)
+		} else {
+			fillNoise(rng, syms, p.NoiseBurstRate, p.NoiseMeanDuration, states)
+		}
+		series = append(series, &timeseries.SymbolicSeries{
+			Name:     spec.name,
+			Start:    0,
+			Step:     p.Step,
+			Alphabet: alphabetFor(states),
+			Symbols:  syms,
+		})
+	}
+	return timeseries.NewSymbolicDB(series...)
+}
+
+func (p Profile) statesFor(rng *rand.Rand) int {
+	if p.States <= 2 {
+		return 2
+	}
+	if rng.Float64() >= p.MultiStateShare {
+		return 2
+	}
+	// Multi-state variables get 3..States states.
+	return 3 + rng.Intn(p.States-2)
+}
+
+// interleave reorders specs round-robin over clusters and noise so a
+// prefix of any length contains a proportional mix.
+func interleave[T any](specs []T, _ int) []T {
+	// Round-robin with stride: take every 3rd element cycling offsets —
+	// cheap deterministic shuffle that mixes cluster members and noise.
+	out := make([]T, 0, len(specs))
+	for off := 0; off < 3; off++ {
+		for i := off; i < len(specs); i += 3 {
+			out = append(out, specs[i])
+		}
+	}
+	return out
+}
+
+// burstSchedule generates a binary driver: bursts start with rate r and
+// last Geometric(1/mean) samples.
+func burstSchedule(rng *rand.Rand, n int, rate, mean float64) []bool {
+	out := make([]bool, n)
+	i := 0
+	for i < n {
+		if rng.Float64() < rate {
+			dur := 1 + int(rng.ExpFloat64()*mean)
+			for j := 0; j < dur && i+j < n; j++ {
+				out[i+j] = true
+			}
+			i += dur
+		} else {
+			i++
+		}
+	}
+	return out
+}
+
+// fillFromDriver writes a member series: it follows the driver's bursts
+// shifted by lag with jitter, skipping dropped bursts, and maps burst
+// intensity to the upper states for multi-state variables.
+func fillFromDriver(rng *rand.Rand, syms []int, drv []bool, lag int, dropout float64, states int) {
+	n := len(syms)
+	i := 0
+	for i < n {
+		if !drv[i] {
+			i++
+			continue
+		}
+		// Find the driver burst [i, j).
+		j := i
+		for j < n && drv[j] {
+			j++
+		}
+		if rng.Float64() >= dropout {
+			shift := lag + rng.Intn(2)
+			hi := states - 1
+			if states > 2 && rng.Float64() < 0.4 {
+				hi = 1 + rng.Intn(states-1) // vary the reached state
+			}
+			from := i + shift
+			to := j + shift + rng.Intn(2) - 1
+			for s := from; s < to && s < n; s++ {
+				if s >= 0 {
+					syms[s] = hi
+				}
+			}
+		}
+		i = j
+	}
+	// Background flicker for multi-state variables so middle states occur.
+	if states > 2 {
+		for i := 0; i < n; i++ {
+			if syms[i] == 0 && rng.Float64() < 0.02 {
+				syms[i] = 1 + rng.Intn(states-2)
+			}
+		}
+	}
+}
+
+// fillNoise writes an independent burst series.
+func fillNoise(rng *rand.Rand, syms []int, rate, mean float64, states int) {
+	drv := burstSchedule(rng, len(syms), rate, mean)
+	for i, b := range drv {
+		if b {
+			syms[i] = states - 1
+		}
+	}
+	if states > 2 {
+		for i := range syms {
+			if syms[i] == 0 && rng.Float64() < 0.02 {
+				syms[i] = 1 + rng.Intn(states-2)
+			}
+		}
+	}
+}
+
+// ToSequences converts a generated symbolic database into DSEQ using the
+// profile's window geometry (no overlap, like the paper's equal split).
+func (p Profile) ToSequences(db *timeseries.SymbolicDB) (*events.DB, error) {
+	return events.Convert(db, events.SplitOptions{
+		WindowLength: temporal.Duration(p.SamplesPerSeq) * p.Step,
+	})
+}
+
+// Build is the one-call helper: generate and convert.
+func (p Profile) Build(opt Options) (*events.DB, *timeseries.SymbolicDB, error) {
+	sdb, err := p.Generate(opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	db, err := p.ToSequences(sdb)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, sdb, nil
+}

@@ -1,0 +1,202 @@
+package datagen
+
+import (
+	"testing"
+
+	"ftpm/internal/mi"
+)
+
+// TestProfilesMatchTableIV checks that the synthetic datasets land near
+// the paper's Table IV characteristics at scale 1 (generated at a reduced
+// fraction and extrapolated, to keep the test fast).
+func TestProfilesMatchTableIV(t *testing.T) {
+	want := map[string]struct {
+		variables int
+		sequences int
+	}{
+		"NIST":      {72, 1460},
+		"UKDALE":    {53, 1520},
+		"DataPort":  {21, 1210},
+		"SmartCity": {59, 1216},
+	}
+	for _, p := range Profiles() {
+		w := want[p.Name]
+		if p.Variables() != w.variables {
+			t.Errorf("%s: %d variables, want %d", p.Name, p.Variables(), w.variables)
+		}
+		if p.Sequences != w.sequences {
+			t.Errorf("%s: %d sequences, want %d", p.Name, p.Sequences, w.sequences)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	for _, p := range Profiles() {
+		db, sdb, err := p.Build(Options{SequenceFraction: 0.05})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if len(sdb.Series) != p.Variables() {
+			t.Errorf("%s: %d series, want %d", p.Name, len(sdb.Series), p.Variables())
+		}
+		wantSeq := int(float64(p.Sequences) * 0.05)
+		if db.Size() != wantSeq {
+			t.Errorf("%s: %d sequences, want %d", p.Name, db.Size(), wantSeq)
+		}
+		st := db.Stats()
+		if st.NumVariables != p.Variables() {
+			t.Errorf("%s: stats variables %d, want %d", p.Name, st.NumVariables, p.Variables())
+		}
+		// Average instance density should be in the neighbourhood of
+		// Table IV (±50% — the shape matters, not the exact constant).
+		target := map[string]float64{"NIST": 140, "UKDALE": 126, "DataPort": 163, "SmartCity": 155}[p.Name]
+		if st.AvgInstancesPerSeq < target*0.5 || st.AvgInstancesPerSeq > target*1.5 {
+			t.Errorf("%s: avg instances/seq = %.1f, want within 50%% of %v", p.Name, st.AvgInstancesPerSeq, target)
+		}
+		// Distinct events: binary datasets have exactly 2 per variable.
+		if p.States == 2 && st.NumDistinctEvents != 2*p.Variables() {
+			t.Errorf("%s: %d distinct events, want %d", p.Name, st.NumDistinctEvents, 2*p.Variables())
+		}
+		// Multi-state datasets must exceed 2 per variable on average.
+		if p.States > 2 && st.NumDistinctEvents <= 2*p.Variables() {
+			t.Errorf("%s: %d distinct events, want > %d", p.Name, st.NumDistinctEvents, 2*p.Variables())
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	p := NIST()
+	a, err := p.Generate(Options{SequenceFraction: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Generate(Options{SequenceFraction: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Series {
+		if a.Series[i].Name != b.Series[i].Name {
+			t.Fatal("series order must be deterministic")
+		}
+		for j := range a.Series[i].Symbols {
+			if a.Series[i].Symbols[j] != b.Series[i].Symbols[j] {
+				t.Fatalf("series %s differs at %d", a.Series[i].Name, j)
+			}
+		}
+	}
+	c, err := p.Generate(Options{SequenceFraction: 0.02, SeedOffset: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Series {
+		for j := range a.Series[i].Symbols {
+			if a.Series[i].Symbols[j] != c.Series[i].Symbols[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seed offsets must change the data")
+	}
+}
+
+func TestAttributeFraction(t *testing.T) {
+	p := NIST()
+	sdb, err := p.Generate(Options{SequenceFraction: 0.02, AttributeFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sdb.Series) != p.Variables()/2 {
+		t.Errorf("attribute fraction 0.5: %d series, want %d", len(sdb.Series), p.Variables()/2)
+	}
+	// The retained prefix must mix cluster members and noise variables.
+	clustered, noise := 0, 0
+	for _, s := range sdb.Series {
+		if len(s.Name) > 6 && s.Name[5] == 'C' {
+			clustered++
+		} else {
+			noise++
+		}
+	}
+	if clustered == 0 || noise == 0 {
+		t.Errorf("interleaving failed: %d clustered, %d noise", clustered, noise)
+	}
+}
+
+func TestSizeMultiplier(t *testing.T) {
+	p := DataPort()
+	db, _, err := p.Build(Options{SequenceFraction: 0.02, SizeMultiplier: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(float64(p.Sequences*2) * 0.02)
+	if db.Size() != want {
+		t.Errorf("sequences = %d, want %d", db.Size(), want)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("NIST"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown dataset must error")
+	}
+}
+
+// TestPlantedCorrelationVisibleToMI verifies the datasets contain what
+// A-HTPGM needs: cluster members are measurably more correlated than
+// noise pairs, so a density threshold separates them.
+func TestPlantedCorrelationVisibleToMI(t *testing.T) {
+	p := NIST()
+	sdb, err := p.Generate(Options{SequenceFraction: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := mi.ComputePairwise(sdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := func(prefix byte) []int {
+		var out []int
+		for i, s := range sdb.Series {
+			if len(s.Name) > 6 && s.Name[5] == prefix {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	cluster0 := idx('C')
+	noise := idx('N')
+	if len(cluster0) == 0 || len(noise) == 0 {
+		t.Fatal("variable classes missing")
+	}
+	// Average min-NMI within the same cluster vs across noise pairs.
+	sameCluster, crossNoise := 0.0, 0.0
+	nSame, nNoise := 0, 0
+	clusterOf := func(i int) byte { return sdb.Series[i].Name[7] } // NIST_C<k>_...
+	for a := 0; a < len(cluster0); a++ {
+		for b := a + 1; b < len(cluster0); b++ {
+			i, j := cluster0[a], cluster0[b]
+			if clusterOf(i) == clusterOf(j) {
+				sameCluster += pw.MinNMI(i, j)
+				nSame++
+			}
+		}
+	}
+	for a := 0; a < len(noise) && a < 12; a++ {
+		for b := a + 1; b < len(noise) && b < 12; b++ {
+			crossNoise += pw.MinNMI(noise[a], noise[b])
+			nNoise++
+		}
+	}
+	if nSame == 0 || nNoise == 0 {
+		t.Fatal("no pairs sampled")
+	}
+	sameCluster /= float64(nSame)
+	crossNoise /= float64(nNoise)
+	if sameCluster < 3*crossNoise {
+		t.Errorf("planted correlation too weak: same-cluster NMI %.4f vs noise %.4f", sameCluster, crossNoise)
+	}
+}

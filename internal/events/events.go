@@ -1,0 +1,297 @@
+// Package events implements temporal events, event instances, temporal
+// sequences and the temporal sequence database DSEQ (paper Defs 3.4-3.10),
+// together with the overlapping splitting strategy that converts a symbolic
+// database into DSEQ without losing patterns (paper §IV-B2, Fig 3).
+package events
+
+import (
+	"fmt"
+	"sort"
+
+	"ftpm/internal/temporal"
+	"ftpm/internal/timeseries"
+)
+
+// EventID identifies a temporal event (a (series, symbol) pair such as
+// "Kitchen=On") interned in a Vocab.
+type EventID int32
+
+// EventDef is the human-readable definition of an event.
+type EventDef struct {
+	Series string // originating time series (variable), e.g. "Kitchen"
+	Symbol string // symbol of the series' alphabet, e.g. "On"
+}
+
+// Name renders the event like the paper, e.g. "Kitchen=On".
+func (d EventDef) Name() string { return d.Series + "=" + d.Symbol }
+
+// Vocab interns event definitions to dense EventIDs. IDs are assigned in
+// definition order; the zero Vocab is ready to use via New.
+type Vocab struct {
+	defs  []EventDef
+	index map[EventDef]EventID
+}
+
+// NewVocab returns an empty vocabulary.
+func NewVocab() *Vocab {
+	return &Vocab{index: make(map[EventDef]EventID)}
+}
+
+// Define interns (series, symbol) and returns its id. Repeated definitions
+// return the existing id.
+func (v *Vocab) Define(series, symbol string) EventID {
+	d := EventDef{Series: series, Symbol: symbol}
+	if id, ok := v.index[d]; ok {
+		return id
+	}
+	id := EventID(len(v.defs))
+	v.defs = append(v.defs, d)
+	v.index[d] = id
+	return id
+}
+
+// Lookup returns the id of (series, symbol) if defined.
+func (v *Vocab) Lookup(series, symbol string) (EventID, bool) {
+	id, ok := v.index[EventDef{Series: series, Symbol: symbol}]
+	return id, ok
+}
+
+// Def returns the definition of id.
+func (v *Vocab) Def(id EventID) EventDef { return v.defs[id] }
+
+// Name returns the rendered name of id.
+func (v *Vocab) Name(id EventID) string { return v.defs[id].Name() }
+
+// Size returns the number of defined events.
+func (v *Vocab) Size() int { return len(v.defs) }
+
+// EventsOfSeries returns the ids of all events belonging to the named
+// series, in id order.
+func (v *Vocab) EventsOfSeries(series string) []EventID {
+	var out []EventID
+	for id, d := range v.defs {
+		if d.Series == series {
+			out = append(out, EventID(id))
+		}
+	}
+	return out
+}
+
+// Instance is a single occurrence of a temporal event during an interval
+// (Def 3.5).
+type Instance struct {
+	Event EventID
+	temporal.Interval
+}
+
+// Before orders instances chronologically: by start time, then by
+// DESCENDING end (containers before their same-start containees, see
+// temporal.Interval.Before), then by event id; it is the order of a
+// temporal sequence (Def 3.9).
+func (in Instance) Before(o Instance) bool {
+	if in.Start != o.Start {
+		return in.Start < o.Start
+	}
+	if in.End != o.End {
+		return in.End > o.End
+	}
+	return in.Event < o.Event
+}
+
+// Sequence is a temporal sequence: event instances in chronological order
+// (Def 3.9). Window records the time span the sequence was cut from.
+type Sequence struct {
+	ID        int
+	Window    temporal.Interval
+	Instances []Instance
+
+	byEvent map[EventID][]int32 // event -> indexes into Instances
+}
+
+// sortAndIndex normalizes the instance order and (re)builds the per-event
+// index. It must be called after constructing or mutating Instances.
+func (s *Sequence) sortAndIndex() {
+	sort.Slice(s.Instances, func(i, j int) bool { return s.Instances[i].Before(s.Instances[j]) })
+	s.byEvent = make(map[EventID][]int32)
+	for i, in := range s.Instances {
+		s.byEvent[in.Event] = append(s.byEvent[in.Event], int32(i))
+	}
+}
+
+// NewSequence builds a sequence from instances (any order).
+func NewSequence(id int, window temporal.Interval, instances []Instance) *Sequence {
+	s := &Sequence{ID: id, Window: window, Instances: instances}
+	s.sortAndIndex()
+	return s
+}
+
+// InstancesOf returns the indexes (into Instances) of all instances of the
+// event, in chronological order.
+func (s *Sequence) InstancesOf(e EventID) []int32 { return s.byEvent[e] }
+
+// Has reports whether at least one instance of e occurs in the sequence.
+func (s *Sequence) Has(e EventID) bool { return len(s.byEvent[e]) > 0 }
+
+// Len returns the number of instances (|S| of Def 3.9).
+func (s *Sequence) Len() int { return len(s.Instances) }
+
+// DB is the temporal sequence database DSEQ (Def 3.10).
+type DB struct {
+	Vocab     *Vocab
+	Sequences []*Sequence
+}
+
+// Size returns |DSEQ|, the number of sequences.
+func (db *DB) Size() int { return len(db.Sequences) }
+
+// Stats summarizes the database like paper Table IV.
+type Stats struct {
+	NumSequences         int
+	NumVariables         int
+	NumDistinctEvents    int
+	AvgInstancesPerSeq   float64
+	TotalInstances       int
+	MaxInstancesPerEvent int
+}
+
+// Stats computes the Table IV characteristics of the database.
+func (db *DB) Stats() Stats {
+	st := Stats{NumSequences: db.Size(), NumDistinctEvents: db.Vocab.Size()}
+	vars := make(map[string]bool)
+	for _, d := range db.Vocab.defs {
+		vars[d.Series] = true
+	}
+	st.NumVariables = len(vars)
+	perEvent := make(map[EventID]int)
+	for _, s := range db.Sequences {
+		st.TotalInstances += s.Len()
+		for e, idx := range s.byEvent {
+			perEvent[e] += len(idx)
+		}
+	}
+	if st.NumSequences > 0 {
+		st.AvgInstancesPerSeq = float64(st.TotalInstances) / float64(st.NumSequences)
+	}
+	for _, n := range perEvent {
+		if n > st.MaxInstancesPerEvent {
+			st.MaxInstancesPerEvent = n
+		}
+	}
+	return st
+}
+
+// SplitOptions controls the symbolic-database conversion (paper §IV-B2).
+// Exactly one of WindowLength or NumWindows must be set.
+type SplitOptions struct {
+	// WindowLength is the duration t of each sequence window.
+	WindowLength temporal.Duration
+	// NumWindows splits the observation period into this many equal windows
+	// instead (the paper's "split into 4 equal length sequences" example).
+	NumWindows int
+	// Overlap is t_ov, the overlap between consecutive windows
+	// (0 <= Overlap < window length). Overlap = t_max preserves all
+	// patterns; Overlap = 0 risks losing patterns cut by a window boundary
+	// (Fig 3).
+	Overlap temporal.Duration
+}
+
+func (o SplitOptions) windowLength(db *timeseries.SymbolicDB) (temporal.Duration, error) {
+	switch {
+	case o.WindowLength > 0 && o.NumWindows > 0:
+		return 0, fmt.Errorf("events: set either WindowLength or NumWindows, not both")
+	case o.WindowLength > 0:
+		return o.WindowLength, nil
+	case o.NumWindows > 0:
+		total := db.End() - db.Start()
+		w := total / temporal.Duration(o.NumWindows)
+		if w <= 0 {
+			return 0, fmt.Errorf("events: %d windows over %d ticks leaves empty windows", o.NumWindows, total)
+		}
+		return w, nil
+	default:
+		return 0, fmt.Errorf("events: SplitOptions requires WindowLength or NumWindows")
+	}
+}
+
+// Convert turns a symbolic database into the temporal sequence database
+// DSEQ. Every maximal symbol run of every series becomes an instance with
+// the touching-interval convention ([run start, next run start)); runs are
+// clipped at window boundaries. Consecutive windows overlap by
+// opt.Overlap ticks.
+func Convert(db *timeseries.SymbolicDB, opt SplitOptions) (*DB, error) {
+	w, err := opt.windowLength(db)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Overlap < 0 || opt.Overlap >= w {
+		return nil, fmt.Errorf("events: overlap %d out of [0,%d)", opt.Overlap, w)
+	}
+
+	vocab := NewVocab()
+	type seriesRuns struct {
+		name      string
+		intervals []temporal.Interval
+		eventIDs  []EventID
+	}
+	all := make([]seriesRuns, 0, len(db.Series))
+	for _, s := range db.Series {
+		sr := seriesRuns{name: s.Name}
+		for _, r := range s.Runs() {
+			sr.intervals = append(sr.intervals, s.Interval(r))
+			sr.eventIDs = append(sr.eventIDs, vocab.Define(s.Name, s.Alphabet[r.Symbol]))
+		}
+		all = append(all, sr)
+	}
+
+	stride := w - opt.Overlap
+	start, end := db.Start(), db.End()
+	out := &DB{Vocab: vocab}
+	for ws := start; ws < end; ws += stride {
+		we := ws + w
+		if we > end {
+			we = end
+		}
+		window := temporal.NewInterval(ws, we)
+		var instances []Instance
+		for _, sr := range all {
+			for i, iv := range sr.intervals {
+				clipped, ok := iv.Clip(ws, we)
+				if !ok {
+					continue
+				}
+				instances = append(instances, Instance{Event: sr.eventIDs[i], Interval: clipped})
+			}
+		}
+		out.Sequences = append(out.Sequences, NewSequence(len(out.Sequences), window, instances))
+		if we == end {
+			break
+		}
+	}
+	return out, nil
+}
+
+// SliceSequences returns a database containing only sequences [0, n),
+// re-using the vocabulary — the %-of-sequences scalability sweeps.
+func (db *DB) SliceSequences(n int) (*DB, error) {
+	if n <= 0 || n > db.Size() {
+		return nil, fmt.Errorf("events: invalid sequence count %d of %d", n, db.Size())
+	}
+	return &DB{Vocab: db.Vocab, Sequences: db.Sequences[:n]}, nil
+}
+
+// RestrictEvents returns a database whose sequences only retain instances
+// of the given events. The vocabulary is shared; sequence IDs and windows
+// are preserved. A-HTPGM and the attribute-scalability sweeps use this.
+func (db *DB) RestrictEvents(keep map[EventID]bool) *DB {
+	out := &DB{Vocab: db.Vocab, Sequences: make([]*Sequence, len(db.Sequences))}
+	for i, s := range db.Sequences {
+		var ins []Instance
+		for _, in := range s.Instances {
+			if keep[in.Event] {
+				ins = append(ins, in)
+			}
+		}
+		out.Sequences[i] = NewSequence(s.ID, s.Window, ins)
+	}
+	return out
+}

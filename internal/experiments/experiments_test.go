@@ -1,0 +1,317 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"ftpm/internal/datagen"
+)
+
+// tinyOpt keeps experiment smoke tests fast: very small datasets, pairs
+// only where possible.
+func tinyOpt() Options { return Options{Scale: 0.005, MaxK: 2} }
+
+func TestTableFormatAndCSV(t *testing.T) {
+	tb := &Table{
+		ID:     "tablex",
+		Title:  "demo",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "22"}, {"333", "4"}},
+		Notes:  []string{"hello"},
+	}
+	f := tb.Format()
+	if !strings.Contains(f, "TABLEX") || !strings.Contains(f, "333") || !strings.Contains(f, "note: hello") {
+		t.Errorf("Format output unexpected:\n%s", f)
+	}
+	c := tb.CSV()
+	if c != "a,b\n1,22\n333,4\n" {
+		t.Errorf("CSV = %q", c)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table4", "table5", "table6", "table7", "table8", "table9",
+		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	for _, id := range want {
+		if reg[id] == nil {
+			t.Errorf("experiment %s missing", id)
+		}
+	}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("IDs() returned %d", len(ids))
+	}
+	// Tables first, then figures, numerically.
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("IDs order = %v", ids)
+		}
+	}
+}
+
+func TestTable4(t *testing.T) {
+	defer ResetCache()
+	tables, err := Table4(tinyOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("table4 returned %d tables", len(tables))
+	}
+	tb := tables[0]
+	if len(tb.Rows) != 4 || len(tb.Rows[0]) != 5 {
+		t.Fatalf("table4 shape %dx%d", len(tb.Rows), len(tb.Rows[0]))
+	}
+	// Variable counts are scale-independent and must match Table IV.
+	wantVars := []string{"72", "53", "21", "59"}
+	for i, w := range wantVars {
+		if tb.Rows[1][i+1] != w {
+			t.Errorf("variables column %d = %s, want %s", i, tb.Rows[1][i+1], w)
+		}
+	}
+}
+
+func TestTable5Monotonicity(t *testing.T) {
+	defer ResetCache()
+	tables, err := Table5(tinyOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 4 {
+		t.Fatalf("table5 returned %d tables, want 4 datasets", len(tables))
+	}
+	for _, tb := range tables {
+		// Counts must not increase along rows (support grows) or down
+		// columns (confidence grows).
+		grid := make([][]int, len(tb.Rows))
+		for i, row := range tb.Rows {
+			grid[i] = make([]int, len(row)-1)
+			for j, cell := range row[1:] {
+				v, err := strconv.Atoi(cell)
+				if err != nil {
+					t.Fatalf("%s: non-numeric cell %q", tb.Title, cell)
+				}
+				grid[i][j] = v
+			}
+		}
+		for i := range grid {
+			for j := 1; j < len(grid[i]); j++ {
+				if grid[i][j] > grid[i][j-1] {
+					t.Errorf("%s: counts increase with support: row %d", tb.Title, i)
+				}
+			}
+		}
+		for i := 1; i < len(grid); i++ {
+			for j := range grid[i] {
+				if grid[i][j] > grid[i-1][j] {
+					t.Errorf("%s: counts increase with confidence: col %d", tb.Title, j)
+				}
+			}
+		}
+	}
+}
+
+func TestTable9AccuracyShape(t *testing.T) {
+	defer ResetCache()
+	tables, err := Table9(tinyOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 6 { // 2 datasets x 3 supports
+		t.Fatalf("table9 returned %d tables", len(tables))
+	}
+	for _, tb := range tables {
+		for _, row := range tb.Rows {
+			for _, cell := range row[1:] {
+				v, err := strconv.Atoi(cell)
+				if err != nil {
+					t.Fatalf("non-numeric accuracy %q", cell)
+				}
+				if v < 0 || v > 100 {
+					t.Errorf("accuracy %d out of range", v)
+				}
+			}
+		}
+		// Higher density must never lower accuracy by much; specifically
+		// the last row (90% density) must be the max of its column.
+		last := tb.Rows[len(tb.Rows)-1]
+		for c := 1; c < len(last); c++ {
+			lastV, _ := strconv.Atoi(last[c])
+			for r := 0; r < len(tb.Rows)-1; r++ {
+				v, _ := strconv.Atoi(tb.Rows[r][c])
+				if v > lastV+5 { // small tolerance: ties in µ quantiles
+					t.Errorf("%s: accuracy at 90%% density (%d) below lower density (%d)", tb.Title, lastV, v)
+				}
+			}
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	defer ResetCache()
+	tables, err := Fig9(tinyOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("fig9 returned %d tables", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) != 4 {
+			t.Fatalf("fig9 rows = %d", len(tb.Rows))
+		}
+		for _, row := range tb.Rows {
+			if len(row) != 3 {
+				t.Fatalf("fig9 row shape %v", row)
+			}
+		}
+	}
+}
+
+func TestFig8CDFMonotone(t *testing.T) {
+	defer ResetCache()
+	tables, err := Fig8(tinyOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range tables {
+		for c := 1; c < len(tb.Header); c++ {
+			prev := -1.0
+			for _, row := range tb.Rows {
+				v, err := strconv.ParseFloat(row[c], 64)
+				if err != nil {
+					t.Fatalf("bad CDF cell %q", row[c])
+				}
+				if v < prev-1e-9 || v < 0 || v > 1+1e-9 {
+					t.Errorf("%s: CDF not monotone in column %d", tb.Title, c)
+				}
+				prev = v
+			}
+			if prev < 1-1e-9 {
+				t.Errorf("%s: CDF must reach 1.0, got %v", tb.Title, prev)
+			}
+		}
+	}
+}
+
+func TestLoadDatasetCache(t *testing.T) {
+	defer ResetCache()
+	opt := tinyOpt()
+	a, err := loadDataset("NIST", opt, datagen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loadDataset("NIST", opt, datagen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("dataset cache miss for identical parameters")
+	}
+	if _, err := loadDataset("nope", opt, datagen.Options{}); err == nil {
+		t.Error("unknown dataset must error")
+	}
+	pw1, err := a.getPairwise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw2, _ := a.getPairwise()
+	if pw1 != pw2 {
+		t.Error("pairwise NMI must be cached")
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	defer ResetCache()
+	tables, err := Table6(tinyOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("table6 returned %d tables", len(tables))
+	}
+	for _, tb := range tables {
+		for _, row := range tb.Rows {
+			if len(row) != 3 || !strings.Contains(row[0], "=") {
+				t.Errorf("%s: malformed row %v", tb.Title, row)
+			}
+		}
+	}
+}
+
+func TestTable7AndTable8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	defer ResetCache()
+	for _, runner := range []Runner{Table7, Table8} {
+		tables, err := runner(tinyOpt())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tables) != 6 { // 2 datasets x 3 supports
+			t.Fatalf("returned %d tables, want 6", len(tables))
+		}
+		for _, tb := range tables {
+			if len(tb.Rows) != 8 { // 4 methods + 4 A-HTPGM settings
+				t.Fatalf("%s: %d method rows, want 8", tb.Title, len(tb.Rows))
+			}
+			for _, row := range tb.Rows {
+				for _, cell := range row[1:] {
+					if v, err := strconv.ParseFloat(cell, 64); err != nil || v < 0 {
+						t.Fatalf("%s: bad cell %q", tb.Title, cell)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFig6ForcesLevelThree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	defer ResetCache()
+	tables, err := Fig6(Options{Scale: 0.004, MaxK: 2}) // MaxK must be raised internally
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("fig6 returned %d tables, want 3 sweeps", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Header) != 5 { // x axis + 4 pruning modes
+			t.Fatalf("%s: header %v", tb.Title, tb.Header)
+		}
+		if len(tb.Rows) != 5 {
+			t.Fatalf("%s: %d sweep points, want 5", tb.Title, len(tb.Rows))
+		}
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	defer ResetCache()
+	tables, err := Fig12(Options{Scale: 0.004, MaxK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 { // three (sigma, delta) grids
+		t.Fatalf("fig12 returned %d tables", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) != 5 { // 3 baselines + E-HTPGM + one A-HTPGM curve
+			t.Fatalf("%s: %d method rows, want 5", tb.Title, len(tb.Rows))
+		}
+	}
+}

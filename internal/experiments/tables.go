@@ -1,0 +1,346 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ftpm/internal/baselines/hdfs"
+	"ftpm/internal/baselines/ieminer"
+	"ftpm/internal/baselines/tpminer"
+	"ftpm/internal/core"
+	"ftpm/internal/datagen"
+	"ftpm/internal/events"
+	"ftpm/internal/memtrack"
+)
+
+// Table4 regenerates Table IV: characteristics of the datasets.
+func Table4(opt Options) ([]*Table, error) {
+	opt = opt.normalize()
+	t := &Table{
+		ID:     "table4",
+		Title:  fmt.Sprintf("Characteristics of the Datasets (scale %.2f)", opt.Scale),
+		Header: []string{"characteristic", "NIST", "UKDALE", "DataPort", "SmartCity"},
+	}
+	rows := [][]string{
+		{"# of sequences"}, {"# of variables"}, {"# of distinct events"}, {"Avg. # of instances/sequence"},
+	}
+	for _, name := range []string{"NIST", "UKDALE", "DataPort", "SmartCity"} {
+		ds, err := loadDataset(name, opt, datagen.Options{})
+		if err != nil {
+			return nil, err
+		}
+		st := ds.db.Stats()
+		rows[0] = append(rows[0], fmt.Sprintf("%d", st.NumSequences))
+		rows[1] = append(rows[1], fmt.Sprintf("%d", st.NumVariables))
+		rows[2] = append(rows[2], fmt.Sprintf("%d", st.NumDistinctEvents))
+		rows[3] = append(rows[3], fmt.Sprintf("%.0f", st.AvgInstancesPerSeq))
+		opt.progressf("table4: %s done", name)
+	}
+	t.Rows = rows
+	t.Notes = append(t.Notes,
+		"paper (scale 1.00): sequences 1460/1520/1210/1216, variables 72/53/21/59, events 144/106/42/266, instances 140/126/163/155")
+	return []*Table{t}, nil
+}
+
+// table5Grid is the support/confidence grid of Table V.
+var table5Grid = []float64{0.2, 0.4, 0.6, 0.8}
+
+// Table5 regenerates Table V: number of extracted patterns per dataset
+// over the sigma x delta grid.
+func Table5(opt Options) ([]*Table, error) {
+	opt = opt.normalize()
+	var tables []*Table
+	for _, name := range []string{"NIST", "UKDALE", "DataPort", "SmartCity"} {
+		ds, err := loadDataset(name, opt, datagen.Options{})
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{
+			ID:     "table5",
+			Title:  fmt.Sprintf("Extracted patterns on %s (scale %.2f, maxK %d)", name, opt.Scale, opt.MaxK),
+			Header: []string{"conf \\ supp"},
+		}
+		for _, s := range table5Grid {
+			t.Header = append(t.Header, pct(s)+"%")
+		}
+		for _, confV := range table5Grid {
+			row := []string{pct(confV) + "%"}
+			for _, suppV := range table5Grid {
+				res, err := core.Mine(ds.db, baseConfig(opt, suppV, confV))
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%d", len(res.Patterns)))
+				opt.progressf("table5 %s s=%s c=%s: %d patterns", name, pct(suppV), pct(confV), len(res.Patterns))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		t.Notes = append(t.Notes, "pattern counts must decrease left-to-right and top-to-bottom (anti-monotone thresholds)")
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Table6 regenerates Table VI: a qualitative listing of interesting
+// patterns with support and confidence, rendered with event names and the
+// intervals of one sample occurrence.
+func Table6(opt Options) ([]*Table, error) {
+	opt = opt.normalize()
+	var tables []*Table
+	for _, spec := range []struct {
+		name       string
+		supp, conf float64
+	}{
+		{"NIST", 0.2, 0.3},
+		{"SmartCity", 0.2, 0.3},
+	} {
+		ds, err := loadDataset(spec.name, opt, datagen.Options{})
+		if err != nil {
+			return nil, err
+		}
+		cfg := baseConfig(opt, spec.supp, spec.conf)
+		cfg.KeepGraph = true // keep occurrences so samples render with intervals
+		res, err := core.Mine(ds.db, cfg)
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{
+			ID:     "table6",
+			Title:  fmt.Sprintf("Interesting patterns on %s (σ=%s%%, δ=%s%%)", spec.name, pct(spec.supp), pct(spec.conf)),
+			Header: []string{"pattern", "supp %", "conf %"},
+		}
+		// Rank multi-event cross-series patterns by confidence x support,
+		// preferring larger patterns like the paper's examples.
+		type scored struct {
+			p     core.PatternInfo
+			score float64
+		}
+		// Base states (Off, None, ...) hold almost always; a pattern is
+		// "interesting" in the paper's Table VI sense when distinct
+		// variables interact through their active states.
+		baseStates := map[string]bool{"Off": true, "None": true, "VeryLow": true, "Low": true}
+		var ranked []scored
+		for _, p := range res.Patterns {
+			if p.Pattern.K() < 2 {
+				continue
+			}
+			series := map[string]bool{}
+			active := 0
+			for _, e := range p.Pattern.Events {
+				def := ds.db.Vocab.Def(e)
+				series[def.Series] = true
+				if !baseStates[def.Symbol] {
+					active++
+				}
+			}
+			if len(series) < 2 || active < 2 {
+				continue
+			}
+			score := float64(p.Pattern.K()*2) + p.Confidence + p.RelSupport
+			ranked = append(ranked, scored{p, score})
+		}
+		sort.Slice(ranked, func(i, j int) bool { return ranked[i].score > ranked[j].score })
+		max := 8
+		if len(ranked) < max {
+			max = len(ranked)
+		}
+		for _, sc := range ranked[:max] {
+			t.Rows = append(t.Rows, []string{
+				renderWithSample(ds.db, sc.p),
+				pct(sc.p.RelSupport),
+				pct(sc.p.Confidence),
+			})
+		}
+		tables = append(tables, t)
+		opt.progressf("table6 %s: %d patterns ranked", spec.name, len(ranked))
+	}
+	return tables, nil
+}
+
+// renderWithSample renders a pattern like the paper's Table VI, with the
+// sample occurrence's intervals: "([t1,t2] A=On) → ([t3,t4] B=On)".
+func renderWithSample(db *events.DB, p core.PatternInfo) string {
+	if p.SampleSeq < 0 || len(p.Sample) != p.Pattern.K() {
+		return p.Pattern.FormatChain(db.Vocab)
+	}
+	seq := db.Sequences[p.SampleSeq]
+	var sb strings.Builder
+	for i, e := range p.Pattern.Events {
+		if i > 0 {
+			sb.WriteString(" " + p.Pattern.Relation(i-1, i).Symbol() + " ")
+		}
+		ins := seq.Instances[p.Sample[i]]
+		fmt.Fprintf(&sb, "([%s,%s] %s)", clock(ins.Start), clock(ins.End), db.Vocab.Name(e))
+	}
+	return sb.String()
+}
+
+// clock renders a tick count as hh:mm within its day; later days carry a
+// day prefix.
+func clock(t int64) string {
+	day := t / 86400
+	t %= 86400
+	if day > 0 {
+		return fmt.Sprintf("d%d %02d:%02d", day, t/3600, (t%3600)/60)
+	}
+	return fmt.Sprintf("%02d:%02d", t/3600, (t%3600)/60)
+}
+
+// methodSpec is one competitor of the runtime/memory comparisons.
+type methodSpec struct {
+	name    string
+	density float64 // >0: A-HTPGM at that correlation-graph density
+	run     func(*events.DB, core.Config) (*core.Result, error)
+}
+
+// methods returns the paper's method list for Tables VII and VIII:
+// the three baselines, E-HTPGM, and A-HTPGM at four µ settings.
+func methods() []methodSpec {
+	return []methodSpec{
+		{name: "H-DFS", run: hdfs.Mine},
+		{name: "IEMiner", run: ieminer.Mine},
+		{name: "TPMiner", run: tpminer.Mine},
+		{name: "E-HTPGM", run: core.Mine},
+		{name: "A-HTPGM (80%)", density: 0.8, run: core.Mine},
+		{name: "A-HTPGM (60%)", density: 0.6, run: core.Mine},
+		{name: "A-HTPGM (40%)", density: 0.4, run: core.Mine},
+		{name: "A-HTPGM (20%)", density: 0.2, run: core.Mine},
+	}
+}
+
+// runMethod executes one method cell and returns the result and wall
+// time. For A-HTPGM the timed section includes the NMI computation and
+// graph construction, as in the paper's end-to-end accounting.
+func runMethod(ds *dataset, m methodSpec, cfg core.Config) (*core.Result, time.Duration, error) {
+	start := time.Now()
+	if m.density > 0 {
+		g, err := ds.graphForDensity(m.density)
+		if err != nil {
+			return nil, 0, err
+		}
+		cfg.Filter = g
+	}
+	res, err := m.run(ds.db, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, time.Since(start), nil
+}
+
+// table7Grid is the sigma/delta grid of Tables VII and VIII.
+var table7Grid = []float64{0.2, 0.5, 0.8}
+
+// Table7 regenerates Table VII: runtime comparison of all methods on NIST
+// and Smart City over the sigma x delta grid.
+func Table7(opt Options) ([]*Table, error) {
+	return runtimeOrMemory(opt, "table7", false)
+}
+
+// Table8 regenerates Table VIII: peak memory comparison on the same grid.
+func Table8(opt Options) ([]*Table, error) {
+	return runtimeOrMemory(opt, "table8", true)
+}
+
+func runtimeOrMemory(opt Options, id string, memory bool) ([]*Table, error) {
+	opt = opt.normalize()
+	var tables []*Table
+	for _, name := range []string{"NIST", "SmartCity"} {
+		ds, err := loadDataset(name, opt, datagen.Options{})
+		if err != nil {
+			return nil, err
+		}
+		for _, suppV := range table7Grid {
+			unit := "runtime (s)"
+			if memory {
+				unit = "peak heap (MB)"
+			}
+			t := &Table{
+				ID:     id,
+				Title:  fmt.Sprintf("%s on %s, supp=%s%% (scale %.2f, maxK %d)", unit, name, pct(suppV), opt.Scale, opt.MaxK),
+				Header: []string{"method"},
+			}
+			for _, confV := range table7Grid {
+				t.Header = append(t.Header, "conf "+pct(confV)+"%")
+			}
+			for _, m := range methods() {
+				row := []string{m.name}
+				for _, confV := range table7Grid {
+					cfg := baseConfig(opt, suppV, confV)
+					if memory {
+						var err2 error
+						u := memtrack.MeasurePeak(func() {
+							_, _, err2 = runMethod(ds, m, cfg)
+						})
+						if err2 != nil {
+							return nil, err2
+						}
+						row = append(row, fmt.Sprintf("%.1f", u.DeltaMB()))
+					} else {
+						_, wall, err := runMethod(ds, m, cfg)
+						if err != nil {
+							return nil, err
+						}
+						row = append(row, fmtDur(wall))
+					}
+					opt.progressf("%s %s %s s=%s c=%s done", id, name, m.name, pct(suppV), pct(confV))
+				}
+				t.Rows = append(t.Rows, row)
+			}
+			tables = append(tables, t)
+		}
+	}
+	return tables, nil
+}
+
+// table9Densities are the µ settings of Table IX.
+var table9Densities = []float64{0.4, 0.6, 0.8, 0.9}
+
+// Table9 regenerates Table IX: accuracy of A-HTPGM versus E-HTPGM.
+func Table9(opt Options) ([]*Table, error) {
+	opt = opt.normalize()
+	var tables []*Table
+	for _, name := range []string{"NIST", "SmartCity"} {
+		ds, err := loadDataset(name, opt, datagen.Options{})
+		if err != nil {
+			return nil, err
+		}
+		for _, suppV := range table7Grid {
+			t := &Table{
+				ID:     "table9",
+				Title:  fmt.Sprintf("A-HTPGM accuracy (%%) on %s, supp=%s%% (scale %.2f)", name, pct(suppV), opt.Scale),
+				Header: []string{"µ (graph density)"},
+			}
+			for _, confV := range table7Grid {
+				t.Header = append(t.Header, "conf "+pct(confV)+"%")
+			}
+			for _, density := range table9Densities {
+				row := []string{pct(density) + "%"}
+				for _, confV := range table7Grid {
+					cfg := baseConfig(opt, suppV, confV)
+					exact, err := core.Mine(ds.db, cfg)
+					if err != nil {
+						return nil, err
+					}
+					g, err := ds.graphForDensity(density)
+					if err != nil {
+						return nil, err
+					}
+					cfg.Filter = g
+					approxRes, err := core.Mine(ds.db, cfg)
+					if err != nil {
+						return nil, err
+					}
+					acc := core.Accuracy(approxRes, exact)
+					row = append(row, pct(acc))
+					opt.progressf("table9 %s µ=%s s=%s c=%s: %s%%", name, pct(density), pct(suppV), pct(confV), pct(acc))
+				}
+				t.Rows = append(t.Rows, row)
+			}
+			t.Notes = append(t.Notes, "accuracy = |patterns(A) ∩ patterns(E)| / |patterns(E)|; A ⊆ E always holds")
+			tables = append(tables, t)
+		}
+	}
+	return tables, nil
+}

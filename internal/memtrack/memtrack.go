@@ -1,0 +1,92 @@
+// Package memtrack measures the peak heap consumption of a function call —
+// the quantity behind the paper's memory-usage comparison (Table VIII).
+//
+// Go is garbage collected, so "memory usage" is taken as the peak live
+// heap (HeapAlloc) observed while the function runs, minus the settled
+// baseline before it starts. A background sampler polls the runtime at a
+// small interval; allocation spikes between samples are additionally
+// covered by a final reading taken right before the function returns.
+package memtrack
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Usage reports one measurement.
+type Usage struct {
+	// BaselineBytes is the settled live heap before the call.
+	BaselineBytes uint64
+	// PeakBytes is the maximum live heap observed during the call.
+	PeakBytes uint64
+	// Samples is the number of sampler readings taken.
+	Samples int
+	// Duration is the wall time of the call.
+	Duration time.Duration
+}
+
+// DeltaBytes returns the peak growth over the baseline (0 when the peak
+// never exceeded it).
+func (u Usage) DeltaBytes() uint64 {
+	if u.PeakBytes <= u.BaselineBytes {
+		return 0
+	}
+	return u.PeakBytes - u.BaselineBytes
+}
+
+// DeltaMB returns DeltaBytes in mebibytes.
+func (u Usage) DeltaMB() float64 { return float64(u.DeltaBytes()) / (1 << 20) }
+
+// MeasurePeak runs fn and returns its peak heap usage. The runtime is
+// garbage collected before the call to settle the baseline, so
+// measurements are comparable across calls within one process.
+func MeasurePeak(fn func()) Usage {
+	return MeasurePeakInterval(fn, 500*time.Microsecond)
+}
+
+// MeasurePeakInterval is MeasurePeak with a custom sampling interval.
+func MeasurePeakInterval(fn func(), interval time.Duration) Usage {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	u := Usage{BaselineBytes: ms.HeapAlloc, PeakBytes: ms.HeapAlloc}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		var s runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				runtime.ReadMemStats(&s)
+				mu.Lock()
+				if s.HeapAlloc > u.PeakBytes {
+					u.PeakBytes = s.HeapAlloc
+				}
+				u.Samples++
+				mu.Unlock()
+			}
+		}
+	}()
+
+	start := time.Now()
+	fn()
+	// Final reading before results are released: captures the live data
+	// structures still held at return time.
+	runtime.ReadMemStats(&ms)
+	close(stop)
+	wg.Wait()
+	u.Duration = time.Since(start)
+	if ms.HeapAlloc > u.PeakBytes {
+		u.PeakBytes = ms.HeapAlloc
+	}
+	return u
+}

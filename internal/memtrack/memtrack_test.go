@@ -1,0 +1,57 @@
+package memtrack
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMeasurePeakSeesAllocation(t *testing.T) {
+	const want = 32 << 20 // 32 MiB
+	var sink []byte
+	u := MeasurePeak(func() {
+		sink = make([]byte, want)
+		for i := 0; i < len(sink); i += 4096 {
+			sink[i] = 1
+		}
+	})
+	if sink == nil {
+		t.Fatal("allocation elided")
+	}
+	if u.DeltaBytes() < want {
+		t.Errorf("peak delta %d, want at least %d", u.DeltaBytes(), want)
+	}
+	if u.DeltaMB() < 32 {
+		t.Errorf("DeltaMB = %v, want >= 32", u.DeltaMB())
+	}
+	if u.Duration <= 0 {
+		t.Error("duration must be positive")
+	}
+}
+
+func TestMeasurePeakNoAllocation(t *testing.T) {
+	u := MeasurePeak(func() {})
+	// An empty function should report (close to) zero growth; allow slack
+	// for runtime internals.
+	if u.DeltaBytes() > 1<<20 {
+		t.Errorf("empty function reported %d bytes", u.DeltaBytes())
+	}
+	if u.PeakBytes < u.BaselineBytes {
+		t.Error("peak must be at least baseline")
+	}
+}
+
+func TestSamplerRuns(t *testing.T) {
+	u := MeasurePeakInterval(func() {
+		time.Sleep(20 * time.Millisecond)
+	}, time.Millisecond)
+	if u.Samples < 5 {
+		t.Errorf("sampler took %d samples over 20ms at 1ms interval", u.Samples)
+	}
+}
+
+func TestDeltaNeverNegative(t *testing.T) {
+	u := Usage{BaselineBytes: 100, PeakBytes: 50}
+	if u.DeltaBytes() != 0 {
+		t.Error("delta must clamp at zero")
+	}
+}

@@ -1,0 +1,205 @@
+// Event-level mutual information — the paper's stated future work
+// (§VII: "we plan to extend HTPGM to perform pruning at the event level").
+//
+// Series-level NMI (Alg 2) can only prune whole time series. Event-level
+// NMI computes the correlation between *event indicator series* — for the
+// event (X, s), the binary series 1{X_t = s} — so that individual event
+// pairs inside correlated series can be pruned too (e.g. Kitchen=Off may
+// be uninformative about Toaster=On even when the Kitchen and Toaster
+// series correlate through their On states).
+package mi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ftpm/internal/timeseries"
+)
+
+// EventKey identifies an event: a (series, symbol) pair.
+type EventKey struct {
+	Series string
+	Symbol string
+}
+
+// EventPairwise holds NMI values between all event indicator series of a
+// symbolic database.
+type EventPairwise struct {
+	Keys []EventKey
+	// Values[i][j] = NMI of indicator i given indicator j.
+	Values [][]float64
+}
+
+// indicator builds the binary indicator series of symbol sym of s.
+func indicator(s *timeseries.SymbolicSeries, sym int) *timeseries.SymbolicSeries {
+	out := &timeseries.SymbolicSeries{
+		Name:     s.Name + "=" + s.Alphabet[sym],
+		Start:    s.Start,
+		Step:     s.Step,
+		Alphabet: []string{"absent", "present"},
+		Symbols:  make([]int, len(s.Symbols)),
+	}
+	for i, v := range s.Symbols {
+		if v == sym {
+			out.Symbols[i] = 1
+		}
+	}
+	return out
+}
+
+// ComputeEventPairwise evaluates NMI between every pair of event
+// indicator series. With m total events over n samples this costs
+// O(m^2 n); it is the price of finer pruning and is included in the
+// A-HTPGM timing when event-level pruning is enabled.
+func ComputeEventPairwise(db *timeseries.SymbolicDB) (*EventPairwise, error) {
+	var keys []EventKey
+	var inds []*timeseries.SymbolicSeries
+	for _, s := range db.Series {
+		for sym := range s.Alphabet {
+			keys = append(keys, EventKey{Series: s.Name, Symbol: s.Alphabet[sym]})
+			inds = append(inds, indicator(s, sym))
+		}
+	}
+	m := len(keys)
+	p := &EventPairwise{Keys: keys, Values: make([][]float64, m)}
+	entropies := make([]float64, m)
+	for i, ind := range inds {
+		entropies[i] = Entropy(ind)
+		p.Values[i] = make([]float64, m)
+	}
+	for i := 0; i < m; i++ {
+		if entropies[i] == 0 {
+			continue // constant indicator: NMI 0 against everything
+		}
+		for j := 0; j < m; j++ {
+			if i == j {
+				p.Values[i][j] = 1
+				continue
+			}
+			if j < i && entropies[j] > 0 {
+				p.Values[i][j] = p.Values[j][i] * entropies[j] / entropies[i]
+				continue
+			}
+			v, err := NMI(inds[i], inds[j])
+			if err != nil {
+				return nil, err
+			}
+			p.Values[i][j] = v
+		}
+	}
+	return p, nil
+}
+
+// MinNMI returns min(NMI(i;j), NMI(j;i)).
+func (p *EventPairwise) MinNMI(i, j int) float64 {
+	a, b := p.Values[i][j], p.Values[j][i]
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MuForDensity chooses the event-level µ realizing the expected density
+// of the event correlation graph (the analog of Def 5.6).
+func (p *EventPairwise) MuForDensity(density float64) (float64, error) {
+	if density < 0 || density > 1 {
+		return 0, fmt.Errorf("mi: density %v out of [0,1]", density)
+	}
+	var mins []float64
+	for i := range p.Keys {
+		for j := i + 1; j < len(p.Keys); j++ {
+			mins = append(mins, p.MinNMI(i, j))
+		}
+	}
+	if len(mins) == 0 {
+		return 1, nil
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(mins)))
+	k := int(math.Round(density * float64(len(mins))))
+	if k <= 0 {
+		return math.Nextafter(mins[0], math.Inf(1)), nil
+	}
+	if k > len(mins) {
+		k = len(mins)
+	}
+	mu := mins[k-1]
+	if mu <= 0 {
+		mu = math.SmallestNonzeroFloat64
+	}
+	return mu, nil
+}
+
+// EventGraph is the undirected event-level correlation graph; it
+// implements the miner's EventFilter.
+type EventGraph struct {
+	Mu    float64
+	index map[EventKey]int
+	adj   [][]bool
+}
+
+// Graph thresholds the event pairwise matrix at µ.
+func (p *EventPairwise) Graph(mu float64) (*EventGraph, error) {
+	if mu <= 0 || mu > 1 {
+		return nil, fmt.Errorf("mi: µ must be in (0,1], got %v", mu)
+	}
+	m := len(p.Keys)
+	g := &EventGraph{Mu: mu, index: make(map[EventKey]int, m), adj: make([][]bool, m)}
+	for i, k := range p.Keys {
+		g.index[k] = i
+		g.adj[i] = make([]bool, m)
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			if p.Values[i][j] >= mu && p.Values[j][i] >= mu {
+				g.adj[i][j] = true
+				g.adj[j][i] = true
+			}
+		}
+	}
+	return g, nil
+}
+
+// EventAllowed reports whether the event has at least one incident edge.
+func (g *EventGraph) EventAllowed(series, symbol string) bool {
+	i, ok := g.index[EventKey{Series: series, Symbol: symbol}]
+	if !ok {
+		return false
+	}
+	for _, e := range g.adj[i] {
+		if e {
+			return true
+		}
+	}
+	return false
+}
+
+// EventPairAllowed reports whether the two events share an edge. An event
+// is always allowed with itself (self-relations).
+func (g *EventGraph) EventPairAllowed(aSeries, aSymbol, bSeries, bSymbol string) bool {
+	i, ok := g.index[EventKey{Series: aSeries, Symbol: aSymbol}]
+	if !ok {
+		return false
+	}
+	j, ok := g.index[EventKey{Series: bSeries, Symbol: bSymbol}]
+	if !ok {
+		return false
+	}
+	if i == j {
+		return true
+	}
+	return g.adj[i][j]
+}
+
+// NumEdges returns the number of undirected edges.
+func (g *EventGraph) NumEdges() int {
+	n := 0
+	for i := range g.adj {
+		for j := i + 1; j < len(g.adj); j++ {
+			if g.adj[i][j] {
+				n++
+			}
+		}
+	}
+	return n
+}

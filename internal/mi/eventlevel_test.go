@@ -1,0 +1,138 @@
+package mi
+
+import (
+	"testing"
+
+	"ftpm/internal/paperex"
+	"ftpm/internal/timeseries"
+)
+
+func TestComputeEventPairwiseShape(t *testing.T) {
+	db := paperex.SymbolicDB()
+	p, err := ComputeEventPairwise(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 binary series -> 12 event indicators.
+	if len(p.Keys) != 12 {
+		t.Fatalf("keys = %d, want 12", len(p.Keys))
+	}
+	for i := range p.Keys {
+		if p.Values[i][i] != 1 {
+			t.Errorf("diagonal %d = %v, want 1", i, p.Values[i][i])
+		}
+		for j := range p.Keys {
+			v := p.Values[i][j]
+			if v < 0 || v > 1 {
+				t.Fatalf("NMI out of range at (%d,%d): %v", i, j, v)
+			}
+		}
+	}
+}
+
+// TestEventIndicatorComplementarity: for a binary series, the On and Off
+// indicators are deterministic functions of each other, so their mutual
+// NMI is 1 (each removes all uncertainty about the other).
+func TestEventIndicatorComplementarity(t *testing.T) {
+	db := paperex.SymbolicDB()
+	p, err := ComputeEventPairwise(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := func(series, symbol string) int {
+		for i, k := range p.Keys {
+			if k.Series == series && k.Symbol == symbol {
+				return i
+			}
+		}
+		t.Fatalf("key %s=%s missing", series, symbol)
+		return -1
+	}
+	kOn, kOff := idx("K", "On"), idx("K", "Off")
+	if v := p.Values[kOn][kOff]; v < 0.999 {
+		t.Errorf("NMI(K=On; K=Off) = %v, want 1 (complementary indicators)", v)
+	}
+	// Cross-series: K=On should correlate with T=On far more than with
+	// B=On (K and T co-activate in Table I; B is independent).
+	tOn, bOn := idx("T", "On"), idx("B", "On")
+	if p.MinNMI(kOn, tOn) < 3*p.MinNMI(kOn, bOn) {
+		t.Errorf("event-level NMI does not separate: K/T=%v K/B=%v",
+			p.MinNMI(kOn, tOn), p.MinNMI(kOn, bOn))
+	}
+}
+
+func TestEventGraphFiltering(t *testing.T) {
+	db := paperex.SymbolicDB()
+	p, err := ComputeEventPairwise(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := p.MuForDensity(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := p.Graph(mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("graph must have edges at 30% density")
+	}
+	if !g.EventPairAllowed("K", "On", "K", "On") {
+		t.Error("self-pairs must always be allowed")
+	}
+	if g.EventPairAllowed("K", "On", "Z", "On") || g.EventAllowed("Z", "On") {
+		t.Error("unknown events must be rejected")
+	}
+	if !g.EventAllowed("K", "On") {
+		t.Error("K=On must stay correlated at 30% density")
+	}
+	// Symmetry.
+	if g.EventPairAllowed("K", "On", "T", "On") != g.EventPairAllowed("T", "On", "K", "On") {
+		t.Error("EventPairAllowed must be symmetric")
+	}
+}
+
+func TestEventPairwiseDensityBounds(t *testing.T) {
+	db := paperex.SymbolicDB()
+	p, _ := ComputeEventPairwise(db)
+	if _, err := p.MuForDensity(-1); err == nil {
+		t.Error("negative density must error")
+	}
+	if _, err := p.Graph(0); err == nil {
+		t.Error("µ=0 must error")
+	}
+	mu1, err := p.MuForDensity(1)
+	if err != nil || mu1 <= 0 {
+		t.Errorf("full density µ = %v, %v", mu1, err)
+	}
+	// Constant indicator: a symbol that never occurs.
+	s := &timeseries.SymbolicSeries{
+		Name: "X", Step: 1,
+		Alphabet: []string{"a", "b", "never"},
+		Symbols:  []int{0, 1, 0, 1},
+	}
+	s2 := &timeseries.SymbolicSeries{
+		Name: "Y", Step: 1,
+		Alphabet: []string{"a", "b"},
+		Symbols:  []int{0, 0, 1, 1},
+	}
+	db2, err := timeseries.NewSymbolicDB(s, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ComputeEventPairwise(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range p2.Keys {
+		if k.Symbol == "never" {
+			for j := range p2.Keys {
+				if i != j && (p2.Values[i][j] != 0 || p2.Values[j][i] != 0) {
+					t.Errorf("constant indicator must have zero NMI, got %v/%v",
+						p2.Values[i][j], p2.Values[j][i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package temporal
+
+import "fmt"
+
+// Allen's seven qualitative interval relations. The paper deliberately
+// simplifies them to three (Follow, Contain, Overlap) to curb the
+// relation-combinatorics of the search space (§III-B); this file provides
+// the full taxonomy for diagnostics and for users who want to inspect
+// which Allen relation a simplified one came from. The miner itself
+// always works on the simplified model.
+//
+// All classifications use the same ε buffer as the simplified model and
+// assume the canonical interval order (Interval.Before).
+
+// AllenRelation is one of Allen's seven relations between two intervals
+// a, b with a canonically ordered before b (inverse relations are
+// represented by the ordering, not by separate values).
+type AllenRelation uint8
+
+const (
+	// AllenNone indicates that no relation could be determined (only
+	// possible for degenerate zero-length intervals).
+	AllenNone AllenRelation = iota
+	// AllenBefore: a ends strictly before b starts.
+	AllenBefore
+	// AllenMeets: a ends exactly (within ε) where b starts.
+	AllenMeets
+	// AllenOverlaps: a starts first, b starts before a ends, b ends after.
+	AllenOverlaps
+	// AllenStarts: a and b start together (within ε), a is the longer one
+	// (canonical order puts the container first).
+	AllenStarts
+	// AllenDuring: b lies strictly inside a.
+	AllenDuring
+	// AllenFinishes: a and b end together (within ε), b starts later.
+	AllenFinishes
+	// AllenEquals: both endpoints coincide (within ε).
+	AllenEquals
+)
+
+// String names the relation.
+func (r AllenRelation) String() string {
+	switch r {
+	case AllenNone:
+		return "none"
+	case AllenBefore:
+		return "before"
+	case AllenMeets:
+		return "meets"
+	case AllenOverlaps:
+		return "overlaps"
+	case AllenStarts:
+		return "starts"
+	case AllenDuring:
+		return "during"
+	case AllenFinishes:
+		return "finishes"
+	case AllenEquals:
+		return "equals"
+	}
+	return fmt.Sprintf("AllenRelation(%d)", uint8(r))
+}
+
+// ClassifyAllen determines the Allen relation between a and b, where a is
+// canonically ordered before b (Interval.Before, i.e. a starts earlier,
+// or same start and a at least as long). Endpoint comparisons tolerate ε.
+func (c Config) ClassifyAllen(a, b Interval) AllenRelation {
+	if b.Start < a.Start || (b.Start == a.Start && b.End > a.End) {
+		panic("temporal: ClassifyAllen requires the intervals in canonical order (Before)")
+	}
+	eq := func(x, y Time) bool {
+		d := x - y
+		if d < 0 {
+			d = -d
+		}
+		return d <= c.Epsilon
+	}
+	sameStart := eq(a.Start, b.Start)
+	sameEnd := eq(a.End, b.End)
+	switch {
+	case sameStart && sameEnd:
+		return AllenEquals
+	case sameStart:
+		// Canonical order guarantees a.End >= b.End here.
+		return AllenStarts
+	case sameEnd:
+		return AllenFinishes
+	case eq(a.End, b.Start):
+		return AllenMeets
+	case b.Start > a.End:
+		return AllenBefore
+	case b.End < a.End:
+		return AllenDuring
+	case b.Start < a.End:
+		return AllenOverlaps
+	default:
+		return AllenNone
+	}
+}
+
+// Simplify maps an Allen relation to the paper's three-relation model
+// (§III-B): Follow absorbs before/meets, Contain absorbs
+// equals/starts/during/finishes, and Overlap stays Overlap. Note that the
+// simplified classifier additionally requires a minimal overlap duration
+// d_o, so Classify may return None where Simplify returns Overlap.
+func (r AllenRelation) Simplify() Relation {
+	switch r {
+	case AllenBefore, AllenMeets:
+		return Follow
+	case AllenEquals, AllenStarts, AllenDuring, AllenFinishes:
+		return Contain
+	case AllenOverlaps:
+		return Overlap
+	}
+	return None
+}

@@ -1,0 +1,121 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestClassifyAllenCases(t *testing.T) {
+	cfg := Config{Epsilon: 0, MinOverlap: 1}
+	cases := []struct {
+		a, b Interval
+		want AllenRelation
+	}{
+		{NewInterval(0, 10), NewInterval(20, 30), AllenBefore},
+		{NewInterval(0, 10), NewInterval(10, 30), AllenMeets},
+		{NewInterval(0, 10), NewInterval(5, 30), AllenOverlaps},
+		{NewInterval(0, 30), NewInterval(0, 10), AllenStarts},
+		{NewInterval(0, 30), NewInterval(5, 10), AllenDuring},
+		{NewInterval(0, 30), NewInterval(5, 30), AllenFinishes},
+		{NewInterval(0, 30), NewInterval(0, 30), AllenEquals},
+	}
+	for _, c := range cases {
+		if got := cfg.ClassifyAllen(c.a, c.b); got != c.want {
+			t.Errorf("ClassifyAllen(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestClassifyAllenEpsilon(t *testing.T) {
+	cfg := Config{Epsilon: 2, MinOverlap: 10}
+	// Ends within epsilon of each other -> finishes, not overlaps.
+	if got := cfg.ClassifyAllen(NewInterval(0, 30), NewInterval(5, 31)); got != AllenFinishes {
+		t.Errorf("epsilon finishes: got %v", got)
+	}
+	// Starts within epsilon -> starts.
+	if got := cfg.ClassifyAllen(NewInterval(0, 30), NewInterval(1, 10)); got != AllenStarts {
+		t.Errorf("epsilon starts: got %v", got)
+	}
+	// Gap within epsilon of zero -> meets.
+	if got := cfg.ClassifyAllen(NewInterval(0, 10), NewInterval(11, 30)); got != AllenMeets {
+		t.Errorf("epsilon meets: got %v", got)
+	}
+}
+
+func TestClassifyAllenPanicsOnUnordered(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DefaultConfig().ClassifyAllen(NewInterval(10, 20), NewInterval(0, 30))
+}
+
+func TestAllenStrings(t *testing.T) {
+	names := map[AllenRelation]string{
+		AllenNone: "none", AllenBefore: "before", AllenMeets: "meets",
+		AllenOverlaps: "overlaps", AllenStarts: "starts", AllenDuring: "during",
+		AllenFinishes: "finishes", AllenEquals: "equals",
+	}
+	for r, w := range names {
+		if r.String() != w {
+			t.Errorf("%d.String() = %s, want %s", r, r.String(), w)
+		}
+	}
+	if AllenRelation(99).String() == "" {
+		t.Error("unknown relation must render")
+	}
+}
+
+// TestSimplifyConsistentWithClassify: for positive-duration intervals
+// with epsilon = 0, the simplified model agrees with Simplify(Allen),
+// except where the minimal-overlap requirement turns Overlap into None.
+func TestSimplifyConsistentWithClassify(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := Config{Epsilon: 0, MinOverlap: 5}
+	for i := 0; i < 50000; i++ {
+		as := int64(rng.Intn(60))
+		a := NewInterval(as, as+1+int64(rng.Intn(40)))
+		bs := a.Start + int64(rng.Intn(50))
+		b := NewInterval(bs, bs+1+int64(rng.Intn(40)))
+		if b.Before(a) {
+			a, b = b, a
+		}
+		allen := cfg.ClassifyAllen(a, b)
+		if allen == AllenNone {
+			t.Fatalf("AllenNone for positive-duration %v,%v", a, b)
+		}
+		simple := cfg.Classify(a, b)
+		mapped := allen.Simplify()
+		if simple == mapped {
+			continue
+		}
+		// The only licensed disagreement: an Allen overlap whose overlap
+		// duration is below d_o.
+		if mapped == Overlap && simple == None && a.End-b.Start < cfg.MinOverlap {
+			continue
+		}
+		t.Fatalf("disagreement for %v,%v: allen=%v->%v simple=%v", a, b, allen, mapped, simple)
+	}
+}
+
+// TestAllenExclusiveProperty: exactly one Allen relation holds for any
+// ordered positive-duration pair.
+func TestAllenExclusiveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, eps := range []Duration{0, 1, 3} {
+		cfg := Config{Epsilon: eps, MinOverlap: eps + 5}
+		for i := 0; i < 20000; i++ {
+			as := int64(rng.Intn(40))
+			a := NewInterval(as, as+1+int64(rng.Intn(30)))
+			bs := a.Start + int64(rng.Intn(40))
+			b := NewInterval(bs, bs+1+int64(rng.Intn(30)))
+			if b.Before(a) {
+				a, b = b, a
+			}
+			if got := cfg.ClassifyAllen(a, b); got == AllenNone {
+				t.Fatalf("eps=%d: no Allen relation for %v,%v", eps, a, b)
+			}
+		}
+	}
+}

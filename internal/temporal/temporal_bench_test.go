@@ -1,0 +1,30 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkClassify measures the relation classifier, the innermost
+// operation of every miner (billions of calls in low-threshold runs).
+func BenchmarkClassify(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := Config{Epsilon: 2, MinOverlap: 10}
+	const n = 1024
+	pairs := make([][2]Interval, n)
+	for i := range pairs {
+		s1 := int64(rng.Intn(1000))
+		a := NewInterval(s1, s1+int64(rng.Intn(200)))
+		s2 := s1 + int64(rng.Intn(250))
+		bb := NewInterval(s2, s2+int64(rng.Intn(200)))
+		if bb.Before(a) {
+			a, bb = bb, a
+		}
+		pairs[i] = [2]Interval{a, bb}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%n]
+		_ = cfg.Classify(p[0], p[1])
+	}
+}

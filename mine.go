@@ -1,0 +1,255 @@
+package ftpm
+
+import (
+	"fmt"
+	"strings"
+
+	"ftpm/internal/core"
+	"ftpm/internal/mi"
+	"ftpm/internal/temporal"
+)
+
+// ApproxOptions enables A-HTPGM (§V). Exactly one of Mu or Density selects
+// the MI threshold.
+type ApproxOptions struct {
+	// Mu is the NMI threshold µ in (0,1] (Def 5.4).
+	Mu float64
+	// Density chooses µ via the expected correlation-graph density
+	// (Def 5.6) instead: 0.6 keeps 60% of the possible edges.
+	Density float64
+	// EventLevel switches to event-granularity pruning — the paper's
+	// stated future work (§VII): NMI is computed between event indicator
+	// series and the threshold applies to individual event pairs instead
+	// of whole series. Finer pruning, higher NMI setup cost (quadratic in
+	// the number of events rather than series).
+	EventLevel bool
+}
+
+// Options parameterizes an end-to-end mining run.
+type Options struct {
+	// MinSupport is the relative support threshold sigma in (0,1].
+	MinSupport float64
+	// MinConfidence is the confidence threshold delta in [0,1].
+	MinConfidence float64
+
+	// Epsilon is the relation buffer ε; MinOverlap the minimal Overlap
+	// duration d_o (Defs 3.6-3.8). Zero values mean ε=0, d_o=1 tick.
+	Epsilon    Duration
+	MinOverlap Duration
+
+	// TMax is the maximal pattern duration t_max (0 = unbounded within a
+	// sequence window).
+	TMax Duration
+	// MaxPatternSize bounds the number of events per pattern (0 =
+	// unbounded).
+	MaxPatternSize int
+
+	// Window geometry for MineSymbolic: either WindowLength (ticks) or
+	// NumWindows, plus the overlap t_ov (§IV-B2). Ignored by Mine, which
+	// takes an already-built SequenceDB.
+	WindowLength Duration
+	NumWindows   int
+	Overlap      Duration
+
+	// Approx, when non-nil, runs A-HTPGM instead of E-HTPGM.
+	Approx *ApproxOptions
+
+	// Pruning selects the E-HTPGM pruning ablation; the zero value
+	// applies all pruning techniques.
+	Pruning PruningMode
+	// KeepGraph retains the Hierarchical Pattern Graph on the result.
+	KeepGraph bool
+	// Workers shards candidate verification over goroutines (0 or 1 =
+	// serial); results are identical to serial runs.
+	Workers int
+}
+
+func (o Options) coreConfig() core.Config {
+	rel := temporal.Config{}
+	if o.Epsilon != 0 || o.MinOverlap != 0 {
+		rel = temporal.Config{Epsilon: o.Epsilon, MinOverlap: o.MinOverlap}
+		if rel.MinOverlap == 0 {
+			rel.MinOverlap = 1
+		}
+	}
+	return core.Config{
+		MinSupport:    o.MinSupport,
+		MinConfidence: o.MinConfidence,
+		Relations:     rel,
+		TMax:          o.TMax,
+		MaxK:          o.MaxPatternSize,
+		Pruning:       o.Pruning,
+		KeepGraph:     o.KeepGraph,
+		Workers:       o.Workers,
+	}
+}
+
+func (o Options) splitOptions() SplitOptions {
+	return SplitOptions{WindowLength: o.WindowLength, NumWindows: o.NumWindows, Overlap: o.Overlap}
+}
+
+// Result is the outcome of a mining run.
+type Result struct {
+	// Singles lists the frequent single events.
+	Singles []EventInfo
+	// Patterns lists the frequent temporal patterns (k >= 2) in
+	// deterministic order.
+	Patterns []PatternInfo
+	// Stats carries the per-level mining counters.
+	Stats Stats
+	// DB is the temporal sequence database that was mined; Describe uses
+	// it to render sample occurrences.
+	DB *SequenceDB
+	// Graph is the correlation graph of an A-HTPGM run (nil for exact),
+	// and Mu the MI threshold used. EventGraph is set instead of Graph
+	// when event-level pruning was requested.
+	Graph      *CorrelationGraph
+	EventGraph *EventCorrelationGraph
+	Mu         float64
+}
+
+// Mine runs E-HTPGM (exact) over an already-built sequence database.
+// Options.Approx is rejected here — A-HTPGM needs the symbolic database
+// for its mutual-information analysis; use MineSymbolic.
+func Mine(db *SequenceDB, opt Options) (*Result, error) {
+	if opt.Approx != nil {
+		return nil, fmt.Errorf("ftpm: Mine is exact-only; use MineSymbolic for A-HTPGM")
+	}
+	res, err := core.Mine(db, opt.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Singles: res.Singles, Patterns: res.Patterns, Stats: res.Stats, DB: db}, nil
+}
+
+// MineSymbolic runs the full FTPMfTS process on a symbolic database:
+// conversion to DSEQ followed by E-HTPGM, or A-HTPGM when Options.Approx
+// is set.
+func MineSymbolic(sdb *SymbolicDB, opt Options) (*Result, error) {
+	db, err := BuildSequences(sdb, opt.splitOptions())
+	if err != nil {
+		return nil, err
+	}
+	cfg := opt.coreConfig()
+	out := &Result{DB: db}
+	if a := opt.Approx; a != nil {
+		if (a.Mu > 0) == (a.Density > 0) {
+			return nil, fmt.Errorf("ftpm: ApproxOptions requires exactly one of Mu or Density")
+		}
+		if a.EventLevel {
+			pw, err := mi.ComputeEventPairwise(sdb)
+			if err != nil {
+				return nil, err
+			}
+			mu := a.Mu
+			if a.Density > 0 {
+				mu, err = pw.MuForDensity(a.Density)
+				if err != nil {
+					return nil, err
+				}
+				if mu > 1 {
+					mu = 1
+				}
+			}
+			g, err := pw.Graph(mu)
+			if err != nil {
+				return nil, err
+			}
+			cfg.EventFilter = g
+			out.EventGraph = g
+			out.Mu = mu
+		} else {
+			pw, err := mi.ComputePairwise(sdb)
+			if err != nil {
+				return nil, err
+			}
+			mu := a.Mu
+			if a.Density > 0 {
+				mu, err = pw.MuForDensity(a.Density)
+				if err != nil {
+					return nil, err
+				}
+				if mu > 1 {
+					mu = 1
+				}
+			}
+			g, err := pw.Graph(mu)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Filter = g
+			out.Graph = g
+			out.Mu = mu
+		}
+	}
+	res, err := core.Mine(db, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Singles = res.Singles
+	out.Patterns = res.Patterns
+	out.Stats = res.Stats
+	return out, nil
+}
+
+// Accuracy returns the fraction of the exact result's patterns that the
+// approximate result retained (Table IX's metric).
+func Accuracy(approx, exact *Result) float64 {
+	ex := make(map[string]bool, len(exact.Patterns))
+	for _, p := range exact.Patterns {
+		ex[p.Pattern.Key()] = true
+	}
+	if len(ex) == 0 {
+		return 1
+	}
+	hit := 0
+	for _, p := range approx.Patterns {
+		if ex[p.Pattern.Key()] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(ex))
+}
+
+// Describe renders a mined pattern with event names and, when a sample
+// occurrence is available, the concrete intervals — the paper's Table VI
+// style, e.g. "([06:00,07:00] Kitchen=On) ≽ ([06:01,06:45] Toaster=On)".
+func (r *Result) Describe(p PatternInfo) string {
+	if r.DB == nil || p.SampleSeq < 0 || p.SampleSeq >= len(r.DB.Sequences) || len(p.Sample) != p.Pattern.K() {
+		return p.Pattern.FormatChain(r.DB.Vocab)
+	}
+	seq := r.DB.Sequences[p.SampleSeq]
+	var sb strings.Builder
+	for i, e := range p.Pattern.Events {
+		if i > 0 {
+			sb.WriteString(" " + p.Pattern.Relation(i-1, i).Symbol() + " ")
+		}
+		ins := seq.Instances[p.Sample[i]]
+		fmt.Fprintf(&sb, "([%s,%s] %s)", clockOf(ins.Start), clockOf(ins.End), r.DB.Vocab.Name(e))
+	}
+	return sb.String()
+}
+
+// clockOf renders ticks as hh:mm within the day (ticks are treated as
+// seconds); timestamps beyond the first day carry a day prefix so
+// boundary-clipped intervals stay unambiguous.
+func clockOf(t Time) string {
+	day := t / 86400
+	t %= 86400
+	if t < 0 {
+		t += 86400
+		day--
+	}
+	if day > 0 {
+		return fmt.Sprintf("d%d %02d:%02d", day, t/3600, (t%3600)/60)
+	}
+	return fmt.Sprintf("%02d:%02d", t/3600, (t%3600)/60)
+}
+
+// Maximal returns the patterns not contained in any other mined pattern —
+// the compact frontier of the result (every pruned pattern is implied by
+// a maximal one).
+func (r *Result) Maximal() []PatternInfo {
+	cr := core.Result{Patterns: r.Patterns}
+	return cr.Maximal()
+}
