@@ -11,6 +11,7 @@
 package ftpm_test
 
 import (
+	"context"
 	"testing"
 
 	"ftpm"
@@ -101,7 +102,7 @@ func BenchmarkEndToEndPaperExample(b *testing.B) {
 	sdb := paperex.SymbolicDB()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := ftpm.MineSymbolic(sdb, ftpm.Options{
+		res, err := ftpm.MineSymbolic(context.Background(), sdb, ftpm.Options{
 			MinSupport:    0.7,
 			MinConfidence: 0.7,
 			NumWindows:    4,
@@ -121,7 +122,7 @@ func BenchmarkEndToEndApprox(b *testing.B) {
 	sdb := paperex.SymbolicDB()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := ftpm.MineSymbolic(sdb, ftpm.Options{
+		res, err := ftpm.MineSymbolic(context.Background(), sdb, ftpm.Options{
 			MinSupport:    0.7,
 			MinConfidence: 0.7,
 			NumWindows:    4,

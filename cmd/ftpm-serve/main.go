@@ -1,0 +1,75 @@
+// Command ftpm-serve exposes the ftpm library as a long-running mining
+// service: datasets are uploaded once as CSV and mined concurrently under
+// different parameterizations through a JSON/NDJSON HTTP API with
+// cancellable jobs.
+//
+// Usage:
+//
+//	ftpm-serve -addr :8080 -workers 4 -queue 64
+//
+// Quick tour with curl:
+//
+//	curl -X POST --data-binary @energy.csv 'localhost:8080/datasets?name=energy&threshold=0.05'
+//	curl -X POST -d '{"dataset_id":"ds-1","min_support":0.2,"min_confidence":0.5,"num_windows":24}' localhost:8080/jobs
+//	curl localhost:8080/jobs/job-1
+//	curl 'localhost:8080/jobs/job-1/patterns?offset=0&limit=50'
+//	curl -X DELETE localhost:8080/jobs/job-1
+//
+// See internal/server for the full API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ftpm/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "mining worker pool size (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "job queue depth; submits beyond it get 503")
+		maxUpload = flag.Int64("max-upload", 64<<20, "maximal dataset upload size in bytes")
+		threshold = flag.Float64("threshold", 0.05, "default On/Off threshold for numeric uploads")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "ftpm-serve: ", log.LstdFlags)
+	srv := server.New(server.Options{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		MaxUploadBytes:   *maxUpload,
+		DefaultThreshold: threshold,
+		Logger:           logger,
+	})
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		logger.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shutdownCtx)
+	}()
+
+	logger.Printf("listening on %s (workers=%d queue=%d)", *addr, *workers, *queue)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatal(err)
+	}
+	srv.Close()
+}

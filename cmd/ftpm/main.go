@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -91,7 +92,7 @@ func main() {
 		opt.Approx = &ftpm.ApproxOptions{Density: *density}
 	}
 
-	res, err := ftpm.MineSymbolic(sdb, opt)
+	res, err := ftpm.MineSymbolic(context.Background(), sdb, opt)
 	if err != nil {
 		fail(err)
 	}

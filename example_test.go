@@ -1,6 +1,7 @@
 package ftpm_test
 
 import (
+	"context"
 	"fmt"
 
 	"ftpm"
@@ -15,7 +16,7 @@ func ExampleMineSymbolic() {
 		"Off On On On Off Off Off On On Off Off Off")
 	sdb, _ := ftpm.NewSymbolicDB(k, t)
 
-	res, _ := ftpm.MineSymbolic(sdb, ftpm.Options{
+	res, _ := ftpm.MineSymbolic(context.Background(), sdb, ftpm.Options{
 		MinSupport:     1.0, // in every sequence
 		MinConfidence:  1.0,
 		NumWindows:     2,

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -79,7 +80,7 @@ func main() {
 
 	// 3. Mine daily sequences with a one-hour overlap so routines that
 	// straddle midnight are preserved (§IV-B2).
-	res, err := ftpm.MineSymbolic(sdb, ftpm.Options{
+	res, err := ftpm.MineSymbolic(context.Background(), sdb, ftpm.Options{
 		MinSupport:     0.3,
 		MinConfidence:  0.4,
 		WindowLength:   samplesPerDay * step,

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -59,7 +60,7 @@ func main() {
 		MinConfidence: 0.7,
 		NumWindows:    4, // Table III: four equal sequences
 	}
-	exact, err := ftpm.MineSymbolic(sdb, opts)
+	exact, err := ftpm.MineSymbolic(context.Background(), sdb, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func main() {
 
 	// 5. Approximate mining (A-HTPGM) on the correlated series only.
 	opts.Approx = &ftpm.ApproxOptions{Density: 0.4}
-	approx, err := ftpm.MineSymbolic(sdb, opts)
+	approx, err := ftpm.MineSymbolic(context.Background(), sdb, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -93,7 +94,7 @@ func main() {
 
 	// 3. A-HTPGM over 12-hour windows with 2-hour overlap: prune
 	// uncorrelated variables via the correlation graph, then mine.
-	res, err := ftpm.MineSymbolic(sdb, ftpm.Options{
+	res, err := ftpm.MineSymbolic(context.Background(), sdb, ftpm.Options{
 		MinSupport:     0.03, // rare but confident patterns (paper: P12-P17)
 		MinConfidence:  0.3,
 		WindowLength:   12 * step,

@@ -2,6 +2,7 @@ package ftpm_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -11,7 +12,7 @@ import (
 
 func TestExportJSON(t *testing.T) {
 	db := tableIDB(t)
-	res, err := ftpm.MineSymbolic(db, ftpm.Options{
+	res, err := ftpm.MineSymbolic(context.Background(), db, ftpm.Options{
 		MinSupport: 0.7, MinConfidence: 0.7, NumWindows: 4, MaxPatternSize: 2,
 	})
 	if err != nil {
@@ -64,7 +65,7 @@ func TestExportJSON(t *testing.T) {
 
 func TestExportJSONApproxCarriesMu(t *testing.T) {
 	db := tableIDB(t)
-	res, err := ftpm.MineSymbolic(db, ftpm.Options{
+	res, err := ftpm.MineSymbolic(context.Background(), db, ftpm.Options{
 		MinSupport: 0.7, MinConfidence: 0.7, NumWindows: 4,
 		Approx: &ftpm.ApproxOptions{Density: 0.4},
 	})

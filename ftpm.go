@@ -29,7 +29,7 @@
 //	sdb, _ := ftpm.Symbolize(series, func(string) ftpm.Symbolizer {
 //		return ftpm.OnOff(0.05) // On when the reading is >= 0.05
 //	})
-//	res, _ := ftpm.MineSymbolic(sdb, ftpm.Options{
+//	res, _ := ftpm.MineSymbolic(ctx, sdb, ftpm.Options{
 //		MinSupport:    0.2,
 //		MinConfidence: 0.5,
 //		NumWindows:    24,
@@ -94,6 +94,9 @@ type (
 	EventInfo = core.EventInfo
 	// Stats carries the per-level mining counters.
 	Stats = core.Stats
+	// LevelStats carries the counters of one mined level; Options.Progress
+	// receives one per completed level.
+	LevelStats = core.LevelStats
 	// PruningMode selects the E-HTPGM pruning ablation.
 	PruningMode = core.PruningMode
 

@@ -1,6 +1,7 @@
 package ftpm_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -28,7 +29,7 @@ func tableIDB(t *testing.T) *ftpm.SymbolicDB {
 
 func TestEndToEndExact(t *testing.T) {
 	db := tableIDB(t)
-	res, err := ftpm.MineSymbolic(db, ftpm.Options{
+	res, err := ftpm.MineSymbolic(context.Background(), db, ftpm.Options{
 		MinSupport:    0.7,
 		MinConfidence: 0.7,
 		NumWindows:    4,
@@ -55,11 +56,11 @@ func TestEndToEndExact(t *testing.T) {
 
 func TestEndToEndApprox(t *testing.T) {
 	db := tableIDB(t)
-	exact, err := ftpm.MineSymbolic(db, ftpm.Options{MinSupport: 0.5, MinConfidence: 0.5, NumWindows: 4})
+	exact, err := ftpm.MineSymbolic(context.Background(), db, ftpm.Options{MinSupport: 0.5, MinConfidence: 0.5, NumWindows: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	approx, err := ftpm.MineSymbolic(db, ftpm.Options{
+	approx, err := ftpm.MineSymbolic(context.Background(), db, ftpm.Options{
 		MinSupport:    0.5,
 		MinConfidence: 0.5,
 		NumWindows:    4,
@@ -97,13 +98,13 @@ func TestEndToEndApprox(t *testing.T) {
 
 func TestApproxValidation(t *testing.T) {
 	db := tableIDB(t)
-	if _, err := ftpm.MineSymbolic(db, ftpm.Options{
+	if _, err := ftpm.MineSymbolic(context.Background(), db, ftpm.Options{
 		MinSupport: 0.5, NumWindows: 4,
 		Approx: &ftpm.ApproxOptions{},
 	}); err == nil {
 		t.Error("empty ApproxOptions must error")
 	}
-	if _, err := ftpm.MineSymbolic(db, ftpm.Options{
+	if _, err := ftpm.MineSymbolic(context.Background(), db, ftpm.Options{
 		MinSupport: 0.5, NumWindows: 4,
 		Approx: &ftpm.ApproxOptions{Mu: 0.4, Density: 0.4},
 	}); err == nil {
@@ -113,7 +114,7 @@ func TestApproxValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ftpm.Mine(seqdb, ftpm.Options{
+	if _, err := ftpm.Mine(context.Background(), seqdb, ftpm.Options{
 		MinSupport: 0.5,
 		Approx:     &ftpm.ApproxOptions{Mu: 0.4},
 	}); err == nil {
@@ -127,7 +128,7 @@ func TestMineOnSequenceDB(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ftpm.Mine(seqdb, ftpm.Options{MinSupport: 0.7, MinConfidence: 0.7})
+	res, err := ftpm.Mine(context.Background(), seqdb, ftpm.Options{MinSupport: 0.7, MinConfidence: 0.7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestNumericPipeline(t *testing.T) {
 	if sdb.Find("X").SymbolAt(0) != "On" || sdb.Find("X").SymbolAt(3) != "Off" {
 		t.Error("threshold symbolization wrong")
 	}
-	res, err := ftpm.MineSymbolic(sdb, ftpm.Options{MinSupport: 1, MinConfidence: 0, NumWindows: 1})
+	res, err := ftpm.MineSymbolic(context.Background(), sdb, ftpm.Options{MinSupport: 1, MinConfidence: 0, NumWindows: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestOverlapPreservesPatterns(t *testing.T) {
 	count4 := func(opt ftpm.Options) int {
 		opt.MinSupport = 0.01
 		opt.MinConfidence = 0
-		res, err := ftpm.MineSymbolic(sdb, opt)
+		res, err := ftpm.MineSymbolic(context.Background(), sdb, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -252,11 +253,11 @@ func TestOverlapPreservesPatterns(t *testing.T) {
 
 func TestEventLevelApproxAPI(t *testing.T) {
 	db := tableIDB(t)
-	exact, err := ftpm.MineSymbolic(db, ftpm.Options{MinSupport: 0.5, MinConfidence: 0.5, NumWindows: 4})
+	exact, err := ftpm.MineSymbolic(context.Background(), db, ftpm.Options{MinSupport: 0.5, MinConfidence: 0.5, NumWindows: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ev, err := ftpm.MineSymbolic(db, ftpm.Options{
+	ev, err := ftpm.MineSymbolic(context.Background(), db, ftpm.Options{
 		MinSupport:    0.5,
 		MinConfidence: 0.5,
 		NumWindows:    4,
@@ -285,12 +286,12 @@ func TestEventLevelApproxAPI(t *testing.T) {
 func TestWorkersOptionAPI(t *testing.T) {
 	db := tableIDB(t)
 	opt := ftpm.Options{MinSupport: 0.5, MinConfidence: 0.5, NumWindows: 4, MaxPatternSize: 3}
-	serial, err := ftpm.MineSymbolic(db, opt)
+	serial, err := ftpm.MineSymbolic(context.Background(), db, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opt.Workers = 4
-	par, err := ftpm.MineSymbolic(db, opt)
+	par, err := ftpm.MineSymbolic(context.Background(), db, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +307,7 @@ func TestWorkersOptionAPI(t *testing.T) {
 
 func TestMaximalAPI(t *testing.T) {
 	db := tableIDB(t)
-	res, err := ftpm.MineSymbolic(db, ftpm.Options{
+	res, err := ftpm.MineSymbolic(context.Background(), db, ftpm.Options{
 		MinSupport: 0.7, MinConfidence: 0.7, NumWindows: 4, MaxPatternSize: 3,
 	})
 	if err != nil {

@@ -1,0 +1,3 @@
+module ftpm
+
+go 1.21

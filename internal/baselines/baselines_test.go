@@ -6,6 +6,7 @@
 package baselines_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -87,7 +88,7 @@ func TestBaselinesMatchHTPGM(t *testing.T) {
 		if rng.Intn(2) == 0 {
 			cfg.TMax = 40 + temporal.Duration(rng.Intn(120))
 		}
-		want, err := core.Mine(db, cfg)
+		want, err := core.Mine(context.Background(), db, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -122,7 +123,7 @@ func TestBaselinesMatchHTPGM(t *testing.T) {
 func TestBaselinesOnPaperExample(t *testing.T) {
 	db := paperex.SequenceDB()
 	cfg := core.Config{MinSupport: 0.7, MinConfidence: 0.7}
-	want, err := core.Mine(db, cfg)
+	want, err := core.Mine(context.Background(), db, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestBaselinesEpsilonBuffer(t *testing.T) {
 		MaxK:          3,
 		Relations:     temporal.Config{Epsilon: 5, MinOverlap: 20},
 	}
-	want, err := core.Mine(db, cfg)
+	want, err := core.Mine(context.Background(), db, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -43,7 +44,7 @@ func TestApproxSubsetOfExact(t *testing.T) {
 			t.Fatal(err)
 		}
 		cfg := Config{MinSupport: 0.25 + rng.Float64()*0.35, MinConfidence: rng.Float64() * 0.4, MaxK: 4}
-		exact, err := Mine(db, cfg)
+		exact, err := Mine(context.Background(), db, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -54,7 +55,7 @@ func TestApproxSubsetOfExact(t *testing.T) {
 		for _, density := range []float64{0.2, 0.5, 0.8} {
 			c := cfg
 			c.Filter = graphFor(t, sdb, density)
-			ap, err := Mine(db, c)
+			ap, err := Mine(context.Background(), db, c)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -82,12 +83,12 @@ func TestApproxFullDensityIsExact(t *testing.T) {
 	sdb := paperex.SymbolicDB()
 	db := paperex.SequenceDB()
 	cfg := Config{MinSupport: 0.5, MinConfidence: 0.5, MaxK: 4}
-	exact, err := Mine(db, cfg)
+	exact, err := Mine(context.Background(), db, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Filter = graphFor(t, sdb, 1.0)
-	ap, err := Mine(db, cfg)
+	ap, err := Mine(context.Background(), db, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,12 +107,12 @@ func TestApproxPrunesUncorrelated(t *testing.T) {
 	sdb := paperex.SymbolicDB()
 	db := paperex.SequenceDB()
 	cfg := Config{MinSupport: 0.5, MinConfidence: 0.5, MaxK: 3}
-	exact, err := Mine(db, cfg)
+	exact, err := Mine(context.Background(), db, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Filter = graphFor(t, sdb, 0.4)
-	ap, err := Mine(db, cfg)
+	ap, err := Mine(context.Background(), db, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestApproxPairFiltering(t *testing.T) {
 	// (C(5,2)=10), so exactly one vertex pair lacks an edge and pair
 	// filtering must trigger.
 	cfg.Filter = graphFor(t, sdb, 0.6)
-	ap, err := Mine(db, cfg)
+	ap, err := Mine(context.Background(), db, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestEventLevelApproxSubset(t *testing.T) {
 			t.Fatal(err)
 		}
 		cfg := Config{MinSupport: 0.3, MinConfidence: 0.2, MaxK: 3}
-		exact, err := Mine(db, cfg)
+		exact, err := Mine(context.Background(), db, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -264,7 +265,7 @@ func TestEventLevelApproxSubset(t *testing.T) {
 		for _, density := range []float64{0.3, 0.7} {
 			c := cfg
 			c.EventFilter = eventGraphFor(t, sdb, density)
-			ap, err := Mine(db, c)
+			ap, err := Mine(context.Background(), db, c)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -293,13 +294,13 @@ func TestEventLevelFinerThanSeriesLevel(t *testing.T) {
 	cfg := Config{MinSupport: 0.5, MinConfidence: 0, MaxK: 2}
 
 	cfg.Filter = graphFor(t, sdb, 0.4) // series level: K,T,M,C complete
-	series, err := Mine(db, cfg)
+	series, err := Mine(context.Background(), db, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Filter = nil
 	cfg.EventFilter = eventGraphFor(t, sdb, 0.2)
-	eventLevel, err := Mine(db, cfg)
+	eventLevel, err := Mine(context.Background(), db, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -128,6 +128,12 @@ type Config struct {
 	// (0 or 1 = serial). Results are byte-identical to serial runs; this
 	// is an extension over the paper's single-threaded implementation.
 	Workers int
+	// Progress, when non-nil, is invoked on the mining goroutine after
+	// each level completes, with that level's final counters (a copy).
+	// Long-running callers (the job server) use it to surface per-level
+	// progress; the callback must return quickly since it blocks the next
+	// level.
+	Progress func(LevelStats)
 }
 
 // Validate checks threshold ranges and the relation parameters.

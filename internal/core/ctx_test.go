@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ftpm/internal/events"
+	"ftpm/internal/timeseries"
+)
+
+// cancelDB builds a sequence database big enough that mining visits many
+// verification units (alternating symbols give quadratically many instance
+// pairs per sequence).
+func cancelDB(t testing.TB, samples, windows int) *events.DB {
+	t.Helper()
+	mk := func(name string, phase int) *timeseries.SymbolicSeries {
+		syms := make([]int, samples)
+		for i := range syms {
+			syms[i] = ((i + phase) / 2) % 2
+		}
+		return &timeseries.SymbolicSeries{
+			Name: name, Start: 0, Step: 1,
+			Alphabet: []string{"On", "Off"}, Symbols: syms,
+		}
+	}
+	sdb, err := timeseries.NewSymbolicDB(mk("A", 0), mk("B", 1), mk("C", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := events.Convert(sdb, events.SplitOptions{NumWindows: windows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestMinePreCancelled(t *testing.T) {
+	db := cancelDB(t, 200, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Mine(ctx, db, Config{MinSupport: 0.2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled run must not return a result")
+	}
+}
+
+func TestMineCancelMidRun(t *testing.T) {
+	// Enough work that cancellation lands mid-mine: the per-sequence and
+	// per-task checks must observe it long before the run would finish.
+	db := cancelDB(t, 6000, 6)
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		started := make(chan struct{})
+		cfg := Config{MinSupport: 0.1, MaxK: 2, Workers: workers,
+			Progress: func(ls LevelStats) {
+				if ls.K == 1 {
+					close(started)
+				}
+			}}
+		type outcome struct {
+			res *Result
+			err error
+		}
+		ch := make(chan outcome, 1)
+		go func() {
+			res, err := Mine(ctx, db, cfg)
+			ch <- outcome{res, err}
+		}()
+		<-started // L1 done, L2 (the heavy level) underway or imminent
+		cancel()
+		select {
+		case o := <-ch:
+			if !errors.Is(o.err, context.Canceled) {
+				t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, o.err)
+			}
+			if o.res != nil {
+				t.Fatalf("workers=%d: cancelled run returned a result", workers)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("workers=%d: miner did not stop after cancellation", workers)
+		}
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	db := cancelDB(t, 200, 4)
+	var levels []int
+	_, err := Mine(context.Background(), db, Config{
+		MinSupport: 0.2, MaxK: 3,
+		Progress: func(ls LevelStats) { levels = append(levels, ls.K) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) < 2 || levels[0] != 1 || levels[1] != 2 {
+		t.Fatalf("progress levels = %v, want ascending from 1", levels)
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i] != levels[i-1]+1 {
+			t.Fatalf("progress levels not consecutive: %v", levels)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -15,7 +16,14 @@ import (
 // Mine runs HTPGM over the temporal sequence database. With a nil
 // Config.Filter this is the exact E-HTPGM (Alg 1); with a correlation
 // filter it is A-HTPGM (Alg 2).
-func Mine(db *events.DB, cfg Config) (*Result, error) {
+//
+// Cancelling ctx aborts the run: workers stop between verification units
+// (candidate nodes and, within a node, sequences), and Mine returns
+// ctx.Err(). A nil ctx is treated as context.Background().
+func Mine(ctx context.Context, db *events.DB, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -35,15 +43,22 @@ func Mine(db *events.DB, cfg Config) (*Result, error) {
 		n:       db.Size(),
 		minSupp: cfg.AbsoluteSupport(db.Size()),
 		graph:   &hpg.Graph{},
+		done:    ctx.Done(),
 	}
 	m.stats.Sequences = m.n
 	m.stats.AbsoluteSupport = m.minSupp
 
 	start := time.Now()
 	m.mineSingles()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if cfg.MaxK != 1 && len(m.oneFreq) > 0 {
 		m.mineLevel2()
 		for k := 3; ; k++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if cfg.MaxK > 0 && k > cfg.MaxK {
 				break
 			}
@@ -55,6 +70,9 @@ func Mine(db *events.DB, cfg Config) (*Result, error) {
 				break
 			}
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	m.stats.Duration = time.Since(start)
 	return m.buildResult(), nil
@@ -77,9 +95,26 @@ type miner struct {
 	graph *hpg.Graph
 	stats Stats
 
+	// done is the cancellation channel of the run's context; cancelled()
+	// polls it between verification units.
+	done <-chan struct{}
+
 	// scr is the scratch for the serial path; parallel workers get their
 	// own (see runParallel).
 	scr scratch
+}
+
+// cancelled reports whether the run's context has been cancelled. A nil
+// done channel (background context) never signals, so the check is one
+// non-blocking select — cheap enough for per-sequence polling inside node
+// verification.
+func (m *miner) cancelled() bool {
+	select {
+	case <-m.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // scratch holds the per-worker reusable buffers of the hot extension
@@ -194,8 +229,19 @@ func (m *miner) mineSingles() {
 	sort.Slice(m.oneFreq, func(i, j int) bool { return m.oneFreq[i] < m.oneFreq[j] })
 	m.stats.SinglesFrequent = len(m.oneFreq)
 	m.graph.Levels = append(m.graph.Levels, level)
-	m.stats.Levels = append(m.stats.Levels, LevelStats{K: 1, Candidates: m.stats.SinglesConsidered,
+	m.finishLevel(LevelStats{K: 1, Candidates: m.stats.SinglesConsidered,
 		NodesVerified: m.stats.SinglesConsidered, GreenNodes: len(m.oneFreq), Duration: time.Since(t0)})
+}
+
+// finishLevel records a completed level's stats and notifies the progress
+// callback (on the mining goroutine). A cancelled run suppresses the
+// callback: its counters are partial, and Progress promises final
+// per-level numbers.
+func (m *miner) finishLevel(ls LevelStats) {
+	m.stats.Levels = append(m.stats.Levels, ls)
+	if m.cfg.Progress != nil && !m.cancelled() {
+		m.cfg.Progress(ls)
+	}
 }
 
 // pendingPattern accumulates one candidate pattern during node
@@ -236,12 +282,12 @@ func (m *miner) mineLevel2() {
 			tasks = append(tasks, pairTask{a, b})
 		}
 	}
-	outcomes := runParallel(m.workers(), tasks, m.verifyPairTask)
+	outcomes := runParallel(m.done, m.workers(), tasks, m.verifyPairTask)
 	mergeOutcomes(level, &ls, outcomes)
 
 	m.graph.Levels = append(m.graph.Levels, level)
 	ls.Duration = time.Since(t0)
-	m.stats.Levels = append(m.stats.Levels, ls)
+	m.finishLevel(ls)
 }
 
 // verifyPair mines the frequent 2-event patterns of one node (step 2.2):
@@ -253,6 +299,9 @@ func (m *miner) verifyPair(node *hpg.Node, scr *scratch, ls *LevelStats) {
 	pend := make(map[string]*pendingPattern)
 
 	node.Bitmap.ForEach(func(seqIdx int) bool {
+		if m.cancelled() {
+			return false
+		}
 		seq := m.db.Sequences[seqIdx]
 		ia := seq.InstancesOf(a)
 		ib := seq.InstancesOf(b)
@@ -422,7 +471,7 @@ func (m *miner) mineLevelK(k int) int {
 			tasks = append(tasks, extendTask{parent: node, e: e})
 		}
 	}
-	outcomes := runParallel(m.workers(), tasks, m.extendNodeTask)
+	outcomes := runParallel(m.done, m.workers(), tasks, m.extendNodeTask)
 	mergeOutcomes(level, &ls, outcomes)
 
 	// Level k-1 occurrences can be released: only level k extends them.
@@ -433,7 +482,7 @@ func (m *miner) mineLevelK(k int) int {
 	}
 	m.graph.Levels = append(m.graph.Levels, level)
 	ls.Duration = time.Since(t0)
-	m.stats.Levels = append(m.stats.Levels, ls)
+	m.finishLevel(ls)
 	return ls.GreenNodes
 }
 
@@ -473,6 +522,9 @@ func (m *miner) extendNode(parent *hpg.Node, e events.EventID, child *hpg.Node, 
 	parentPatterns := parent.Patterns()
 
 	child.Bitmap.ForEach(func(seqIdx int) bool {
+		if m.cancelled() {
+			return false
+		}
 		seq := m.db.Sequences[seqIdx]
 		eIdxs := seq.InstancesOf(e)
 		if len(eIdxs) == 0 {

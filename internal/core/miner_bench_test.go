@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -16,7 +17,7 @@ func BenchmarkMinePaperExample(b *testing.B) {
 	cfg := Config{MinSupport: 0.7, MinConfidence: 0.7}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := Mine(db, cfg)
+		res, err := Mine(context.Background(), db, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -48,7 +49,7 @@ func BenchmarkMineNIST(b *testing.B) {
 			cfg := Config{MinSupport: 0.6, MinConfidence: 0.6, MaxK: 3, Pruning: mode}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := Mine(db, cfg); err != nil {
+				if _, err := Mine(context.Background(), db, cfg); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -64,7 +65,7 @@ func BenchmarkMineWorkers(b *testing.B) {
 			cfg := Config{MinSupport: 0.5, MinConfidence: 0.5, MaxK: 3, Workers: workers}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := Mine(db, cfg); err != nil {
+				if _, err := Mine(context.Background(), db, cfg); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -81,7 +82,7 @@ func BenchmarkLevelSplit(b *testing.B) {
 			cfg := Config{MinSupport: 0.5, MinConfidence: 0.5, MaxK: k}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := Mine(db, cfg); err != nil {
+				if _, err := Mine(context.Background(), db, cfg); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -64,16 +65,16 @@ func TestPruningModeString(t *testing.T) {
 }
 
 func TestMineRejectsBadInput(t *testing.T) {
-	if _, err := Mine(nil, Config{MinSupport: 0.5}); err == nil {
+	if _, err := Mine(context.Background(), nil, Config{MinSupport: 0.5}); err == nil {
 		t.Error("nil db must error")
 	}
 	db := paperex.SequenceDB()
-	if _, err := Mine(db, Config{MinSupport: 0}); err == nil {
+	if _, err := Mine(context.Background(), db, Config{MinSupport: 0}); err == nil {
 		t.Error("invalid config must error")
 	}
 	// Non-positional sequence ids must be rejected.
 	broken := &events.DB{Vocab: db.Vocab, Sequences: []*events.Sequence{db.Sequences[1]}}
-	if _, err := Mine(broken, Config{MinSupport: 0.5}); err == nil {
+	if _, err := Mine(context.Background(), broken, Config{MinSupport: 0.5}); err == nil {
 		t.Error("non-positional ids must error")
 	}
 }
@@ -86,7 +87,7 @@ func TestPaperL1(t *testing.T) {
 	if db.Size() != 4 {
 		t.Fatalf("paper DSEQ must have 4 sequences, got %d", db.Size())
 	}
-	res, err := Mine(db, Config{MinSupport: 0.7, MinConfidence: 0.7})
+	res, err := Mine(context.Background(), db, Config{MinSupport: 0.7, MinConfidence: 0.7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestPaperL1(t *testing.T) {
 // on).
 func TestPaperPairKT(t *testing.T) {
 	db := paperex.SequenceDB()
-	res, err := Mine(db, Config{MinSupport: 0.7, MinConfidence: 0.7, MaxK: 2})
+	res, err := Mine(context.Background(), db, Config{MinSupport: 0.7, MinConfidence: 0.7, MaxK: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestSelfRelation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Mine(db, Config{MinSupport: 0.9, MinConfidence: 0.9})
+	res, err := Mine(context.Background(), db, Config{MinSupport: 0.9, MinConfidence: 0.9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,11 +190,11 @@ func TestSelfRelation(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	db := paperex.SequenceDB()
 	cfg := Config{MinSupport: 0.5, MinConfidence: 0.5, MaxK: 4}
-	a, err := Mine(db, cfg)
+	a, err := Mine(context.Background(), db, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Mine(db, cfg)
+	b, err := Mine(context.Background(), db, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestDeterminism(t *testing.T) {
 
 func TestSamplesPresent(t *testing.T) {
 	db := paperex.SequenceDB()
-	res, err := Mine(db, Config{MinSupport: 0.7, MinConfidence: 0.7})
+	res, err := Mine(context.Background(), db, Config{MinSupport: 0.7, MinConfidence: 0.7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestSamplesPresent(t *testing.T) {
 
 func TestKeepGraph(t *testing.T) {
 	db := paperex.SequenceDB()
-	res, err := Mine(db, Config{MinSupport: 0.7, MinConfidence: 0.7, KeepGraph: true})
+	res, err := Mine(context.Background(), db, Config{MinSupport: 0.7, MinConfidence: 0.7, KeepGraph: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestKeepGraph(t *testing.T) {
 		}
 	}
 	// Without KeepGraph the graph is not exposed.
-	res2, _ := Mine(db, Config{MinSupport: 0.7, MinConfidence: 0.7})
+	res2, _ := Mine(context.Background(), db, Config{MinSupport: 0.7, MinConfidence: 0.7})
 	if res2.Graph != nil {
 		t.Error("graph must be nil without KeepGraph")
 	}
@@ -257,7 +258,7 @@ func TestKeepGraph(t *testing.T) {
 
 func TestMaxKBounds(t *testing.T) {
 	db := paperex.SequenceDB()
-	res, err := Mine(db, Config{MinSupport: 0.7, MinConfidence: 0.3, MaxK: 2})
+	res, err := Mine(context.Background(), db, Config{MinSupport: 0.7, MinConfidence: 0.3, MaxK: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +267,7 @@ func TestMaxKBounds(t *testing.T) {
 			t.Fatalf("MaxK=2 violated by %v", p.Pattern)
 		}
 	}
-	one, err := Mine(db, Config{MinSupport: 0.7, MinConfidence: 0.3, MaxK: 1})
+	one, err := Mine(context.Background(), db, Config{MinSupport: 0.7, MinConfidence: 0.3, MaxK: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,7 +353,7 @@ func TestAllPruningModesEquivalent(t *testing.T) {
 		if rng.Intn(2) == 0 {
 			cfg.TMax = 50 + temporal.Duration(rng.Intn(150))
 		}
-		base, err := Mine(db, cfg)
+		base, err := Mine(context.Background(), db, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -360,7 +361,7 @@ func TestAllPruningModesEquivalent(t *testing.T) {
 		for _, mode := range []PruningMode{PruneNone, PruneApriori, PruneTrans} {
 			c := cfg
 			c.Pruning = mode
-			res, err := Mine(db, c)
+			res, err := Mine(context.Background(), db, c)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -371,8 +372,8 @@ func TestAllPruningModesEquivalent(t *testing.T) {
 
 func TestStatsPlausibility(t *testing.T) {
 	db := paperex.SequenceDB()
-	all, _ := Mine(db, Config{MinSupport: 0.5, MinConfidence: 0.5, MaxK: 4})
-	none, _ := Mine(db, Config{MinSupport: 0.5, MinConfidence: 0.5, MaxK: 4, Pruning: PruneNone})
+	all, _ := Mine(context.Background(), db, Config{MinSupport: 0.5, MinConfidence: 0.5, MaxK: 4})
+	none, _ := Mine(context.Background(), db, Config{MinSupport: 0.5, MinConfidence: 0.5, MaxK: 4, Pruning: PruneNone})
 	if none.Stats.TotalCandidates() < all.Stats.TotalCandidates() {
 		t.Errorf("NoPrune candidates (%d) must be >= All candidates (%d)",
 			none.Stats.TotalCandidates(), all.Stats.TotalCandidates())

@@ -18,14 +18,30 @@ type nodeOutcome struct {
 // runParallel fans the tasks out over the configured workers, each with
 // its own scratch, and returns the outcomes in task order — parallel runs
 // therefore produce byte-identical results to serial runs.
-func runParallel[T any](workers int, tasks []T, fn func(*scratch, T) nodeOutcome) []nodeOutcome {
+//
+// done is the cancellation channel of the run's context: when it fires,
+// workers stop picking up tasks and return early. The caller (Mine)
+// detects cancellation via ctx.Err(), so partially-filled outcomes are
+// never observed by users.
+func runParallel[T any](done <-chan struct{}, workers int, tasks []T, fn func(*scratch, T) nodeOutcome) []nodeOutcome {
 	out := make([]nodeOutcome, len(tasks))
+	cancelled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
 	if workers <= 1 {
 		scr := &scratch{}
 		for i, t := range tasks {
+			if cancelled() {
+				break
+			}
 			out[i] = fn(scr, t)
 		}
 		return out
@@ -38,6 +54,9 @@ func runParallel[T any](workers int, tasks []T, fn func(*scratch, T) nodeOutcome
 			defer wg.Done()
 			scr := &scratch{}
 			for {
+				if cancelled() {
+					return
+				}
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= len(tasks) {
 					return

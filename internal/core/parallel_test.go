@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -21,14 +22,14 @@ func TestParallelMatchesSerial(t *testing.T) {
 			MinConfidence: rng.Float64() * 0.5,
 			MaxK:          4,
 		}
-		serial, err := Mine(db, cfg)
+		serial, err := Mine(context.Background(), db, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{2, runtime.NumCPU()} {
 			c := cfg
 			c.Workers = workers
-			par, err := Mine(db, c)
+			par, err := Mine(context.Background(), db, c)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -68,12 +69,12 @@ func TestParallelWithApprox(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := Config{MinSupport: 0.3, MinConfidence: 0.2, MaxK: 3, Filter: graphFor(t, sdb, 0.5)}
-	serial, err := Mine(db, cfg)
+	serial, err := Mine(context.Background(), db, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Workers = 4
-	par, err := Mine(db, cfg)
+	par, err := Mine(context.Background(), db, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -43,11 +44,11 @@ func TestOverlapSplitPreservesPatterns(t *testing.T) {
 			TMax:          tmax,
 			MaxK:          3,
 		}
-		wholeRes, err := Mine(whole, cfg)
+		wholeRes, err := Mine(context.Background(), whole, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		splitRes, err := Mine(split, cfg)
+		splitRes, err := Mine(context.Background(), split, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

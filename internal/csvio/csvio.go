@@ -155,7 +155,9 @@ func readWide(r io.Reader) (rows [][]string, names []string, times []temporal.Ti
 	cr.FieldsPerRecord = -1
 	all, err := cr.ReadAll()
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("csvio: %v", err)
+		// %w keeps the reader's error chain intact (the HTTP server matches
+		// http.MaxBytesError through it to answer 413).
+		return nil, nil, nil, fmt.Errorf("csvio: %w", err)
 	}
 	if len(all) < 2 {
 		return nil, nil, nil, fmt.Errorf("csvio: need a header and at least one data row")

@@ -77,6 +77,9 @@ func TestTable4(t *testing.T) {
 }
 
 func TestTable5Monotonicity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
 	defer ResetCache()
 	tables, err := Table5(tinyOpt())
 	if err != nil {
@@ -117,6 +120,9 @@ func TestTable5Monotonicity(t *testing.T) {
 }
 
 func TestTable9AccuracyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
 	defer ResetCache()
 	tables, err := Table9(tinyOpt())
 	if err != nil {
@@ -153,6 +159,9 @@ func TestTable9AccuracyShape(t *testing.T) {
 }
 
 func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
 	defer ResetCache()
 	tables, err := Fig9(tinyOpt())
 	if err != nil {
@@ -174,6 +183,9 @@ func TestFig9Shape(t *testing.T) {
 }
 
 func TestFig8CDFMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
 	defer ResetCache()
 	tables, err := Fig8(tinyOpt())
 	if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -50,7 +51,7 @@ func pruningFigure(opt Options, id, name string) ([]*Table, error) {
 		cfg := baseConfig(opt, supp, conf)
 		cfg.Pruning = mode
 		start := time.Now()
-		_, err := core.Mine(db, cfg)
+		_, err := core.Mine(context.Background(), db, cfg)
 		return time.Since(start), err
 	}
 
@@ -145,7 +146,7 @@ func Fig8(opt Options) ([]*Table, error) {
 			// Mine with delta = 0 so pruned patterns of every confidence
 			// are observable (Fig 8 plots their confidence distribution).
 			cfg := baseConfig(opt, suppV, 0)
-			exact, err := core.Mine(ds.db, cfg)
+			exact, err := core.Mine(context.Background(), ds.db, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -154,7 +155,7 @@ func Fig8(opt Options) ([]*Table, error) {
 				return nil, err
 			}
 			cfg.Filter = g
-			approxRes, err := core.Mine(ds.db, cfg)
+			approxRes, err := core.Mine(context.Background(), ds.db, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -212,7 +213,7 @@ func Fig9(opt Options) ([]*Table, error) {
 		}
 		cfg := baseConfig(opt, suppV, confV)
 		start := time.Now()
-		exact, err := core.Mine(ds.db, cfg)
+		exact, err := core.Mine(context.Background(), ds.db, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -225,7 +226,7 @@ func Fig9(opt Options) ([]*Table, error) {
 			}
 			acfg.Filter = g
 			start := time.Now()
-			approxRes, err := core.Mine(ds.db, acfg)
+			approxRes, err := core.Mine(context.Background(), ds.db, acfg)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -68,7 +69,7 @@ func Table5(opt Options) ([]*Table, error) {
 		for _, confV := range table5Grid {
 			row := []string{pct(confV) + "%"}
 			for _, suppV := range table5Grid {
-				res, err := core.Mine(ds.db, baseConfig(opt, suppV, confV))
+				res, err := core.Mine(context.Background(), ds.db, baseConfig(opt, suppV, confV))
 				if err != nil {
 					return nil, err
 				}
@@ -102,7 +103,7 @@ func Table6(opt Options) ([]*Table, error) {
 		}
 		cfg := baseConfig(opt, spec.supp, spec.conf)
 		cfg.KeepGraph = true // keep occurrences so samples render with intervals
-		res, err := core.Mine(ds.db, cfg)
+		res, err := core.Mine(context.Background(), ds.db, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -195,6 +196,12 @@ type methodSpec struct {
 	run     func(*events.DB, core.Config) (*core.Result, error)
 }
 
+// mineHTPGM adapts the context-taking core miner to the baseline miner
+// shape; experiment runs are not cancellable.
+func mineHTPGM(db *events.DB, cfg core.Config) (*core.Result, error) {
+	return core.Mine(context.Background(), db, cfg)
+}
+
 // methods returns the paper's method list for Tables VII and VIII:
 // the three baselines, E-HTPGM, and A-HTPGM at four µ settings.
 func methods() []methodSpec {
@@ -202,11 +209,11 @@ func methods() []methodSpec {
 		{name: "H-DFS", run: hdfs.Mine},
 		{name: "IEMiner", run: ieminer.Mine},
 		{name: "TPMiner", run: tpminer.Mine},
-		{name: "E-HTPGM", run: core.Mine},
-		{name: "A-HTPGM (80%)", density: 0.8, run: core.Mine},
-		{name: "A-HTPGM (60%)", density: 0.6, run: core.Mine},
-		{name: "A-HTPGM (40%)", density: 0.4, run: core.Mine},
-		{name: "A-HTPGM (20%)", density: 0.2, run: core.Mine},
+		{name: "E-HTPGM", run: mineHTPGM},
+		{name: "A-HTPGM (80%)", density: 0.8, run: mineHTPGM},
+		{name: "A-HTPGM (60%)", density: 0.6, run: mineHTPGM},
+		{name: "A-HTPGM (40%)", density: 0.4, run: mineHTPGM},
+		{name: "A-HTPGM (20%)", density: 0.2, run: mineHTPGM},
 	}
 }
 
@@ -319,7 +326,7 @@ func Table9(opt Options) ([]*Table, error) {
 				row := []string{pct(density) + "%"}
 				for _, confV := range table7Grid {
 					cfg := baseConfig(opt, suppV, confV)
-					exact, err := core.Mine(ds.db, cfg)
+					exact, err := core.Mine(context.Background(), ds.db, cfg)
 					if err != nil {
 						return nil, err
 					}
@@ -328,7 +335,7 @@ func Table9(opt Options) ([]*Table, error) {
 						return nil, err
 					}
 					cfg.Filter = g
-					approxRes, err := core.Mine(ds.db, cfg)
+					approxRes, err := core.Mine(context.Background(), ds.db, cfg)
 					if err != nil {
 						return nil, err
 					}

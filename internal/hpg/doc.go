@@ -1,0 +1,13 @@
+// Package hpg implements the Hierarchical Pattern Graph (paper §IV-C,
+// Fig 4): the level structure HTPGM mines into. Level L_k holds one node
+// per frequent k-event combination; each node carries the joint bitmap of
+// its events and the frequent temporal patterns found for the combination,
+// including the per-sequence occurrence tuples that the next level
+// extends.
+//
+// The graph doubles as the miner's working memory: level k-1 occurrence
+// lists are dropped as soon as level k has extended them (unless the
+// caller asked to keep the full graph), which bounds peak memory to two
+// adjacent levels. Nodes expose their patterns in a deterministic order
+// so that parallel mining runs produce byte-identical results.
+package hpg

@@ -1,8 +1,3 @@
-// Package hpg implements the Hierarchical Pattern Graph (paper §IV-C,
-// Fig 4): the level structure HTPGM mines into. Level L_k holds one node
-// per frequent k-event combination; each node carries the joint bitmap of
-// its events and the frequent temporal patterns found for the combination,
-// including the per-sequence occurrence tuples that the next level extends.
 package hpg
 
 import (

@@ -1,0 +1,16 @@
+// Package mi implements the information-theoretic machinery of A-HTPGM
+// (paper §V): entropy, conditional entropy, mutual information (MI) and
+// normalized mutual information (NMI) of symbolic time series, the
+// correlation graph with density-based selection of the MI threshold µ,
+// and the confidence lower bound of Theorem 1.
+//
+// Two pruning granularities are provided. Series-level NMI (Def 5.3,
+// Alg 2) compares whole symbolic series and yields the correlation graph
+// of Def 5.5 consumed by the miner's SeriesFilter. Event-level NMI — the
+// paper's stated future work (§VII) — compares event indicator series
+// and yields an EventGraph for per-event-pair pruning inside correlated
+// series.
+//
+// All logarithms are natural, matching the paper's worked example
+// (I(K;T) = 0.29 for Table I).
+package mi

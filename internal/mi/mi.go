@@ -1,11 +1,3 @@
-// Package mi implements the information-theoretic machinery of A-HTPGM
-// (paper §V): entropy, conditional entropy, mutual information (MI) and
-// normalized mutual information (NMI) of symbolic time series, the
-// correlation graph with density-based selection of the MI threshold µ, and
-// the confidence lower bound of Theorem 1.
-//
-// All logarithms are natural, matching the paper's worked example
-// (I(K;T) = 0.29 for Table I).
 package mi
 
 import (

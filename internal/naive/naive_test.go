@@ -1,6 +1,7 @@
 package naive
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -84,7 +85,7 @@ func TestHTPGMMatchesNaiveOracle(t *testing.T) {
 		for _, mode := range []core.PruningMode{core.PruneAll, core.PruneNone, core.PruneApriori, core.PruneTrans} {
 			c := cfg
 			c.Pruning = mode
-			got, err := core.Mine(db, c)
+			got, err := core.Mine(context.Background(), db, c)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,11 +1,3 @@
-// Package pattern defines temporal patterns (paper Def 3.11): a list of
-// triples (E_i, r_ij, E_j) over k events. A pattern is stored as the event
-// list in chronological role order plus the upper-triangle relation matrix,
-// which is equivalent to the triple list but canonical and compact.
-//
-// Pattern keys are stable byte encodings usable as map keys; they make
-// support counting, deduplication and the A-vs-E accuracy comparison of the
-// evaluation section exact.
 package pattern
 
 import (

@@ -1,0 +1,40 @@
+// Package server turns the ftpm library into a long-running mining
+// service: many datasets are ingested once and mined concurrently under
+// different parameterizations, instead of one CLI run at a time.
+//
+// The subsystem has three parts:
+//
+//   - A dataset registry (registry.go): CSV uploads are decoded by the
+//     internal/csvio readers directly from the request body, symbolized
+//     once (numeric input passes through the On/Off threshold mapper),
+//     and kept as a reusable symbolic database. The DSYB→DSEQ conversion
+//     is cached per window geometry, so repeated exact-mining jobs over
+//     the same split reuse one events.DB.
+//
+//   - An async job manager (jobs.go): a bounded worker pool drains a
+//     bounded queue of mining jobs. Jobs move through the states queued →
+//     running → done | failed | cancelled; per-job progress is sourced
+//     from the miner's per-level stats via Options.Progress, and
+//     cancellation is real — DELETE propagates context cancellation into
+//     core.Mine, which stops between verification units and returns
+//     ctx.Err().
+//
+//   - A JSON/NDJSON HTTP API (server.go) built on net/http only:
+//
+//     POST   /datasets                upload a CSV dataset (?name=, ?format=numeric|symbolic, ?threshold=)
+//     GET    /datasets                list datasets
+//     GET    /datasets/{id}           dataset detail
+//     DELETE /datasets/{id}           drop a dataset
+//     POST   /jobs                    submit a mining job (JSON body)
+//     GET    /jobs                    list jobs
+//     GET    /jobs/{id}               job status and progress
+//     DELETE /jobs/{id}               cancel a queued or running job
+//     GET    /jobs/{id}/patterns      page through mined patterns (?offset=, ?limit=, ?format=ndjson)
+//     GET    /jobs/{id}/result        the full result document
+//     GET    /healthz                 liveness probe
+//
+// Errors are returned as {"error": "..."} with a matching status code.
+// Pattern pages reuse the stable export document shapes of the root
+// package (ftpm.PatternJSON), so service responses and CLI -json output
+// stay interchangeable.
+package server

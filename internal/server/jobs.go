@@ -1,0 +1,444 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ftpm"
+)
+
+// JobState is the lifecycle state of a mining job.
+type JobState string
+
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// errQueueFull is returned by submit when the job queue is at capacity.
+var errQueueFull = errors.New("job queue full")
+
+// maxRetainedJobs bounds how many jobs (and their result documents) the
+// manager keeps: beyond it, the oldest terminal jobs are evicted so a
+// long-running service does not grow without bound. Live (queued or
+// running) jobs are never evicted.
+const maxRetainedJobs = 1000
+
+// errClosed is returned by submit after Close.
+var errClosed = errors.New("server shutting down")
+
+// ApproxRequest selects A-HTPGM for a job. Exactly one of Mu or Density
+// must be set (mirrors ftpm.ApproxOptions).
+type ApproxRequest struct {
+	Mu         float64 `json:"mu,omitempty"`
+	Density    float64 `json:"density,omitempty"`
+	EventLevel bool    `json:"event_level,omitempty"`
+}
+
+// MiningRequest is the JSON body of POST /jobs.
+type MiningRequest struct {
+	DatasetID      string         `json:"dataset_id"`
+	MinSupport     float64        `json:"min_support"`
+	MinConfidence  float64        `json:"min_confidence"`
+	Epsilon        int64          `json:"epsilon,omitempty"`
+	MinOverlap     int64          `json:"min_overlap,omitempty"`
+	TMax           int64          `json:"tmax,omitempty"`
+	MaxPatternSize int            `json:"max_pattern_size,omitempty"`
+	WindowLength   int64          `json:"window_length,omitempty"`
+	NumWindows     int            `json:"num_windows,omitempty"`
+	Overlap        int64          `json:"overlap,omitempty"`
+	Workers        int            `json:"workers,omitempty"`
+	Approx         *ApproxRequest `json:"approx,omitempty"`
+}
+
+// validate rejects requests that would certainly fail at mine time, so
+// the caller gets a 400 instead of a failed job.
+func (req MiningRequest) validate() error {
+	if req.MinSupport <= 0 || req.MinSupport > 1 {
+		return fmt.Errorf("min_support must be in (0,1], got %v", req.MinSupport)
+	}
+	if req.MinConfidence < 0 || req.MinConfidence > 1 {
+		return fmt.Errorf("min_confidence must be in [0,1], got %v", req.MinConfidence)
+	}
+	if req.WindowLength < 0 || req.NumWindows < 0 {
+		return fmt.Errorf("window_length and num_windows must be non-negative")
+	}
+	if (req.WindowLength > 0) == (req.NumWindows > 0) {
+		return fmt.Errorf("exactly one of window_length and num_windows must be set")
+	}
+	if req.Overlap < 0 || req.Epsilon < 0 || req.MinOverlap < 0 || req.TMax < 0 || req.MaxPatternSize < 0 {
+		return fmt.Errorf("overlap, epsilon, min_overlap, tmax and max_pattern_size must be non-negative")
+	}
+	if a := req.Approx; a != nil && (a.Mu > 0) == (a.Density > 0) {
+		return fmt.Errorf("approx requires exactly one of mu and density")
+	}
+	if req.Workers < 0 {
+		return fmt.Errorf("workers must be non-negative, got %d", req.Workers)
+	}
+	return nil
+}
+
+// options maps the request onto the library's mining options. The
+// client-supplied worker count is clamped to the machine's parallelism so
+// one request cannot spawn arbitrarily many goroutines; the clamp bounds
+// a single job, so total mining goroutines stay within pool size ×
+// GOMAXPROCS under concurrent jobs.
+func (req MiningRequest) options() ftpm.Options {
+	workers := req.Workers
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
+	}
+	opt := ftpm.Options{
+		MinSupport:     req.MinSupport,
+		MinConfidence:  req.MinConfidence,
+		Epsilon:        req.Epsilon,
+		MinOverlap:     req.MinOverlap,
+		TMax:           req.TMax,
+		MaxPatternSize: req.MaxPatternSize,
+		WindowLength:   req.WindowLength,
+		NumWindows:     req.NumWindows,
+		Overlap:        req.Overlap,
+		Workers:        workers,
+	}
+	if a := req.Approx; a != nil {
+		opt.Approx = &ftpm.ApproxOptions{Mu: a.Mu, Density: a.Density, EventLevel: a.EventLevel}
+	}
+	return opt
+}
+
+// splitOptions extracts the window geometry of the request.
+func (req MiningRequest) splitOptions() ftpm.SplitOptions {
+	return ftpm.SplitOptions{
+		WindowLength: req.WindowLength,
+		NumWindows:   req.NumWindows,
+		Overlap:      req.Overlap,
+	}
+}
+
+// Progress is the per-job view of mining progress, accumulated from the
+// miner's per-level stats while the job runs.
+type Progress struct {
+	// Level is the highest completed level of the pattern graph.
+	Level int `json:"level"`
+	// Candidates is the cumulative number of candidate combinations
+	// generated so far.
+	Candidates int `json:"candidates"`
+	// Patterns is the cumulative number of frequent temporal patterns
+	// (k >= 2) found so far.
+	Patterns int `json:"patterns"`
+}
+
+// JobSummary reports the headline numbers of a completed job.
+type JobSummary struct {
+	Sequences      int     `json:"sequences"`
+	FrequentEvents int     `json:"frequent_events"`
+	Patterns       int     `json:"patterns"`
+	Mu             float64 `json:"mu,omitempty"`
+	DurationMillis int64   `json:"duration_ms"`
+}
+
+// JobInfo is the JSON snapshot of a job.
+type JobInfo struct {
+	ID         string      `json:"id"`
+	DatasetID  string      `json:"dataset_id"`
+	State      JobState    `json:"state"`
+	Error      string      `json:"error,omitempty"`
+	CreatedAt  time.Time   `json:"created_at"`
+	StartedAt  *time.Time  `json:"started_at,omitempty"`
+	FinishedAt *time.Time  `json:"finished_at,omitempty"`
+	Progress   Progress    `json:"progress"`
+	Summary    *JobSummary `json:"summary,omitempty"`
+}
+
+// job is one mining job. Mutable fields are guarded by mu; the request
+// and dataset are immutable after submission.
+type job struct {
+	id  string
+	ds  *Dataset
+	req MiningRequest
+
+	mu         sync.Mutex
+	state      JobState
+	errMsg     string
+	createdAt  time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+	progress   Progress
+	cancel     context.CancelFunc
+	doc        *ftpm.ResultJSON
+	summary    *JobSummary
+}
+
+// snapshot returns a consistent JSON view of the job.
+func (j *job) snapshot() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := JobInfo{
+		ID:        j.id,
+		DatasetID: j.req.DatasetID,
+		State:     j.state,
+		Error:     j.errMsg,
+		CreatedAt: j.createdAt,
+		Progress:  j.progress,
+		Summary:   j.summary,
+	}
+	if !j.startedAt.IsZero() {
+		t := j.startedAt
+		info.StartedAt = &t
+	}
+	if !j.finishedAt.IsZero() {
+		t := j.finishedAt
+		info.FinishedAt = &t
+	}
+	return info
+}
+
+// document returns the result document of a done job, or nil and the
+// current state otherwise.
+func (j *job) document() (*ftpm.ResultJSON, JobState) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.doc, j.state
+}
+
+// jobManager runs mining jobs on a bounded worker pool over a bounded
+// queue.
+type jobManager struct {
+	baseCtx context.Context
+	stop    context.CancelFunc
+	queue   chan *job
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	byID   map[string]*job
+	ids    []string // insertion order
+	seq    int
+}
+
+func newJobManager(workers, queueDepth int) *jobManager {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &jobManager{
+		baseCtx: ctx,
+		stop:    cancel,
+		queue:   make(chan *job, queueDepth),
+		byID:    make(map[string]*job),
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// submit enqueues a job against the dataset. It fails fast when the
+// queue is full or the manager is shutting down. The queue send and the
+// index registration happen under one critical section (the send is
+// non-blocking), so a rejected submit never disturbs concurrent ones.
+func (m *jobManager) submit(ds *Dataset, req MiningRequest) (*job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, errClosed
+	}
+	j := &job{
+		id:        fmt.Sprintf("job-%d", m.seq+1),
+		ds:        ds,
+		req:       req,
+		state:     JobQueued,
+		createdAt: time.Now(),
+	}
+	select {
+	case m.queue <- j:
+		m.seq++
+		m.byID[j.id] = j
+		m.ids = append(m.ids, j.id)
+		m.evictLocked()
+		return j, nil
+	default:
+		return nil, errQueueFull
+	}
+}
+
+// evictLocked drops the oldest terminal jobs while the retained set
+// exceeds maxRetainedJobs. Caller holds m.mu.
+func (m *jobManager) evictLocked() {
+	if len(m.ids) <= maxRetainedJobs {
+		return
+	}
+	kept := m.ids[:0]
+	excess := len(m.ids) - maxRetainedJobs
+	for _, id := range m.ids {
+		j := m.byID[id]
+		j.mu.Lock()
+		terminal := j.state.Terminal()
+		j.mu.Unlock()
+		if excess > 0 && terminal {
+			delete(m.byID, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.ids = kept
+}
+
+func (m *jobManager) get(id string) (*job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.byID[id]
+	return j, ok
+}
+
+func (m *jobManager) list() []JobInfo {
+	m.mu.Lock()
+	ids := append([]string(nil), m.ids...)
+	byID := make([]*job, len(ids))
+	for i, id := range ids {
+		byID[i] = m.byID[id]
+	}
+	m.mu.Unlock()
+	out := make([]JobInfo, len(byID))
+	for i, j := range byID {
+		out[i] = j.snapshot()
+	}
+	return out
+}
+
+// cancelJob cancels a queued or running job. Queued jobs transition to
+// cancelled immediately; running jobs are cancelled via their context and
+// transition once the miner observes ctx.Err(). Terminal jobs are left
+// untouched.
+func (m *jobManager) cancelJob(id string) (*job, bool) {
+	j, ok := m.get(id)
+	if !ok {
+		return nil, false
+	}
+	j.mu.Lock()
+	switch j.state {
+	case JobQueued:
+		j.state = JobCancelled
+		j.finishedAt = time.Now()
+	case JobRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	j.mu.Unlock()
+	return j, true
+}
+
+func (m *jobManager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.baseCtx.Done():
+			return
+		case j := <-m.queue:
+			m.run(j)
+		}
+	}
+}
+
+// run executes one job end to end on the calling worker goroutine.
+func (m *jobManager) run(j *job) {
+	j.mu.Lock()
+	if j.state != JobQueued { // cancelled while waiting in the queue
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j.state = JobRunning
+	j.startedAt = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+	defer cancel()
+
+	opt := j.req.options()
+	opt.Progress = func(ls ftpm.LevelStats) {
+		j.mu.Lock()
+		if ls.K > j.progress.Level {
+			j.progress.Level = ls.K
+		}
+		j.progress.Candidates += ls.Candidates
+		if ls.K >= 2 {
+			j.progress.Patterns += ls.Patterns
+		}
+		j.mu.Unlock()
+	}
+
+	var res *ftpm.Result
+	var err error
+	if j.req.Approx != nil {
+		// A-HTPGM needs the symbolic database for its NMI analysis.
+		res, err = ftpm.MineSymbolic(ctx, j.ds.sdb, opt)
+	} else {
+		// Exact runs reuse the dataset's cached sequence database.
+		var db *ftpm.SequenceDB
+		db, err = j.ds.sequences(j.req.splitOptions())
+		if err == nil {
+			res, err = ftpm.Mine(ctx, db, opt)
+		}
+	}
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finishedAt = time.Now()
+	switch {
+	case err != nil && (errors.Is(err, context.Canceled) || ctx.Err() != nil):
+		j.state = JobCancelled
+		j.errMsg = err.Error()
+	case err != nil:
+		j.state = JobFailed
+		j.errMsg = err.Error()
+	default:
+		doc := res.Document()
+		j.doc = &doc
+		j.state = JobDone
+		j.summary = &JobSummary{
+			Sequences:      res.Stats.Sequences,
+			FrequentEvents: len(res.Singles),
+			Patterns:       len(res.Patterns),
+			Mu:             res.Mu,
+			DurationMillis: res.Stats.Duration.Milliseconds(),
+		}
+	}
+}
+
+// close stops the pool: running jobs are cancelled, queued jobs are
+// marked cancelled, and workers are joined.
+func (m *jobManager) close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+
+	m.stop()
+	m.wg.Wait()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.byID {
+		j.mu.Lock()
+		if !j.state.Terminal() {
+			j.state = JobCancelled
+			j.finishedAt = time.Now()
+		}
+		j.mu.Unlock()
+	}
+}

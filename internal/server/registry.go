@@ -1,0 +1,151 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ftpm"
+)
+
+// Dataset is one ingested, symbolized dataset held by the registry. The
+// symbolic database is immutable after ingestion; the DSYB→DSEQ
+// conversion is cached per window geometry so concurrent exact-mining
+// jobs over the same split share one sequence database.
+type Dataset struct {
+	id        string
+	name      string
+	createdAt time.Time
+	sdb       *ftpm.SymbolicDB
+
+	mu       sync.Mutex
+	seqCache map[string]*ftpm.SequenceDB
+	seqKeys  []string // cache keys, oldest first
+}
+
+// maxSeqCache bounds how many window geometries one dataset caches: each
+// entry is a full DSEQ conversion, and geometries are client-supplied,
+// so the cache must not grow with request variety.
+const maxSeqCache = 8
+
+// DatasetInfo is the JSON view of a dataset.
+type DatasetInfo struct {
+	ID        string    `json:"id"`
+	Name      string    `json:"name"`
+	Series    []string  `json:"series"`
+	Samples   int       `json:"samples"`
+	Start     int64     `json:"start"`
+	Step      int64     `json:"step"`
+	CreatedAt time.Time `json:"created_at"`
+}
+
+func (d *Dataset) info() DatasetInfo {
+	names := make([]string, len(d.sdb.Series))
+	for i, s := range d.sdb.Series {
+		names[i] = s.Name
+	}
+	return DatasetInfo{
+		ID:        d.id,
+		Name:      d.name,
+		Series:    names,
+		Samples:   d.sdb.Len(),
+		Start:     d.sdb.Start(),
+		Step:      d.sdb.Step(),
+		CreatedAt: d.createdAt,
+	}
+}
+
+// sequences returns the dataset converted to DSEQ under the given window
+// geometry, reusing the cached conversion when one exists. The build runs
+// outside the lock so a slow conversion never blocks cache hits on other
+// geometries; two jobs racing on the same new geometry may both build it
+// (identical results — the second insert wins), which is cheaper than
+// serializing every caller behind one mutex.
+func (d *Dataset) sequences(opt ftpm.SplitOptions) (*ftpm.SequenceDB, error) {
+	key := fmt.Sprintf("%d|%d|%d", opt.WindowLength, opt.NumWindows, opt.Overlap)
+	d.mu.Lock()
+	if db, ok := d.seqCache[key]; ok {
+		d.mu.Unlock()
+		return db, nil
+	}
+	d.mu.Unlock()
+
+	db, err := ftpm.BuildSequences(d.sdb, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if cached, ok := d.seqCache[key]; ok { // a racer built it first
+		return cached, nil
+	}
+	if len(d.seqKeys) >= maxSeqCache {
+		delete(d.seqCache, d.seqKeys[0])
+		d.seqKeys = d.seqKeys[1:]
+	}
+	d.seqCache[key] = db
+	d.seqKeys = append(d.seqKeys, key)
+	return db, nil
+}
+
+// registry holds the ingested datasets, keyed by their assigned ids.
+type registry struct {
+	mu   sync.RWMutex
+	byID map[string]*Dataset
+	ids  []string // insertion order
+	seq  int
+}
+
+func newRegistry() *registry {
+	return &registry{byID: make(map[string]*Dataset)}
+}
+
+func (r *registry) add(name string, sdb *ftpm.SymbolicDB) *Dataset {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	d := &Dataset{
+		id:        fmt.Sprintf("ds-%d", r.seq),
+		name:      name,
+		createdAt: time.Now(),
+		sdb:       sdb,
+		seqCache:  make(map[string]*ftpm.SequenceDB),
+	}
+	r.byID[d.id] = d
+	r.ids = append(r.ids, d.id)
+	return d
+}
+
+func (r *registry) get(id string) (*Dataset, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.byID[id]
+	return d, ok
+}
+
+func (r *registry) remove(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byID[id]; !ok {
+		return false
+	}
+	delete(r.byID, id)
+	for i, v := range r.ids {
+		if v == id {
+			r.ids = append(r.ids[:i], r.ids[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+func (r *registry) list() []DatasetInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]DatasetInfo, 0, len(r.ids))
+	for _, id := range r.ids {
+		out = append(out, r.byID[id].info())
+	}
+	return out
+}

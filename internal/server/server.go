@@ -1,0 +1,335 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"ftpm"
+	"ftpm/internal/csvio"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the size of the mining worker pool; at most this many
+	// jobs mine concurrently. Defaults to GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker; submits
+	// beyond it are rejected with 503. Defaults to 64.
+	QueueDepth int
+	// MaxUploadBytes caps the size of one dataset upload. Defaults to
+	// 64 MiB.
+	MaxUploadBytes int64
+	// DefaultThreshold is the On/Off threshold applied to numeric uploads
+	// when the request does not pass ?threshold=. A pointer so that an
+	// explicit zero threshold is distinguishable from unset; nil defaults
+	// to 0.05, the CLI's default.
+	DefaultThreshold *float64
+	// Logger, when non-nil, receives one line per request and job
+	// transition.
+	Logger *log.Logger
+}
+
+// Server is the mining service: an http.Handler plus the dataset
+// registry and job manager behind it.
+type Server struct {
+	opts Options
+	reg  *registry
+	jobs *jobManager
+}
+
+// New builds a Server and starts its worker pool. Call Close to stop it.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.MaxUploadBytes <= 0 {
+		opts.MaxUploadBytes = 64 << 20
+	}
+	if opts.DefaultThreshold == nil {
+		v := 0.05
+		opts.DefaultThreshold = &v
+	}
+	return &Server{
+		opts: opts,
+		reg:  newRegistry(),
+		jobs: newJobManager(opts.Workers, opts.QueueDepth),
+	}
+}
+
+// Close cancels running jobs and stops the worker pool. The handler keeps
+// answering reads; new job submissions are rejected.
+func (s *Server) Close() { s.jobs.close() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logger != nil {
+		s.opts.Logger.Printf(format, args...)
+	}
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// ServeHTTP routes requests by hand on net/http only, so the server works
+// identically across toolchain versions.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	seg := strings.Split(strings.Trim(r.URL.Path, "/"), "/")
+	switch {
+	case len(seg) == 1 && seg[0] == "healthz":
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	case seg[0] == "datasets" && len(seg) <= 2:
+		s.routeDatasets(w, r, seg[1:])
+	case seg[0] == "jobs" && len(seg) <= 3:
+		s.routeJobs(w, r, seg[1:])
+	default:
+		writeError(w, http.StatusNotFound, "no such route: %s %s", r.Method, r.URL.Path)
+	}
+}
+
+func (s *Server) routeDatasets(w http.ResponseWriter, r *http.Request, rest []string) {
+	switch {
+	case len(rest) == 0 && r.Method == http.MethodPost:
+		s.handleUploadDataset(w, r)
+	case len(rest) == 0 && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, s.reg.list())
+	case len(rest) == 1 && r.Method == http.MethodGet:
+		ds, ok := s.reg.get(rest[0])
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such dataset: %s", rest[0])
+			return
+		}
+		writeJSON(w, http.StatusOK, ds.info())
+	case len(rest) == 1 && r.Method == http.MethodDelete:
+		if !s.reg.remove(rest[0]) {
+			writeError(w, http.StatusNotFound, "no such dataset: %s", rest[0])
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+// handleUploadDataset ingests one CSV upload: the body streams through
+// the csvio reader, numeric input is symbolized once with the On/Off
+// threshold mapper, and the resulting symbolic database is registered.
+func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("name")
+	if name == "" {
+		name = "dataset"
+	}
+	format := q.Get("format")
+	if format == "" {
+		format = "numeric"
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+
+	var sdb *ftpm.SymbolicDB
+	var err error
+	switch format {
+	case "numeric":
+		threshold := *s.opts.DefaultThreshold
+		if v := q.Get("threshold"); v != "" {
+			threshold, err = strconv.ParseFloat(v, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bad threshold: %v", err)
+				return
+			}
+		}
+		var series []*ftpm.TimeSeries
+		series, err = csvio.ReadNumeric(body)
+		if err == nil {
+			sdb, err = ftpm.Symbolize(series, func(string) ftpm.Symbolizer {
+				return ftpm.OnOff(threshold)
+			})
+		}
+	case "symbolic":
+		sdb, err = csvio.ReadSymbolic(body)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want numeric or symbolic)", format)
+		return
+	}
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, "ingest failed: %v", err)
+		return
+	}
+
+	ds := s.reg.add(name, sdb)
+	s.logf("dataset %s ingested: %q, %d series, %d samples", ds.id, name, len(sdb.Series), sdb.Len())
+	writeJSON(w, http.StatusCreated, ds.info())
+}
+
+func (s *Server) routeJobs(w http.ResponseWriter, r *http.Request, rest []string) {
+	switch {
+	case len(rest) == 0 && r.Method == http.MethodPost:
+		s.handleSubmitJob(w, r)
+	case len(rest) == 0 && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, s.jobs.list())
+	case len(rest) == 1 && r.Method == http.MethodGet:
+		j, ok := s.jobs.get(rest[0])
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such job: %s", rest[0])
+			return
+		}
+		writeJSON(w, http.StatusOK, j.snapshot())
+	case len(rest) == 1 && r.Method == http.MethodDelete:
+		j, ok := s.jobs.cancelJob(rest[0])
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such job: %s", rest[0])
+			return
+		}
+		s.logf("job %s cancellation requested", rest[0])
+		writeJSON(w, http.StatusAccepted, j.snapshot())
+	case len(rest) == 2 && rest[1] == "patterns" && r.Method == http.MethodGet:
+		s.handlePatterns(w, r, rest[0])
+	case len(rest) == 2 && rest[1] == "result" && r.Method == http.MethodGet:
+		s.handleResult(w, r, rest[0])
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req MiningRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job request: %v", err)
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job request: %v", err)
+		return
+	}
+	ds, ok := s.reg.get(req.DatasetID)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such dataset: %s", req.DatasetID)
+		return
+	}
+	j, err := s.jobs.submit(ds, req)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.logf("job %s submitted on %s (σ=%v δ=%v approx=%v)",
+		j.id, req.DatasetID, req.MinSupport, req.MinConfidence, req.Approx != nil)
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// patternsPage is the JSON body of GET /jobs/{id}/patterns.
+type patternsPage struct {
+	JobID      string             `json:"job_id"`
+	Total      int                `json:"total"`
+	Offset     int                `json:"offset"`
+	Limit      int                `json:"limit"`
+	NextOffset *int               `json:"next_offset,omitempty"`
+	Patterns   []ftpm.PatternJSON `json:"patterns"`
+}
+
+// handlePatterns pages through a done job's patterns. With
+// ?format=ndjson (or Accept: application/x-ndjson) the page streams as
+// one JSON document per line instead of a wrapped array.
+func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request, id string) {
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job: %s", id)
+		return
+	}
+	doc, state := j.document()
+	if state != JobDone {
+		writeError(w, http.StatusConflict, "job %s is %s; patterns are available once it is done", id, state)
+		return
+	}
+
+	q := r.URL.Query()
+	offset, err := intParam(q.Get("offset"), 0)
+	if err != nil || offset < 0 {
+		writeError(w, http.StatusBadRequest, "bad offset %q", q.Get("offset"))
+		return
+	}
+	limit, err := intParam(q.Get("limit"), 100)
+	if err != nil || limit <= 0 || limit > 10000 {
+		writeError(w, http.StatusBadRequest, "bad limit %q (want 1..10000)", q.Get("limit"))
+		return
+	}
+
+	total := len(doc.Patterns)
+	if offset > total {
+		offset = total
+	}
+	end := offset + limit
+	if end > total {
+		end = total
+	}
+	page := doc.Patterns[offset:end]
+
+	if q.Get("format") == "ndjson" || strings.Contains(r.Header.Get("Accept"), "application/x-ndjson") {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for i := range page {
+			if err := enc.Encode(&page[i]); err != nil {
+				return // client went away mid-stream
+			}
+		}
+		return
+	}
+
+	resp := patternsPage{JobID: id, Total: total, Offset: offset, Limit: limit, Patterns: page}
+	if end < total {
+		next := end
+		resp.NextOffset = &next
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleResult returns the full export document of a done job — the same
+// shape as the CLI's -json output.
+func (s *Server) handleResult(w http.ResponseWriter, _ *http.Request, id string) {
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job: %s", id)
+		return
+	}
+	doc, state := j.document()
+	if state != JobDone {
+		writeError(w, http.StatusConflict, "job %s is %s; the result is available once it is done", id, state)
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// intParam parses an optional integer query parameter.
+func intParam(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}

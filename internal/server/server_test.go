@@ -1,0 +1,500 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ftpm"
+)
+
+// smallCSV is a pattern-rich numeric dataset: three appliances with
+// staggered On runs over two days' worth of samples.
+func smallCSV() string {
+	var sb strings.Builder
+	sb.WriteString("time,A,B,C\n")
+	on := func(i, lo, hi int) int {
+		if i >= lo && i < hi {
+			return 1
+		}
+		return 0
+	}
+	for i := 0; i < 24; i++ {
+		a := on(i%12, 1, 5)
+		b := on(i%12, 2, 7)
+		c := on(i%12, 6, 9)
+		fmt.Fprintf(&sb, "%d,%d,%d,%d\n", i*10, a, b, c)
+	}
+	return sb.String()
+}
+
+// slowCSV is sized so that mining it takes seconds: alternating symbols
+// give quadratically many instance pairs per sequence at level 2.
+func slowCSV(series, samples int) string {
+	var sb strings.Builder
+	sb.WriteString("time")
+	for s := 0; s < series; s++ {
+		fmt.Fprintf(&sb, ",S%d", s)
+	}
+	sb.WriteByte('\n')
+	for i := 0; i < samples; i++ {
+		fmt.Fprintf(&sb, "%d", i)
+		for s := 0; s < series; s++ {
+			sb.WriteByte(',')
+			if (i+s)%2 == 0 {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// testServer wires a Server into an httptest listener.
+func testServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(opts)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+// doJSON issues a request and decodes the JSON response into out.
+func doJSON(t *testing.T, method, url string, body io.Reader, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, url, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// uploadCSV posts a CSV body and returns the dataset info.
+func uploadCSV(t *testing.T, base, query, csv string) DatasetInfo {
+	t.Helper()
+	var info DatasetInfo
+	code := doJSON(t, http.MethodPost, base+"/datasets?"+query, strings.NewReader(csv), &info)
+	if code != http.StatusCreated {
+		t.Fatalf("upload: status %d", code)
+	}
+	return info
+}
+
+// waitState polls the job until its state satisfies ok, or fails at the
+// deadline.
+func waitState(t *testing.T, base, id string, deadline time.Duration, ok func(JobInfo) bool) JobInfo {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for {
+		var info JobInfo
+		if code := doJSON(t, http.MethodGet, base+"/jobs/"+id, nil, &info); code != http.StatusOK {
+			t.Fatalf("poll %s: status %d", id, code)
+		}
+		if ok(info) {
+			return info
+		}
+		if time.Now().After(stop) {
+			t.Fatalf("job %s did not reach the expected state in %v (now %s)", id, deadline, info.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestEndToEndMineAndPage(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 2})
+
+	// Ingest: numeric CSV, symbolized once at upload.
+	info := uploadCSV(t, ts.URL, "name=energy&format=numeric&threshold=0.5", smallCSV())
+	if len(info.Series) != 3 || info.Samples != 24 {
+		t.Fatalf("dataset info = %+v", info)
+	}
+
+	var list []DatasetInfo
+	if code := doJSON(t, http.MethodGet, ts.URL+"/datasets", nil, &list); code != 200 || len(list) != 1 {
+		t.Fatalf("dataset list = %v (%d)", list, code)
+	}
+
+	// Submit a mining job and poll it to completion.
+	body, _ := json.Marshal(MiningRequest{
+		DatasetID: info.ID, MinSupport: 0.2, MinConfidence: 0,
+		NumWindows: 2, MaxPatternSize: 3,
+	})
+	var job JobInfo
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", bytes.NewReader(body), &job); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	done := waitState(t, ts.URL, job.ID, 30*time.Second, func(j JobInfo) bool { return j.State.Terminal() })
+	if done.State != JobDone {
+		t.Fatalf("job finished as %s (%s)", done.State, done.Error)
+	}
+	if done.Summary == nil || done.Summary.Patterns == 0 {
+		t.Fatalf("done job missing summary: %+v", done)
+	}
+	if done.Progress.Level < 2 || done.Progress.Patterns != done.Summary.Patterns {
+		t.Fatalf("progress not sourced from level stats: %+v vs %+v", done.Progress, done.Summary)
+	}
+
+	// Page through the patterns; pages must tile the full set exactly.
+	total := done.Summary.Patterns
+	var collected []ftpm.PatternJSON
+	offset := 0
+	for {
+		var page patternsPage
+		url := fmt.Sprintf("%s/jobs/%s/patterns?offset=%d&limit=2", ts.URL, job.ID, offset)
+		if code := doJSON(t, http.MethodGet, url, nil, &page); code != 200 {
+			t.Fatalf("patterns page: status %d", code)
+		}
+		if page.Total != total {
+			t.Fatalf("page total = %d, want %d", page.Total, total)
+		}
+		if len(page.Patterns) > 2 {
+			t.Fatalf("page exceeds limit: %d", len(page.Patterns))
+		}
+		collected = append(collected, page.Patterns...)
+		if page.NextOffset == nil {
+			break
+		}
+		if *page.NextOffset != offset+len(page.Patterns) {
+			t.Fatalf("next_offset = %d, want %d", *page.NextOffset, offset+len(page.Patterns))
+		}
+		offset = *page.NextOffset
+	}
+	if len(collected) != total {
+		t.Fatalf("paging collected %d patterns, want %d", len(collected), total)
+	}
+
+	// NDJSON streaming returns the same patterns, one document per line.
+	resp, err := http.Get(fmt.Sprintf("%s/jobs/%s/patterns?limit=10000&format=ndjson", ts.URL, job.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("ndjson content type = %q", ct)
+	}
+	lines := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var p ftpm.PatternJSON
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			t.Fatalf("ndjson line %d: %v", lines, err)
+		}
+		if p.K < 2 || len(p.Events) != p.K {
+			t.Fatalf("ndjson line %d malformed: %+v", lines, p)
+		}
+		lines++
+	}
+	if lines != total {
+		t.Fatalf("ndjson lines = %d, want %d", lines, total)
+	}
+
+	// Full result document matches the CLI's -json shape.
+	var doc ftpm.ResultJSON
+	if code := doJSON(t, http.MethodGet, ts.URL+"/jobs/"+job.ID+"/result", nil, &doc); code != 200 {
+		t.Fatalf("result: status %d", code)
+	}
+	if doc.Sequences == 0 || len(doc.Patterns) != total {
+		t.Fatalf("result doc = %d sequences, %d patterns", doc.Sequences, len(doc.Patterns))
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 1})
+	info := uploadCSV(t, ts.URL, "name=slow&threshold=0.5", slowCSV(4, 12000))
+
+	body, _ := json.Marshal(MiningRequest{
+		DatasetID: info.ID, MinSupport: 0.1, MinConfidence: 0,
+		NumWindows: 6, MaxPatternSize: 2, Workers: 1,
+	})
+	var job JobInfo
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", bytes.NewReader(body), &job); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+
+	// Patterns are unavailable while the job is not done.
+	if code := doJSON(t, http.MethodGet, ts.URL+"/jobs/"+job.ID+"/patterns", nil, nil); code != http.StatusConflict {
+		t.Fatalf("patterns of unfinished job: status %d, want 409", code)
+	}
+
+	// Wait until the miner is actually running, then cancel mid-mine.
+	waitState(t, ts.URL, job.ID, 10*time.Second, func(j JobInfo) bool { return j.State == JobRunning })
+	var onCancel JobInfo
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/jobs/"+job.ID, nil, &onCancel); code != http.StatusAccepted {
+		t.Fatalf("cancel: status %d", code)
+	}
+
+	// The miner must observe ctx.Err() and stop long before the dataset
+	// could have been mined to completion.
+	start := time.Now()
+	final := waitState(t, ts.URL, job.ID, 20*time.Second, func(j JobInfo) bool { return j.State.Terminal() })
+	if final.State != JobCancelled {
+		t.Fatalf("state after cancel = %s (%s)", final.State, final.Error)
+	}
+	if !strings.Contains(final.Error, "context canceled") {
+		t.Fatalf("cancelled job must carry the miner's ctx error, got %q", final.Error)
+	}
+	if final.FinishedAt == nil {
+		t.Fatal("cancelled job missing finished_at")
+	}
+	if waited := time.Since(start); waited > 10*time.Second {
+		t.Fatalf("cancellation took %v", waited)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 1})
+	info := uploadCSV(t, ts.URL, "name=slow&threshold=0.5", slowCSV(4, 12000))
+
+	submit := func() JobInfo {
+		body, _ := json.Marshal(MiningRequest{
+			DatasetID: info.ID, MinSupport: 0.1, MinConfidence: 0,
+			NumWindows: 6, MaxPatternSize: 2, Workers: 1,
+		})
+		var job JobInfo
+		if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", bytes.NewReader(body), &job); code != http.StatusAccepted {
+			t.Fatalf("submit: status %d", code)
+		}
+		return job
+	}
+	blocker := submit()
+	queued := submit()
+
+	// The single worker is occupied, so the second job is still queued and
+	// cancels without ever starting.
+	var onCancel JobInfo
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/jobs/"+queued.ID, nil, &onCancel); code != http.StatusAccepted {
+		t.Fatalf("cancel queued: status %d", code)
+	}
+	if onCancel.State != JobCancelled {
+		t.Fatalf("queued job state after cancel = %s", onCancel.State)
+	}
+	if onCancel.StartedAt != nil {
+		t.Fatal("cancelled queued job must never have started")
+	}
+
+	doJSON(t, http.MethodDelete, ts.URL+"/jobs/"+blocker.ID, nil, nil)
+	waitState(t, ts.URL, blocker.ID, 20*time.Second, func(j JobInfo) bool { return j.State.Terminal() })
+
+	var jobs []JobInfo
+	if code := doJSON(t, http.MethodGet, ts.URL+"/jobs", nil, &jobs); code != 200 || len(jobs) != 2 {
+		t.Fatalf("job list = %v (%d)", jobs, code)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 1})
+	info := uploadCSV(t, ts.URL, "name=ok&threshold=0.5", smallCSV())
+
+	post := func(req MiningRequest) int {
+		body, _ := json.Marshal(req)
+		return doJSON(t, http.MethodPost, ts.URL+"/jobs", bytes.NewReader(body), nil)
+	}
+	cases := []struct {
+		name string
+		req  MiningRequest
+		want int
+	}{
+		{"unknown dataset", MiningRequest{DatasetID: "ds-404", MinSupport: 0.5, NumWindows: 2}, 404},
+		{"bad support", MiningRequest{DatasetID: info.ID, MinSupport: 1.5, NumWindows: 2}, 400},
+		{"no geometry", MiningRequest{DatasetID: info.ID, MinSupport: 0.5}, 400},
+		{"both geometries", MiningRequest{DatasetID: info.ID, MinSupport: 0.5, NumWindows: 2, WindowLength: 60}, 400},
+		{"bad approx", MiningRequest{DatasetID: info.ID, MinSupport: 0.5, NumWindows: 2, Approx: &ApproxRequest{}}, 400},
+		{"negative overlap", MiningRequest{DatasetID: info.ID, MinSupport: 0.5, NumWindows: 2, Overlap: -1}, 400},
+		{"negative tmax", MiningRequest{DatasetID: info.ID, MinSupport: 0.5, NumWindows: 2, TMax: -5}, 400},
+		{"negative workers", MiningRequest{DatasetID: info.ID, MinSupport: 0.5, NumWindows: 2, Workers: -1}, 400},
+	}
+	for _, c := range cases {
+		if got := post(c.req); got != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, got, c.want)
+		}
+	}
+
+	// Upload validation.
+	if code := doJSON(t, http.MethodPost, ts.URL+"/datasets?format=wat", strings.NewReader("x"), nil); code != 400 {
+		t.Errorf("unknown format: status %d", code)
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/datasets", strings.NewReader("not,a\nvalid csv"), nil); code != 400 {
+		t.Errorf("bad csv: status %d", code)
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/jobs/nope", nil, nil); code != 404 {
+		t.Errorf("unknown job: status %d", code)
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/datasets/nope", nil, nil); code != 404 {
+		t.Errorf("unknown dataset: status %d", code)
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/nope", nil, nil); code != 404 {
+		t.Errorf("unknown route: status %d", code)
+	}
+}
+
+func TestUploadTooLarge(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 1, MaxUploadBytes: 64})
+	code := doJSON(t, http.MethodPost, ts.URL+"/datasets?threshold=0.5", strings.NewReader(smallCSV()), nil)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized upload: status %d, want 413", code)
+	}
+}
+
+func TestSequenceCacheReuse(t *testing.T) {
+	reg := newRegistry()
+	vals := make([]float64, 64)
+	for i := range vals {
+		vals[i] = float64(i % 2)
+	}
+	series, err := ftpm.NewTimeSeries("A", 0, 1, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdb, err := ftpm.Symbolize([]*ftpm.TimeSeries{series}, func(string) ftpm.Symbolizer { return ftpm.OnOff(0.5) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := reg.add("a", sdb)
+
+	opt := ftpm.SplitOptions{NumWindows: 2}
+	db1, err := ds.sequences(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := ds.sequences(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db1 != db2 {
+		t.Fatal("same geometry must reuse the cached sequence database")
+	}
+	db3, err := ds.sequences(ftpm.SplitOptions{NumWindows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db3 == db1 {
+		t.Fatal("different geometry must not share a cache entry")
+	}
+
+	// The cache is bounded: client-supplied geometries must not grow it
+	// without limit.
+	for n := 1; n <= 2*maxSeqCache; n++ {
+		if _, err := ds.sequences(ftpm.SplitOptions{NumWindows: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(ds.seqCache) > maxSeqCache || len(ds.seqKeys) > maxSeqCache {
+		t.Fatalf("cache grew to %d entries, cap is %d", len(ds.seqCache), maxSeqCache)
+	}
+}
+
+func TestQueueFullRejection(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 1, QueueDepth: 1})
+	info := uploadCSV(t, ts.URL, "name=slow&threshold=0.5", slowCSV(4, 12000))
+
+	submit := func() (JobInfo, int) {
+		body, _ := json.Marshal(MiningRequest{
+			DatasetID: info.ID, MinSupport: 0.1, MinConfidence: 0,
+			NumWindows: 6, MaxPatternSize: 2, Workers: 1,
+		})
+		var job JobInfo
+		code := doJSON(t, http.MethodPost, ts.URL+"/jobs", bytes.NewReader(body), &job)
+		return job, code
+	}
+
+	// Fill the single worker and the depth-1 queue, then overflow.
+	var accepted []JobInfo
+	rejected := 0
+	for i := 0; i < 6; i++ {
+		job, code := submit()
+		switch code {
+		case http.StatusAccepted:
+			accepted = append(accepted, job)
+		case http.StatusServiceUnavailable:
+			rejected++
+		default:
+			t.Fatalf("submit %d: status %d", i, code)
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("overflowing the queue must reject with 503")
+	}
+
+	// Rejected submits must not corrupt the job listing.
+	var jobs []JobInfo
+	if code := doJSON(t, http.MethodGet, ts.URL+"/jobs", nil, &jobs); code != 200 {
+		t.Fatalf("job list after rejects: status %d", code)
+	}
+	if len(jobs) != len(accepted) {
+		t.Fatalf("job list has %d entries, want %d accepted", len(jobs), len(accepted))
+	}
+	for _, j := range accepted {
+		doJSON(t, http.MethodDelete, ts.URL+"/jobs/"+j.ID, nil, nil)
+	}
+	for _, j := range accepted {
+		waitState(t, ts.URL, j.ID, 20*time.Second, func(i JobInfo) bool { return i.State.Terminal() })
+	}
+}
+
+func TestTerminalJobEviction(t *testing.T) {
+	// No workers: submitted jobs stay queued until cancelled, giving
+	// direct control over terminal states.
+	m := newJobManager(0, maxRetainedJobs+200)
+	defer m.close()
+	ds := &Dataset{id: "d", seqCache: map[string]*ftpm.SequenceDB{}}
+	req := MiningRequest{DatasetID: "d", MinSupport: 0.5, NumWindows: 2}
+	total := maxRetainedJobs + 100
+	for i := 0; i < total; i++ {
+		j, err := m.submit(ds, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := m.cancelJob(j.id); !ok {
+			t.Fatal("cancel failed")
+		}
+	}
+	m.mu.Lock()
+	nIDs, nByID := len(m.ids), len(m.byID)
+	m.mu.Unlock()
+	if nIDs > maxRetainedJobs || nByID > maxRetainedJobs {
+		t.Fatalf("retained %d/%d jobs, cap is %d", nIDs, nByID, maxRetainedJobs)
+	}
+	if _, ok := m.get(fmt.Sprintf("job-%d", total)); !ok {
+		t.Fatal("newest job must survive eviction")
+	}
+	if _, ok := m.get("job-1"); ok {
+		t.Fatal("oldest terminal job must be evicted")
+	}
+}
+
+func TestWorkersClamped(t *testing.T) {
+	if (MiningRequest{DatasetID: "x", MinSupport: 0.5, NumWindows: 2, Workers: -1}).validate() == nil {
+		t.Fatal("negative workers must be rejected")
+	}
+	opt := MiningRequest{Workers: 1 << 20}.options()
+	if opt.Workers > runtime.GOMAXPROCS(0) {
+		t.Fatalf("workers not clamped: %d", opt.Workers)
+	}
+}

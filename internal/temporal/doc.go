@@ -1,0 +1,13 @@
+// Package temporal defines the time primitives of the FTPMfTS pipeline:
+// time ticks, intervals, and the three temporal relations between event
+// instances (Follow, Contain, Overlap) from Definitions 3.6-3.8 of the
+// paper, including the epsilon buffer and the minimal overlap duration
+// d_o.
+//
+// The paper simplifies Allen's seven interval relations to three and
+// makes them mutually exclusive through the buffer epsilon. This package
+// realizes the mutual exclusivity deterministically: Classify checks
+// Follow, then Contain, then Overlap, and returns exactly one relation
+// (or None). The full Allen taxonomy is also available (allen.go) for
+// diagnostics; the miner always works on the simplified model.
+package temporal

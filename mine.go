@@ -1,6 +1,7 @@
 package ftpm
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -62,6 +63,12 @@ type Options struct {
 	// Workers shards candidate verification over goroutines (0 or 1 =
 	// serial); results are identical to serial runs.
 	Workers int
+
+	// Progress, when non-nil, is called on the mining goroutine after each
+	// level of the pattern graph completes, with that level's counters.
+	// Long-running callers (e.g. the ftpm-serve job manager) use it to
+	// report per-level progress; the callback must return quickly.
+	Progress func(LevelStats)
 }
 
 func (o Options) coreConfig() core.Config {
@@ -81,6 +88,7 @@ func (o Options) coreConfig() core.Config {
 		Pruning:       o.Pruning,
 		KeepGraph:     o.KeepGraph,
 		Workers:       o.Workers,
+		Progress:      o.Progress,
 	}
 }
 
@@ -111,11 +119,14 @@ type Result struct {
 // Mine runs E-HTPGM (exact) over an already-built sequence database.
 // Options.Approx is rejected here — A-HTPGM needs the symbolic database
 // for its mutual-information analysis; use MineSymbolic.
-func Mine(db *SequenceDB, opt Options) (*Result, error) {
+//
+// Cancelling ctx aborts the run between verification units and returns
+// ctx.Err(); a nil ctx is treated as context.Background().
+func Mine(ctx context.Context, db *SequenceDB, opt Options) (*Result, error) {
 	if opt.Approx != nil {
 		return nil, fmt.Errorf("ftpm: Mine is exact-only; use MineSymbolic for A-HTPGM")
 	}
-	res, err := core.Mine(db, opt.coreConfig())
+	res, err := core.Mine(ctx, db, opt.coreConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +136,10 @@ func Mine(db *SequenceDB, opt Options) (*Result, error) {
 // MineSymbolic runs the full FTPMfTS process on a symbolic database:
 // conversion to DSEQ followed by E-HTPGM, or A-HTPGM when Options.Approx
 // is set.
-func MineSymbolic(sdb *SymbolicDB, opt Options) (*Result, error) {
+//
+// Cancelling ctx aborts the mining phase between verification units and
+// returns ctx.Err(); a nil ctx is treated as context.Background().
+func MineSymbolic(ctx context.Context, sdb *SymbolicDB, opt Options) (*Result, error) {
 	db, err := BuildSequences(sdb, opt.splitOptions())
 	if err != nil {
 		return nil, err
@@ -182,7 +196,7 @@ func MineSymbolic(sdb *SymbolicDB, opt Options) (*Result, error) {
 			out.Mu = mu
 		}
 	}
-	res, err := core.Mine(db, cfg)
+	res, err := core.Mine(ctx, db, cfg)
 	if err != nil {
 		return nil, err
 	}
