@@ -1,0 +1,263 @@
+package main
+
+// Benchmark comparison mode: ftpm-bench -compare BASELINE -with CURRENT
+// parses two `go test -bench` outputs, fails on ns/op regressions beyond
+// the tolerance, and optionally asserts a speedup ratio between two
+// benchmarks of the current run (the sharded-ingestion gate). Results are
+// also written as a JSON document for CI artifacts.
+//
+// Cross-hardware ns/op comparison is meaningless, so the regression gate
+// only applies when the baseline and current runs report the same `cpu:`
+// line; otherwise the gate is skipped with a warning (refresh the
+// baseline on the new hardware to re-arm it). The speedup assertion
+// compares two benchmarks of the same run — hardware-independent — but is
+// only enforced when the run had GOMAXPROCS > 1, since a parallel variant
+// cannot beat a serial one on a single core.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+//
+//	BenchmarkIngestConvert/serial-8   1   120132295 ns/op   36385920 B/op ...
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// procSuffix is the GOMAXPROCS suffix go test appends to benchmark names
+// (absent when GOMAXPROCS is 1).
+var procSuffix = regexp.MustCompile(`-(\d+)$`)
+
+// benchFile is one parsed benchmark output.
+type benchFile struct {
+	CPU      string
+	MaxProcs int
+	// NsPerOp maps the benchmark name (GOMAXPROCS suffix stripped) to the
+	// minimum observed ns/op — the most stable statistic under -count=N
+	// with noisy single iterations.
+	NsPerOp map[string]float64
+}
+
+func parseBenchFile(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	bf := &benchFile{MaxProcs: 1, NsPerOp: make(map[string]float64)}
+	type entry struct {
+		name string
+		ns   float64
+	}
+	var entries []entry
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			bf.CPU = cpu
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		entries = append(entries, entry{name: m[1], ns: ns})
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("no benchmark results in %s", path)
+	}
+	// The GOMAXPROCS suffix is only stripped when every line carries the
+	// same "-N": one run shares one proc count, whereas a sub-benchmark
+	// that merely happens to end in a hyphenated number (say "chunk-4")
+	// would disagree across lines (and is left intact on GOMAXPROCS=1
+	// runs, which emit no suffix at all).
+	proc := ""
+	for i, e := range entries {
+		sm := procSuffix.FindStringSubmatch(e.name)
+		if sm == nil || (i > 0 && sm[1] != proc) {
+			proc = ""
+			break
+		}
+		proc = sm[1]
+	}
+	if proc != "" {
+		if n, err := strconv.Atoi(proc); err == nil {
+			bf.MaxProcs = n
+			for i := range entries {
+				entries[i].name = strings.TrimSuffix(entries[i].name, "-"+proc)
+			}
+		}
+	}
+	for _, e := range entries {
+		if prev, ok := bf.NsPerOp[e.name]; !ok || e.ns < prev {
+			bf.NsPerOp[e.name] = e.ns
+		}
+	}
+	return bf, nil
+}
+
+// comparisonJSON is one benchmark's baseline-vs-current entry.
+type comparisonJSON struct {
+	Name       string  `json:"name"`
+	BaselineNs float64 `json:"baseline_ns_op"`
+	CurrentNs  float64 `json:"current_ns_op"`
+	Ratio      float64 `json:"ratio"`
+	Regressed  bool    `json:"regressed"`
+}
+
+// speedupJSON reports the intra-run speedup assertion.
+type speedupJSON struct {
+	Slow     string  `json:"slow"`
+	Fast     string  `json:"fast"`
+	Ratio    float64 `json:"ratio"`
+	MinRatio float64 `json:"min_ratio"`
+	Enforced bool    `json:"enforced"`
+	Pass     bool    `json:"pass"`
+}
+
+// compareJSON is the artifact document of one compare run.
+type compareJSON struct {
+	BaselineCPU   string           `json:"baseline_cpu"`
+	CurrentCPU    string           `json:"current_cpu"`
+	MaxProcs      int              `json:"maxprocs"`
+	HardwareMatch bool             `json:"hardware_match"`
+	Tolerance     float64          `json:"tolerance"`
+	Benchmarks    []comparisonJSON `json:"benchmarks"`
+	Regressions   []string         `json:"regressions"`
+	Speedup       *speedupJSON     `json:"speedup,omitempty"`
+}
+
+// runCompare executes the compare mode and returns the process exit code.
+func runCompare(baselinePath, currentPath string, tolerance float64, speedupSpec, jsonOut string) int {
+	base, err := parseBenchFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftpm-bench: baseline: %v\n", err)
+		return 2
+	}
+	cur, err := parseBenchFile(currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftpm-bench: current: %v\n", err)
+		return 2
+	}
+
+	doc := compareJSON{
+		BaselineCPU: base.CPU,
+		CurrentCPU:  cur.CPU,
+		MaxProcs:    cur.MaxProcs,
+		// Parallel benchmarks scale with the core count, so a baseline
+		// recorded at a different GOMAXPROCS is as incomparable as one
+		// from a different CPU.
+		HardwareMatch: base.CPU != "" && base.CPU == cur.CPU && base.MaxProcs == cur.MaxProcs,
+		Tolerance:     tolerance,
+	}
+
+	names := make([]string, 0, len(cur.NsPerOp))
+	for name := range cur.NsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		baseNs, ok := base.NsPerOp[name]
+		if !ok {
+			continue // new benchmark: nothing to regress against
+		}
+		curNs := cur.NsPerOp[name]
+		c := comparisonJSON{
+			Name:       name,
+			BaselineNs: baseNs,
+			CurrentNs:  curNs,
+			Ratio:      curNs / baseNs,
+		}
+		c.Regressed = doc.HardwareMatch && c.Ratio > 1+tolerance
+		if c.Regressed {
+			doc.Regressions = append(doc.Regressions, name)
+		}
+		doc.Benchmarks = append(doc.Benchmarks, c)
+	}
+
+	fail := false
+	if !doc.HardwareMatch {
+		msg := fmt.Sprintf("baseline hardware (cpu %q, GOMAXPROCS %d) != current (cpu %q, GOMAXPROCS %d); ns/op regression gate skipped (refresh the baseline on this hardware to re-arm it)",
+			base.CPU, base.MaxProcs, cur.CPU, cur.MaxProcs)
+		fmt.Fprintf(os.Stderr, "ftpm-bench: %s\n", msg)
+		if os.Getenv("GITHUB_ACTIONS") == "true" {
+			// Surface the disarmed gate as a workflow annotation so it is
+			// visible on the PR, not buried in the job log.
+			fmt.Printf("::warning title=benchmark gate disarmed::%s\n", msg)
+		}
+	}
+	for _, c := range doc.Benchmarks {
+		status := "ok"
+		if c.Regressed {
+			status = "REGRESSED"
+			fail = true
+		}
+		fmt.Printf("%-60s %14.0f -> %14.0f ns/op  %.2fx  %s\n", c.Name, c.BaselineNs, c.CurrentNs, c.Ratio, status)
+	}
+
+	if speedupSpec != "" {
+		sp, err := evalSpeedup(cur, speedupSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftpm-bench: %v\n", err)
+			return 2
+		}
+		doc.Speedup = sp
+		verdict := "pass"
+		if !sp.Enforced {
+			verdict = "skipped (single-core run)"
+		} else if !sp.Pass {
+			verdict = "FAIL"
+			fail = true
+		}
+		fmt.Printf("speedup %s vs %s: %.2fx (min %.2fx) — %s\n", sp.Fast, sp.Slow, sp.Ratio, sp.MinRatio, verdict)
+	}
+
+	if jsonOut != "" {
+		data, _ := json.MarshalIndent(doc, "", "  ")
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ftpm-bench: %v\n", err)
+			return 2
+		}
+	}
+	if fail {
+		return 1
+	}
+	return 0
+}
+
+// evalSpeedup parses "slowName,fastName,minRatio" and evaluates it
+// against the current run.
+func evalSpeedup(cur *benchFile, spec string) (*speedupJSON, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("bad -speedup %q (want slowBench,fastBench,minRatio)", spec)
+	}
+	min, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad -speedup ratio %q: %v", parts[2], err)
+	}
+	slowNs, ok := cur.NsPerOp[parts[0]]
+	if !ok {
+		return nil, fmt.Errorf("-speedup benchmark %q not in current results", parts[0])
+	}
+	fastNs, ok := cur.NsPerOp[parts[1]]
+	if !ok {
+		return nil, fmt.Errorf("-speedup benchmark %q not in current results", parts[1])
+	}
+	sp := &speedupJSON{
+		Slow:     parts[0],
+		Fast:     parts[1],
+		Ratio:    slowNs / fastNs,
+		MinRatio: min,
+		Enforced: cur.MaxProcs > 1,
+	}
+	sp.Pass = !sp.Enforced || sp.Ratio >= min
+	return sp, nil
+}

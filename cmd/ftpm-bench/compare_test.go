@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBench(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const multiCoreOut = `goos: linux
+cpu: Test CPU
+BenchmarkFoo-8           	       1	  100000 ns/op	 123 B/op	 4 allocs/op
+BenchmarkFoo-8           	       1	  120000 ns/op	 123 B/op	 4 allocs/op
+BenchmarkIngestConvert/serial-8  	 1	 9000000 ns/op
+BenchmarkIngestConvert/sharded-8 	 1	 3000000 ns/op
+PASS
+`
+
+func TestParseBenchFile(t *testing.T) {
+	bf, err := parseBenchFile(writeBench(t, "b.txt", multiCoreOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.CPU != "Test CPU" || bf.MaxProcs != 8 {
+		t.Fatalf("parsed cpu %q maxprocs %d", bf.CPU, bf.MaxProcs)
+	}
+	// -count repeats collapse to the minimum ns/op; the -8 suffix strips.
+	if ns := bf.NsPerOp["BenchmarkFoo"]; ns != 100000 {
+		t.Fatalf("BenchmarkFoo ns/op = %v, want min 100000", ns)
+	}
+	if _, ok := bf.NsPerOp["BenchmarkIngestConvert/sharded"]; !ok {
+		t.Fatalf("sub-benchmark missing: %v", bf.NsPerOp)
+	}
+	if _, err := parseBenchFile(writeBench(t, "empty.txt", "PASS\n")); err == nil {
+		t.Fatal("file without results must error")
+	}
+}
+
+func TestEvalSpeedup(t *testing.T) {
+	bf, err := parseBenchFile(writeBench(t, "b.txt", multiCoreOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := evalSpeedup(bf, "BenchmarkIngestConvert/serial,BenchmarkIngestConvert/sharded,1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sp.Enforced || !sp.Pass || sp.Ratio != 3 {
+		t.Fatalf("speedup = %+v, want enforced pass at 3x", sp)
+	}
+	if _, err := evalSpeedup(bf, "nope"); err == nil {
+		t.Fatal("malformed spec must error")
+	}
+	if _, err := evalSpeedup(bf, "BenchmarkMissing,BenchmarkFoo,1.5"); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+
+	// Single-core runs never enforce the ratio.
+	single, err := parseBenchFile(writeBench(t, "s.txt",
+		"cpu: Test CPU\nBenchmarkA 1 100 ns/op\nBenchmarkB 1 100 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err = evalSpeedup(single, "BenchmarkA,BenchmarkB,1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Enforced || !sp.Pass {
+		t.Fatalf("single-core speedup = %+v, want skipped", sp)
+	}
+}
+
+func TestRunCompareGates(t *testing.T) {
+	base := writeBench(t, "base.txt", multiCoreOut)
+	regressed := writeBench(t, "cur.txt", `cpu: Test CPU
+BenchmarkFoo-8  1  130000 ns/op
+`)
+	if code := runCompare(base, regressed, 0.20, "", ""); code != 1 {
+		t.Fatalf("30%% regression returned %d, want 1", code)
+	}
+	if code := runCompare(base, regressed, 0.35, "", ""); code != 0 {
+		t.Fatalf("regression within tolerance returned %d, want 0", code)
+	}
+
+	// Different hardware: the gate disarms.
+	otherCPU := writeBench(t, "other.txt", `cpu: Other CPU
+BenchmarkFoo-8  1  900000 ns/op
+`)
+	if code := runCompare(base, otherCPU, 0.20, "", ""); code != 0 {
+		t.Fatalf("hardware mismatch returned %d, want 0 (gate skipped)", code)
+	}
+
+	// JSON artifact lands on disk.
+	out := filepath.Join(t.TempDir(), "BENCH_PR1.json")
+	if code := runCompare(base, base, 0.20, "BenchmarkIngestConvert/serial,BenchmarkIngestConvert/sharded,1.5", out); code != 0 {
+		t.Fatalf("self-compare returned %d, want 0", code)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("missing JSON artifact: %v", err)
+	}
+}

@@ -7,6 +7,15 @@
 //	ftpm-bench -exp all -scale 0.02 -out results/
 //	ftpm-bench -list
 //
+// It doubles as the CI benchmark gate: -compare checks a `go test -bench`
+// output against a committed baseline, failing on >tolerance ns/op
+// regressions (same hardware only) and optionally asserting an intra-run
+// speedup ratio:
+//
+//	ftpm-bench -compare bench/BASELINE.txt -with bench_pr.txt \
+//	    -tolerance 0.20 -benchjson BENCH_PR42.json \
+//	    -speedup 'BenchmarkIngestConvert/serial,BenchmarkIngestConvert/sharded,1.5'
+//
 // The -scale flag multiplies the dataset sizes; 1.0 reproduces the paper's
 // sequence counts (hours of runtime at the low-threshold cells — the paper
 // itself reports 23,000-second baseline cells). The default 0.02 finishes
@@ -32,8 +41,22 @@ func main() {
 		quiet   = flag.Bool("quiet", false, "suppress progress lines")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		showCSV = flag.Bool("csv", false, "print CSV instead of aligned tables")
+
+		compareBase = flag.String("compare", "", "baseline `go test -bench` output; enables compare mode")
+		compareWith = flag.String("with", "", "current `go test -bench` output to compare against the baseline")
+		tolerance   = flag.Float64("tolerance", 0.20, "compare mode: allowed ns/op regression fraction")
+		benchJSON   = flag.String("benchjson", "", "compare mode: write the comparison document to this JSON file")
+		speedup     = flag.String("speedup", "", "compare mode: assert `slowBench,fastBench,minRatio` within the current run")
 	)
 	flag.Parse()
+
+	if *compareBase != "" || *compareWith != "" {
+		if *compareBase == "" || *compareWith == "" {
+			fmt.Fprintln(os.Stderr, "ftpm-bench: -compare and -with must be given together")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(*compareBase, *compareWith, *tolerance, *speedup, *benchJSON))
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ftpm-serve -addr :8080 -workers 4 -queue 64
+//	ftpm-serve -addr :8080 -workers 4 -queue 64 -shards 8
 //
 // Quick tour with curl:
 //
@@ -39,6 +39,7 @@ func main() {
 		queue     = flag.Int("queue", 64, "job queue depth; submits beyond it get 503")
 		maxUpload = flag.Int64("max-upload", 64<<20, "maximal dataset upload size in bytes")
 		threshold = flag.Float64("threshold", 0.05, "default On/Off threshold for numeric uploads")
+		shards    = flag.Int("shards", 0, "default shard count for uploads (0 = GOMAXPROCS); sharded datasets ingest and mine in parallel per shard")
 	)
 	flag.Parse()
 
@@ -48,6 +49,7 @@ func main() {
 		QueueDepth:       *queue,
 		MaxUploadBytes:   *maxUpload,
 		DefaultThreshold: threshold,
+		DefaultShards:    *shards,
 		Logger:           logger,
 	})
 

@@ -347,3 +347,77 @@ func TestMaximalAPI(t *testing.T) {
 		}
 	}
 }
+
+func TestShardedOptionsAPI(t *testing.T) {
+	db := tableIDB(t)
+	opt := ftpm.Options{MinSupport: 0.5, MinConfidence: 0.5, NumWindows: 4}
+	want, err := ftpm.MineSymbolic(context.Background(), db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// MineSymbolic with Options.Shards must match the unsharded run
+	// pattern for pattern, including the rendered samples.
+	for _, k := range []int{2, 3, 8} {
+		opt.Shards = k
+		got, err := ftpm.MineSymbolic(context.Background(), db, opt)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", k, err)
+		}
+		if got.Stats.Shards != k {
+			t.Fatalf("shards=%d: stats report %d shards", k, got.Stats.Shards)
+		}
+		if len(got.Patterns) != len(want.Patterns) {
+			t.Fatalf("shards=%d: %d patterns, want %d", k, len(got.Patterns), len(want.Patterns))
+		}
+		for i := range got.Patterns {
+			if got.Patterns[i].Support != want.Patterns[i].Support ||
+				got.Patterns[i].Pattern.Key() != want.Patterns[i].Pattern.Key() {
+				t.Fatalf("shards=%d: pattern %d differs", k, i)
+			}
+			if got.Describe(got.Patterns[i]) != want.Describe(want.Patterns[i]) {
+				t.Fatalf("shards=%d: sample rendering differs for pattern %d", k, i)
+			}
+		}
+	}
+
+	// The explicit prebuilt-shard entry points round-trip the same way.
+	shards, err := ftpm.BuildShardedSequences(db, ftpm.SplitOptions{NumWindows: 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, _, err := ftpm.MergeShards(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Size() != want.DB.Size() {
+		t.Fatalf("merged %d sequences, want %d", merged.Size(), want.DB.Size())
+	}
+	res, err := ftpm.MineSharded(context.Background(), shards, ftpm.Options{MinSupport: 0.5, MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) != len(want.Patterns) {
+		t.Fatalf("MineSharded: %d patterns, want %d", len(res.Patterns), len(want.Patterns))
+	}
+
+	// A-HTPGM composes with sharding: the correlation filter gates
+	// candidates, not sequences.
+	approx, err := ftpm.MineSymbolic(context.Background(), db, ftpm.Options{
+		MinSupport: 0.5, MinConfidence: 0.5, NumWindows: 4, Shards: 2,
+		Approx: &ftpm.ApproxOptions{Mu: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.Graph == nil || approx.Stats.Shards != 2 {
+		t.Fatalf("sharded approx run missing graph or shard stats: %+v", approx.Stats)
+	}
+
+	// MineSharded is exact-only.
+	if _, err := ftpm.MineSharded(context.Background(), shards, ftpm.Options{
+		MinSupport: 0.5, Approx: &ftpm.ApproxOptions{Mu: 0.5},
+	}); err == nil {
+		t.Fatal("MineSharded must reject Approx")
+	}
+}

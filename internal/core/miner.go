@@ -47,19 +47,24 @@ func Mine(ctx context.Context, db *events.DB, cfg Config) (*Result, error) {
 	}
 	m.stats.Sequences = m.n
 	m.stats.AbsoluteSupport = m.minSupp
+	return m.mineAll(ctx)
+}
 
+// mineAll runs the levelwise mining loop on a fully-constructed miner —
+// the shared driver of Mine and MineSharded.
+func (m *miner) mineAll(ctx context.Context) (*Result, error) {
 	start := time.Now()
 	m.mineSingles()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if cfg.MaxK != 1 && len(m.oneFreq) > 0 {
+	if m.cfg.MaxK != 1 && len(m.oneFreq) > 0 {
 		m.mineLevel2()
 		for k := 3; ; k++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			if cfg.MaxK > 0 && k > cfg.MaxK {
+			if m.cfg.MaxK > 0 && k > m.cfg.MaxK {
 				break
 			}
 			prev := m.graph.Level(k - 1)
@@ -99,9 +104,11 @@ type miner struct {
 	// polls it between verification units.
 	done <-chan struct{}
 
-	// scr is the scratch for the serial path; parallel workers get their
-	// own (see runParallel).
-	scr scratch
+	// sh is the sharded-run state (nil for unsharded runs): the per-shard
+	// databases, local→global sequence index maps, and shard membership
+	// masks MineSharded built. When set, L1 scanning and L2 verification
+	// run shard-local and merge deterministically.
+	sh *shardInfo
 }
 
 // cancelled reports whether the run's context has been cancelled. A nil
@@ -187,26 +194,50 @@ func (m *miner) spanOK(first, other events.Instance) bool {
 	return end-first.Start <= m.cfg.TMax
 }
 
-// mineSingles is step 1 of Alg 1 (lines 1-4): frequent single events.
+// mineSingles is step 1 of Alg 1 (lines 1-4): frequent single events. The
+// support scan is shard-local when the miner was built by MineSharded.
 func (m *miner) mineSingles() {
 	t0 := time.Now()
+	if m.sh != nil {
+		m.scanSinglesSharded()
+	} else {
+		m.scanSingles()
+	}
+	m.filterSingles(t0)
+}
+
+// scanSingles builds the support bitmap of every vocabulary event with one
+// pass over the sequences: each sequence contributes one bit per distinct
+// event it contains, so the scan is linear in the number of (sequence,
+// distinct event) pairs rather than |vocab| × |DSEQ|.
+func (m *miner) scanSingles() {
 	vocabSize := m.db.Vocab.Size()
 	m.eventSupp = make(map[events.EventID]int, vocabSize)
 	m.eventBm = make(map[events.EventID]*bitmap.Bitmap, vocabSize)
+	for id := 0; id < vocabSize; id++ {
+		m.eventBm[events.EventID(id)] = bitmap.New(m.n)
+	}
+	for i, s := range m.db.Sequences {
+		for _, e := range s.Events() {
+			m.eventBm[e].Set(i)
+		}
+	}
+	for id := 0; id < vocabSize; id++ {
+		e := events.EventID(id)
+		m.eventSupp[e] = m.eventBm[e].Count()
+	}
+}
 
+// filterSingles applies the L1 filters and the support threshold to the
+// scanned event supports and assembles level 1 of the pattern graph.
+func (m *miner) filterSingles(t0 time.Time) {
+	vocabSize := m.db.Vocab.Size()
 	level := hpg.NewLevel(1)
 	allowedSeries := make(map[string]bool)
 	for id := 0; id < vocabSize; id++ {
 		e := events.EventID(id)
-		bm := bitmap.New(m.n)
-		for _, s := range m.db.Sequences {
-			if s.Has(e) {
-				bm.Set(s.ID)
-			}
-		}
-		supp := bm.Count()
-		m.eventSupp[e] = supp
-		m.eventBm[e] = bm
+		bm := m.eventBm[e]
+		supp := m.eventSupp[e]
 
 		if !m.eventAllowed(e) {
 			continue
@@ -282,8 +313,12 @@ func (m *miner) mineLevel2() {
 			tasks = append(tasks, pairTask{a, b})
 		}
 	}
-	outcomes := runParallel(m.done, m.workers(), tasks, m.verifyPairTask)
-	mergeOutcomes(level, &ls, outcomes)
+	if m.sh != nil {
+		m.mineLevel2Sharded(level, &ls, tasks)
+	} else {
+		outcomes := runParallel(m.done, m.workers(), tasks, m.verifyPairTask)
+		mergeOutcomes(level, &ls, outcomes)
+	}
 
 	m.graph.Levels = append(m.graph.Levels, level)
 	ls.Duration = time.Since(t0)
@@ -293,12 +328,23 @@ func (m *miner) mineLevel2() {
 // verifyPair mines the frequent 2-event patterns of one node (step 2.2):
 // it retrieves the instance pairs in every sequence where both events
 // occur, classifies their relation, and keeps the frequent and confident
-// ones.
-func (m *miner) verifyPair(node *hpg.Node, scr *scratch, ls *LevelStats) {
-	a, b := node.Events[0], node.Events[1]
+// ones. Unlike extendNode it needs no scratch: all L2 state lives in the
+// local pending map.
+func (m *miner) verifyPair(node *hpg.Node, ls *LevelStats) {
 	pend := make(map[string]*pendingPattern)
+	m.verifyPairOver(node, node.Bitmap, pend)
+	m.flushPending(node, pend, ls)
+}
 
-	node.Bitmap.ForEach(func(seqIdx int) bool {
+// verifyPairOver classifies the instance pairs of the node's two events in
+// every sequence of bm, accumulating occurrences into pend. The sharded L2
+// path calls it once per shard with the node bitmap restricted to that
+// shard's sequences; the per-sequence work is identical either way, so
+// merging the per-shard pend maps reproduces the unsharded result exactly.
+func (m *miner) verifyPairOver(node *hpg.Node, bm *bitmap.Bitmap, pend map[string]*pendingPattern) {
+	a, b := node.Events[0], node.Events[1]
+
+	bm.ForEach(func(seqIdx int) bool {
 		if m.cancelled() {
 			return false
 		}
@@ -327,8 +373,6 @@ func (m *miner) verifyPair(node *hpg.Node, scr *scratch, ls *LevelStats) {
 		}
 		return true
 	})
-
-	m.flushPending(node, pend, ls)
 }
 
 // classifyInto classifies the instance pair (lo before hi) and records the

@@ -63,6 +63,12 @@ type LevelStats struct {
 type Stats struct {
 	Sequences       int
 	AbsoluteSupport int
+	// Shards is the number of data shards the run was partitioned over
+	// (0 for unsharded runs via Mine).
+	Shards int
+	// ShardSequences lists |shard| per shard for sharded runs — the
+	// balance check of the sharded registry.
+	ShardSequences []int
 	// SinglesConsidered / SinglesFrequent count level L1.
 	SinglesConsidered int
 	SinglesFrequent   int

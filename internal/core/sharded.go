@@ -1,0 +1,262 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"ftpm/internal/bitmap"
+	"ftpm/internal/events"
+	"ftpm/internal/hpg"
+)
+
+// This file implements the sharded mining path: the sequence database
+// arrives partitioned into K shards (round-robin over sequences, see
+// events.MergeShards), support counting at L1 and L2 runs shard-local,
+// and the per-shard partial results merge deterministically into the
+// global supports before any threshold is applied. Thresholds (minsup,
+// minconf) are evaluated exactly once, on the merged counts — per-shard
+// counts are never compared against the global threshold, so a pattern
+// that is locally infrequent in every shard but globally frequent is
+// still found and nothing is double-counted. Levels k >= 3 extend stored
+// occurrences of the merged view with candidate-level parallelism (the
+// occurrence lists are already per-sequence, hence per-shard disjoint).
+//
+// The invariant backing all of it: every sequence belongs to exactly one
+// shard, and a bitmap bit, occurrence tuple, or sample is keyed by the
+// global sequence index. Merging per-shard structures is therefore a
+// disjoint union — bitmaps OR, occurrence maps union, supports add — and
+// the result is byte-identical to the unsharded miner's.
+
+// shardInfo is the sharded-run state carried by the miner.
+type shardInfo struct {
+	shards    []*events.DB
+	globalIdx [][]int          // shard -> local seq -> global seq index
+	masks     []*bitmap.Bitmap // shard -> membership bitmap over global indexes
+}
+
+// MineSharded runs HTPGM over a sharded temporal sequence database. The
+// shards must share one vocabulary (events.ConvertShards and
+// events.ShardRoundRobin guarantee this); empty shards are allowed. It
+// returns the result — byte-identical to Mine over the merged database —
+// together with the merged database itself (sample occurrences reference
+// its global sequence indexes).
+//
+// Cancellation behaves exactly like Mine: workers stop between
+// verification units and MineSharded returns ctx.Err().
+func MineSharded(ctx context.Context, shards []*events.DB, cfg Config) (*Result, *events.DB, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(shards) == 0 {
+		return nil, nil, fmt.Errorf("core: no shards")
+	}
+	for s, sh := range shards {
+		if sh == nil {
+			return nil, nil, fmt.Errorf("core: shard %d is nil", s)
+		}
+		for i, seq := range sh.Sequences {
+			if seq.ID != i {
+				return nil, nil, fmt.Errorf("core: shard %d sequence %d carries id %d; ids must be positional", s, i, seq.ID)
+			}
+		}
+	}
+	merged, globalIdx, err := events.MergeShards(shards)
+	if err != nil {
+		return nil, nil, err
+	}
+	if merged.Size() == 0 {
+		return nil, nil, fmt.Errorf("core: empty sequence database")
+	}
+
+	sh := &shardInfo{shards: shards, globalIdx: globalIdx}
+	sh.masks = make([]*bitmap.Bitmap, len(shards))
+	for s := range shards {
+		mask := bitmap.New(merged.Size())
+		for _, g := range globalIdx[s] {
+			mask.Set(g)
+		}
+		sh.masks[s] = mask
+	}
+
+	m := &miner{
+		db:      merged,
+		cfg:     cfg,
+		rel:     cfg.relations(),
+		n:       merged.Size(),
+		minSupp: cfg.AbsoluteSupport(merged.Size()),
+		graph:   &hpg.Graph{},
+		done:    ctx.Done(),
+		sh:      sh,
+	}
+	m.stats.Sequences = m.n
+	m.stats.AbsoluteSupport = m.minSupp
+	m.stats.Shards = len(shards)
+	m.stats.ShardSequences = make([]int, len(shards))
+	for s, shard := range shards {
+		m.stats.ShardSequences[s] = shard.Size()
+	}
+
+	res, err := m.mineAll(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, merged, nil
+}
+
+// scanSinglesSharded computes the L1 support bitmaps shard-locally and in
+// parallel: each shard scans only its own sequences and returns, per
+// event, the global indexes of the sequences containing it (bounded by
+// the shard's own size — full-width bitmaps per shard would multiply the
+// transient L1 memory by K). The serial merge sets the bits in shard
+// order; merging is a disjoint union (a sequence lives in exactly one
+// shard), so the merged bitmaps equal the unsharded scan's.
+func (m *miner) scanSinglesSharded() {
+	shardIdx := make([]int, len(m.sh.shards))
+	for i := range shardIdx {
+		shardIdx[i] = i
+	}
+	partials := runParallel(m.done, m.workers(), shardIdx, func(_ *scratch, s int) map[events.EventID][]int {
+		p := make(map[events.EventID][]int)
+		for j, seq := range m.sh.shards[s].Sequences {
+			g := m.sh.globalIdx[s][j]
+			for _, e := range seq.Events() {
+				p[e] = append(p[e], g)
+			}
+		}
+		return p
+	})
+
+	vocabSize := m.db.Vocab.Size()
+	m.eventSupp = make(map[events.EventID]int, vocabSize)
+	m.eventBm = make(map[events.EventID]*bitmap.Bitmap, vocabSize)
+	for id := 0; id < vocabSize; id++ {
+		m.eventBm[events.EventID(id)] = bitmap.New(m.n)
+	}
+	for _, p := range partials {
+		for e, idxs := range p {
+			bm := m.eventBm[e]
+			for _, g := range idxs {
+				bm.Set(g)
+			}
+		}
+	}
+	for id := 0; id < vocabSize; id++ {
+		e := events.EventID(id)
+		m.eventSupp[e] = m.eventBm[e].Count()
+	}
+}
+
+// pairShardTask is one unit of sharded L2 verification: one surviving
+// candidate node restricted to one shard's sequences.
+type pairShardTask struct {
+	nodeIdx int
+	shard   int
+}
+
+// mineLevel2Sharded is the sharded form of L2 verification. Candidate
+// pairs are Apriori-filtered on the global (merged) bitmaps first — the
+// thresholds are global, so this filtering is exact — then the surviving
+// nodes fan out as (node × shard) tasks, each building a shard-local
+// pending-pattern map. The partials merge per node in shard order before
+// the one global flushPending applies sigma/delta, keeping the level
+// byte-identical to the unsharded path.
+func (m *miner) mineLevel2Sharded(level *hpg.Level, ls *LevelStats, tasks []pairTask) {
+	// Stage 1: global Apriori filtering, parallel over pairs — the same
+	// filterPair rule as the unsharded path, so the two cannot drift.
+	// Outcomes are collected in task order so node order stays
+	// deterministic.
+	type filtered struct {
+		node *hpg.Node
+		ls   LevelStats
+	}
+	outcomes := runParallel(m.done, m.workers(), tasks, func(_ *scratch, t pairTask) filtered {
+		node, ls := m.filterPair(t)
+		return filtered{node: node, ls: ls}
+	})
+	var nodes []*hpg.Node
+	for _, f := range outcomes {
+		ls.Candidates += f.ls.Candidates
+		ls.PrunedApriori += f.ls.PrunedApriori
+		ls.NodesVerified += f.ls.NodesVerified
+		if f.node != nil {
+			nodes = append(nodes, f.node)
+		}
+	}
+
+	// Stage 2+3: shard-local relation verification — the expensive part —
+	// fanned out over (node, shard) units, in node batches. Each task
+	// walks only the sequences of its shard (node bitmap AND shard mask),
+	// so per-shard event lists stay independent until the merge; batching
+	// bounds how many per-shard pending maps (each holding full-width
+	// pattern bitmaps) are alive at once to roughly the worker count,
+	// matching the unsharded path's in-flight footprint, while one batch
+	// still offers ~workers-way parallelism. Partials merge per node in
+	// shard order and the global thresholds apply once, keeping the level
+	// byte-identical to the unsharded path.
+	K := len(m.sh.shards)
+	batch := (m.workers() + K - 1) / K // nodes per batch
+	for start := 0; start < len(nodes); start += batch {
+		end := start + batch
+		if end > len(nodes) {
+			end = len(nodes)
+		}
+		var shardTasks []pairShardTask
+		for ni := start; ni < end; ni++ {
+			for s := 0; s < K; s++ {
+				shardTasks = append(shardTasks, pairShardTask{nodeIdx: ni, shard: s})
+			}
+		}
+		partials := runParallel(m.done, m.workers(), shardTasks, func(_ *scratch, t pairShardTask) map[string]*pendingPattern {
+			node := nodes[t.nodeIdx]
+			local := node.Bitmap.And(m.sh.masks[t.shard])
+			if local.Count() == 0 {
+				return nil
+			}
+			pend := make(map[string]*pendingPattern)
+			m.verifyPairOver(node, local, pend)
+			return pend
+		})
+
+		for ni := start; ni < end; ni++ {
+			node := nodes[ni]
+			pend := make(map[string]*pendingPattern)
+			for s := 0; s < K; s++ {
+				m.mergePending(pend, partials[(ni-start)*K+s])
+			}
+			m.flushPending(node, pend, ls)
+			if node.NumPatterns() > 0 {
+				level.Add(node)
+				ls.GreenNodes++
+			}
+		}
+	}
+}
+
+// mergePending folds a shard-local pending map into dst. The sequence
+// sets of distinct shards are disjoint, so occurrence maps union without
+// conflict; bitmaps OR, occurrence counts add, and the sample stays the
+// minimal global sequence index — exactly what a single-map run would
+// have recorded.
+func (m *miner) mergePending(dst, src map[string]*pendingPattern) {
+	for key, pp := range src {
+		ex := dst[key]
+		if ex == nil {
+			dst[key] = pp
+			continue
+		}
+		ex.bm.InPlaceOr(pp.bm)
+		if ex.occs != nil && pp.occs != nil {
+			for seqIdx, occs := range pp.occs {
+				ex.occs[seqIdx] = occs
+			}
+		}
+		ex.nOcc += pp.nOcc
+		if pp.sampleSeq >= 0 && (ex.sampleSeq < 0 || pp.sampleSeq < ex.sampleSeq) {
+			ex.sampleSeq = pp.sampleSeq
+			ex.sampleOcc = pp.sampleOcc
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"io"
 	"strconv"
 
+	"ftpm/internal/par"
 	"ftpm/internal/temporal"
 	"ftpm/internal/timeseries"
 )
@@ -63,6 +64,17 @@ func WriteNumeric(w io.Writer, series []*timeseries.Series) error {
 // ReadNumeric parses the wide numeric layout. Timestamps must be evenly
 // spaced and ascending.
 func ReadNumeric(r io.Reader) ([]*timeseries.Series, error) {
+	return ReadNumericChunked(r, 1)
+}
+
+// ReadNumericChunked parses the wide numeric layout with the per-column
+// value parsing fanned out over up to chunks goroutines. The CSV record
+// scan stays serial (it is a single pass over the byte stream), but the
+// float parsing — the dominant cost on wide uploads — is independent per
+// column, so columns are dealt to workers. Output and errors are
+// identical to ReadNumeric: when several columns fail, the error of the
+// lowest-indexed one is reported.
+func ReadNumericChunked(r io.Reader, chunks int) ([]*timeseries.Series, error) {
 	rows, names, times, err := readWide(r)
 	if err != nil {
 		return nil, err
@@ -72,20 +84,25 @@ func ReadNumeric(r io.Reader) ([]*timeseries.Series, error) {
 		return nil, err
 	}
 	out := make([]*timeseries.Series, len(names))
-	for j, name := range names {
+	errs := make([]error, len(names))
+	parseColumn := func(j int) {
+		name := names[j]
 		values := make([]float64, len(rows))
 		for i, row := range rows {
 			v, err := strconv.ParseFloat(row[j], 64)
 			if err != nil {
-				return nil, fmt.Errorf("csvio: row %d column %q: %v", i+2, name, err)
+				errs[j] = fmt.Errorf("csvio: row %d column %q: %v", i+2, name, err)
+				return
 			}
 			values[i] = v
 		}
-		s, err := timeseries.NewSeries(name, start, step, values)
+		out[j], errs[j] = timeseries.NewSeries(name, start, step, values)
+	}
+	par.For(len(names), chunks, parseColumn)
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out[j] = s
 	}
 	return out, nil
 }

@@ -129,6 +129,21 @@ func NewSequence(id int, window temporal.Interval, instances []Instance) *Sequen
 // event, in chronological order.
 func (s *Sequence) InstancesOf(e EventID) []int32 { return s.byEvent[e] }
 
+// Events returns the distinct events occurring in the sequence, in id
+// order. The L1 scan uses it to visit each sequence once instead of
+// probing every vocabulary entry against every sequence. The callers do
+// not need the ordering (bitmap sets commute), but a deterministic result
+// keeps the method usable for display and tests; the sort is over the
+// distinct events of one sequence, negligible next to the scan itself.
+func (s *Sequence) Events() []EventID {
+	out := make([]EventID, 0, len(s.byEvent))
+	for e := range s.byEvent {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Has reports whether at least one instance of e occurs in the sequence.
 func (s *Sequence) Has(e EventID) bool { return len(s.byEvent[e]) > 0 }
 
@@ -213,6 +228,70 @@ func (o SplitOptions) windowLength(db *timeseries.SymbolicDB) (temporal.Duration
 	}
 }
 
+// seriesRuns holds the maximal symbol runs of one series, pre-interned
+// against the conversion's vocabulary.
+type seriesRuns struct {
+	name      string
+	intervals []temporal.Interval
+	eventIDs  []EventID
+}
+
+// buildRuns extracts every series' maximal symbol runs with the
+// touching-interval convention ([run start, next run start)) and interns
+// the (series, symbol) events into a fresh vocabulary. Event ids depend
+// only on the symbolic database, not on the window geometry, so every
+// window cut from the same runs shares the vocabulary.
+func buildRuns(db *timeseries.SymbolicDB) (*Vocab, []seriesRuns) {
+	vocab := NewVocab()
+	all := make([]seriesRuns, 0, len(db.Series))
+	for _, s := range db.Series {
+		sr := seriesRuns{name: s.Name}
+		for _, r := range s.Runs() {
+			sr.intervals = append(sr.intervals, s.Interval(r))
+			sr.eventIDs = append(sr.eventIDs, vocab.Define(s.Name, s.Alphabet[r.Symbol]))
+		}
+		all = append(all, sr)
+	}
+	return vocab, all
+}
+
+// windowsOf enumerates the window intervals of the split: length w,
+// consecutive windows opt.Overlap apart, the last one clipped at the
+// observation end.
+func windowsOf(db *timeseries.SymbolicDB, w, overlap temporal.Duration) []temporal.Interval {
+	stride := w - overlap
+	start, end := db.Start(), db.End()
+	var out []temporal.Interval
+	for ws := start; ws < end; ws += stride {
+		we := ws + w
+		if we > end {
+			we = end
+		}
+		out = append(out, temporal.NewInterval(ws, we))
+		if we == end {
+			break
+		}
+	}
+	return out
+}
+
+// cutWindow builds the temporal sequence of one window: every run
+// intersecting the window becomes an instance, clipped at the window
+// boundaries.
+func cutWindow(id int, window temporal.Interval, all []seriesRuns) *Sequence {
+	var instances []Instance
+	for _, sr := range all {
+		for i, iv := range sr.intervals {
+			clipped, ok := iv.Clip(window.Start, window.End)
+			if !ok {
+				continue
+			}
+			instances = append(instances, Instance{Event: sr.eventIDs[i], Interval: clipped})
+		}
+	}
+	return NewSequence(id, window, instances)
+}
+
 // Convert turns a symbolic database into the temporal sequence database
 // DSEQ. Every maximal symbol run of every series becomes an instance with
 // the touching-interval convention ([run start, next run start)); runs are
@@ -227,45 +306,10 @@ func Convert(db *timeseries.SymbolicDB, opt SplitOptions) (*DB, error) {
 		return nil, fmt.Errorf("events: overlap %d out of [0,%d)", opt.Overlap, w)
 	}
 
-	vocab := NewVocab()
-	type seriesRuns struct {
-		name      string
-		intervals []temporal.Interval
-		eventIDs  []EventID
-	}
-	all := make([]seriesRuns, 0, len(db.Series))
-	for _, s := range db.Series {
-		sr := seriesRuns{name: s.Name}
-		for _, r := range s.Runs() {
-			sr.intervals = append(sr.intervals, s.Interval(r))
-			sr.eventIDs = append(sr.eventIDs, vocab.Define(s.Name, s.Alphabet[r.Symbol]))
-		}
-		all = append(all, sr)
-	}
-
-	stride := w - opt.Overlap
-	start, end := db.Start(), db.End()
+	vocab, all := buildRuns(db)
 	out := &DB{Vocab: vocab}
-	for ws := start; ws < end; ws += stride {
-		we := ws + w
-		if we > end {
-			we = end
-		}
-		window := temporal.NewInterval(ws, we)
-		var instances []Instance
-		for _, sr := range all {
-			for i, iv := range sr.intervals {
-				clipped, ok := iv.Clip(ws, we)
-				if !ok {
-					continue
-				}
-				instances = append(instances, Instance{Event: sr.eventIDs[i], Interval: clipped})
-			}
-		}
-		out.Sequences = append(out.Sequences, NewSequence(len(out.Sequences), window, instances))
-		if we == end {
-			break
-		}
+	for i, window := range windowsOf(db, w, opt.Overlap) {
+		out.Sequences = append(out.Sequences, cutWindow(i, window, all))
 	}
 	return out, nil
 }

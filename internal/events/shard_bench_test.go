@@ -1,0 +1,62 @@
+package events
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"ftpm/internal/timeseries"
+)
+
+// benchSymbolicDB builds a wide symbolic database with many short runs —
+// the shape that makes the DSYB→DSEQ conversion expensive: every run is
+// clipped against every overlapping window and each window's instances
+// are re-sorted.
+func benchSymbolicDB(b *testing.B, series, samples int) *timeseries.SymbolicDB {
+	b.Helper()
+	ss := make([]*timeseries.SymbolicSeries, series)
+	for s := 0; s < series; s++ {
+		syms := make([]int, samples)
+		for i := range syms {
+			// Runs of length 2-4, phase-shifted per series.
+			syms[i] = ((i + 3*s) / (2 + (i+s)%3)) % 2
+		}
+		ss[s] = &timeseries.SymbolicSeries{
+			Name: fmt.Sprintf("S%d", s), Start: 0, Step: 10,
+			Alphabet: []string{"Off", "On"}, Symbols: syms,
+		}
+	}
+	db, err := timeseries.NewSymbolicDB(ss...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// BenchmarkIngestConvert is the ingestion benchmark pair gating the CI
+// bench job: "serial" is the unsharded DSYB→DSEQ conversion, "sharded"
+// cuts the same windows concurrently with K = GOMAXPROCS shards. The
+// compare tool asserts the sharded variant is at least 1.5× faster on a
+// multi-core runner.
+func BenchmarkIngestConvert(b *testing.B) {
+	db := benchSymbolicDB(b, 12, 20000)
+	opt := SplitOptions{NumWindows: 250, Overlap: 300}
+	k := runtime.GOMAXPROCS(0)
+
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Convert(db, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sharded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ConvertShards(db, opt, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,191 @@
+package events
+
+import (
+	"fmt"
+	"testing"
+
+	"ftpm/internal/timeseries"
+)
+
+// shardTestDB builds a small symbolic database with interleaved runs
+// across three series.
+func shardTestDB(t *testing.T) *timeseries.SymbolicDB {
+	t.Helper()
+	mk := func(name string, bits []int) *timeseries.SymbolicSeries {
+		syms := make([]int, len(bits))
+		copy(syms, bits)
+		return &timeseries.SymbolicSeries{
+			Name: name, Start: 0, Step: 10,
+			Alphabet: []string{"Off", "On"}, Symbols: syms,
+		}
+	}
+	n := 60
+	a := make([]int, n)
+	b := make([]int, n)
+	c := make([]int, n)
+	for i := 0; i < n; i++ {
+		if i%7 < 3 {
+			a[i] = 1
+		}
+		if i%5 < 2 {
+			b[i] = 1
+		}
+		if i%11 < 6 {
+			c[i] = 1
+		}
+	}
+	db, err := timeseries.NewSymbolicDB(mk("A", a), mk("B", b), mk("C", c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// sameSequence compares two sequences structurally.
+func sameSequence(a, b *Sequence) error {
+	if a.ID != b.ID {
+		return fmt.Errorf("id %d vs %d", a.ID, b.ID)
+	}
+	if a.Window != b.Window {
+		return fmt.Errorf("window %v vs %v", a.Window, b.Window)
+	}
+	if len(a.Instances) != len(b.Instances) {
+		return fmt.Errorf("%d vs %d instances", len(a.Instances), len(b.Instances))
+	}
+	for i := range a.Instances {
+		if a.Instances[i] != b.Instances[i] {
+			return fmt.Errorf("instance %d: %v vs %v", i, a.Instances[i], b.Instances[i])
+		}
+	}
+	return nil
+}
+
+func TestConvertShardsMergeRoundTrip(t *testing.T) {
+	sdb := shardTestDB(t)
+	opt := SplitOptions{NumWindows: 10, Overlap: 5}
+	want, err := Convert(sdb, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 3, 7, 16} {
+		shards, err := ConvertShards(sdb, opt, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(shards) != k {
+			t.Fatalf("k=%d: got %d shards", k, len(shards))
+		}
+		total := 0
+		for s, sh := range shards {
+			if sh.Vocab != shards[0].Vocab {
+				t.Fatalf("k=%d: shard %d has its own vocabulary", k, s)
+			}
+			total += sh.Size()
+		}
+		if total != want.Size() {
+			t.Fatalf("k=%d: shards hold %d sequences, want %d", k, total, want.Size())
+		}
+		merged, globalIdx, err := MergeShards(shards)
+		if err != nil {
+			t.Fatalf("k=%d: merge: %v", k, err)
+		}
+		if merged.Size() != want.Size() {
+			t.Fatalf("k=%d: merged %d sequences, want %d", k, merged.Size(), want.Size())
+		}
+		for i := range merged.Sequences {
+			if err := sameSequence(merged.Sequences[i], want.Sequences[i]); err != nil {
+				t.Fatalf("k=%d: sequence %d: %v", k, i, err)
+			}
+		}
+		// The invariant: global i lives in shard i%k at local i/k.
+		for i := range want.Sequences {
+			if got := globalIdx[i%k][i/k]; got != i {
+				t.Fatalf("k=%d: globalIdx[%d][%d] = %d, want %d", k, i%k, i/k, got, i)
+			}
+		}
+	}
+}
+
+func TestShardRoundRobinMergeRoundTrip(t *testing.T) {
+	sdb := shardTestDB(t)
+	db, err := Convert(sdb, SplitOptions{NumWindows: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=7 exceeds the 5 sequences, leaving empty trailing shards.
+	for _, k := range []int{1, 2, 7} {
+		shards, err := db.ShardRoundRobin(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k > db.Size() {
+			empty := 0
+			for _, sh := range shards {
+				if sh.Size() == 0 {
+					empty++
+				}
+			}
+			if empty != k-db.Size() {
+				t.Fatalf("k=%d: %d empty shards, want %d", k, empty, k-db.Size())
+			}
+		}
+		merged, _, err := MergeShards(shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if merged.Vocab != db.Vocab {
+			t.Fatal("merge must preserve the vocabulary")
+		}
+		for i := range db.Sequences {
+			if err := sameSequence(merged.Sequences[i], db.Sequences[i]); err != nil {
+				t.Fatalf("k=%d: sequence %d: %v", k, i, err)
+			}
+		}
+	}
+}
+
+func TestMergeShardsValidation(t *testing.T) {
+	if _, _, err := MergeShards(nil); err == nil {
+		t.Error("empty shard list must be rejected")
+	}
+	if _, _, err := MergeShards([]*DB{nil}); err == nil {
+		t.Error("nil shard must be rejected")
+	}
+	a := &DB{Vocab: NewVocab()}
+	b := &DB{Vocab: NewVocab()}
+	if _, _, err := MergeShards([]*DB{a, b}); err == nil {
+		t.Error("distinct vocabularies must be rejected")
+	}
+	if _, err := a.ShardRoundRobin(0); err == nil {
+		t.Error("non-positive shard count must be rejected")
+	}
+	if _, err := ConvertShards(shardTestDB(t), SplitOptions{NumWindows: 2}, 0); err == nil {
+		t.Error("non-positive shard count must be rejected")
+	}
+}
+
+func TestSequenceEvents(t *testing.T) {
+	sdb := shardTestDB(t)
+	db, err := Convert(sdb, SplitOptions{NumWindows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range db.Sequences {
+		evs := s.Events()
+		seen := map[EventID]bool{}
+		for i, e := range evs {
+			if i > 0 && evs[i-1] >= e {
+				t.Fatalf("Events not strictly ascending: %v", evs)
+			}
+			if !s.Has(e) {
+				t.Fatalf("Events lists %v which the sequence does not have", e)
+			}
+			seen[e] = true
+		}
+		for id := 0; id < db.Vocab.Size(); id++ {
+			if s.Has(EventID(id)) != seen[EventID(id)] {
+				t.Fatalf("Events missed %v", id)
+			}
+		}
+	}
+}

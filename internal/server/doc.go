@@ -4,24 +4,31 @@
 //
 // The subsystem has three parts:
 //
-//   - A dataset registry (registry.go): CSV uploads are decoded by the
-//     internal/csvio readers directly from the request body, symbolized
-//     once (numeric input passes through the On/Off threshold mapper),
-//     and kept as a reusable symbolic database. The DSYB→DSEQ conversion
-//     is cached per window geometry, so repeated exact-mining jobs over
-//     the same split reuse one events.DB.
+//   - A sharded dataset registry (registry.go): CSV uploads are decoded
+//     by the internal/csvio readers directly from the request body with
+//     the per-column float parsing fanned out over the shard count, and
+//     numeric input is symbolized concurrently (one On/Off mapping per
+//     series). Each dataset carries a shard width K, chosen per upload
+//     via ?shards= (default GOMAXPROCS, capped at 64). The DSYB→DSEQ
+//     conversion is cached per window geometry as a round-robin shard
+//     set — window i of the split lives in shard i%K — so repeated
+//     exact-mining jobs over the same split share one sharded sequence
+//     database and each job's L1/L2 scans fan out per shard.
 //
 //   - An async job manager (jobs.go): a bounded worker pool drains a
 //     bounded queue of mining jobs. Jobs move through the states queued →
 //     running → done | failed | cancelled; per-job progress is sourced
 //     from the miner's per-level stats via Options.Progress, and
 //     cancellation is real — DELETE propagates context cancellation into
-//     core.Mine, which stops between verification units and returns
-//     ctx.Err().
+//     the miner, which stops between verification units and returns
+//     ctx.Err(). A worker budget divides GOMAXPROCS among running jobs
+//     at admission (max(1, total/running), capped by the request), so a
+//     full pool of max-worker jobs no longer oversubscribes the CPU by
+//     the pool size.
 //
 //   - A JSON/NDJSON HTTP API (server.go) built on net/http only:
 //
-//     POST   /datasets                upload a CSV dataset (?name=, ?format=numeric|symbolic, ?threshold=)
+//     POST   /datasets                upload a CSV dataset (?name=, ?format=numeric|symbolic, ?threshold=, ?shards=)
 //     GET    /datasets                list datasets
 //     GET    /datasets/{id}           dataset detail
 //     DELETE /datasets/{id}           drop a dataset
@@ -37,4 +44,28 @@
 // Pattern pages reuse the stable export document shapes of the root
 // package (ftpm.PatternJSON), so service responses and CLI -json output
 // stay interchangeable.
+//
+// # Sharding
+//
+// Shard layout: a dataset's sequence database is partitioned round-robin
+// over sequences — global sequence i lives in shard i%K at local
+// position i/K. All shards share one event vocabulary, and ingestion
+// (column parsing, symbolization, window cutting) runs concurrently per
+// shard.
+//
+// Merge invariants: every sequence belongs to exactly one shard and
+// every per-shard structure is keyed by the global sequence index, so
+// merging per-shard counts is a disjoint union (bitmaps OR, occurrence
+// maps union, supports add). Support/confidence thresholds apply exactly
+// once, to the merged counts — never per shard — so mined patterns are
+// byte-identical to the unsharded path regardless of K, and nothing is
+// double-counted against minsup.
+//
+// Picking K: the default GOMAXPROCS is right for CPU-bound mining; more
+// shards than cores only adds merge overhead. K=1 reproduces the
+// unsharded path exactly. Dataset responses expose "shards" and the
+// per-shard sequence counts of the most recent conversion, job summaries
+// report the shard split and granted workers, and every job response
+// carries the current queue depth — the metrics-lite view used to verify
+// shard balance and spot backlog.
 package server

@@ -90,11 +90,61 @@ func (req MiningRequest) validate() error {
 	return nil
 }
 
+// workerBudget divides the machine's parallelism among running jobs. The
+// old scheme clamped each job to GOMAXPROCS independently, so a full pool
+// of max-worker jobs oversubscribed the CPU by the pool size; the budget
+// grants each job at admission its fair share of the total —
+// max(1, total/running) — capped by what the job requested. Shares are
+// fixed for a job's lifetime (the miner cannot change parallelism
+// mid-run), so the division is fair at admission rather than continually
+// rebalanced.
+type workerBudget struct {
+	mu     sync.Mutex
+	total  int
+	active int
+}
+
+func newWorkerBudget(total int) *workerBudget {
+	if total < 1 {
+		total = 1
+	}
+	return &workerBudget{total: total}
+}
+
+// acquire admits one job and returns its granted worker count. A
+// non-positive request keeps the job serial (workers 0), matching the
+// library's default; it still counts toward active jobs since a serial
+// job occupies one CPU.
+func (b *workerBudget) acquire(requested int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.active++
+	if requested <= 0 {
+		return 0
+	}
+	share := b.total / b.active
+	if share < 1 {
+		share = 1
+	}
+	if requested < share {
+		return requested
+	}
+	return share
+}
+
+// release returns one job's admission.
+func (b *workerBudget) release() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.active > 0 {
+		b.active--
+	}
+}
+
 // options maps the request onto the library's mining options. The
-// client-supplied worker count is clamped to the machine's parallelism so
-// one request cannot spawn arbitrarily many goroutines; the clamp bounds
-// a single job, so total mining goroutines stay within pool size ×
-// GOMAXPROCS under concurrent jobs.
+// client-supplied worker count is clamped to the machine's parallelism
+// here as a first bound; the job manager's worker budget then divides
+// that parallelism across running jobs at admission (see workerBudget).
 func (req MiningRequest) options() ftpm.Options {
 	workers := req.Workers
 	if max := runtime.GOMAXPROCS(0); workers > max {
@@ -140,16 +190,24 @@ type Progress struct {
 	Patterns int `json:"patterns"`
 }
 
-// JobSummary reports the headline numbers of a completed job.
+// JobSummary reports the headline numbers of a completed job. Shards and
+// ShardSeqs mirror the sharded run's partition (absent for unsharded
+// datasets); Workers is the worker count the budget granted the job.
 type JobSummary struct {
 	Sequences      int     `json:"sequences"`
 	FrequentEvents int     `json:"frequent_events"`
 	Patterns       int     `json:"patterns"`
+	Shards         int     `json:"shards,omitempty"`
+	ShardSeqs      []int   `json:"shard_sequences,omitempty"`
+	Workers        int     `json:"workers,omitempty"`
 	Mu             float64 `json:"mu,omitempty"`
 	DurationMillis int64   `json:"duration_ms"`
 }
 
-// JobInfo is the JSON snapshot of a job.
+// JobInfo is the JSON snapshot of a job. QueueDepth is the number of
+// jobs waiting for a worker at snapshot time — a service-level gauge
+// stamped onto every job response so operators can spot backlog without
+// a separate metrics endpoint.
 type JobInfo struct {
 	ID         string      `json:"id"`
 	DatasetID  string      `json:"dataset_id"`
@@ -158,6 +216,7 @@ type JobInfo struct {
 	CreatedAt  time.Time   `json:"created_at"`
 	StartedAt  *time.Time  `json:"started_at,omitempty"`
 	FinishedAt *time.Time  `json:"finished_at,omitempty"`
+	QueueDepth int         `json:"queue_depth"`
 	Progress   Progress    `json:"progress"`
 	Summary    *JobSummary `json:"summary,omitempty"`
 }
@@ -220,6 +279,7 @@ type jobManager struct {
 	stop    context.CancelFunc
 	queue   chan *job
 	wg      sync.WaitGroup
+	budget  *workerBudget
 
 	mu     sync.Mutex
 	closed bool
@@ -234,6 +294,7 @@ func newJobManager(workers, queueDepth int) *jobManager {
 		baseCtx: ctx,
 		stop:    cancel,
 		queue:   make(chan *job, queueDepth),
+		budget:  newWorkerBudget(runtime.GOMAXPROCS(0)),
 		byID:    make(map[string]*job),
 	}
 	for i := 0; i < workers; i++ {
@@ -310,9 +371,11 @@ func (m *jobManager) list() []JobInfo {
 		byID[i] = m.byID[id]
 	}
 	m.mu.Unlock()
+	depth := len(m.queue)
 	out := make([]JobInfo, len(byID))
 	for i, j := range byID {
 		out[i] = j.snapshot()
+		out[i].QueueDepth = depth
 	}
 	return out
 }
@@ -367,6 +430,11 @@ func (m *jobManager) run(j *job) {
 	defer cancel()
 
 	opt := j.req.options()
+	// The worker budget divides GOMAXPROCS among running jobs: the grant
+	// replaces the per-job clamp for the lifetime of this run.
+	workers := m.budget.acquire(opt.Workers)
+	defer m.budget.release()
+	opt.Workers = workers
 	opt.Progress = func(ls ftpm.LevelStats) {
 		j.mu.Lock()
 		if ls.K > j.progress.Level {
@@ -382,14 +450,21 @@ func (m *jobManager) run(j *job) {
 	var res *ftpm.Result
 	var err error
 	if j.req.Approx != nil {
-		// A-HTPGM needs the symbolic database for its NMI analysis.
+		// A-HTPGM needs the symbolic database for its NMI analysis. The
+		// dataset's shard width carries over, so the exact mining inside
+		// the approximate run is sharded too.
+		opt.Shards = j.ds.shards
 		res, err = ftpm.MineSymbolic(ctx, j.ds.sdb, opt)
 	} else {
-		// Exact runs reuse the dataset's cached sequence database.
-		var db *ftpm.SequenceDB
-		db, err = j.ds.sequences(j.req.splitOptions())
+		// Exact runs reuse the dataset's cached sharded sequence database.
+		var ss *shardedSeqs
+		ss, err = j.ds.sequences(j.req.splitOptions())
 		if err == nil {
-			res, err = ftpm.Mine(ctx, db, opt)
+			if len(ss.shards) > 1 {
+				res, err = ftpm.MineSharded(ctx, ss.shards, opt)
+			} else {
+				res, err = ftpm.Mine(ctx, ss.shards[0], opt)
+			}
 		}
 	}
 
@@ -411,10 +486,20 @@ func (m *jobManager) run(j *job) {
 			Sequences:      res.Stats.Sequences,
 			FrequentEvents: len(res.Singles),
 			Patterns:       len(res.Patterns),
+			Shards:         res.Stats.Shards,
+			ShardSeqs:      res.Stats.ShardSequences,
+			Workers:        workers,
 			Mu:             res.Mu,
 			DurationMillis: res.Stats.Duration.Milliseconds(),
 		}
 	}
+}
+
+// info snapshots a job and stamps the current queue depth onto it.
+func (m *jobManager) info(j *job) JobInfo {
+	in := j.snapshot()
+	in.QueueDepth = len(m.queue)
+	return in
 }
 
 // close stops the pool: running jobs are cancelled, queued jobs are

@@ -9,18 +9,41 @@ import (
 )
 
 // Dataset is one ingested, symbolized dataset held by the registry. The
-// symbolic database is immutable after ingestion; the DSYB→DSEQ
-// conversion is cached per window geometry so concurrent exact-mining
-// jobs over the same split share one sequence database.
+// symbolic database is immutable after ingestion. The dataset is
+// partitioned into `shards` round-robin shards at mining time: the
+// DSYB→DSEQ conversion is cached per window geometry as a shard set
+// (window i of the split lives in shard i%K), so concurrent exact-mining
+// jobs over the same split share one sharded sequence database and every
+// job fans its L1/L2 scans out per shard.
 type Dataset struct {
 	id        string
 	name      string
 	createdAt time.Time
 	sdb       *ftpm.SymbolicDB
+	shards    int // partition width K; >= 1, fixed at upload
 
 	mu       sync.Mutex
-	seqCache map[string]*ftpm.SequenceDB
+	seqCache map[string]*shardedSeqs
 	seqKeys  []string // cache keys, oldest first
+	// lastShardSeqs is the per-shard sequence count of the most recently
+	// built geometry — the shard-balance view of DatasetInfo.
+	lastShardSeqs []int
+}
+
+// shardedSeqs is one cached DSYB→DSEQ conversion: the round-robin shard
+// set of one window geometry. With shards == 1 the single element is the
+// full (unsharded) sequence database.
+type shardedSeqs struct {
+	shards []*ftpm.SequenceDB
+}
+
+// counts returns the per-shard sequence counts.
+func (ss *shardedSeqs) counts() []int {
+	out := make([]int, len(ss.shards))
+	for i, sh := range ss.shards {
+		out[i] = sh.Size()
+	}
+	return out
 }
 
 // maxSeqCache bounds how many window geometries one dataset caches: each
@@ -28,7 +51,10 @@ type Dataset struct {
 // so the cache must not grow with request variety.
 const maxSeqCache = 8
 
-// DatasetInfo is the JSON view of a dataset.
+// DatasetInfo is the JSON view of a dataset. ShardSeqs reports the
+// per-shard sequence counts of the most recently converted window
+// geometry (empty until a first exact job converts one) so operators and
+// the bench job can verify shard balance.
 type DatasetInfo struct {
 	ID        string    `json:"id"`
 	Name      string    `json:"name"`
@@ -36,6 +62,8 @@ type DatasetInfo struct {
 	Samples   int       `json:"samples"`
 	Start     int64     `json:"start"`
 	Step      int64     `json:"step"`
+	Shards    int       `json:"shards"`
+	ShardSeqs []int     `json:"shard_sequences,omitempty"`
 	CreatedAt time.Time `json:"created_at"`
 }
 
@@ -44,6 +72,9 @@ func (d *Dataset) info() DatasetInfo {
 	for i, s := range d.sdb.Series {
 		names[i] = s.Name
 	}
+	d.mu.Lock()
+	shardSeqs := append([]int(nil), d.lastShardSeqs...)
+	d.mu.Unlock()
 	return DatasetInfo{
 		ID:        d.id,
 		Name:      d.name,
@@ -51,29 +82,32 @@ func (d *Dataset) info() DatasetInfo {
 		Samples:   d.sdb.Len(),
 		Start:     d.sdb.Start(),
 		Step:      d.sdb.Step(),
+		Shards:    d.shards,
+		ShardSeqs: shardSeqs,
 		CreatedAt: d.createdAt,
 	}
 }
 
-// sequences returns the dataset converted to DSEQ under the given window
-// geometry, reusing the cached conversion when one exists. The build runs
-// outside the lock so a slow conversion never blocks cache hits on other
-// geometries; two jobs racing on the same new geometry may both build it
-// (identical results — the second insert wins), which is cheaper than
-// serializing every caller behind one mutex.
-func (d *Dataset) sequences(opt ftpm.SplitOptions) (*ftpm.SequenceDB, error) {
+// sequences returns the dataset converted to a sharded DSEQ under the
+// given window geometry, reusing the cached conversion when one exists.
+// The build runs outside the lock so a slow conversion never blocks cache
+// hits on other geometries; two jobs racing on the same new geometry may
+// both build it (identical results — the second insert wins), which is
+// cheaper than serializing every caller behind one mutex.
+func (d *Dataset) sequences(opt ftpm.SplitOptions) (*shardedSeqs, error) {
 	key := fmt.Sprintf("%d|%d|%d", opt.WindowLength, opt.NumWindows, opt.Overlap)
 	d.mu.Lock()
-	if db, ok := d.seqCache[key]; ok {
+	if ss, ok := d.seqCache[key]; ok {
 		d.mu.Unlock()
-		return db, nil
+		return ss, nil
 	}
 	d.mu.Unlock()
 
-	db, err := ftpm.BuildSequences(d.sdb, opt)
+	shards, err := ftpm.BuildShardedSequences(d.sdb, opt, d.shards)
 	if err != nil {
 		return nil, err
 	}
+	ss := &shardedSeqs{shards: shards}
 
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -84,9 +118,10 @@ func (d *Dataset) sequences(opt ftpm.SplitOptions) (*ftpm.SequenceDB, error) {
 		delete(d.seqCache, d.seqKeys[0])
 		d.seqKeys = d.seqKeys[1:]
 	}
-	d.seqCache[key] = db
+	d.seqCache[key] = ss
 	d.seqKeys = append(d.seqKeys, key)
-	return db, nil
+	d.lastShardSeqs = ss.counts()
+	return ss, nil
 }
 
 // registry holds the ingested datasets, keyed by their assigned ids.
@@ -101,7 +136,10 @@ func newRegistry() *registry {
 	return &registry{byID: make(map[string]*Dataset)}
 }
 
-func (r *registry) add(name string, sdb *ftpm.SymbolicDB) *Dataset {
+func (r *registry) add(name string, sdb *ftpm.SymbolicDB, shards int) *Dataset {
+	if shards < 1 {
+		shards = 1
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.seq++
@@ -110,7 +148,8 @@ func (r *registry) add(name string, sdb *ftpm.SymbolicDB) *Dataset {
 		name:      name,
 		createdAt: time.Now(),
 		sdb:       sdb,
-		seqCache:  make(map[string]*ftpm.SequenceDB),
+		shards:    shards,
+		seqCache:  make(map[string]*shardedSeqs),
 	}
 	r.byID[d.id] = d
 	r.ids = append(r.ids, d.id)

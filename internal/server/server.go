@@ -12,6 +12,7 @@ import (
 
 	"ftpm"
 	"ftpm/internal/csvio"
+	"ftpm/internal/par"
 )
 
 // Options configures a Server.
@@ -30,6 +31,11 @@ type Options struct {
 	// explicit zero threshold is distinguishable from unset; nil defaults
 	// to 0.05, the CLI's default.
 	DefaultThreshold *float64
+	// DefaultShards is the shard count applied to uploads that do not pass
+	// ?shards=. Defaults to GOMAXPROCS: ingestion and mining then
+	// parallelize across the machine by default, with results identical to
+	// one shard.
+	DefaultShards int
 	// Logger, when non-nil, receives one line per request and job
 	// transition.
 	Logger *log.Logger
@@ -57,6 +63,12 @@ func New(opts Options) *Server {
 	if opts.DefaultThreshold == nil {
 		v := 0.05
 		opts.DefaultThreshold = &v
+	}
+	if opts.DefaultShards <= 0 {
+		opts.DefaultShards = runtime.GOMAXPROCS(0)
+	}
+	if opts.DefaultShards > maxShards {
+		opts.DefaultShards = maxShards
 	}
 	return &Server{
 		opts: opts,
@@ -132,9 +144,16 @@ func (s *Server) routeDatasets(w http.ResponseWriter, r *http.Request, rest []st
 	}
 }
 
+// maxShards bounds the client-supplied shard count: shards are
+// goroutines at ingestion and mining fan-out, so the count must not grow
+// with request variety.
+const maxShards = 64
+
 // handleUploadDataset ingests one CSV upload: the body streams through
-// the csvio reader, numeric input is symbolized once with the On/Off
-// threshold mapper, and the resulting symbolic database is registered.
+// the csvio reader in column chunks, numeric input is symbolized
+// concurrently (one On/Off mapping per series, fanned over the shard
+// count), and the resulting symbolic database is registered with its
+// shard width for sharded mining.
 func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	name := q.Get("name")
@@ -144,6 +163,15 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 	format := q.Get("format")
 	if format == "" {
 		format = "numeric"
+	}
+	shards := s.opts.DefaultShards
+	if v := q.Get("shards"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > maxShards {
+			writeError(w, http.StatusBadRequest, "bad shards %q (want 1..%d)", v, maxShards)
+			return
+		}
+		shards = n
 	}
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
 
@@ -160,11 +188,9 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		var series []*ftpm.TimeSeries
-		series, err = csvio.ReadNumeric(body)
+		series, err = csvio.ReadNumericChunked(body, shards)
 		if err == nil {
-			sdb, err = ftpm.Symbolize(series, func(string) ftpm.Symbolizer {
-				return ftpm.OnOff(threshold)
-			})
+			sdb, err = symbolizeConcurrent(series, threshold, shards)
 		}
 	case "symbolic":
 		sdb, err = csvio.ReadSymbolic(body)
@@ -182,9 +208,27 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ds := s.reg.add(name, sdb)
-	s.logf("dataset %s ingested: %q, %d series, %d samples", ds.id, name, len(sdb.Series), sdb.Len())
+	ds := s.reg.add(name, sdb, shards)
+	s.logf("dataset %s ingested: %q, %d series, %d samples, %d shards", ds.id, name, len(sdb.Series), sdb.Len(), shards)
 	writeJSON(w, http.StatusCreated, ds.info())
+}
+
+// symbolizeConcurrent applies the On/Off threshold mapper to every series
+// concurrently, bounded by workers goroutines. Symbolization is
+// per-series independent, so the output is identical to the serial
+// ftpm.Symbolize.
+func symbolizeConcurrent(series []*ftpm.TimeSeries, threshold float64, workers int) (*ftpm.SymbolicDB, error) {
+	if workers > len(series) {
+		workers = len(series)
+	}
+	if workers <= 1 {
+		return ftpm.Symbolize(series, func(string) ftpm.Symbolizer { return ftpm.OnOff(threshold) })
+	}
+	out := make([]*ftpm.SymbolicSeries, len(series))
+	par.For(len(series), workers, func(i int) {
+		out[i] = series[i].Symbolize(ftpm.OnOff(threshold))
+	})
+	return ftpm.NewSymbolicDB(out...)
 }
 
 func (s *Server) routeJobs(w http.ResponseWriter, r *http.Request, rest []string) {
@@ -199,7 +243,7 @@ func (s *Server) routeJobs(w http.ResponseWriter, r *http.Request, rest []string
 			writeError(w, http.StatusNotFound, "no such job: %s", rest[0])
 			return
 		}
-		writeJSON(w, http.StatusOK, j.snapshot())
+		writeJSON(w, http.StatusOK, s.jobs.info(j))
 	case len(rest) == 1 && r.Method == http.MethodDelete:
 		j, ok := s.jobs.cancelJob(rest[0])
 		if !ok {
@@ -207,7 +251,7 @@ func (s *Server) routeJobs(w http.ResponseWriter, r *http.Request, rest []string
 			return
 		}
 		s.logf("job %s cancellation requested", rest[0])
-		writeJSON(w, http.StatusAccepted, j.snapshot())
+		writeJSON(w, http.StatusAccepted, s.jobs.info(j))
 	case len(rest) == 2 && rest[1] == "patterns" && r.Method == http.MethodGet:
 		s.handlePatterns(w, r, rest[0])
 	case len(rest) == 2 && rest[1] == "result" && r.Method == http.MethodGet:
@@ -241,7 +285,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	}
 	s.logf("job %s submitted on %s (σ=%v δ=%v approx=%v)",
 		j.id, req.DatasetID, req.MinSupport, req.MinConfidence, req.Approx != nil)
-	writeJSON(w, http.StatusAccepted, j.snapshot())
+	writeJSON(w, http.StatusAccepted, s.jobs.info(j))
 }
 
 // patternsPage is the JSON body of GET /jobs/{id}/patterns.

@@ -376,7 +376,7 @@ func TestSequenceCacheReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds := reg.add("a", sdb)
+	ds := reg.add("a", sdb, 2)
 
 	opt := ftpm.SplitOptions{NumWindows: 2}
 	db1, err := ds.sequences(opt)
@@ -389,6 +389,9 @@ func TestSequenceCacheReuse(t *testing.T) {
 	}
 	if db1 != db2 {
 		t.Fatal("same geometry must reuse the cached sequence database")
+	}
+	if len(db1.shards) != 2 {
+		t.Fatalf("conversion produced %d shards, want 2", len(db1.shards))
 	}
 	db3, err := ds.sequences(ftpm.SplitOptions{NumWindows: 4})
 	if err != nil {
@@ -463,7 +466,7 @@ func TestTerminalJobEviction(t *testing.T) {
 	// direct control over terminal states.
 	m := newJobManager(0, maxRetainedJobs+200)
 	defer m.close()
-	ds := &Dataset{id: "d", seqCache: map[string]*ftpm.SequenceDB{}}
+	ds := &Dataset{id: "d", shards: 1, seqCache: map[string]*shardedSeqs{}}
 	req := MiningRequest{DatasetID: "d", MinSupport: 0.5, NumWindows: 2}
 	total := maxRetainedJobs + 100
 	for i := 0; i < total; i++ {
@@ -496,5 +499,137 @@ func TestWorkersClamped(t *testing.T) {
 	opt := MiningRequest{Workers: 1 << 20}.options()
 	if opt.Workers > runtime.GOMAXPROCS(0) {
 		t.Fatalf("workers not clamped: %d", opt.Workers)
+	}
+}
+
+// TestShardedDatasetMatchesUnsharded uploads the same CSV with shard
+// widths 1 and 4 and mines both with identical parameters: the result
+// documents must be equal, and the sharded dataset/job responses must
+// carry the shard metrics.
+func TestShardedDatasetMatchesUnsharded(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 2})
+
+	plain := uploadCSV(t, ts.URL, "name=plain&threshold=0.5&shards=1", smallCSV())
+	sharded := uploadCSV(t, ts.URL, "name=sharded&threshold=0.5&shards=4", smallCSV())
+	if plain.Shards != 1 || sharded.Shards != 4 {
+		t.Fatalf("dataset shard counts = %d, %d; want 1, 4", plain.Shards, sharded.Shards)
+	}
+
+	mine := func(dsID string) (JobInfo, ftpm.ResultJSON) {
+		body, _ := json.Marshal(MiningRequest{
+			DatasetID: dsID, MinSupport: 0.2, MinConfidence: 0,
+			NumWindows: 6, MaxPatternSize: 3, Workers: 2,
+		})
+		var job JobInfo
+		if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", bytes.NewReader(body), &job); code != http.StatusAccepted {
+			t.Fatalf("submit on %s: status %d", dsID, code)
+		}
+		done := waitState(t, ts.URL, job.ID, 30*time.Second, func(j JobInfo) bool { return j.State.Terminal() })
+		if done.State != JobDone {
+			t.Fatalf("job on %s finished as %s (%s)", dsID, done.State, done.Error)
+		}
+		var doc ftpm.ResultJSON
+		if code := doJSON(t, http.MethodGet, ts.URL+"/jobs/"+job.ID+"/result", nil, &doc); code != 200 {
+			t.Fatalf("result: status %d", code)
+		}
+		return done, doc
+	}
+
+	plainJob, plainDoc := mine(plain.ID)
+	shardJob, shardDoc := mine(sharded.ID)
+
+	a, _ := json.Marshal(plainDoc)
+	b, _ := json.Marshal(shardDoc)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("sharded result differs from unsharded:\n%s\nvs\n%s", a, b)
+	}
+
+	if plainJob.Summary.Shards != 0 {
+		t.Fatalf("unsharded job reports %d shards", plainJob.Summary.Shards)
+	}
+	if shardJob.Summary.Shards != 4 || len(shardJob.Summary.ShardSeqs) != 4 {
+		t.Fatalf("sharded job summary = %+v, want 4 shards", shardJob.Summary)
+	}
+	total := 0
+	for _, n := range shardJob.Summary.ShardSeqs {
+		total += n
+	}
+	if total != shardJob.Summary.Sequences {
+		t.Fatalf("shard sequence counts %v do not sum to %d", shardJob.Summary.ShardSeqs, shardJob.Summary.Sequences)
+	}
+
+	// After a conversion, the dataset view exposes the shard balance.
+	var after DatasetInfo
+	if code := doJSON(t, http.MethodGet, ts.URL+"/datasets/"+sharded.ID, nil, &after); code != 200 {
+		t.Fatalf("dataset detail: status %d", code)
+	}
+	if len(after.ShardSeqs) != 4 {
+		t.Fatalf("dataset shard_sequences = %v, want 4 entries", after.ShardSeqs)
+	}
+}
+
+func TestUploadShardsValidation(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 1})
+	for _, q := range []string{"shards=0", "shards=-2", "shards=65", "shards=wat"} {
+		code := doJSON(t, http.MethodPost, ts.URL+"/datasets?threshold=0.5&"+q, strings.NewReader(smallCSV()), nil)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", q, code)
+		}
+	}
+}
+
+func TestWorkerBudget(t *testing.T) {
+	b := newWorkerBudget(8)
+	if got := b.acquire(8); got != 8 {
+		t.Fatalf("sole job granted %d workers, want 8", got)
+	}
+	if got := b.acquire(8); got != 4 {
+		t.Fatalf("second job granted %d workers, want 4", got)
+	}
+	if got := b.acquire(2); got != 2 {
+		t.Fatalf("small request granted %d workers, want its own 2", got)
+	}
+	if got := b.acquire(0); got != 0 {
+		t.Fatalf("serial request granted %d workers, want 0", got)
+	}
+	for i := 0; i < 10; i++ {
+		if got := b.acquire(8); got < 1 {
+			t.Fatalf("oversubscribed pool granted %d workers, want >= 1", got)
+		}
+	}
+	for i := 0; i < 14; i++ {
+		b.release()
+	}
+	if got := b.acquire(8); got != 8 {
+		t.Fatalf("after releases, sole job granted %d workers, want 8", got)
+	}
+	// release never drives active negative.
+	b.release()
+	b.release()
+	if got := b.acquire(8); got != 8 {
+		t.Fatalf("budget corrupted by extra release: granted %d", got)
+	}
+}
+
+func TestQueueDepthExposed(t *testing.T) {
+	// No workers: everything submitted stays queued.
+	m := newJobManager(0, 8)
+	defer m.close()
+	ds := &Dataset{id: "d", shards: 1, seqCache: map[string]*shardedSeqs{}}
+	req := MiningRequest{DatasetID: "d", MinSupport: 0.5, NumWindows: 2}
+	var last *job
+	for i := 0; i < 3; i++ {
+		j, err := m.submit(ds, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = j
+	}
+	if info := m.info(last); info.QueueDepth != 3 {
+		t.Fatalf("queue_depth = %d, want 3", info.QueueDepth)
+	}
+	list := m.list()
+	if len(list) != 3 || list[0].QueueDepth != 3 {
+		t.Fatalf("list queue_depth = %+v", list)
 	}
 }

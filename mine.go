@@ -55,6 +55,14 @@ type Options struct {
 	// Approx, when non-nil, runs A-HTPGM instead of E-HTPGM.
 	Approx *ApproxOptions
 
+	// Shards partitions the sequence database round-robin into this many
+	// shards (0 or 1 = unsharded): the DSYB→DSEQ conversion and L1/L2
+	// support counting then run shard-local and merge deterministically,
+	// with results byte-identical to the unsharded run. Only honoured by
+	// MineSymbolic (Mine takes a prebuilt SequenceDB; use MineSharded for
+	// prebuilt shards).
+	Shards int
+
 	// Pruning selects the E-HTPGM pruning ablation; the zero value
 	// applies all pruning techniques.
 	Pruning PruningMode
@@ -133,6 +141,24 @@ func Mine(ctx context.Context, db *SequenceDB, opt Options) (*Result, error) {
 	return &Result{Singles: res.Singles, Patterns: res.Patterns, Stats: res.Stats, DB: db}, nil
 }
 
+// MineSharded runs E-HTPGM (exact) over an already-sharded sequence
+// database — shards as produced by BuildShardedSequences or
+// SequenceDB.ShardRoundRobin, sharing one vocabulary. L1/L2 support
+// counting runs shard-local before a deterministic merge; the mined
+// patterns and supports are byte-identical to Mine over the merged
+// database. Options.Approx is rejected here for the same reason as in
+// Mine; use MineSymbolic with Options.Shards for sharded A-HTPGM.
+func MineSharded(ctx context.Context, shards []*SequenceDB, opt Options) (*Result, error) {
+	if opt.Approx != nil {
+		return nil, fmt.Errorf("ftpm: MineSharded is exact-only; use MineSymbolic with Options.Shards for A-HTPGM")
+	}
+	res, merged, err := core.MineSharded(ctx, shards, opt.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Singles: res.Singles, Patterns: res.Patterns, Stats: res.Stats, DB: merged}, nil
+}
+
 // MineSymbolic runs the full FTPMfTS process on a symbolic database:
 // conversion to DSEQ followed by E-HTPGM, or A-HTPGM when Options.Approx
 // is set.
@@ -140,12 +166,8 @@ func Mine(ctx context.Context, db *SequenceDB, opt Options) (*Result, error) {
 // Cancelling ctx aborts the mining phase between verification units and
 // returns ctx.Err(); a nil ctx is treated as context.Background().
 func MineSymbolic(ctx context.Context, sdb *SymbolicDB, opt Options) (*Result, error) {
-	db, err := BuildSequences(sdb, opt.splitOptions())
-	if err != nil {
-		return nil, err
-	}
 	cfg := opt.coreConfig()
-	out := &Result{DB: db}
+	out := &Result{}
 	if a := opt.Approx; a != nil {
 		if (a.Mu > 0) == (a.Density > 0) {
 			return nil, fmt.Errorf("ftpm: ApproxOptions requires exactly one of Mu or Density")
@@ -196,6 +218,31 @@ func MineSymbolic(ctx context.Context, sdb *SymbolicDB, opt Options) (*Result, e
 			out.Mu = mu
 		}
 	}
+
+	if opt.Shards > 1 {
+		// Sharded conversion + mining: per-shard window cutting and L1/L2
+		// counting, merged deterministically. The correlation filters above
+		// apply unchanged — they gate candidates, not sequences.
+		shards, err := BuildShardedSequences(sdb, opt.splitOptions(), opt.Shards)
+		if err != nil {
+			return nil, err
+		}
+		res, merged, err := core.MineSharded(ctx, shards, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.DB = merged
+		out.Singles = res.Singles
+		out.Patterns = res.Patterns
+		out.Stats = res.Stats
+		return out, nil
+	}
+
+	db, err := BuildSequences(sdb, opt.splitOptions())
+	if err != nil {
+		return nil, err
+	}
+	out.DB = db
 	res, err := core.Mine(ctx, db, cfg)
 	if err != nil {
 		return nil, err
