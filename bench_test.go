@@ -12,6 +12,7 @@ package ftpm_test
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"ftpm"
@@ -114,6 +115,90 @@ func BenchmarkEndToEndPaperExample(b *testing.B) {
 			b.Fatal("no patterns")
 		}
 	}
+}
+
+// approxJobDB builds the cold/warm benchmark dataset: enough series and
+// samples that the pairwise NMI analysis and the DSEQ conversion — the
+// artifacts a Prepared caches — dominate one approximate job, while the
+// long symbol runs keep the mining phase itself small.
+func approxJobDB(b *testing.B) *ftpm.SymbolicDB {
+	b.Helper()
+	const nSeries, nSamples = 48, 8192
+	series := make([]*ftpm.TimeSeries, nSeries)
+	for s := 0; s < nSeries; s++ {
+		vals := make([]float64, nSamples)
+		period := 128 + 32*(s%9)
+		phase := (s * 5) % period
+		for i := range vals {
+			if ((i+phase)/period)%2 == 0 {
+				vals[i] = 1
+			}
+		}
+		ts, err := ftpm.NewTimeSeries(fmt.Sprintf("S%02d", s), 0, 1, vals)
+		if err != nil {
+			b.Fatal(err)
+		}
+		series[s] = ts
+	}
+	sdb, err := ftpm.Symbolize(series, func(string) ftpm.Symbolizer { return ftpm.OnOff(0.5) })
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sdb
+}
+
+// BenchmarkApproxJobColdVsWarm measures what the prepared-dataset engine
+// saves on repeat A-HTPGM jobs: "cold" prepares a fresh handle per job
+// (DSEQ conversion + O(n²) pairwise NMI + mining, the old per-job cost),
+// "warm" reuses one Prepared so only the threshold resolution and the
+// mining itself run. CI asserts warm is at least 3× faster than cold on
+// any core count — cache reuse does not depend on parallelism (the
+// "always" speedup spec in .github/workflows/ci.yml).
+func BenchmarkApproxJobColdVsWarm(b *testing.B) {
+	sdb := approxJobDB(b)
+	split := ftpm.SplitOptions{NumWindows: 16}
+	opt := ftpm.Options{
+		MinSupport: 0.5, MinConfidence: 0,
+		NumWindows: 16, MaxPatternSize: 2,
+		Approx: &ftpm.ApproxOptions{Density: 0.05},
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p, err := ftpm.Prepare(sdb, split, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := p.Mine(context.Background(), opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Graph == nil {
+				b.Fatal("no correlation graph")
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		p, err := ftpm.Prepare(sdb, split, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Mine(context.Background(), opt); err != nil { // prime the caches
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := p.Mine(context.Background(), opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Cache.DSEQ || !res.Cache.NMI {
+				b.Fatalf("warm run missed the caches: %+v", res.Cache)
+			}
+		}
+	})
 }
 
 // BenchmarkEndToEndApprox measures the A-HTPGM pipeline including NMI

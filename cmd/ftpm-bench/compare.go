@@ -9,10 +9,11 @@ package main
 // Cross-hardware ns/op comparison is meaningless, so the regression gate
 // only applies when the baseline and current runs report the same `cpu:`
 // line; otherwise the gate is skipped with a warning (refresh the
-// baseline on the new hardware to re-arm it). The speedup assertion
-// compares two benchmarks of the same run — hardware-independent — but is
-// only enforced when the run had GOMAXPROCS > 1, since a parallel variant
-// cannot beat a serial one on a single core.
+// baseline on the new hardware to re-arm it). Speedup assertions compare
+// two benchmarks of the same run — hardware-independent — but by default
+// are only enforced when the run had GOMAXPROCS > 1, since a parallel
+// variant cannot beat a serial one on a single core; a spec's trailing
+// "always" enforces it on any core count (cache-reuse ratios).
 
 import (
 	"encoding/json"
@@ -131,11 +132,21 @@ type compareJSON struct {
 	Tolerance     float64          `json:"tolerance"`
 	Benchmarks    []comparisonJSON `json:"benchmarks"`
 	Regressions   []string         `json:"regressions"`
-	Speedup       *speedupJSON     `json:"speedup,omitempty"`
+	Speedups      []speedupJSON    `json:"speedups,omitempty"`
+}
+
+// speedupFlags collects repeated -speedup specs.
+type speedupFlags []string
+
+func (f *speedupFlags) String() string { return strings.Join(*f, "; ") }
+
+func (f *speedupFlags) Set(v string) error {
+	*f = append(*f, v)
+	return nil
 }
 
 // runCompare executes the compare mode and returns the process exit code.
-func runCompare(baselinePath, currentPath string, tolerance float64, speedupSpec, jsonOut string) int {
+func runCompare(baselinePath, currentPath string, tolerance float64, speedupSpecs []string, jsonOut string) int {
 	base, err := parseBenchFile(baselinePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ftpm-bench: baseline: %v\n", err)
@@ -202,13 +213,13 @@ func runCompare(baselinePath, currentPath string, tolerance float64, speedupSpec
 		fmt.Printf("%-60s %14.0f -> %14.0f ns/op  %.2fx  %s\n", c.Name, c.BaselineNs, c.CurrentNs, c.Ratio, status)
 	}
 
-	if speedupSpec != "" {
-		sp, err := evalSpeedup(cur, speedupSpec)
+	for _, spec := range speedupSpecs {
+		sp, err := evalSpeedup(cur, spec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ftpm-bench: %v\n", err)
 			return 2
 		}
-		doc.Speedup = sp
+		doc.Speedups = append(doc.Speedups, *sp)
 		verdict := "pass"
 		if !sp.Enforced {
 			verdict = "skipped (single-core run)"
@@ -232,12 +243,16 @@ func runCompare(baselinePath, currentPath string, tolerance float64, speedupSpec
 	return 0
 }
 
-// evalSpeedup parses "slowName,fastName,minRatio" and evaluates it
-// against the current run.
+// evalSpeedup parses "slowName,fastName,minRatio[,always]" and evaluates
+// it against the current run. By default the assertion is only enforced
+// on multi-core runs — a parallel variant cannot beat a serial one on a
+// single core; the trailing "always" enforces regardless, for ratios
+// that do not depend on parallelism (e.g. warm-vs-cold cache reuse).
 func evalSpeedup(cur *benchFile, spec string) (*speedupJSON, error) {
 	parts := strings.Split(spec, ",")
-	if len(parts) != 3 {
-		return nil, fmt.Errorf("bad -speedup %q (want slowBench,fastBench,minRatio)", spec)
+	always := len(parts) == 4 && parts[3] == "always"
+	if len(parts) != 3 && !always {
+		return nil, fmt.Errorf("bad -speedup %q (want slowBench,fastBench,minRatio[,always])", spec)
 	}
 	min, err := strconv.ParseFloat(parts[2], 64)
 	if err != nil {
@@ -256,7 +271,7 @@ func evalSpeedup(cur *benchFile, spec string) (*speedupJSON, error) {
 		Fast:     parts[1],
 		Ratio:    slowNs / fastNs,
 		MinRatio: min,
-		Enforced: cur.MaxProcs > 1,
+		Enforced: always || cur.MaxProcs > 1,
 	}
 	sp.Pass = !sp.Enforced || sp.Ratio >= min
 	return sp, nil

@@ -76,6 +76,18 @@ func TestEvalSpeedup(t *testing.T) {
 	if sp.Enforced || !sp.Pass {
 		t.Fatalf("single-core speedup = %+v, want skipped", sp)
 	}
+
+	// ...unless the spec demands enforcement on any core count.
+	sp, err = evalSpeedup(single, "BenchmarkA,BenchmarkB,1.5,always")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sp.Enforced || sp.Pass {
+		t.Fatalf("always-speedup on single core = %+v, want enforced fail", sp)
+	}
+	if _, err := evalSpeedup(single, "BenchmarkA,BenchmarkB,1.5,sometimes"); err == nil {
+		t.Fatal("unknown trailing token must error")
+	}
 }
 
 func TestRunCompareGates(t *testing.T) {
@@ -83,10 +95,10 @@ func TestRunCompareGates(t *testing.T) {
 	regressed := writeBench(t, "cur.txt", `cpu: Test CPU
 BenchmarkFoo-8  1  130000 ns/op
 `)
-	if code := runCompare(base, regressed, 0.20, "", ""); code != 1 {
+	if code := runCompare(base, regressed, 0.20, nil, ""); code != 1 {
 		t.Fatalf("30%% regression returned %d, want 1", code)
 	}
-	if code := runCompare(base, regressed, 0.35, "", ""); code != 0 {
+	if code := runCompare(base, regressed, 0.35, nil, ""); code != 0 {
 		t.Fatalf("regression within tolerance returned %d, want 0", code)
 	}
 
@@ -94,16 +106,29 @@ BenchmarkFoo-8  1  130000 ns/op
 	otherCPU := writeBench(t, "other.txt", `cpu: Other CPU
 BenchmarkFoo-8  1  900000 ns/op
 `)
-	if code := runCompare(base, otherCPU, 0.20, "", ""); code != 0 {
+	if code := runCompare(base, otherCPU, 0.20, nil, ""); code != 0 {
 		t.Fatalf("hardware mismatch returned %d, want 0 (gate skipped)", code)
 	}
 
-	// JSON artifact lands on disk.
+	// JSON artifact lands on disk; multiple -speedup specs all evaluate.
 	out := filepath.Join(t.TempDir(), "BENCH_PR1.json")
-	if code := runCompare(base, base, 0.20, "BenchmarkIngestConvert/serial,BenchmarkIngestConvert/sharded,1.5", out); code != 0 {
+	specs := []string{
+		"BenchmarkIngestConvert/serial,BenchmarkIngestConvert/sharded,1.5",
+		"BenchmarkIngestConvert/serial,BenchmarkFoo,2",
+	}
+	if code := runCompare(base, base, 0.20, specs, out); code != 0 {
 		t.Fatalf("self-compare returned %d, want 0", code)
 	}
 	if _, err := os.Stat(out); err != nil {
 		t.Fatalf("missing JSON artifact: %v", err)
+	}
+
+	// One failing spec among several fails the run.
+	failing := []string{
+		"BenchmarkIngestConvert/serial,BenchmarkIngestConvert/sharded,1.5",
+		"BenchmarkIngestConvert/sharded,BenchmarkIngestConvert/serial,1.5", // inverted: ratio 1/3
+	}
+	if code := runCompare(base, base, 0.20, failing, ""); code != 1 {
+		t.Fatalf("failing speedup spec returned %d, want 1", code)
 	}
 }

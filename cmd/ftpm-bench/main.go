@@ -9,12 +9,13 @@
 //
 // It doubles as the CI benchmark gate: -compare checks a `go test -bench`
 // output against a committed baseline, failing on >tolerance ns/op
-// regressions (same hardware only) and optionally asserting an intra-run
-// speedup ratio:
+// regressions (same hardware only) and optionally asserting intra-run
+// speedup ratios (-speedup is repeatable):
 //
 //	ftpm-bench -compare bench/BASELINE.txt -with bench_pr.txt \
 //	    -tolerance 0.20 -benchjson BENCH_PR42.json \
-//	    -speedup 'BenchmarkIngestConvert/serial,BenchmarkIngestConvert/sharded,1.5'
+//	    -speedup 'BenchmarkIngestConvert/serial,BenchmarkIngestConvert/sharded,1.5' \
+//	    -speedup 'BenchmarkApproxJobColdVsWarm/cold,BenchmarkApproxJobColdVsWarm/warm,3,always'
 //
 // The -scale flag multiplies the dataset sizes; 1.0 reproduces the paper's
 // sequence counts (hours of runtime at the low-threshold cells — the paper
@@ -46,8 +47,9 @@ func main() {
 		compareWith = flag.String("with", "", "current `go test -bench` output to compare against the baseline")
 		tolerance   = flag.Float64("tolerance", 0.20, "compare mode: allowed ns/op regression fraction")
 		benchJSON   = flag.String("benchjson", "", "compare mode: write the comparison document to this JSON file")
-		speedup     = flag.String("speedup", "", "compare mode: assert `slowBench,fastBench,minRatio` within the current run")
 	)
+	var speedups speedupFlags
+	flag.Var(&speedups, "speedup", "compare mode: assert `slowBench,fastBench,minRatio` within the current run (repeatable)")
 	flag.Parse()
 
 	if *compareBase != "" || *compareWith != "" {
@@ -55,7 +57,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ftpm-bench: -compare and -with must be given together")
 			os.Exit(2)
 		}
-		os.Exit(runCompare(*compareBase, *compareWith, *tolerance, *speedup, *benchJSON))
+		os.Exit(runCompare(*compareBase, *compareWith, *tolerance, speedups, *benchJSON))
 	}
 
 	if *list {

@@ -40,6 +40,29 @@
 //
 // Setting Options.Approx enables A-HTPGM; see examples/ for end-to-end
 // programs and cmd/ftpm for the command-line interface.
+//
+// # Prepared datasets
+//
+// The process above is staged — Prepare (fix the dataset geometry),
+// Analyze (derive the DSEQ conversion and pairwise NMI tables), Mine
+// (threshold and search) — and the expensive middle stage depends only
+// on the data and geometry, never on the thresholds. Callers mining the
+// same database repeatedly should build the stages' artifacts once:
+//
+//	prep, _ := ftpm.Prepare(sdb, ftpm.SplitOptions{NumWindows: 24}, shards)
+//	for _, sigma := range []float64{0.2, 0.3, 0.5} {
+//		res, _ := prep.Mine(ctx, ftpm.Options{
+//			MinSupport: sigma, MinConfidence: 0.5,
+//			Approx:     &ftpm.ApproxOptions{Density: 0.6},
+//		})
+//		// res.Cache reports which artifacts the run reused.
+//	}
+//
+// A Prepared memoizes the sharded DSEQ conversion (with its merged view)
+// and the series- and event-level NMI tables; every Mine — exact or
+// approximate, any thresholds — reuses them, so repeat A-HTPGM runs skip
+// the O(n²) mutual-information analysis entirely. MineSymbolic is a thin
+// wrapper over a one-shot Prepared.
 package ftpm
 
 import (
@@ -222,11 +245,18 @@ func CorrelationGraphAt(db *SymbolicDB, mu float64) (*CorrelationGraph, error) {
 // CorrelationGraphByDensity computes the correlation graph whose edge
 // count realizes the expected density (Def 5.6) — the paper's
 // "µ = X% of edges" settings. It returns the graph and the chosen µ.
+// Density 0 is the degenerate sweep endpoint: µ lands just above the
+// largest pairwise NMI, leaving the graph empty unless perfectly
+// correlated pairs force µ's ceiling of 1.
 func CorrelationGraphByDensity(db *SymbolicDB, density float64) (*CorrelationGraph, float64, error) {
 	pw, err := mi.ComputePairwise(db)
 	if err != nil {
 		return nil, 0, err
 	}
+	// Resolved directly rather than through mi.ResolveMu (which rejects
+	// density 0 — a mining run needs a positive µ selector) so the full
+	// 0..100% sweep stays usable here; the clamp mirrors ResolveMu's
+	// (µ ≤ 1, Def 5.4).
 	mu, err := pw.MuForDensity(density)
 	if err != nil {
 		return nil, 0, err

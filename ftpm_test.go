@@ -192,6 +192,15 @@ func TestCorrelationGraphAPI(t *testing.T) {
 	if g2.NumEdges() != g.NumEdges() {
 		t.Error("CorrelationGraphAt(µ) must match the density-derived graph")
 	}
+	// Density 0 — the sweep endpoint — stays usable and yields the empty
+	// graph (no perfectly correlated pairs in Table I).
+	g0, mu0, err := ftpm.CorrelationGraphByDensity(db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g0.NumEdges() != 0 || mu0 <= 0 {
+		t.Errorf("density-0 graph: mu=%v edges=%d, want empty", mu0, g0.NumEdges())
+	}
 	k := db.Find("K")
 	tt := db.Find("T")
 	v, err := ftpm.NMI(k, tt)

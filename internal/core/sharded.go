@@ -34,76 +34,121 @@ type shardInfo struct {
 	masks     []*bitmap.Bitmap // shard -> membership bitmap over global indexes
 }
 
-// MineSharded runs HTPGM over a sharded temporal sequence database. The
+// ShardedView is the prepared state of a sharded mining run: the shards,
+// their merged (global-order) database, and the per-shard membership
+// masks over global sequence indexes. Building it — validation, the
+// round-robin merge, the mask bitmaps — is O(sequences) work that
+// depends only on the shard set, so one view can back any number of
+// MineShardedView runs over the same data (the prepared-dataset engine
+// caches it per window geometry).
+type ShardedView struct {
+	// Shards is the validated shard set the view was built from.
+	Shards []*events.DB
+	// Merged is the global-order reconstruction of the shards; sample
+	// occurrences of mined patterns reference its sequence indexes.
+	Merged *events.DB
+
+	globalIdx [][]int
+	masks     []*bitmap.Bitmap
+}
+
+// SeqCounts returns the per-shard sequence counts.
+func (v *ShardedView) SeqCounts() []int {
+	out := make([]int, len(v.Shards))
+	for i, sh := range v.Shards {
+		out[i] = sh.Size()
+	}
+	return out
+}
+
+// PrepareShards validates a shard set and builds its ShardedView. The
 // shards must share one vocabulary (events.ConvertShards and
-// events.ShardRoundRobin guarantee this); empty shards are allowed. It
-// returns the result — byte-identical to Mine over the merged database —
-// together with the merged database itself (sample occurrences reference
-// its global sequence indexes).
-//
-// Cancellation behaves exactly like Mine: workers stop between
-// verification units and MineSharded returns ctx.Err().
-func MineSharded(ctx context.Context, shards []*events.DB, cfg Config) (*Result, *events.DB, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if err := cfg.Validate(); err != nil {
-		return nil, nil, err
-	}
+// events.ShardRoundRobin guarantee this) and carry positional sequence
+// ids; empty shards are allowed.
+func PrepareShards(shards []*events.DB) (*ShardedView, error) {
 	if len(shards) == 0 {
-		return nil, nil, fmt.Errorf("core: no shards")
+		return nil, fmt.Errorf("core: no shards")
 	}
 	for s, sh := range shards {
 		if sh == nil {
-			return nil, nil, fmt.Errorf("core: shard %d is nil", s)
+			return nil, fmt.Errorf("core: shard %d is nil", s)
 		}
 		for i, seq := range sh.Sequences {
 			if seq.ID != i {
-				return nil, nil, fmt.Errorf("core: shard %d sequence %d carries id %d; ids must be positional", s, i, seq.ID)
+				return nil, fmt.Errorf("core: shard %d sequence %d carries id %d; ids must be positional", s, i, seq.ID)
 			}
 		}
 	}
 	merged, globalIdx, err := events.MergeShards(shards)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if merged.Size() == 0 {
-		return nil, nil, fmt.Errorf("core: empty sequence database")
+		return nil, fmt.Errorf("core: empty sequence database")
 	}
-
-	sh := &shardInfo{shards: shards, globalIdx: globalIdx}
-	sh.masks = make([]*bitmap.Bitmap, len(shards))
+	v := &ShardedView{Shards: shards, Merged: merged, globalIdx: globalIdx}
+	v.masks = make([]*bitmap.Bitmap, len(shards))
 	for s := range shards {
 		mask := bitmap.New(merged.Size())
 		for _, g := range globalIdx[s] {
 			mask.Set(g)
 		}
-		sh.masks[s] = mask
+		v.masks[s] = mask
 	}
+	return v, nil
+}
 
-	m := &miner{
-		db:      merged,
-		cfg:     cfg,
-		rel:     cfg.relations(),
-		n:       merged.Size(),
-		minSupp: cfg.AbsoluteSupport(merged.Size()),
-		graph:   &hpg.Graph{},
-		done:    ctx.Done(),
-		sh:      sh,
+// MineSharded runs HTPGM over a sharded temporal sequence database,
+// returning the result — byte-identical to Mine over the merged database
+// — together with the merged database itself. It prepares the shard view
+// on every call; callers mining the same shard set repeatedly should
+// PrepareShards once and use MineShardedView.
+//
+// Cancellation behaves exactly like Mine: workers stop between
+// verification units and MineSharded returns ctx.Err().
+func MineSharded(ctx context.Context, shards []*events.DB, cfg Config) (*Result, *events.DB, error) {
+	// Validate before preparing: the merge and mask build walk every
+	// sequence, which a bad config should not pay for.
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
 	}
-	m.stats.Sequences = m.n
-	m.stats.AbsoluteSupport = m.minSupp
-	m.stats.Shards = len(shards)
-	m.stats.ShardSequences = make([]int, len(shards))
-	for s, shard := range shards {
-		m.stats.ShardSequences[s] = shard.Size()
-	}
-
-	res, err := m.mineAll(ctx)
+	v, err := PrepareShards(shards)
 	if err != nil {
 		return nil, nil, err
 	}
-	return res, merged, nil
+	res, err := MineShardedView(ctx, v, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, v.Merged, nil
+}
+
+// MineShardedView runs HTPGM over a prepared shard view. The view is
+// read-only during the run, so concurrent runs may share one view.
+func MineShardedView(ctx context.Context, v *ShardedView, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	m := &miner{
+		db:      v.Merged,
+		cfg:     cfg,
+		rel:     cfg.relations(),
+		n:       v.Merged.Size(),
+		minSupp: cfg.AbsoluteSupport(v.Merged.Size()),
+		graph:   &hpg.Graph{},
+		done:    ctx.Done(),
+		sh:      &shardInfo{shards: v.Shards, globalIdx: v.globalIdx, masks: v.masks},
+	}
+	m.stats.Sequences = m.n
+	m.stats.AbsoluteSupport = m.minSupp
+	m.stats.Shards = len(v.Shards)
+	m.stats.ShardSequences = v.SeqCounts()
+
+	return m.mineAll(ctx)
 }
 
 // scanSinglesSharded computes the L1 support bitmaps shard-locally and in

@@ -210,6 +210,29 @@ type SplitOptions struct {
 	Overlap temporal.Duration
 }
 
+// Validate checks the split geometry against the database without
+// converting anything: exactly one of WindowLength and NumWindows must be
+// set, the resolved window must be non-empty, and the overlap must fit
+// inside it. The prepared-dataset façade uses it to reject bad geometry
+// at Prepare time instead of at the first (lazy) conversion.
+func (o SplitOptions) Validate(db *timeseries.SymbolicDB) error {
+	_, err := o.resolve(db)
+	return err
+}
+
+// resolve returns the effective window length after full geometry
+// validation — the shared front half of Convert and ConvertShards.
+func (o SplitOptions) resolve(db *timeseries.SymbolicDB) (temporal.Duration, error) {
+	w, err := o.windowLength(db)
+	if err != nil {
+		return 0, err
+	}
+	if o.Overlap < 0 || o.Overlap >= w {
+		return 0, fmt.Errorf("events: overlap %d out of [0,%d)", o.Overlap, w)
+	}
+	return w, nil
+}
+
 func (o SplitOptions) windowLength(db *timeseries.SymbolicDB) (temporal.Duration, error) {
 	switch {
 	case o.WindowLength > 0 && o.NumWindows > 0:
@@ -298,12 +321,9 @@ func cutWindow(id int, window temporal.Interval, all []seriesRuns) *Sequence {
 // clipped at window boundaries. Consecutive windows overlap by
 // opt.Overlap ticks.
 func Convert(db *timeseries.SymbolicDB, opt SplitOptions) (*DB, error) {
-	w, err := opt.windowLength(db)
+	w, err := opt.resolve(db)
 	if err != nil {
 		return nil, err
-	}
-	if opt.Overlap < 0 || opt.Overlap >= w {
-		return nil, fmt.Errorf("events: overlap %d out of [0,%d)", opt.Overlap, w)
 	}
 
 	vocab, all := buildRuns(db)

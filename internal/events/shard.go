@@ -103,12 +103,9 @@ func ConvertShards(db *timeseries.SymbolicDB, opt SplitOptions, k int) ([]*DB, e
 	if k <= 0 {
 		return nil, fmt.Errorf("events: shard count must be positive, got %d", k)
 	}
-	w, err := opt.windowLength(db)
+	w, err := opt.resolve(db)
 	if err != nil {
 		return nil, err
-	}
-	if opt.Overlap < 0 || opt.Overlap >= w {
-		return nil, fmt.Errorf("events: overlap %d out of [0,%d)", opt.Overlap, w)
 	}
 
 	vocab, all := buildRuns(db)

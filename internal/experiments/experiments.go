@@ -244,12 +244,9 @@ func (ds *dataset) graphForDensity(density float64) (*mi.Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	mu, err := pw.MuForDensity(density)
+	mu, err := mi.ResolveMu(pw, 0, density)
 	if err != nil {
 		return nil, err
-	}
-	if mu > 1 {
-		mu = 1
 	}
 	return pw.Graph(mu)
 }

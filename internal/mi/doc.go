@@ -11,6 +11,12 @@
 // and yields an EventGraph for per-event-pair pruning inside correlated
 // series.
 //
+// Both granularities share one threshold-resolution path: ResolveMu
+// derives µ from either an explicit value or an expected graph density
+// evaluated against a pairwise table. The tables themselves are pure
+// data, independent of µ, which is what lets the prepared-dataset façade
+// compute one table and re-threshold it per query.
+//
 // All logarithms are natural, matching the paper's worked example
 // (I(K;T) = 0.29 for Table I).
 package mi

@@ -214,6 +214,47 @@ func (p *Pairwise) MuForDensity(density float64) (float64, error) {
 	return mu, nil
 }
 
+// DensityThresholder resolves an expected correlation-graph density to
+// the MI threshold µ realizing it. Both pairwise tables (series-level
+// Pairwise, event-level EventPairwise) implement it.
+type DensityThresholder interface {
+	MuForDensity(density float64) (float64, error)
+}
+
+// ValidateSelector checks that exactly one of the two µ selectors — an
+// explicit threshold or an expected graph density — is set. Callers that
+// build pairwise tables lazily should validate before triggering the
+// O(n²) analysis; ResolveMu re-checks it regardless.
+func ValidateSelector(mu, density float64) error {
+	if (mu > 0) == (density > 0) {
+		return fmt.Errorf("mi: exactly one of mu and density must be set")
+	}
+	return nil
+}
+
+// ResolveMu derives the MI threshold µ of one A-HTPGM run from its two
+// mutually exclusive selectors: an explicit µ, or an expected graph
+// density evaluated against the pairwise table (Def 5.6). Exactly one of
+// mu and density must be positive. A density-derived µ is clamped to 1 —
+// MuForDensity can exceed it on degenerate tables (e.g. a single pair of
+// identical series) and Graph rejects µ > 1.
+func ResolveMu(t DensityThresholder, mu, density float64) (float64, error) {
+	if err := ValidateSelector(mu, density); err != nil {
+		return 0, err
+	}
+	if density > 0 {
+		m, err := t.MuForDensity(density)
+		if err != nil {
+			return 0, err
+		}
+		if m > 1 {
+			m = 1
+		}
+		return m, nil
+	}
+	return mu, nil
+}
+
 // Graph is the undirected correlation graph G_C (Def 5.5): vertices are
 // correlated series, edges connect pairs whose NMI meets µ in both
 // directions. It implements the miner's SeriesFilter.

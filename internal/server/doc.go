@@ -9,11 +9,14 @@
 //     the per-column float parsing fanned out over the shard count, and
 //     numeric input is symbolized concurrently (one On/Off mapping per
 //     series). Each dataset carries a shard width K, chosen per upload
-//     via ?shards= (default GOMAXPROCS, capped at 64). The DSYB→DSEQ
-//     conversion is cached per window geometry as a round-robin shard
-//     set — window i of the split lives in shard i%K — so repeated
-//     exact-mining jobs over the same split share one sharded sequence
-//     database and each job's L1/L2 scans fan out per shard.
+//     via ?shards= (default GOMAXPROCS, capped at 64), and a content
+//     fingerprint hashed at ingestion. Mining goes through geometry-keyed
+//     ftpm.Prepared handles: one handle per window geometry owns that
+//     geometry's sharded DSEQ conversion (window i of the split lives in
+//     shard i%K), its merged view, and the memoized pairwise NMI tables,
+//     so every job over the same split — exact, approximate, event-level
+//     — shares the same cached artifacts and a repeat A-HTPGM job
+//     recomputes neither the conversion nor the O(n²) NMI analysis.
 //
 //   - An async job manager (jobs.go): a bounded worker pool drains a
 //     bounded queue of mining jobs. Jobs move through the states queued →
@@ -24,7 +27,12 @@
 //     ctx.Err(). A worker budget divides GOMAXPROCS among running jobs
 //     at admission (max(1, total/running), capped by the request), so a
 //     full pool of max-worker jobs no longer oversubscribes the CPU by
-//     the pool size.
+//     the pool size. Completed jobs are additionally memoized in a
+//     bounded LRU result cache keyed by (dataset fingerprint, canonical
+//     options — worker count excluded, results are byte-identical across
+//     it): a repeat submission returns the cached document without
+//     mining. Job summaries report cache effectiveness as the
+//     dseq_cache / nmi_cache / result_cache booleans.
 //
 //   - A JSON/NDJSON HTTP API (server.go) built on net/http only:
 //
@@ -38,6 +46,7 @@
 //     DELETE /jobs/{id}               cancel a queued or running job
 //     GET    /jobs/{id}/patterns      page through mined patterns (?offset=, ?limit=, ?format=ndjson)
 //     GET    /jobs/{id}/result        the full result document
+//     GET    /metrics                 queue depth, job states, per-job level timings, cumulative cache hit/miss counters
 //     GET    /healthz                 liveness probe
 //
 // Errors are returned as {"error": "..."} with a matching status code.
@@ -64,8 +73,10 @@
 // Picking K: the default GOMAXPROCS is right for CPU-bound mining; more
 // shards than cores only adds merge overhead. K=1 reproduces the
 // unsharded path exactly. Dataset responses expose "shards" and the
-// per-shard sequence counts of the most recent conversion, job summaries
-// report the shard split and granted workers, and every job response
-// carries the current queue depth — the metrics-lite view used to verify
-// shard balance and spot backlog.
+// per-shard sequence counts of the most recently mined geometry, job
+// summaries report the shard split, granted workers and cache hits, and
+// every job response carries the current queue depth; GET /metrics adds
+// the service-wide view — queue depth, job-state counts, per-job level
+// timings sourced from the miner's Progress callback, and the cumulative
+// dseq/nmi/result cache counters.
 package server

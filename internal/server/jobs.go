@@ -193,6 +193,12 @@ type Progress struct {
 // JobSummary reports the headline numbers of a completed job. Shards and
 // ShardSeqs mirror the sharded run's partition (absent for unsharded
 // datasets); Workers is the worker count the budget granted the job.
+// DSEQCache and NMICache report whether the run reused the dataset's
+// cached DSEQ conversion / pairwise NMI table (NMICache is always false
+// for exact jobs, which never consult NMI); ResultCache is true when the
+// whole job was served from the completed-job cache — nothing was mined,
+// DSEQCache/NMICache then read true since nothing was recomputed, and
+// Workers is 0.
 type JobSummary struct {
 	Sequences      int     `json:"sequences"`
 	FrequentEvents int     `json:"frequent_events"`
@@ -200,6 +206,9 @@ type JobSummary struct {
 	Shards         int     `json:"shards,omitempty"`
 	ShardSeqs      []int   `json:"shard_sequences,omitempty"`
 	Workers        int     `json:"workers,omitempty"`
+	DSEQCache      bool    `json:"dseq_cache"`
+	NMICache       bool    `json:"nmi_cache"`
+	ResultCache    bool    `json:"result_cache"`
 	Mu             float64 `json:"mu,omitempty"`
 	DurationMillis int64   `json:"duration_ms"`
 }
@@ -235,9 +244,12 @@ type job struct {
 	startedAt  time.Time
 	finishedAt time.Time
 	progress   Progress
-	cancel     context.CancelFunc
-	doc        *ftpm.ResultJSON
-	summary    *JobSummary
+	// levels records the per-level timings from the miner's Progress
+	// callback; the /metrics endpoint exposes them.
+	levels  []LevelTimingJSON
+	cancel  context.CancelFunc
+	doc     *ftpm.ResultJSON
+	summary *JobSummary
 }
 
 // snapshot returns a consistent JSON view of the job.
@@ -275,11 +287,13 @@ func (j *job) document() (*ftpm.ResultJSON, JobState) {
 // jobManager runs mining jobs on a bounded worker pool over a bounded
 // queue.
 type jobManager struct {
-	baseCtx context.Context
-	stop    context.CancelFunc
-	queue   chan *job
-	wg      sync.WaitGroup
-	budget  *workerBudget
+	baseCtx  context.Context
+	stop     context.CancelFunc
+	queue    chan *job
+	wg       sync.WaitGroup
+	budget   *workerBudget
+	results  *resultCache
+	counters *cacheCounters
 
 	mu     sync.Mutex
 	closed bool
@@ -291,11 +305,13 @@ type jobManager struct {
 func newJobManager(workers, queueDepth int) *jobManager {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &jobManager{
-		baseCtx: ctx,
-		stop:    cancel,
-		queue:   make(chan *job, queueDepth),
-		budget:  newWorkerBudget(runtime.GOMAXPROCS(0)),
-		byID:    make(map[string]*job),
+		baseCtx:  ctx,
+		stop:     cancel,
+		queue:    make(chan *job, queueDepth),
+		budget:   newWorkerBudget(runtime.GOMAXPROCS(0)),
+		results:  newResultCache(maxResultCache),
+		counters: &cacheCounters{},
+		byID:     make(map[string]*job),
 	}
 	for i := 0; i < workers; i++ {
 		m.wg.Add(1)
@@ -415,6 +431,21 @@ func (m *jobManager) worker() {
 	}
 }
 
+// resultKey is the completed-job cache key: the dataset's content
+// fingerprint and shard width plus every result-affecting option. Workers
+// is deliberately excluded — mined results are byte-identical across
+// worker counts — so jobs differing only in parallelism share an entry.
+func resultKey(ds *Dataset, req MiningRequest) string {
+	approx := "-"
+	if a := req.Approx; a != nil {
+		approx = fmt.Sprintf("%g|%g|%t", a.Mu, a.Density, a.EventLevel)
+	}
+	return fmt.Sprintf("%s|K%d|s%g|c%g|e%d|o%d|t%d|k%d|wl%d|nw%d|ov%d|a%s",
+		ds.fingerprint, ds.shards, req.MinSupport, req.MinConfidence,
+		req.Epsilon, req.MinOverlap, req.TMax, req.MaxPatternSize,
+		req.WindowLength, req.NumWindows, req.Overlap, approx)
+}
+
 // run executes one job end to end on the calling worker goroutine.
 func (m *jobManager) run(j *job) {
 	j.mu.Lock()
@@ -428,6 +459,31 @@ func (m *jobManager) run(j *job) {
 	j.cancel = cancel
 	j.mu.Unlock()
 	defer cancel()
+
+	// Completed-job cache: an identical (dataset content, options) job
+	// returns the memoized document without preparing or mining anything.
+	key := resultKey(j.ds, j.req)
+	if ent, ok := m.results.get(key); ok {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		j.finishedAt = time.Now()
+		if ctx.Err() != nil { // cancelled while the job was being admitted
+			j.state = JobCancelled
+			j.errMsg = ctx.Err().Error()
+			return
+		}
+		m.counters.resultHits.Add(1)
+		j.state = JobDone
+		j.doc = ent.doc
+		sum := ent.summary
+		sum.ResultCache = true
+		sum.DSEQCache = true
+		sum.NMICache = j.req.Approx != nil
+		sum.Workers = 0
+		sum.DurationMillis = j.finishedAt.Sub(j.startedAt).Milliseconds()
+		j.summary = &sum
+		return
+	}
 
 	opt := j.req.options()
 	// The worker budget divides GOMAXPROCS among running jobs: the grant
@@ -444,28 +500,22 @@ func (m *jobManager) run(j *job) {
 		if ls.K >= 2 {
 			j.progress.Patterns += ls.Patterns
 		}
+		j.levels = append(j.levels, LevelTimingJSON{
+			Level:          ls.K,
+			DurationMillis: ls.Duration.Milliseconds(),
+			Candidates:     ls.Candidates,
+			Patterns:       ls.Patterns,
+		})
 		j.mu.Unlock()
 	}
 
+	// Every job — exact, approx, event-level, sharded or not — mines
+	// through the dataset's geometry-keyed Prepared handle and shares its
+	// cached DSEQ conversion and NMI tables.
 	var res *ftpm.Result
-	var err error
-	if j.req.Approx != nil {
-		// A-HTPGM needs the symbolic database for its NMI analysis. The
-		// dataset's shard width carries over, so the exact mining inside
-		// the approximate run is sharded too.
-		opt.Shards = j.ds.shards
-		res, err = ftpm.MineSymbolic(ctx, j.ds.sdb, opt)
-	} else {
-		// Exact runs reuse the dataset's cached sharded sequence database.
-		var ss *shardedSeqs
-		ss, err = j.ds.sequences(j.req.splitOptions())
-		if err == nil {
-			if len(ss.shards) > 1 {
-				res, err = ftpm.MineSharded(ctx, ss.shards, opt)
-			} else {
-				res, err = ftpm.Mine(ctx, ss.shards[0], opt)
-			}
-		}
+	prep, err := j.ds.prepared(j.req.splitOptions())
+	if err == nil {
+		res, err = prep.Mine(ctx, opt)
 	}
 
 	j.mu.Lock()
@@ -479,6 +529,16 @@ func (m *jobManager) run(j *job) {
 		j.state = JobFailed
 		j.errMsg = err.Error()
 	default:
+		// Counters move only for jobs that actually completed: hits count
+		// documents served from cache, misses jobs that mined to done, so
+		// hits + misses always equals the done-job count.
+		m.counters.resultMisses.Add(1)
+		m.counters.note(res.Cache, j.req.Approx != nil)
+		counts := res.Stats.ShardSequences
+		if len(counts) == 0 {
+			counts = []int{res.Stats.Sequences}
+		}
+		j.ds.noteSeqCounts(counts)
 		doc := res.Document()
 		j.doc = &doc
 		j.state = JobDone
@@ -489,9 +549,12 @@ func (m *jobManager) run(j *job) {
 			Shards:         res.Stats.Shards,
 			ShardSeqs:      res.Stats.ShardSequences,
 			Workers:        workers,
+			DSEQCache:      res.Cache.DSEQ,
+			NMICache:       res.Cache.NMI,
 			Mu:             res.Mu,
 			DurationMillis: res.Stats.Duration.Milliseconds(),
 		}
+		m.results.put(key, &resultEntry{doc: j.doc, summary: *j.summary})
 	}
 }
 

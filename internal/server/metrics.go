@@ -1,0 +1,185 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ftpm"
+)
+
+// Service-level observability: cumulative cache hit/miss counters, the
+// bounded completed-job result cache, and the JSON document of the
+// GET /metrics endpoint.
+
+// cacheCounters are the service-lifetime cache effectiveness counters.
+// dseq/nmi count per-job artifact reuse inside the Prepared handles (an
+// exact job never touches NMI, so it moves neither NMI counter); result
+// counts whole-job memoization. Counters only move for jobs that reach
+// the done state — result hits + misses equals the number of jobs ever
+// completed (cumulative; the job_states gauge is not, since old terminal
+// jobs are evicted past maxRetainedJobs).
+type cacheCounters struct {
+	dseqHits, dseqMisses     atomic.Int64
+	nmiHits, nmiMisses       atomic.Int64
+	resultHits, resultMisses atomic.Int64
+}
+
+// note records one completed mining run's artifact reuse.
+func (c *cacheCounters) note(cache ftpm.CacheInfo, approx bool) {
+	if cache.DSEQ {
+		c.dseqHits.Add(1)
+	} else {
+		c.dseqMisses.Add(1)
+	}
+	if approx {
+		if cache.NMI {
+			c.nmiHits.Add(1)
+		} else {
+			c.nmiMisses.Add(1)
+		}
+	}
+}
+
+// CounterJSON is one hit/miss counter pair.
+type CounterJSON struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// CacheMetricsJSON groups the cumulative cache counters.
+type CacheMetricsJSON struct {
+	DSEQ   CounterJSON `json:"dseq"`
+	NMI    CounterJSON `json:"nmi"`
+	Result CounterJSON `json:"result"`
+}
+
+func (c *cacheCounters) snapshot() CacheMetricsJSON {
+	return CacheMetricsJSON{
+		DSEQ:   CounterJSON{Hits: c.dseqHits.Load(), Misses: c.dseqMisses.Load()},
+		NMI:    CounterJSON{Hits: c.nmiHits.Load(), Misses: c.nmiMisses.Load()},
+		Result: CounterJSON{Hits: c.resultHits.Load(), Misses: c.resultMisses.Load()},
+	}
+}
+
+// LevelTimingJSON is one completed pattern-graph level of a job, sourced
+// from the miner's Options.Progress callback.
+type LevelTimingJSON struct {
+	Level          int   `json:"level"`
+	DurationMillis int64 `json:"duration_ms"`
+	Candidates     int   `json:"candidates"`
+	Patterns       int   `json:"patterns"`
+}
+
+// JobMetricsJSON is the per-job slice of the metrics document: the level
+// timings of one (running or finished) job. Result-cache hits mined
+// nothing and therefore carry no levels.
+type JobMetricsJSON struct {
+	ID     string            `json:"id"`
+	State  JobState          `json:"state"`
+	Levels []LevelTimingJSON `json:"levels,omitempty"`
+}
+
+// MetricsJSON is the GET /metrics document.
+type MetricsJSON struct {
+	QueueDepth int              `json:"queue_depth"`
+	JobStates  map[string]int   `json:"job_states"`
+	Cache      CacheMetricsJSON `json:"cache"`
+	// Jobs lists the per-level timings of the most recent jobs (newest
+	// last), bounded by metricsJobWindow.
+	Jobs []JobMetricsJSON `json:"jobs"`
+}
+
+// metricsJobWindow bounds how many recent jobs the metrics document
+// details; the full job list stays on GET /jobs.
+const metricsJobWindow = 32
+
+// metrics assembles the service metrics document.
+func (m *jobManager) metrics() MetricsJSON {
+	m.mu.Lock()
+	ids := append([]string(nil), m.ids...)
+	jobs := make([]*job, len(ids))
+	for i, id := range ids {
+		jobs[i] = m.byID[id]
+	}
+	m.mu.Unlock()
+
+	doc := MetricsJSON{
+		QueueDepth: len(m.queue),
+		JobStates:  make(map[string]int),
+		Cache:      m.counters.snapshot(),
+	}
+	windowStart := len(jobs) - metricsJobWindow
+	for i, j := range jobs {
+		j.mu.Lock()
+		doc.JobStates[string(j.state)]++
+		if i >= windowStart {
+			doc.Jobs = append(doc.Jobs, JobMetricsJSON{
+				ID: j.id, State: j.state,
+				Levels: append([]LevelTimingJSON(nil), j.levels...),
+			})
+		}
+		j.mu.Unlock()
+	}
+	return doc
+}
+
+// resultEntry is one memoized completed job: its export document and the
+// summary of the run that produced it.
+type resultEntry struct {
+	doc     *ftpm.ResultJSON
+	summary JobSummary
+}
+
+// resultCache memoizes completed jobs by (dataset fingerprint, canonical
+// options), bounded by an LRU so repeat submissions of hot
+// parameterizations return without mining while the cache cannot grow
+// with request variety. Keys are content-addressed, so dataset deletion
+// needs no invalidation and re-uploads of identical data still hit.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*resultEntry
+	order   []string // LRU order, least recently used first
+}
+
+// maxResultCache bounds the number of memoized job results. Entries hold
+// full result documents, which can be large; 64 hot parameterizations is
+// plenty for repeat-query traffic without letting memory grow unbounded.
+const maxResultCache = 64
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, entries: make(map[string]*resultEntry)}
+}
+
+// touch moves key to the most-recently-used end. Caller holds c.mu.
+func (c *resultCache) touch(key string) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), key)
+			return
+		}
+	}
+	c.order = append(c.order, key)
+}
+
+func (c *resultCache) get(key string) (*resultEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if ok {
+		c.touch(key)
+	}
+	return e, ok
+}
+
+func (c *resultCache) put(key string, e *resultEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; !ok && len(c.order) >= c.cap {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[key] = e
+	c.touch(key)
+}

@@ -1,7 +1,10 @@
 package server
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -9,52 +12,79 @@ import (
 )
 
 // Dataset is one ingested, symbolized dataset held by the registry. The
-// symbolic database is immutable after ingestion. The dataset is
-// partitioned into `shards` round-robin shards at mining time: the
-// DSYB→DSEQ conversion is cached per window geometry as a shard set
-// (window i of the split lives in shard i%K), so concurrent exact-mining
-// jobs over the same split share one sharded sequence database and every
-// job fans its L1/L2 scans out per shard.
+// symbolic database is immutable after ingestion. Mining goes through
+// geometry-keyed ftpm.Prepared handles: one handle per window geometry
+// owns that geometry's sharded DSEQ conversion (window i of the split
+// lives in shard i%K), its merged view, and the dataset's memoized
+// pairwise NMI tables, so every job over the same split — exact, approx,
+// event-level, sharded or not — shares the same cached artifacts.
 type Dataset struct {
 	id        string
 	name      string
 	createdAt time.Time
 	sdb       *ftpm.SymbolicDB
 	shards    int // partition width K; >= 1, fixed at upload
+	// fingerprint is a content hash of the symbolic database, computed at
+	// ingestion. The completed-job result cache keys on it (not the
+	// dataset id), so re-uploading identical content hits the cache.
+	fingerprint string
+	// analysis holds the dataset's geometry-independent NMI tables; every
+	// Prepared handle shares it, so approx jobs at different window
+	// geometries still reuse one pairwise analysis and geometry eviction
+	// never discards it.
+	analysis *ftpm.Analysis
 
-	mu       sync.Mutex
-	seqCache map[string]*shardedSeqs
-	seqKeys  []string // cache keys, oldest first
+	mu   sync.Mutex
+	prep map[string]*ftpm.Prepared
+	keys []string // prep cache keys, oldest first
 	// lastShardSeqs is the per-shard sequence count of the most recently
-	// built geometry — the shard-balance view of DatasetInfo.
+	// mined geometry — the shard-balance view of DatasetInfo.
 	lastShardSeqs []int
 }
 
-// shardedSeqs is one cached DSYB→DSEQ conversion: the round-robin shard
-// set of one window geometry. With shards == 1 the single element is the
-// full (unsharded) sequence database.
-type shardedSeqs struct {
-	shards []*ftpm.SequenceDB
-}
+// maxPreparedCache bounds how many window geometries one dataset caches:
+// each Prepared can hold a full DSEQ conversion, and geometries are
+// client-supplied, so the cache must not grow with request variety. The
+// NMI tables live on the dataset's shared Analysis, outside this bound.
+const maxPreparedCache = 8
 
-// counts returns the per-shard sequence counts.
-func (ss *shardedSeqs) counts() []int {
-	out := make([]int, len(ss.shards))
-	for i, sh := range ss.shards {
-		out[i] = sh.Size()
+// fingerprintSDB hashes the full content of a symbolic database — series
+// names, timing, alphabets, and symbol streams — into a stable key. The
+// result cache serves documents across datasets purely by this key, so
+// the hash must be collision-resistant (sha256) and the encoding
+// unambiguous: every string and collection is length-prefixed.
+func fingerprintSDB(sdb *ftpm.SymbolicDB) string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
 	}
-	return out
+	writeStr := func(s string) {
+		writeInt(int64(len(s)))
+		io.WriteString(h, s)
+	}
+	writeInt(int64(len(sdb.Series)))
+	for _, s := range sdb.Series {
+		writeStr(s.Name)
+		writeInt(int64(s.Start))
+		writeInt(int64(s.Step))
+		writeInt(int64(len(s.Alphabet)))
+		for _, a := range s.Alphabet {
+			writeStr(a)
+		}
+		writeInt(int64(len(s.Symbols)))
+		for _, sym := range s.Symbols {
+			writeInt(int64(sym))
+		}
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
 }
-
-// maxSeqCache bounds how many window geometries one dataset caches: each
-// entry is a full DSEQ conversion, and geometries are client-supplied,
-// so the cache must not grow with request variety.
-const maxSeqCache = 8
 
 // DatasetInfo is the JSON view of a dataset. ShardSeqs reports the
-// per-shard sequence counts of the most recently converted window
-// geometry (empty until a first exact job converts one) so operators and
-// the bench job can verify shard balance.
+// per-shard sequence counts of the most recently mined window geometry
+// (empty until a first job converts one) so operators and the bench job
+// can verify shard balance.
 type DatasetInfo struct {
 	ID        string    `json:"id"`
 	Name      string    `json:"name"`
@@ -88,40 +118,42 @@ func (d *Dataset) info() DatasetInfo {
 	}
 }
 
-// sequences returns the dataset converted to a sharded DSEQ under the
-// given window geometry, reusing the cached conversion when one exists.
-// The build runs outside the lock so a slow conversion never blocks cache
-// hits on other geometries; two jobs racing on the same new geometry may
-// both build it (identical results — the second insert wins), which is
-// cheaper than serializing every caller behind one mutex.
-func (d *Dataset) sequences(opt ftpm.SplitOptions) (*shardedSeqs, error) {
+// prepared returns the dataset's mining handle for the given window
+// geometry, building (and caching) one when none exists. Prepare itself
+// is cheap — the expensive artifacts (DSEQ conversion, NMI tables) build
+// lazily inside the handle on first use, with concurrent jobs blocking on
+// one build instead of duplicating it — so holding the lock across it is
+// fine. Evicting a handle never disturbs jobs already mining on it; they
+// hold their own reference.
+func (d *Dataset) prepared(opt ftpm.SplitOptions) (*ftpm.Prepared, error) {
 	key := fmt.Sprintf("%d|%d|%d", opt.WindowLength, opt.NumWindows, opt.Overlap)
 	d.mu.Lock()
-	if ss, ok := d.seqCache[key]; ok {
-		d.mu.Unlock()
-		return ss, nil
+	defer d.mu.Unlock()
+	if p, ok := d.prep[key]; ok {
+		return p, nil
 	}
-	d.mu.Unlock()
-
-	shards, err := ftpm.BuildShardedSequences(d.sdb, opt, d.shards)
+	p, err := ftpm.PrepareWith(d.analysis, opt, d.shards)
 	if err != nil {
 		return nil, err
 	}
-	ss := &shardedSeqs{shards: shards}
+	if len(d.keys) >= maxPreparedCache {
+		delete(d.prep, d.keys[0])
+		d.keys = d.keys[1:]
+	}
+	d.prep[key] = p
+	d.keys = append(d.keys, key)
+	return p, nil
+}
 
+// noteSeqCounts records the per-shard sequence counts of the most
+// recently mined geometry for DatasetInfo's shard-balance view.
+func (d *Dataset) noteSeqCounts(counts []int) {
+	if len(counts) == 0 {
+		return
+	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	if cached, ok := d.seqCache[key]; ok { // a racer built it first
-		return cached, nil
-	}
-	if len(d.seqKeys) >= maxSeqCache {
-		delete(d.seqCache, d.seqKeys[0])
-		d.seqKeys = d.seqKeys[1:]
-	}
-	d.seqCache[key] = ss
-	d.seqKeys = append(d.seqKeys, key)
-	d.lastShardSeqs = ss.counts()
-	return ss, nil
+	d.lastShardSeqs = counts
+	d.mu.Unlock()
 }
 
 // registry holds the ingested datasets, keyed by their assigned ids.
@@ -144,12 +176,14 @@ func (r *registry) add(name string, sdb *ftpm.SymbolicDB, shards int) *Dataset {
 	defer r.mu.Unlock()
 	r.seq++
 	d := &Dataset{
-		id:        fmt.Sprintf("ds-%d", r.seq),
-		name:      name,
-		createdAt: time.Now(),
-		sdb:       sdb,
-		shards:    shards,
-		seqCache:  make(map[string]*shardedSeqs),
+		id:          fmt.Sprintf("ds-%d", r.seq),
+		name:        name,
+		createdAt:   time.Now(),
+		sdb:         sdb,
+		shards:      shards,
+		fingerprint: fingerprintSDB(sdb),
+		analysis:    ftpm.NewAnalysis(sdb),
+		prep:        make(map[string]*ftpm.Prepared),
 	}
 	r.byID[d.id] = d
 	r.ids = append(r.ids, d.id)

@@ -111,6 +111,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case len(seg) == 1 && seg[0] == "healthz":
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	case len(seg) == 1 && seg[0] == "metrics":
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.jobs.metrics())
 	case seg[0] == "datasets" && len(seg) <= 2:
 		s.routeDatasets(w, r, seg[1:])
 	case seg[0] == "jobs" && len(seg) <= 3:

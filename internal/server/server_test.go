@@ -362,7 +362,7 @@ func TestUploadTooLarge(t *testing.T) {
 	}
 }
 
-func TestSequenceCacheReuse(t *testing.T) {
+func TestPreparedCacheReuse(t *testing.T) {
 	reg := newRegistry()
 	vals := make([]float64, 64)
 	for i := range vals {
@@ -377,39 +377,64 @@ func TestSequenceCacheReuse(t *testing.T) {
 		t.Fatal(err)
 	}
 	ds := reg.add("a", sdb, 2)
+	if ds.fingerprint == "" {
+		t.Fatal("dataset must carry a content fingerprint")
+	}
 
 	opt := ftpm.SplitOptions{NumWindows: 2}
-	db1, err := ds.sequences(opt)
+	p1, err := ds.prepared(opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	db2, err := ds.sequences(opt)
+	p2, err := ds.prepared(opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if db1 != db2 {
-		t.Fatal("same geometry must reuse the cached sequence database")
+	if p1 != p2 {
+		t.Fatal("same geometry must reuse the cached Prepared handle")
 	}
-	if len(db1.shards) != 2 {
-		t.Fatalf("conversion produced %d shards, want 2", len(db1.shards))
+	if p1.Shards() != 2 {
+		t.Fatalf("prepared handle carries %d shards, want 2", p1.Shards())
 	}
-	db3, err := ds.sequences(ftpm.SplitOptions{NumWindows: 4})
+	p3, err := ds.prepared(ftpm.SplitOptions{NumWindows: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if db3 == db1 {
+	if p3 == p1 {
 		t.Fatal("different geometry must not share a cache entry")
+	}
+
+	// Mining through the handle builds the artifacts once and reuses
+	// them afterwards.
+	mopt := ftpm.Options{MinSupport: 0.5, MinConfidence: 0, MaxPatternSize: 2}
+	res1, err := p1.Mine(nil, mopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Cache.DSEQ {
+		t.Fatal("first mine must build the DSEQ conversion")
+	}
+	res2, err := p1.Mine(nil, mopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Cache.DSEQ {
+		t.Fatal("second mine must reuse the DSEQ conversion")
+	}
+	st := p1.Stats()
+	if st.DSEQBuilds != 1 || st.DSEQHits != 1 {
+		t.Fatalf("prepared stats = %+v, want 1 build + 1 hit", st)
 	}
 
 	// The cache is bounded: client-supplied geometries must not grow it
 	// without limit.
-	for n := 1; n <= 2*maxSeqCache; n++ {
-		if _, err := ds.sequences(ftpm.SplitOptions{NumWindows: n}); err != nil {
+	for n := 1; n <= 2*maxPreparedCache; n++ {
+		if _, err := ds.prepared(ftpm.SplitOptions{NumWindows: n}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if len(ds.seqCache) > maxSeqCache || len(ds.seqKeys) > maxSeqCache {
-		t.Fatalf("cache grew to %d entries, cap is %d", len(ds.seqCache), maxSeqCache)
+	if len(ds.prep) > maxPreparedCache || len(ds.keys) > maxPreparedCache {
+		t.Fatalf("cache grew to %d entries, cap is %d", len(ds.prep), maxPreparedCache)
 	}
 }
 
@@ -466,7 +491,7 @@ func TestTerminalJobEviction(t *testing.T) {
 	// direct control over terminal states.
 	m := newJobManager(0, maxRetainedJobs+200)
 	defer m.close()
-	ds := &Dataset{id: "d", shards: 1, seqCache: map[string]*shardedSeqs{}}
+	ds := &Dataset{id: "d", shards: 1, prep: map[string]*ftpm.Prepared{}}
 	req := MiningRequest{DatasetID: "d", MinSupport: 0.5, NumWindows: 2}
 	total := maxRetainedJobs + 100
 	for i := 0; i < total; i++ {
@@ -611,11 +636,168 @@ func TestWorkerBudget(t *testing.T) {
 	}
 }
 
+// TestResultCacheAndMetrics is the cache-effectiveness e2e: over one
+// registered dataset, a second A-HTPGM job with a different threshold
+// must perform zero DSEQ conversions and zero pairwise-NMI computations
+// (counter-verified via /metrics), an exact job must share the same
+// cached conversion, and a repeat of an identical job must be served
+// from the completed-job result cache without mining at all.
+func TestResultCacheAndMetrics(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 2})
+	info := uploadCSV(t, ts.URL, "name=energy&threshold=0.5&shards=2", smallCSV())
+
+	mine := func(req MiningRequest) (JobInfo, ftpm.ResultJSON) {
+		t.Helper()
+		req.DatasetID = info.ID
+		body, _ := json.Marshal(req)
+		var job JobInfo
+		if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", bytes.NewReader(body), &job); code != http.StatusAccepted {
+			t.Fatalf("submit: status %d", code)
+		}
+		done := waitState(t, ts.URL, job.ID, 30*time.Second, func(j JobInfo) bool { return j.State.Terminal() })
+		if done.State != JobDone {
+			t.Fatalf("job finished as %s (%s)", done.State, done.Error)
+		}
+		var doc ftpm.ResultJSON
+		if code := doJSON(t, http.MethodGet, ts.URL+"/jobs/"+done.ID+"/result", nil, &doc); code != 200 {
+			t.Fatalf("result: status %d", code)
+		}
+		return done, doc
+	}
+	metrics := func() MetricsJSON {
+		t.Helper()
+		var m MetricsJSON
+		if code := doJSON(t, http.MethodGet, ts.URL+"/metrics", nil, &m); code != 200 {
+			t.Fatalf("metrics: status %d", code)
+		}
+		return m
+	}
+
+	approxReq := MiningRequest{
+		MinSupport: 0.2, MinConfidence: 0, NumWindows: 2, MaxPatternSize: 2,
+		Approx: &ApproxRequest{Density: 0.8},
+	}
+
+	// Job 1: cold — everything is built.
+	first, firstDoc := mine(approxReq)
+	if first.Summary.DSEQCache || first.Summary.NMICache || first.Summary.ResultCache {
+		t.Fatalf("cold job reports cache reuse: %+v", first.Summary)
+	}
+	m := metrics()
+	if m.Cache.DSEQ.Misses != 1 || m.Cache.NMI.Misses != 1 || m.Cache.Result.Misses != 1 ||
+		m.Cache.DSEQ.Hits != 0 || m.Cache.NMI.Hits != 0 || m.Cache.Result.Hits != 0 {
+		t.Fatalf("counters after cold job = %+v", m.Cache)
+	}
+
+	// Job 2: a second A-HTPGM job at a different threshold reuses the
+	// dataset's DSEQ conversion and pairwise NMI table — zero rebuilds.
+	second := approxReq
+	second.MinSupport = 0.4
+	secondInfo, _ := mine(second)
+	if !secondInfo.Summary.DSEQCache || !secondInfo.Summary.NMICache || secondInfo.Summary.ResultCache {
+		t.Fatalf("second approx job summary = %+v, want dseq+nmi cache hits", secondInfo.Summary)
+	}
+	m = metrics()
+	if m.Cache.DSEQ.Misses != 1 || m.Cache.NMI.Misses != 1 {
+		t.Fatalf("second approx job recomputed artifacts: %+v", m.Cache)
+	}
+	if m.Cache.DSEQ.Hits != 1 || m.Cache.NMI.Hits != 1 {
+		t.Fatalf("second approx job did not hit the artifact caches: %+v", m.Cache)
+	}
+
+	// An exact job over the same geometry shares the same conversion and
+	// never consults NMI.
+	exactInfo, _ := mine(MiningRequest{MinSupport: 0.2, MinConfidence: 0, NumWindows: 2, MaxPatternSize: 2})
+	if !exactInfo.Summary.DSEQCache || exactInfo.Summary.NMICache {
+		t.Fatalf("exact job summary = %+v, want dseq hit only", exactInfo.Summary)
+	}
+	m = metrics()
+	if m.Cache.DSEQ.Hits != 2 || m.Cache.NMI.Hits != 1 || m.Cache.NMI.Misses != 1 {
+		t.Fatalf("counters after exact job = %+v", m.Cache)
+	}
+
+	// Job 4: identical to job 1 — a result-cache hit that mines nothing:
+	// the artifact counters must not move at all.
+	repeat, repeatDoc := mine(approxReq)
+	if !repeat.Summary.ResultCache || !repeat.Summary.DSEQCache || !repeat.Summary.NMICache {
+		t.Fatalf("repeat job summary = %+v, want a result-cache hit", repeat.Summary)
+	}
+	if repeat.Summary.Patterns != first.Summary.Patterns || repeat.Summary.Mu != first.Summary.Mu {
+		t.Fatalf("repeat summary diverges: %+v vs %+v", repeat.Summary, first.Summary)
+	}
+	a, _ := json.Marshal(firstDoc)
+	b, _ := json.Marshal(repeatDoc)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("cached result differs from the original:\n%s\nvs\n%s", a, b)
+	}
+	m = metrics()
+	if m.Cache.Result.Hits != 1 || m.Cache.Result.Misses != 3 {
+		t.Fatalf("result counters after repeat = %+v", m.Cache.Result)
+	}
+	if m.Cache.DSEQ != (CounterJSON{Hits: 2, Misses: 1}) || m.Cache.NMI != (CounterJSON{Hits: 1, Misses: 1}) {
+		t.Fatalf("repeat job touched artifact counters: %+v", m.Cache)
+	}
+
+	// Workers differ only in parallelism — results are byte-identical —
+	// so a repeat with another worker count still hits.
+	workers := approxReq
+	workers.Workers = 2
+	workersInfo, _ := mine(workers)
+	if !workersInfo.Summary.ResultCache {
+		t.Fatalf("worker-count variation must share the result entry: %+v", workersInfo.Summary)
+	}
+
+	// The final metrics document carries queue depth, job states, and
+	// per-job level timings for mined jobs (none for the cached repeats).
+	m = metrics()
+	if m.Cache.Result != (CounterJSON{Hits: 2, Misses: 3}) {
+		t.Fatalf("final result counters = %+v", m.Cache.Result)
+	}
+	if m.QueueDepth != 0 {
+		t.Fatalf("queue_depth = %d", m.QueueDepth)
+	}
+	if m.JobStates[string(JobDone)] != 5 {
+		t.Fatalf("job_states = %v, want 5 done", m.JobStates)
+	}
+	if len(m.Jobs) != 5 {
+		t.Fatalf("metrics lists %d jobs, want 5", len(m.Jobs))
+	}
+	byID := make(map[string]JobMetricsJSON)
+	for _, jm := range m.Jobs {
+		byID[jm.ID] = jm
+	}
+	if len(byID[first.ID].Levels) == 0 {
+		t.Fatalf("mined job %s has no level timings: %+v", first.ID, byID[first.ID])
+	}
+	for _, lv := range byID[first.ID].Levels {
+		if lv.Level < 1 || lv.DurationMillis < 0 {
+			t.Fatalf("bad level timing: %+v", lv)
+		}
+	}
+	if len(byID[repeat.ID].Levels) != 0 {
+		t.Fatalf("result-cache hit %s must carry no level timings", repeat.ID)
+	}
+
+	// A different window geometry rebuilds the conversion but still
+	// shares the dataset-level NMI analysis.
+	geo := approxReq
+	geo.NumWindows = 4
+	geoInfo, _ := mine(geo)
+	if geoInfo.Summary.DSEQCache || !geoInfo.Summary.NMICache || geoInfo.Summary.ResultCache {
+		t.Fatalf("cross-geometry job summary = %+v, want nmi reuse only", geoInfo.Summary)
+	}
+
+	// Only GET is allowed.
+	if code := doJSON(t, http.MethodPost, ts.URL+"/metrics", nil, nil); code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics: status %d, want 405", code)
+	}
+}
+
 func TestQueueDepthExposed(t *testing.T) {
 	// No workers: everything submitted stays queued.
 	m := newJobManager(0, 8)
 	defer m.close()
-	ds := &Dataset{id: "d", shards: 1, seqCache: map[string]*shardedSeqs{}}
+	ds := &Dataset{id: "d", shards: 1, prep: map[string]*ftpm.Prepared{}}
 	req := MiningRequest{DatasetID: "d", MinSupport: 0.5, NumWindows: 2}
 	var last *job
 	for i := 0; i < 3; i++ {

@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"ftpm/internal/core"
-	"ftpm/internal/mi"
 	"ftpm/internal/temporal"
 )
 
@@ -122,6 +121,10 @@ type Result struct {
 	Graph      *CorrelationGraph
 	EventGraph *EventCorrelationGraph
 	Mu         float64
+	// Cache reports which prepared-dataset artifacts this run reused; it
+	// is all-false for runs that built everything themselves (any first
+	// run over a Prepared, hence every plain MineSymbolic call).
+	Cache CacheInfo
 }
 
 // Mine runs E-HTPGM (exact) over an already-built sequence database.
@@ -161,96 +164,19 @@ func MineSharded(ctx context.Context, shards []*SequenceDB, opt Options) (*Resul
 
 // MineSymbolic runs the full FTPMfTS process on a symbolic database:
 // conversion to DSEQ followed by E-HTPGM, or A-HTPGM when Options.Approx
-// is set.
+// is set. It is a thin wrapper over a one-shot Prepared; callers mining
+// the same database and geometry repeatedly should Prepare once and call
+// Prepared.Mine per threshold setting to reuse the conversion and NMI
+// artifacts.
 //
 // Cancelling ctx aborts the mining phase between verification units and
 // returns ctx.Err(); a nil ctx is treated as context.Background().
 func MineSymbolic(ctx context.Context, sdb *SymbolicDB, opt Options) (*Result, error) {
-	cfg := opt.coreConfig()
-	out := &Result{}
-	if a := opt.Approx; a != nil {
-		if (a.Mu > 0) == (a.Density > 0) {
-			return nil, fmt.Errorf("ftpm: ApproxOptions requires exactly one of Mu or Density")
-		}
-		if a.EventLevel {
-			pw, err := mi.ComputeEventPairwise(sdb)
-			if err != nil {
-				return nil, err
-			}
-			mu := a.Mu
-			if a.Density > 0 {
-				mu, err = pw.MuForDensity(a.Density)
-				if err != nil {
-					return nil, err
-				}
-				if mu > 1 {
-					mu = 1
-				}
-			}
-			g, err := pw.Graph(mu)
-			if err != nil {
-				return nil, err
-			}
-			cfg.EventFilter = g
-			out.EventGraph = g
-			out.Mu = mu
-		} else {
-			pw, err := mi.ComputePairwise(sdb)
-			if err != nil {
-				return nil, err
-			}
-			mu := a.Mu
-			if a.Density > 0 {
-				mu, err = pw.MuForDensity(a.Density)
-				if err != nil {
-					return nil, err
-				}
-				if mu > 1 {
-					mu = 1
-				}
-			}
-			g, err := pw.Graph(mu)
-			if err != nil {
-				return nil, err
-			}
-			cfg.Filter = g
-			out.Graph = g
-			out.Mu = mu
-		}
-	}
-
-	if opt.Shards > 1 {
-		// Sharded conversion + mining: per-shard window cutting and L1/L2
-		// counting, merged deterministically. The correlation filters above
-		// apply unchanged — they gate candidates, not sequences.
-		shards, err := BuildShardedSequences(sdb, opt.splitOptions(), opt.Shards)
-		if err != nil {
-			return nil, err
-		}
-		res, merged, err := core.MineSharded(ctx, shards, cfg)
-		if err != nil {
-			return nil, err
-		}
-		out.DB = merged
-		out.Singles = res.Singles
-		out.Patterns = res.Patterns
-		out.Stats = res.Stats
-		return out, nil
-	}
-
-	db, err := BuildSequences(sdb, opt.splitOptions())
+	p, err := Prepare(sdb, opt.splitOptions(), opt.Shards)
 	if err != nil {
 		return nil, err
 	}
-	out.DB = db
-	res, err := core.Mine(ctx, db, cfg)
-	if err != nil {
-		return nil, err
-	}
-	out.Singles = res.Singles
-	out.Patterns = res.Patterns
-	out.Stats = res.Stats
-	return out, nil
+	return p.Mine(ctx, opt)
 }
 
 // Accuracy returns the fraction of the exact result's patterns that the

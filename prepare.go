@@ -1,0 +1,332 @@
+package ftpm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ftpm/internal/core"
+	"ftpm/internal/events"
+	"ftpm/internal/mi"
+)
+
+// This file implements the prepared-dataset mining engine: the paper's
+// FTPMfTS process staged explicitly as Prepare → Analyze → Mine.
+//
+//   - Prepare fixes the dataset geometry — the symbolic database, the
+//     window split, the shard width — and owns the derived artifacts:
+//     the (sharded) DSEQ conversion with its merged view and membership
+//     masks, and the series-level and event-level pairwise NMI tables.
+//   - Analyze is the lazy construction of those artifacts: each is built
+//     at most once per Prepared, on first use, and memoized.
+//   - Mine runs E-HTPGM or A-HTPGM against the cached artifacts; only
+//     the thresholds (σ, δ, µ/density) and mining parameters vary per
+//     call.
+//
+// One Prepared therefore serves any number of mining runs over the same
+// dataset geometry: a second A-HTPGM job re-runs neither the DSEQ
+// conversion nor the O(n²) pairwise NMI analysis, it only re-thresholds
+// the cached table (AMIC-style reuse of one mutual-information analysis
+// across many queries). MineSymbolic is a thin wrapper that prepares and
+// mines once.
+
+// cached is a build-once artifact slot. The first get builds (and may
+// cache an error — builds are deterministic in the Prepared's inputs);
+// concurrent getters block on the build instead of duplicating it.
+type cached[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+// get returns the artifact and whether it was served from cache (false
+// exactly once: for the caller whose build populated the slot).
+func (c *cached[T]) get(build func() (T, error)) (T, bool, error) {
+	hit := true
+	c.once.Do(func() {
+		hit = false
+		c.val, c.err = build()
+	})
+	return c.val, hit, c.err
+}
+
+// preparedSeqs is the memoized DSEQ conversion of one Prepared: for
+// sharded geometries the shard set plus its prepared merge view, for
+// unsharded ones the single converted database.
+type preparedSeqs struct {
+	db   *SequenceDB       // merged (global-order) view; always set
+	view *core.ShardedView // non-nil iff the geometry is sharded
+}
+
+// PreparedStats are the cumulative artifact-cache counters of one
+// Prepared: how often each artifact class was built versus served from
+// cache. Builds+Hits equals the number of accesses.
+type PreparedStats struct {
+	// DSEQBuilds / DSEQHits count accesses to the DSYB→DSEQ conversion
+	// (including, for sharded geometries, the merged view and masks).
+	DSEQBuilds int64 `json:"dseq_builds"`
+	DSEQHits   int64 `json:"dseq_hits"`
+	// NMIBuilds / NMIHits count accesses to the pairwise NMI tables,
+	// series-level and event-level combined.
+	NMIBuilds int64 `json:"nmi_builds"`
+	NMIHits   int64 `json:"nmi_hits"`
+}
+
+// CacheInfo reports which prepared artifacts one mining run reused. A run
+// that built an artifact itself (the first over its Prepared) reports
+// false for it, as does a run that never touched it (NMI on exact runs).
+type CacheInfo struct {
+	// DSEQ is true when the run's sequence database came from the
+	// Prepared's cache rather than a fresh DSYB→DSEQ conversion.
+	DSEQ bool
+	// NMI is true when the run is approximate and its pairwise NMI table
+	// came from the Prepared's cache rather than a fresh computation.
+	NMI bool
+}
+
+// Analysis memoizes the geometry-independent artifacts of one symbolic
+// database: the series-level and event-level pairwise NMI tables. They
+// depend only on the data — not on the window split, shard width, or any
+// threshold — so one Analysis can back any number of Prepared handles
+// over the same database (PrepareWith), the way a served registry keeps
+// one analysis per dataset across all requested window geometries.
+type Analysis struct {
+	sdb *SymbolicDB
+
+	pw  cached[*mi.Pairwise]
+	epw cached[*mi.EventPairwise]
+}
+
+// NewAnalysis wraps a symbolic database for NMI-table sharing across
+// Prepared handles. The tables build lazily on first use.
+func NewAnalysis(sdb *SymbolicDB) *Analysis { return &Analysis{sdb: sdb} }
+
+// Prepared is a reusable mining handle over one dataset geometry: a
+// symbolic database, a window split, and a shard width, fixed at Prepare
+// time. It memoizes the expensive derived artifacts — the (sharded) DSEQ
+// conversion and, through its Analysis, the pairwise NMI tables — so
+// repeated Mine calls with different thresholds share them. All methods
+// are safe for concurrent use; concurrent first accesses of an artifact
+// block on one build instead of duplicating it.
+type Prepared struct {
+	sdb    *SymbolicDB
+	split  SplitOptions
+	shards int
+	an     *Analysis
+
+	seq cached[*preparedSeqs]
+
+	dseqBuilds, dseqHits atomic.Int64
+	nmiBuilds, nmiHits   atomic.Int64
+}
+
+// Prepare builds a mining handle for one dataset geometry. The split
+// geometry is validated eagerly; the expensive artifacts (DSEQ
+// conversion, NMI tables) are built lazily on first use and then reused
+// by every subsequent Mine. shards <= 1 prepares the unsharded engine;
+// larger values partition the DSEQ round-robin exactly like
+// Options.Shards.
+func Prepare(sdb *SymbolicDB, split SplitOptions, shards int) (*Prepared, error) {
+	return PrepareWith(NewAnalysis(sdb), split, shards)
+}
+
+// PrepareWith builds a mining handle that shares a previously created
+// Analysis, so handles over different window geometries (or shard
+// widths) of the same database reuse one set of NMI tables. The handle's
+// own cache counters still account its accesses: a table built by a
+// sibling handle counts as a hit here.
+func PrepareWith(an *Analysis, split SplitOptions, shards int) (*Prepared, error) {
+	if an == nil || an.sdb == nil {
+		return nil, fmt.Errorf("ftpm: Prepare requires a symbolic database")
+	}
+	if err := split.Validate(an.sdb); err != nil {
+		return nil, err
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return &Prepared{sdb: an.sdb, split: split, shards: shards, an: an}, nil
+}
+
+// Shards returns the shard width the handle was prepared with (>= 1).
+func (p *Prepared) Shards() int { return p.shards }
+
+// Stats snapshots the cumulative cache counters of the handle.
+func (p *Prepared) Stats() PreparedStats {
+	return PreparedStats{
+		DSEQBuilds: p.dseqBuilds.Load(),
+		DSEQHits:   p.dseqHits.Load(),
+		NMIBuilds:  p.nmiBuilds.Load(),
+		NMIHits:    p.nmiHits.Load(),
+	}
+}
+
+// sequences returns the memoized DSEQ conversion, building it on first
+// use: an unsharded Convert for shard width 1, otherwise the sharded
+// conversion plus its prepared merge view.
+func (p *Prepared) sequences() (*preparedSeqs, bool, error) {
+	ps, hit, err := p.seq.get(func() (*preparedSeqs, error) {
+		if p.shards <= 1 {
+			db, err := events.Convert(p.sdb, p.split)
+			if err != nil {
+				return nil, err
+			}
+			if db.Size() == 0 {
+				return nil, fmt.Errorf("ftpm: empty sequence database")
+			}
+			return &preparedSeqs{db: db}, nil
+		}
+		shards, err := events.ConvertShards(p.sdb, p.split, p.shards)
+		if err != nil {
+			return nil, err
+		}
+		view, err := core.PrepareShards(shards)
+		if err != nil {
+			return nil, err
+		}
+		return &preparedSeqs{db: view.Merged, view: view}, nil
+	})
+	if err != nil {
+		return nil, hit, err
+	}
+	if hit {
+		p.dseqHits.Add(1)
+	} else {
+		p.dseqBuilds.Add(1)
+	}
+	return ps, hit, nil
+}
+
+// pairwise returns the memoized series-level NMI table of the shared
+// Analysis.
+func (p *Prepared) pairwise() (*mi.Pairwise, bool, error) {
+	pw, hit, err := p.an.pw.get(func() (*mi.Pairwise, error) {
+		return mi.ComputePairwise(p.sdb)
+	})
+	if err != nil {
+		return nil, hit, err
+	}
+	if hit {
+		p.nmiHits.Add(1)
+	} else {
+		p.nmiBuilds.Add(1)
+	}
+	return pw, hit, nil
+}
+
+// eventPairwise returns the memoized event-level NMI table of the shared
+// Analysis.
+func (p *Prepared) eventPairwise() (*mi.EventPairwise, bool, error) {
+	epw, hit, err := p.an.epw.get(func() (*mi.EventPairwise, error) {
+		return mi.ComputeEventPairwise(p.sdb)
+	})
+	if err != nil {
+		return nil, hit, err
+	}
+	if hit {
+		p.nmiHits.Add(1)
+	} else {
+		p.nmiBuilds.Add(1)
+	}
+	return epw, hit, nil
+}
+
+// analyze resolves the approximate options against the memoized pairwise
+// tables: it derives µ (from Mu directly or from Density against the
+// cached table) and installs the thresholded correlation graph into the
+// mining config. It reports whether the NMI table came from cache. The
+// selector is validated before any table access, so malformed options
+// never trigger the O(n²) analysis.
+func (p *Prepared) analyze(a *ApproxOptions, cfg *core.Config, out *Result) (bool, error) {
+	if err := mi.ValidateSelector(a.Mu, a.Density); err != nil {
+		// The façade's documented wording, kept stable across the
+		// refactor (the internal error carries the "mi:" prefix).
+		return false, fmt.Errorf("ftpm: ApproxOptions requires exactly one of Mu or Density")
+	}
+	if a.EventLevel {
+		epw, hit, err := p.eventPairwise()
+		if err != nil {
+			return hit, err
+		}
+		mu, err := mi.ResolveMu(epw, a.Mu, a.Density)
+		if err != nil {
+			return hit, err
+		}
+		g, err := epw.Graph(mu)
+		if err != nil {
+			return hit, err
+		}
+		cfg.EventFilter = g
+		out.EventGraph = g
+		out.Mu = mu
+		return hit, nil
+	}
+	pw, hit, err := p.pairwise()
+	if err != nil {
+		return hit, err
+	}
+	mu, err := mi.ResolveMu(pw, a.Mu, a.Density)
+	if err != nil {
+		return hit, err
+	}
+	g, err := pw.Graph(mu)
+	if err != nil {
+		return hit, err
+	}
+	cfg.Filter = g
+	out.Graph = g
+	out.Mu = mu
+	return hit, nil
+}
+
+// Mine runs one FTPMfTS job against the prepared artifacts: E-HTPGM, or
+// A-HTPGM when opt.Approx is set (series-level or event-level). Results
+// are byte-identical to MineSymbolic with the same thresholds over the
+// handle's geometry. The Prepared owns the window geometry and shard
+// width: leave opt.WindowLength/NumWindows/Overlap/Shards zero, or set
+// them to the prepared values — any other value is rejected rather than
+// silently ignored. Result.Cache reports which artifacts the run reused.
+//
+// Cancelling ctx aborts the mining phase between verification units and
+// returns ctx.Err(); a nil ctx is treated as context.Background().
+func (p *Prepared) Mine(ctx context.Context, opt Options) (*Result, error) {
+	if s := opt.splitOptions(); s != (SplitOptions{}) && s != p.split {
+		return nil, fmt.Errorf("ftpm: Options geometry %+v conflicts with the prepared geometry %+v", s, p.split)
+	}
+	// Non-positive Shards means unset (Prepare clamps the same way, so
+	// MineSymbolic with Shards <= 1 keeps its unsharded behavior).
+	if opt.Shards > 0 && opt.Shards != p.shards {
+		return nil, fmt.Errorf("ftpm: Options.Shards %d conflicts with the prepared shard width %d", opt.Shards, p.shards)
+	}
+	cfg := opt.coreConfig()
+	out := &Result{}
+	if a := opt.Approx; a != nil {
+		hit, err := p.analyze(a, &cfg, out)
+		if err != nil {
+			return nil, err
+		}
+		out.Cache.NMI = hit
+	}
+
+	ps, seqHit, err := p.sequences()
+	if err != nil {
+		return nil, err
+	}
+	out.Cache.DSEQ = seqHit
+	out.DB = ps.db
+
+	var res *core.Result
+	if ps.view != nil {
+		res, err = core.MineShardedView(ctx, ps.view, cfg)
+	} else {
+		res, err = core.Mine(ctx, ps.db, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out.Singles = res.Singles
+	out.Patterns = res.Patterns
+	out.Stats = res.Stats
+	return out, nil
+}
