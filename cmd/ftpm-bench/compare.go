@@ -1,19 +1,26 @@
 package main
 
 // Benchmark comparison mode: ftpm-bench -compare BASELINE -with CURRENT
-// parses two `go test -bench` outputs, fails on ns/op regressions beyond
-// the tolerance, and optionally asserts a speedup ratio between two
-// benchmarks of the current run (the sharded-ingestion gate). Results are
-// also written as a JSON document for CI artifacts.
+// parses two `go test -bench` outputs, fails on ns/op and allocs/op
+// regressions beyond their tolerances, and optionally asserts a speedup
+// ratio between two benchmarks of the current run (the sharded-ingestion
+// gate). Results are also written as a JSON document for CI artifacts.
 //
-// Cross-hardware ns/op comparison is meaningless, so the regression gate
-// only applies when the baseline and current runs report the same `cpu:`
-// line; otherwise the gate is skipped with a warning (refresh the
-// baseline on the new hardware to re-arm it). Speedup assertions compare
-// two benchmarks of the same run — hardware-independent — but by default
-// are only enforced when the run had GOMAXPROCS > 1, since a parallel
-// variant cannot beat a serial one on a single core; a spec's trailing
-// "always" enforces it on any core count (cache-reuse ratios).
+// Cross-hardware ns/op comparison is meaningless, so the time regression
+// gate only applies when the baseline and current runs report the same
+// `cpu:` line; otherwise the gate is skipped with a warning (refresh the
+// baseline on the new hardware to re-arm it). Allocation counts are a
+// property of the code, not the clock or the core count — the repo's
+// benchmarks fix their worker counts explicitly, so GOMAXPROCS only
+// perturbs pool scheduling by a handful of allocations — which is why the
+// allocs/op gate stays armed across both CPU models and GOMAXPROCS: the
+// tolerance absorbs the scheduling noise, and a baseline recorded on a
+// single-core builder still guards multi-core CI runs. Speedup
+// assertions compare two benchmarks of the same run — hardware-
+// independent — but by default are only enforced when the run had
+// GOMAXPROCS > 1, since a parallel variant cannot beat a serial one on a
+// single core; a spec's trailing "always" enforces it on any core count
+// (cache-reuse ratios).
 
 import (
 	"encoding/json"
@@ -25,10 +32,11 @@ import (
 	"strings"
 )
 
-// benchLine matches one result line of `go test -bench` output, e.g.
+// benchLine matches one result line of `go test -bench` output with the
+// optional -benchmem columns, e.g.
 //
-//	BenchmarkIngestConvert/serial-8   1   120132295 ns/op   36385920 B/op ...
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op`)
+//	BenchmarkIngestConvert/serial-8   1   120132295 ns/op   36385920 B/op   57072 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
 
 // procSuffix is the GOMAXPROCS suffix go test appends to benchmark names
 // (absent when GOMAXPROCS is 1).
@@ -42,6 +50,10 @@ type benchFile struct {
 	// minimum observed ns/op — the most stable statistic under -count=N
 	// with noisy single iterations.
 	NsPerOp map[string]float64
+	// AllocsPerOp and BytesPerOp carry the -benchmem columns (minimum
+	// observed), absent for benchmarks that did not report them.
+	AllocsPerOp map[string]float64
+	BytesPerOp  map[string]float64
 }
 
 func parseBenchFile(path string) (*benchFile, error) {
@@ -49,10 +61,17 @@ func parseBenchFile(path string) (*benchFile, error) {
 	if err != nil {
 		return nil, err
 	}
-	bf := &benchFile{MaxProcs: 1, NsPerOp: make(map[string]float64)}
+	bf := &benchFile{
+		MaxProcs:    1,
+		NsPerOp:     make(map[string]float64),
+		AllocsPerOp: make(map[string]float64),
+		BytesPerOp:  make(map[string]float64),
+	}
 	type entry struct {
-		name string
-		ns   float64
+		name          string
+		ns            float64
+		bytes, allocs float64
+		hasMem        bool
 	}
 	var entries []entry
 	for _, line := range strings.Split(string(data), "\n") {
@@ -69,7 +88,15 @@ func parseBenchFile(path string) (*benchFile, error) {
 		if err != nil {
 			continue
 		}
-		entries = append(entries, entry{name: m[1], ns: ns})
+		e := entry{name: m[1], ns: ns}
+		if m[4] != "" && m[5] != "" {
+			b, errB := strconv.ParseFloat(m[4], 64)
+			a, errA := strconv.ParseFloat(m[5], 64)
+			if errB == nil && errA == nil {
+				e.bytes, e.allocs, e.hasMem = b, a, true
+			}
+		}
+		entries = append(entries, e)
 	}
 	if len(entries) == 0 {
 		return nil, fmt.Errorf("no benchmark results in %s", path)
@@ -100,6 +127,14 @@ func parseBenchFile(path string) (*benchFile, error) {
 		if prev, ok := bf.NsPerOp[e.name]; !ok || e.ns < prev {
 			bf.NsPerOp[e.name] = e.ns
 		}
+		if e.hasMem {
+			if prev, ok := bf.AllocsPerOp[e.name]; !ok || e.allocs < prev {
+				bf.AllocsPerOp[e.name] = e.allocs
+			}
+			if prev, ok := bf.BytesPerOp[e.name]; !ok || e.bytes < prev {
+				bf.BytesPerOp[e.name] = e.bytes
+			}
+		}
 	}
 	return bf, nil
 }
@@ -111,6 +146,14 @@ type comparisonJSON struct {
 	CurrentNs  float64 `json:"current_ns_op"`
 	Ratio      float64 `json:"ratio"`
 	Regressed  bool    `json:"regressed"`
+	// Allocation columns, present when both runs reported -benchmem data.
+	BaselineAllocs float64 `json:"baseline_allocs_op,omitempty"`
+	CurrentAllocs  float64 `json:"current_allocs_op,omitempty"`
+	BaselineBytes  float64 `json:"baseline_b_op,omitempty"`
+	CurrentBytes   float64 `json:"current_b_op,omitempty"`
+	AllocRatio     float64 `json:"alloc_ratio,omitempty"`
+	AllocRegressed bool    `json:"alloc_regressed,omitempty"`
+	hasAllocs      bool    // both runs reported -benchmem for this benchmark
 }
 
 // speedupJSON reports the intra-run speedup assertion.
@@ -125,14 +168,19 @@ type speedupJSON struct {
 
 // compareJSON is the artifact document of one compare run.
 type compareJSON struct {
-	BaselineCPU   string           `json:"baseline_cpu"`
-	CurrentCPU    string           `json:"current_cpu"`
-	MaxProcs      int              `json:"maxprocs"`
-	HardwareMatch bool             `json:"hardware_match"`
-	Tolerance     float64          `json:"tolerance"`
-	Benchmarks    []comparisonJSON `json:"benchmarks"`
-	Regressions   []string         `json:"regressions"`
-	Speedups      []speedupJSON    `json:"speedups,omitempty"`
+	BaselineCPU   string  `json:"baseline_cpu"`
+	CurrentCPU    string  `json:"current_cpu"`
+	MaxProcs      int     `json:"maxprocs"`
+	HardwareMatch bool    `json:"hardware_match"`
+	Tolerance     float64 `json:"tolerance"`
+	// AllocGateArmed reports whether the allocs/op gate applied: whenever
+	// both runs carry -benchmem data — allocation counts do not require
+	// matching hardware (see the package comment).
+	AllocGateArmed bool             `json:"alloc_gate_armed"`
+	AllocTolerance float64          `json:"alloc_tolerance"`
+	Benchmarks     []comparisonJSON `json:"benchmarks"`
+	Regressions    []string         `json:"regressions"`
+	Speedups       []speedupJSON    `json:"speedups,omitempty"`
 }
 
 // speedupFlags collects repeated -speedup specs.
@@ -146,7 +194,7 @@ func (f *speedupFlags) Set(v string) error {
 }
 
 // runCompare executes the compare mode and returns the process exit code.
-func runCompare(baselinePath, currentPath string, tolerance float64, speedupSpecs []string, jsonOut string) int {
+func runCompare(baselinePath, currentPath string, tolerance, allocTolerance float64, speedupSpecs []string, jsonOut string) int {
 	base, err := parseBenchFile(baselinePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ftpm-bench: baseline: %v\n", err)
@@ -167,6 +215,13 @@ func runCompare(baselinePath, currentPath string, tolerance float64, speedupSpec
 		// from a different CPU.
 		HardwareMatch: base.CPU != "" && base.CPU == cur.CPU && base.MaxProcs == cur.MaxProcs,
 		Tolerance:     tolerance,
+		// Allocation counts do not depend on clock speed and only
+		// negligibly on scheduling (the benchmarks fix their worker counts
+		// explicitly), so the alloc gate stays armed across hardware — the
+		// whole point of gating allocs next to the hardware-gated ns/op.
+		// It disarms only when a run carries no -benchmem data at all.
+		AllocGateArmed: len(base.AllocsPerOp) > 0 && len(cur.AllocsPerOp) > 0,
+		AllocTolerance: allocTolerance,
 	}
 
 	names := make([]string, 0, len(cur.NsPerOp))
@@ -190,6 +245,28 @@ func runCompare(baselinePath, currentPath string, tolerance float64, speedupSpec
 		if c.Regressed {
 			doc.Regressions = append(doc.Regressions, name)
 		}
+		if baseAllocs, ok := base.AllocsPerOp[name]; ok {
+			if curAllocs, ok := cur.AllocsPerOp[name]; ok {
+				c.hasAllocs = true
+				c.BaselineAllocs = baseAllocs
+				c.CurrentAllocs = curAllocs
+				c.BaselineBytes = base.BytesPerOp[name]
+				c.CurrentBytes = cur.BytesPerOp[name]
+				if baseAllocs > 0 {
+					c.AllocRatio = curAllocs / baseAllocs
+					c.AllocRegressed = doc.AllocGateArmed && c.AllocRatio > 1+allocTolerance
+				} else {
+					// A zero-alloc baseline is the end state this project
+					// optimizes toward; any allocation reappearing there is
+					// an unbounded regression (the ratio is left 0 — ±Inf
+					// would break the JSON artifact).
+					c.AllocRegressed = doc.AllocGateArmed && curAllocs > 0
+				}
+				if c.AllocRegressed {
+					doc.Regressions = append(doc.Regressions, name+" (allocs/op)")
+				}
+			}
+		}
 		doc.Benchmarks = append(doc.Benchmarks, c)
 	}
 
@@ -211,6 +288,14 @@ func runCompare(baselinePath, currentPath string, tolerance float64, speedupSpec
 			fail = true
 		}
 		fmt.Printf("%-60s %14.0f -> %14.0f ns/op  %.2fx  %s\n", c.Name, c.BaselineNs, c.CurrentNs, c.Ratio, status)
+		if c.hasAllocs {
+			status = "ok"
+			if c.AllocRegressed {
+				status = "REGRESSED"
+				fail = true
+			}
+			fmt.Printf("%-60s %14.0f -> %14.0f allocs/op %.2fx  %s\n", "", c.BaselineAllocs, c.CurrentAllocs, c.AllocRatio, status)
+		}
 	}
 
 	for _, spec := range speedupSpecs {

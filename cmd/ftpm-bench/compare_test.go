@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -95,18 +96,18 @@ func TestRunCompareGates(t *testing.T) {
 	regressed := writeBench(t, "cur.txt", `cpu: Test CPU
 BenchmarkFoo-8  1  130000 ns/op
 `)
-	if code := runCompare(base, regressed, 0.20, nil, ""); code != 1 {
+	if code := runCompare(base, regressed, 0.20, 0.20, nil, ""); code != 1 {
 		t.Fatalf("30%% regression returned %d, want 1", code)
 	}
-	if code := runCompare(base, regressed, 0.35, nil, ""); code != 0 {
+	if code := runCompare(base, regressed, 0.35, 0.20, nil, ""); code != 0 {
 		t.Fatalf("regression within tolerance returned %d, want 0", code)
 	}
 
-	// Different hardware: the gate disarms.
+	// Different hardware: the ns/op gate disarms.
 	otherCPU := writeBench(t, "other.txt", `cpu: Other CPU
 BenchmarkFoo-8  1  900000 ns/op
 `)
-	if code := runCompare(base, otherCPU, 0.20, nil, ""); code != 0 {
+	if code := runCompare(base, otherCPU, 0.20, 0.20, nil, ""); code != 0 {
 		t.Fatalf("hardware mismatch returned %d, want 0 (gate skipped)", code)
 	}
 
@@ -116,7 +117,7 @@ BenchmarkFoo-8  1  900000 ns/op
 		"BenchmarkIngestConvert/serial,BenchmarkIngestConvert/sharded,1.5",
 		"BenchmarkIngestConvert/serial,BenchmarkFoo,2",
 	}
-	if code := runCompare(base, base, 0.20, specs, out); code != 0 {
+	if code := runCompare(base, base, 0.20, 0.20, specs, out); code != 0 {
 		t.Fatalf("self-compare returned %d, want 0", code)
 	}
 	if _, err := os.Stat(out); err != nil {
@@ -128,7 +129,86 @@ BenchmarkFoo-8  1  900000 ns/op
 		"BenchmarkIngestConvert/serial,BenchmarkIngestConvert/sharded,1.5",
 		"BenchmarkIngestConvert/sharded,BenchmarkIngestConvert/serial,1.5", // inverted: ratio 1/3
 	}
-	if code := runCompare(base, base, 0.20, failing, ""); code != 1 {
+	if code := runCompare(base, base, 0.20, 0.20, failing, ""); code != 1 {
 		t.Fatalf("failing speedup spec returned %d, want 1", code)
+	}
+}
+
+// TestAllocGate covers the allocs/op regression gate: it parses the
+// -benchmem columns, stays armed across CPU *and* GOMAXPROCS changes
+// (allocation counts do not depend on the clock, and the benchmarks fix
+// their worker counts, so a single-core baseline still guards multi-core
+// CI runs), and fails on >tolerance allocation growth.
+func TestAllocGate(t *testing.T) {
+	bf, err := parseBenchFile(writeBench(t, "b.txt", multiCoreOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := bf.AllocsPerOp["BenchmarkFoo"]; a != 4 {
+		t.Fatalf("BenchmarkFoo allocs/op = %v, want 4", a)
+	}
+	if b := bf.BytesPerOp["BenchmarkFoo"]; b != 123 {
+		t.Fatalf("BenchmarkFoo B/op = %v, want 123", b)
+	}
+	if _, ok := bf.AllocsPerOp["BenchmarkIngestConvert/serial"]; ok {
+		t.Fatal("benchmark without -benchmem columns must not carry allocs")
+	}
+
+	base := writeBench(t, "base.txt", multiCoreOut)
+	// Same ns/op, 2x the allocations, on different hardware: only the
+	// alloc gate can fail — and it must, despite the CPU change.
+	allocRegressed := writeBench(t, "alloc.txt", `cpu: Other CPU
+BenchmarkFoo-8  1  100000 ns/op  246 B/op  8 allocs/op
+`)
+	if code := runCompare(base, allocRegressed, 0.20, 0.20, nil, ""); code != 1 {
+		t.Fatalf("2x allocation regression returned %d, want 1", code)
+	}
+	if code := runCompare(base, allocRegressed, 0.20, 1.5, nil, ""); code != 0 {
+		t.Fatalf("allocation growth within tolerance returned %d, want 0", code)
+	}
+
+	// Different GOMAXPROCS: the gate must still fire — a single-core
+	// baseline guards multi-core CI runs (the time gate disarms, the
+	// alloc gate does not).
+	otherProcs := writeBench(t, "procs.txt", `cpu: Other CPU
+BenchmarkFoo-4  1  100000 ns/op  246 B/op  8 allocs/op
+`)
+	if code := runCompare(base, otherProcs, 0.20, 0.20, nil, ""); code != 1 {
+		t.Fatalf("GOMAXPROCS mismatch returned %d, want 1 (alloc gate stays armed)", code)
+	}
+
+	// A zero-alloc baseline gaining any allocation is an unbounded
+	// regression — the gate must fire rather than divide by zero or skip.
+	zeroBase := writeBench(t, "zero.txt", `cpu: Test CPU
+BenchmarkFoo-8  1  100000 ns/op  0 B/op  0 allocs/op
+`)
+	if code := runCompare(zeroBase, allocRegressed, 0.20, 0.20, nil, ""); code != 1 {
+		t.Fatalf("0 -> 8 allocs/op returned %d, want 1", code)
+	}
+	if code := runCompare(zeroBase, zeroBase, 0.20, 0.20, nil, ""); code != 0 {
+		t.Fatalf("0 -> 0 allocs/op returned %d, want 0", code)
+	}
+
+	// Runs without any -benchmem data disarm the gate (and say so).
+	noMem := writeBench(t, "nomem.txt", `cpu: Test CPU
+BenchmarkFoo-8  1  100000 ns/op
+`)
+	if code := runCompare(noMem, allocRegressed, 0.20, 0.20, nil, ""); code != 0 {
+		t.Fatalf("baseline without -benchmem returned %d, want 0 (gate disarmed)", code)
+	}
+
+	// The artifact document carries the alloc columns and the regression.
+	out := filepath.Join(t.TempDir(), "BENCH_ALLOC.json")
+	if code := runCompare(base, allocRegressed, 0.20, 0.20, nil, out); code != 1 {
+		t.Fatalf("alloc regression with artifact returned %d, want 1", code)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"alloc_gate_armed": true`, `"alloc_regressed": true`, `"BenchmarkFoo (allocs/op)"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("artifact missing %q:\n%s", want, data)
+		}
 	}
 }

@@ -9,11 +9,13 @@
 //
 // It doubles as the CI benchmark gate: -compare checks a `go test -bench`
 // output against a committed baseline, failing on >tolerance ns/op
-// regressions (same hardware only) and optionally asserting intra-run
-// speedup ratios (-speedup is repeatable):
+// regressions (same hardware only) and >alloctolerance allocs/op
+// regressions (any hardware; allocation counts are a property of the
+// code), and optionally asserting intra-run speedup ratios (-speedup is
+// repeatable):
 //
 //	ftpm-bench -compare bench/BASELINE.txt -with bench_pr.txt \
-//	    -tolerance 0.20 -benchjson BENCH_PR42.json \
+//	    -tolerance 0.20 -alloctolerance 0.20 -benchjson BENCH_PR42.json \
 //	    -speedup 'BenchmarkIngestConvert/serial,BenchmarkIngestConvert/sharded,1.5' \
 //	    -speedup 'BenchmarkApproxJobColdVsWarm/cold,BenchmarkApproxJobColdVsWarm/warm,3,always'
 //
@@ -43,10 +45,11 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		showCSV = flag.Bool("csv", false, "print CSV instead of aligned tables")
 
-		compareBase = flag.String("compare", "", "baseline `go test -bench` output; enables compare mode")
-		compareWith = flag.String("with", "", "current `go test -bench` output to compare against the baseline")
-		tolerance   = flag.Float64("tolerance", 0.20, "compare mode: allowed ns/op regression fraction")
-		benchJSON   = flag.String("benchjson", "", "compare mode: write the comparison document to this JSON file")
+		compareBase    = flag.String("compare", "", "baseline `go test -bench` output; enables compare mode")
+		compareWith    = flag.String("with", "", "current `go test -bench` output to compare against the baseline")
+		tolerance      = flag.Float64("tolerance", 0.20, "compare mode: allowed ns/op regression fraction")
+		allocTolerance = flag.Float64("alloctolerance", 0.20, "compare mode: allowed allocs/op regression fraction (armed regardless of hardware)")
+		benchJSON      = flag.String("benchjson", "", "compare mode: write the comparison document to this JSON file")
 	)
 	var speedups speedupFlags
 	flag.Var(&speedups, "speedup", "compare mode: assert `slowBench,fastBench,minRatio` within the current run (repeatable)")
@@ -57,7 +60,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ftpm-bench: -compare and -with must be given together")
 			os.Exit(2)
 		}
-		os.Exit(runCompare(*compareBase, *compareWith, *tolerance, speedups, *benchJSON))
+		os.Exit(runCompare(*compareBase, *compareWith, *tolerance, *allocTolerance, speedups, *benchJSON))
 	}
 
 	if *list {

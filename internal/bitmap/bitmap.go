@@ -190,6 +190,30 @@ func (b *Bitmap) ForEach(fn func(i int) bool) {
 	}
 }
 
+// AppendIndices appends the positions of all set bits in ascending order
+// to dst and returns the extended slice — the allocation-free variant of
+// Indices for hot loops that reuse one scratch slice across calls (the
+// candidate-verification sweep of the miner drives the columnar occurrence
+// store off this).
+func (b *Bitmap) AppendIndices(dst []int32) []int32 {
+	for wi, w := range b.words {
+		base := int32(wi * wordBits)
+		for w != 0 {
+			dst = append(dst, base+int32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// Reset clears every bit, keeping the length — pooled bitmaps are recycled
+// through this instead of reallocating.
+func (b *Bitmap) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
 // Indices returns the positions of all set bits in ascending order.
 func (b *Bitmap) Indices() []int {
 	out := make([]int, 0, b.Count())

@@ -192,3 +192,43 @@ func TestIndicesRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAppendIndices(t *testing.T) {
+	b := FromIndices(200, 0, 63, 64, 130, 199)
+	got := b.AppendIndices(nil)
+	want := b.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("AppendIndices returned %d indexes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if int(got[i]) != want[i] {
+			t.Fatalf("index %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Appends after existing content, preserving the prefix.
+	pre := []int32{-1}
+	ext := b.AppendIndices(pre)
+	if ext[0] != -1 || len(ext) != len(want)+1 {
+		t.Fatalf("AppendIndices must extend dst: %v", ext)
+	}
+	// Reusing the scratch slice yields identical content without growth.
+	again := b.AppendIndices(got[:0])
+	if &again[0] != &got[0] || len(again) != len(want) {
+		t.Fatal("AppendIndices must reuse the provided capacity")
+	}
+	if out := New(10).AppendIndices(nil); len(out) != 0 {
+		t.Fatalf("empty bitmap yields %v", out)
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := FromIndices(130, 1, 64, 129)
+	b.Reset()
+	if b.Len() != 130 || b.Any() || b.Count() != 0 {
+		t.Fatalf("Reset left state: len=%d count=%d", b.Len(), b.Count())
+	}
+	b.Set(129)
+	if !b.Get(129) || b.Count() != 1 {
+		t.Fatal("bitmap must be reusable after Reset")
+	}
+}

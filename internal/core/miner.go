@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"ftpm/internal/bitmap"
@@ -54,12 +55,18 @@ func Mine(ctx context.Context, db *events.DB, cfg Config) (*Result, error) {
 // the shared driver of Mine and MineSharded.
 func (m *miner) mineAll(ctx context.Context) (*Result, error) {
 	start := time.Now()
+	m.scrPool.New = func() any { return &scratch{} }
 	m.mineSingles()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if m.cfg.MaxK != 1 && len(m.oneFreq) > 0 {
 		m.mineLevel2()
+		if m.cfg.MaxK == 0 || m.cfg.MaxK >= 3 {
+			// The packed L2 lookup tables only serve level-k (k >= 3)
+			// mining; a MaxK=2 run never reads them.
+			m.buildL2Index()
+		}
 		for k := 3; ; k++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -100,6 +107,19 @@ type miner struct {
 	graph *hpg.Graph
 	stats Stats
 
+	// l2nodes and l2pats are packed lookup tables over the finished level
+	// 2 — the Lemma 5 candidate filter and the iterative triple
+	// verification hit these with comparable keys instead of assembling
+	// string keys per check. Built once by buildL2Index, read-only during
+	// level-k mining.
+	l2nodes map[uint64]bool
+	l2pats  map[pairPatKey]bool
+
+	// scrPool recycles per-worker scratch state across the run's parallel
+	// drains. Scoped to the miner (not package-global) so pooled bitmaps
+	// always have this run's sequence-count width.
+	scrPool sync.Pool
+
 	// done is the cancellation channel of the run's context; cancelled()
 	// polls it between verification units.
 	done <-chan struct{}
@@ -122,13 +142,6 @@ func (m *miner) cancelled() bool {
 	default:
 		return false
 	}
-}
-
-// scratch holds the per-worker reusable buffers of the hot extension
-// path.
-type scratch struct {
-	keyBuf  []byte
-	relsBuf []temporal.Relation
 }
 
 // seriesOf returns the originating series of an event.
@@ -275,19 +288,6 @@ func (m *miner) finishLevel(ls LevelStats) {
 	}
 }
 
-// pendingPattern accumulates one candidate pattern during node
-// verification. occs is nil when the level cannot be extended further
-// (k == MaxK): then only the bitmap and one sample occurrence are kept,
-// which bounds the memory of the deepest (largest) level.
-type pendingPattern struct {
-	pat       pattern.Pattern
-	bm        *bitmap.Bitmap
-	occs      map[int][]hpg.Occurrence
-	nOcc      int
-	sampleSeq int
-	sampleOcc hpg.Occurrence
-}
-
 // keepOccsAt reports whether occurrences of level k must be stored: they
 // are needed when level k+1 will extend them, or when the caller wants
 // the full graph.
@@ -316,7 +316,7 @@ func (m *miner) mineLevel2() {
 	if m.sh != nil {
 		m.mineLevel2Sharded(level, &ls, tasks)
 	} else {
-		outcomes := runParallel(m.done, m.workers(), tasks, m.verifyPairTask)
+		outcomes := runParallel(m.done, m.workers(), &m.scrPool, tasks, m.verifyPairTask)
 		mergeOutcomes(level, &ls, outcomes)
 	}
 
@@ -328,26 +328,29 @@ func (m *miner) mineLevel2() {
 // verifyPair mines the frequent 2-event patterns of one node (step 2.2):
 // it retrieves the instance pairs in every sequence where both events
 // occur, classifies their relation, and keeps the frequent and confident
-// ones. Unlike extendNode it needs no scratch: all L2 state lives in the
-// local pending map.
-func (m *miner) verifyPair(node *hpg.Node, ls *LevelStats) {
-	pend := make(map[string]*pendingPattern)
-	m.verifyPairOver(node, node.Bitmap, pend)
-	m.flushPending(node, pend, ls)
+// ones. All L2 state lives in the worker's scratch pending table.
+func (m *miner) verifyPair(node *hpg.Node, scr *scratch, ls *LevelStats) {
+	scr.pair.reset()
+	m.verifyPairOver(node, node.Bitmap, &scr.pair, scr)
+	m.flushPair(node, &scr.pair, scr, ls)
 }
 
 // verifyPairOver classifies the instance pairs of the node's two events in
-// every sequence of bm, accumulating occurrences into pend. The sharded L2
+// every sequence of bm, accumulating occurrences into acc. The sharded L2
 // path calls it once per shard with the node bitmap restricted to that
 // shard's sequences; the per-sequence work is identical either way, so
-// merging the per-shard pend maps reproduces the unsharded result exactly.
-func (m *miner) verifyPairOver(node *hpg.Node, bm *bitmap.Bitmap, pend map[string]*pendingPattern) {
+// merging the per-shard pending tables reproduces the unsharded result
+// exactly.
+func (m *miner) verifyPairOver(node *hpg.Node, bm *bitmap.Bitmap, acc *pairAcc, scr *scratch) {
 	a, b := node.Events[0], node.Events[1]
+	keepOccs := m.keepOccsAt(2)
 
-	bm.ForEach(func(seqIdx int) bool {
+	scr.idxBuf = bm.AppendIndices(scr.idxBuf[:0])
+	for _, s32 := range scr.idxBuf {
 		if m.cancelled() {
-			return false
+			return
 		}
+		seqIdx := int(s32)
 		seq := m.db.Sequences[seqIdx]
 		ia := seq.InstancesOf(a)
 		ib := seq.InstancesOf(b)
@@ -355,10 +358,10 @@ func (m *miner) verifyPairOver(node *hpg.Node, bm *bitmap.Bitmap, pend map[strin
 			// Self-relation: ordered pairs of distinct instances.
 			for x := 0; x < len(ia); x++ {
 				for y := x + 1; y < len(ia); y++ {
-					m.classifyInto(pend, seq, seqIdx, ia[x], ia[y])
+					m.classifyInto(acc, a, b, seq, seqIdx, ia[x], ia[y], keepOccs, scr)
 				}
 			}
-			return true
+			continue
 		}
 		for _, x := range ia {
 			for _, y := range ib {
@@ -368,16 +371,16 @@ func (m *miner) verifyPairOver(node *hpg.Node, bm *bitmap.Bitmap, pend map[strin
 				if hi < lo {
 					lo, hi = hi, lo
 				}
-				m.classifyInto(pend, seq, seqIdx, lo, hi)
+				m.classifyInto(acc, a, b, seq, seqIdx, lo, hi, keepOccs, scr)
 			}
 		}
-		return true
-	})
+	}
 }
 
 // classifyInto classifies the instance pair (lo before hi) and records the
-// resulting 2-event pattern occurrence.
-func (m *miner) classifyInto(pend map[string]*pendingPattern, seq *events.Sequence, seqIdx int, lo, hi int32) {
+// resulting 2-event pattern occurrence under its (first event, relation)
+// slot — direct table addressing, no keys.
+func (m *miner) classifyInto(acc *pairAcc, a, b events.EventID, seq *events.Sequence, seqIdx int, lo, hi int32, keepOccs bool, scr *scratch) {
 	first, second := seq.Instances[lo], seq.Instances[hi]
 	if !m.spanOK(first, second) {
 		return
@@ -386,88 +389,94 @@ func (m *miner) classifyInto(pend map[string]*pendingPattern, seq *events.Sequen
 	if rel == temporal.None {
 		return
 	}
-	pat := pattern.Pair(first.Event, rel, second.Event)
-	m.addOccurrence(pend, pat, seqIdx, hpg.Occurrence{lo, hi}, m.keepOccsAt(2))
-}
-
-// addOccurrence files an occurrence under its pattern, honouring the
-// per-sequence cap. keepOccs=false records only the bitmap and sample.
-func (m *miner) addOccurrence(pend map[string]*pendingPattern, pat pattern.Pattern, seqIdx int, occ hpg.Occurrence, keepOccs bool) {
-	key := pat.Key()
-	pp := pend[key]
-	if pp == nil {
-		pp = &pendingPattern{pat: pat, bm: bitmap.New(m.n), sampleSeq: -1}
+	slot := pairSlot(rel, a != b && first.Event == b)
+	pp := &acc.slots[slot]
+	if !acc.used[slot] {
+		acc.used[slot] = true
+		pp.reset()
+		pp.pat = pattern.Pair(first.Event, rel, second.Event)
+		pp.bm = scr.getBitmap(m.n)
 		if keepOccs {
-			pp.occs = make(map[int][]hpg.Occurrence)
+			pp.occs = scr.getStore(2)
 		}
-		pend[key] = pp
 	}
-	pp.record(m, seqIdx, occ)
+	scr.tupleBuf = append(scr.tupleBuf[:0], lo, hi)
+	pp.record(m, seqIdx, scr.tupleBuf)
 }
 
-// record registers one occurrence on a pending pattern.
-func (pp *pendingPattern) record(m *miner, seqIdx int, occ hpg.Occurrence) {
-	pp.bm.Set(seqIdx)
-	if pp.sampleSeq == -1 || seqIdx < pp.sampleSeq {
-		pp.sampleSeq = seqIdx
-		pp.sampleOcc = occ
+// flushPair flushes the L2 pending table in slot order. At L2 every slot
+// already realizes a distinct canonical pattern, so no merging occurs and
+// the slot order is irrelevant for the (lazily key-sorted) node.
+func (m *miner) flushPair(node *hpg.Node, acc *pairAcc, scr *scratch, ls *LevelStats) {
+	buf := scr.flushBuf[:0]
+	for i := range acc.slots {
+		if acc.used[i] {
+			buf = append(buf, &acc.slots[i])
+		}
 	}
-	if pp.occs == nil {
-		return
-	}
-	if cap := m.cfg.MaxOccurrencesPerSeq; cap > 0 && len(pp.occs[seqIdx]) >= cap {
-		return
-	}
-	pp.occs[seqIdx] = append(pp.occs[seqIdx], occ)
-	pp.nOcc++
+	scr.flushBuf = buf
+	m.flushInto(node, buf, scr, ls)
 }
 
-// flushPending applies the final sigma/delta thresholds (the problem
+// flushInto applies the final sigma/delta thresholds (the problem
 // definition, applied in every pruning mode) and stores survivors in the
-// node. Pending entries may be keyed by extension composites (parent,
-// position, relations); entries realizing the same canonical pattern are
-// merged first, in deterministic order.
-func (m *miner) flushPending(node *hpg.Node, pend map[string]*pendingPattern, ls *LevelStats) {
-	compKeys := make([]string, 0, len(pend))
-	for k := range pend {
-		compKeys = append(compKeys, k)
+// node. pps arrives in composite-key order; entries realizing the same
+// canonical pattern are merged first, in that order — which fixes the
+// occurrence merge order under the per-sequence cap and the sample
+// tie-break, exactly as the former sorted-string-key flush did. Canonical
+// output order needs no sort here: the node sorts its patterns lazily on
+// first read (see TestFlushDeterminism).
+func (m *miner) flushInto(node *hpg.Node, pps []*pendingPattern, scr *scratch, ls *LevelStats) {
+	if scr.canon == nil {
+		scr.canon = make(map[string]int)
+	} else {
+		clear(scr.canon)
 	}
-	sort.Strings(compKeys)
-	merged := make(map[string]*pendingPattern, len(pend))
-	keys := make([]string, 0, len(pend))
-	for _, ck := range compKeys {
-		pp := pend[ck]
+	n := 0
+	for _, pp := range pps {
 		key := pp.pat.Key()
-		ex := merged[key]
-		if ex == nil {
-			merged[key] = pp
-			keys = append(keys, key)
+		if i, ok := scr.canon[key]; ok {
+			ex := pps[i]
+			ex.bm.InPlaceOr(pp.bm)
+			scr.putBitmap(pp.bm)
+			if ex.occs != nil && pp.occs != nil {
+				dst := scr.getStore(ex.occs.K())
+				hpg.MergeOccsInto(dst, ex.occs, pp.occs, ex.occs.K(), m.cfg.MaxOccurrencesPerSeq)
+				scr.putStore(ex.occs)
+				scr.putStore(pp.occs)
+				ex.occs = dst
+			}
+			ex.nOcc += pp.nOcc
+			if pp.sampleSeq >= 0 && (ex.sampleSeq < 0 || pp.sampleSeq < ex.sampleSeq) {
+				ex.sampleSeq = pp.sampleSeq
+				ex.sampleOcc = pp.sampleOcc
+			}
 			continue
 		}
-		ex.bm.InPlaceOr(pp.bm)
-		for seqIdx, occs := range pp.occs {
-			ex.occs[seqIdx] = append(ex.occs[seqIdx], occs...)
-			if cap := m.cfg.MaxOccurrencesPerSeq; cap > 0 && len(ex.occs[seqIdx]) > cap {
-				ex.occs[seqIdx] = ex.occs[seqIdx][:cap]
-			}
-		}
-		ex.nOcc += pp.nOcc
-		if pp.sampleSeq >= 0 && (ex.sampleSeq < 0 || pp.sampleSeq < ex.sampleSeq) {
-			ex.sampleSeq = pp.sampleSeq
-			ex.sampleOcc = pp.sampleOcc
-		}
+		scr.canon[key] = n
+		pps[n] = pp
+		n++
 	}
-	sort.Strings(keys)
 	maxSupp := m.maxEventSupport(node.Events)
-	for _, k := range keys {
-		pp := merged[k]
+	for _, pp := range pps[:n] {
 		supp := pp.bm.Count()
 		if supp < m.minSupp {
+			scr.putBitmap(pp.bm)
+			scr.putStore(pp.occs)
 			continue
 		}
 		conf := float64(supp) / float64(maxSupp)
 		if conf < m.cfg.MinConfidence {
+			scr.putBitmap(pp.bm)
+			scr.putStore(pp.occs)
 			continue
+		}
+		if pp.occs != nil && pp.occs.NumSeqs() > 0 {
+			// The survivor's sample is the store's first occurrence (see
+			// pendingPattern.record) — copied only now, once per stored
+			// pattern instead of once per composite.
+			pp.sampleSeq = int(pp.occs.SeqAt(0))
+			pp.sampleOcc = append(hpg.Occurrence(nil), pp.occs.Occ(0)...)
 		}
 		node.AddPattern(&hpg.PatternData{
 			Pattern:    pp.pat,
@@ -515,7 +524,7 @@ func (m *miner) mineLevelK(k int) int {
 			tasks = append(tasks, extendTask{parent: node, e: e})
 		}
 	}
-	outcomes := runParallel(m.done, m.workers(), tasks, m.extendNodeTask)
+	outcomes := runParallel(m.done, m.workers(), &m.scrPool, tasks, m.extendNodeTask)
 	mergeOutcomes(level, &ls, outcomes)
 
 	// Level k-1 occurrences can be released: only level k extends them.
@@ -530,17 +539,49 @@ func (m *miner) mineLevelK(k int) int {
 	return ls.GreenNodes
 }
 
+// pairPatKey identifies one frequent 2-event pattern (a, rel, b) in the
+// packed L2 index.
+type pairPatKey struct {
+	a, b events.EventID
+	rel  temporal.Relation
+}
+
+// packPair packs a sorted event pair into the L2 node index key.
+func packPair(lo, hi events.EventID) uint64 {
+	return uint64(uint32(lo))<<32 | uint64(uint32(hi))
+}
+
+// buildL2Index snapshots the finished level 2 into packed lookup tables:
+// the green node multisets for Lemma 5 and the frequent (a, rel, b)
+// patterns for the iterative triple verification. Both are hit per
+// candidate triple in the extension hot path — comparable map keys, no
+// string assembly.
+func (m *miner) buildL2Index() {
+	l2 := m.graph.Level(2)
+	if l2 == nil {
+		return
+	}
+	m.l2nodes = make(map[uint64]bool, l2.Size())
+	m.l2pats = make(map[pairPatKey]bool)
+	for _, n := range l2.Nodes() {
+		m.l2nodes[packPair(n.Events[0], n.Events[1])] = true
+		for _, pd := range n.Patterns() {
+			p := pd.Pattern
+			m.l2pats[pairPatKey{a: p.Events[0], b: p.Events[1], rel: p.Rels[0]}] = true
+		}
+	}
+}
+
 // lemma5Allows implements the Lemma 5 candidate filter: the new event must
 // form at least one frequent relation (a green L2 node) with some event of
 // the parent combination.
 func (m *miner) lemma5Allows(node *hpg.Node, e events.EventID) bool {
-	l2 := m.graph.Level(2)
 	for _, ei := range node.Events {
 		lo, hi := ei, e
 		if hi < lo {
 			lo, hi = hi, lo
 		}
-		if l2.Get([]events.EventID{lo, hi}) != nil {
+		if m.l2nodes[packPair(lo, hi)] {
 			return true
 		}
 	}
@@ -553,7 +594,7 @@ func (m *miner) lemma5Allows(node *hpg.Node, e events.EventID) bool {
 // existing ones). With transitivity pruning each new triple is verified
 // against L2 (Lemmas 6-7) before the occurrence is accepted.
 func (m *miner) extendNode(parent *hpg.Node, e events.EventID, child *hpg.Node, scr *scratch, ls *LevelStats) {
-	pend := make(map[string]*pendingPattern)
+	scr.ext.reset()
 	trans := m.cfg.Pruning.trans()
 	keepOccs := m.keepOccsAt(child.K())
 	dup := false // does e already occur in the parent's events?
@@ -565,50 +606,68 @@ func (m *miner) extendNode(parent *hpg.Node, e events.EventID, child *hpg.Node, 
 	}
 	parentPatterns := parent.Patterns()
 
-	child.Bitmap.ForEach(func(seqIdx int) bool {
+	// One monotone run cursor per parent pattern: the sequence sweep below
+	// ascends, so each columnar store is walked front to back exactly once.
+	if cap(scr.cursors) < len(parentPatterns) {
+		scr.cursors = make([]int, len(parentPatterns))
+	}
+	cursors := scr.cursors[:len(parentPatterns)]
+	for i := range cursors {
+		cursors[i] = 0
+	}
+
+	scr.idxBuf = child.Bitmap.AppendIndices(scr.idxBuf[:0])
+	for _, s32 := range scr.idxBuf {
 		if m.cancelled() {
-			return false
+			break
 		}
+		seqIdx := int(s32)
 		seq := m.db.Sequences[seqIdx]
 		eIdxs := seq.InstancesOf(e)
 		if len(eIdxs) == 0 {
-			return true
+			continue
 		}
 		// Dedup occurrences across parent patterns: with duplicate events
 		// the same child tuple can be reached from two parent occurrences.
-		var seen map[string]bool
 		if dup {
-			seen = make(map[string]bool)
+			scr.seen.reset(child.K())
 		}
-		for _, pd := range parentPatterns {
-			occs := pd.Occs[seqIdx]
-			if len(occs) == 0 {
+		for pi, pd := range parentPatterns {
+			st := pd.Occs
+			if st == nil {
 				continue
 			}
-			parentKey := pd.Pattern.Key()
-			for _, occ := range occs {
+			lo, hi := st.SeekRun(&cursors[pi], s32)
+			for oi := lo; oi < hi; oi++ {
+				occ := st.Occ(oi)
 				for _, ie := range eIdxs {
-					if dup && occ.Contains(ie) {
+					if dup && hpg.Occurrence(occ).Contains(ie) {
 						continue
 					}
-					m.tryExtend(pend, seq, seqIdx, pd.Pattern, parentKey, occ, ie, seen, trans, keepOccs, scr, ls)
+					m.tryExtend(seq, seqIdx, pd.Pattern, int32(pi), occ, ie, dup, trans, keepOccs, scr, ls)
 				}
 			}
 		}
-		return true
-	})
+	}
 
-	m.flushPending(child, pend, ls)
+	m.flushExt(child, scr, ls)
+}
+
+// flushExt orders the Lk pending table by typed composite key — the single
+// sort of the flush path — and hands it to the shared threshold flush.
+func (m *miner) flushExt(node *hpg.Node, scr *scratch, ls *LevelStats) {
+	scr.flushBuf = scr.ext.ordered(scr.flushBuf)
+	m.flushInto(node, scr.flushBuf, scr, ls)
 }
 
 // tryExtend inserts instance ie into occurrence occ, classifies the new
-// triples, and records the occurrence under its extension composite key
-// (parent pattern, insert position, new event, new relations). The child
-// pattern is spliced only when the composite is seen for the first time;
-// composites that canonicalize to the same pattern are merged in
-// flushPending.
-func (m *miner) tryExtend(pend map[string]*pendingPattern, seq *events.Sequence, seqIdx int,
-	parentPat pattern.Pattern, parentKey string, occ hpg.Occurrence, ie int32, seen map[string]bool, trans, keepOccs bool, scr *scratch, ls *LevelStats) {
+// triples, and records the occurrence under its typed extension composite
+// key (parent pattern index, insert position, new event, packed new
+// relations). The child pattern is spliced only when the composite is seen
+// for the first time; composites that canonicalize to the same pattern are
+// merged in flushInto.
+func (m *miner) tryExtend(seq *events.Sequence, seqIdx int, parentPat pattern.Pattern, parentIdx int32,
+	occ []int32, ie int32, dup, trans, keepOccs bool, scr *scratch, ls *LevelStats) {
 
 	k := len(occ) + 1
 	// Instance order in a sequence equals chronological order, so the
@@ -620,35 +679,25 @@ func (m *miner) tryExtend(pend map[string]*pendingPattern, seq *events.Sequence,
 			break
 		}
 	}
-	// roleIdx maps a role of the extended occurrence to its instance
-	// index without materializing the new tuple.
-	roleIdx := func(j int) int32 {
-		switch {
-		case j == pos:
-			return ie
-		case j < pos:
-			return occ[j]
-		default:
-			return occ[j-1]
-		}
+	// Materialize the extended tuple once into the scratch buffer; the
+	// dedup probe, span check, classification and the final arena append
+	// all read it — no per-occurrence slice is ever heap-allocated.
+	if cap(scr.tupleBuf) < k {
+		scr.tupleBuf = make([]int32, 0, 2*k)
+	}
+	tb := scr.tupleBuf[:0]
+	tb = append(tb, occ[:pos]...)
+	tb = append(tb, ie)
+	tb = append(tb, occ[pos:]...)
+	scr.tupleBuf = tb
+
+	if dup && !scr.seen.insert(tb) {
+		return
 	}
 
-	if seen != nil {
-		kb := scr.keyBuf[:0]
-		for j := 0; j < k; j++ {
-			idx := roleIdx(j)
-			kb = append(kb, byte(idx), byte(idx>>8), byte(idx>>16), byte(idx>>24))
-		}
-		scr.keyBuf = kb
-		if seen[string(kb)] {
-			return
-		}
-		seen[string(kb)] = true
-	}
-
-	// Monotone t_max span check (see occSpanOK), without materializing.
+	// Monotone t_max span check (see spanOK).
 	if m.cfg.TMax > 0 {
-		firstStart := seq.Instances[roleIdx(0)].Start
+		firstStart := seq.Instances[tb[0]].Start
 		maxEnd := seq.Instances[ie].End
 		for _, idx := range occ {
 			if e := seq.Instances[idx].End; e > maxEnd {
@@ -660,17 +709,21 @@ func (m *miner) tryExtend(pend map[string]*pendingPattern, seq *events.Sequence,
 		}
 	}
 
-	// Classify the k-1 new triples between ie and every other role.
+	// Classify the k-1 new triples between ie and every other role,
+	// packing the relations into the composite key as they are accepted.
 	newIns := seq.Instances[ie]
 	if cap(scr.relsBuf) < k {
 		scr.relsBuf = make([]temporal.Relation, k)
 	}
 	rels := scr.relsBuf[:k] // rels[j] for role j (pos slot unused)
+	var packed uint64
+	var overflow []byte // engages only beyond maxPackedRoles (k > 33)
+	slot := 0
 	for j := 0; j < k; j++ {
 		if j == pos {
 			continue
 		}
-		other := seq.Instances[roleIdx(j)]
+		other := seq.Instances[tb[j]]
 		var rel temporal.Relation
 		if j < pos {
 			rel = m.rel.Classify(other.Interval, newIns.Interval)
@@ -695,66 +748,33 @@ func (m *miner) tryExtend(pend map[string]*pendingPattern, seq *events.Sequence,
 			}
 		}
 		rels[j] = rel
+		if slot < maxPackedRoles {
+			packed |= uint64(rel) << (2 * slot)
+		} else {
+			overflow = append(overflow, byte(rel))
+		}
+		slot++
 	}
 
-	// Composite pending key: parent pattern + insert position + event +
-	// new relations. Unique per (child pattern, position).
-	kb := scr.keyBuf[:0]
-	kb = append(kb, parentKey...)
-	kb = append(kb, byte(pos))
-	kb = append(kb, byte(newIns.Event), byte(newIns.Event>>8), byte(newIns.Event>>16), byte(newIns.Event>>24))
-	for j := 0; j < k; j++ {
-		if j != pos {
-			kb = append(kb, byte(rels[j]))
-		}
+	key := extKey{parent: parentIdx, pos: int32(pos), event: newIns.Event, rels: packed}
+	if overflow != nil {
+		key.relsOv = string(overflow)
 	}
-	scr.keyBuf = kb
-
-	pp := pend[string(kb)]
-	if pp == nil {
-		pp = &pendingPattern{
-			pat:       splice(parentPat, pos, newIns.Event, rels),
-			bm:        bitmap.New(m.n),
-			sampleSeq: -1,
-		}
+	pp, created := scr.ext.get(key)
+	if created {
+		pp.pat = splice(parentPat, pos, newIns.Event, rels)
+		pp.bm = scr.getBitmap(m.n)
 		if keepOccs {
-			pp.occs = make(map[int][]hpg.Occurrence)
+			pp.occs = scr.getStore(k)
 		}
-		pend[string(kb)] = pp
 	}
-	if pp.occs == nil && pp.sampleSeq >= 0 && seqIdx > pp.sampleSeq {
-		// Nothing further to record: bitmap bit and sample suffice.
-		pp.bm.Set(seqIdx)
-		return
-	}
-	newOcc := make(hpg.Occurrence, 0, k)
-	newOcc = append(newOcc, occ[:pos]...)
-	newOcc = append(newOcc, ie)
-	newOcc = append(newOcc, occ[pos:]...)
-	pp.record(m, seqIdx, newOcc)
+	pp.record(m, seqIdx, tb)
 }
 
 // l2HasPair reports whether the triple (a, rel, b) was mined as a
-// frequent, confident 2-event pattern at L2, without allocating.
+// frequent, confident 2-event pattern at L2 — one packed-key map hit.
 func (m *miner) l2HasPair(a events.EventID, rel temporal.Relation, b events.EventID) bool {
-	lo, hi := a, b
-	if hi < lo {
-		lo, hi = hi, lo
-	}
-	var mk [8]byte
-	mk[0], mk[1], mk[2], mk[3] = byte(lo), byte(lo>>8), byte(lo>>16), byte(lo>>24)
-	mk[4], mk[5], mk[6], mk[7] = byte(hi), byte(hi>>8), byte(hi>>16), byte(hi>>24)
-	node := m.graph.Level(2).GetKey(string(mk[:]))
-	if node == nil {
-		return false
-	}
-	// Pattern key layout (see pattern.Pattern.Key): k, events, relations.
-	var pk [10]byte
-	pk[0] = 2
-	pk[1], pk[2], pk[3], pk[4] = byte(a), byte(a>>8), byte(a>>16), byte(a>>24)
-	pk[5], pk[6], pk[7], pk[8] = byte(b), byte(b>>8), byte(b>>16), byte(b>>24)
-	pk[9] = byte(rel)
-	return node.Pattern(string(pk[:])) != nil
+	return m.l2pats[pairPatKey{a: a, b: b, rel: rel}]
 }
 
 // splice builds the (k)-event pattern obtained by inserting newEvent at

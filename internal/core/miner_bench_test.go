@@ -73,6 +73,32 @@ func BenchmarkMineWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkExtendVerification stresses the Lk (k >= 3) candidate
+// verification hot path — the occurrence-extension workload the columnar
+// occurrence store, the typed pending keys, and the pooled scratch exist
+// for. The allocs/op of this benchmark is the headline number of the
+// zero-allocation verification work (gated in CI via bench/BASELINE.txt).
+func BenchmarkExtendVerification(b *testing.B) {
+	db := benchDB(b, "NIST", 0.01)
+	cfg := Config{MinSupport: 0.6, MinConfidence: 0.6, MaxK: 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Mine(context.Background(), db, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		deep := false
+		for _, l := range res.Stats.Levels {
+			if l.K >= 3 && l.Patterns > 0 {
+				deep = true
+			}
+		}
+		if !deep {
+			b.Fatal("benchmark must exercise k >= 3 extension")
+		}
+	}
+}
+
 // BenchmarkLevelSplit isolates the level costs: MaxK=1 (singles only),
 // MaxK=2 (pairs) and MaxK=3 expose how work distributes over levels.
 func BenchmarkLevelSplit(b *testing.B) {

@@ -15,15 +15,18 @@ type nodeOutcome struct {
 	ls   LevelStats
 }
 
-// runParallel fans the tasks out over the configured workers, each with
-// its own scratch, and returns the outcomes in task order — parallel runs
-// therefore produce byte-identical results to serial runs.
+// runParallel fans the tasks out over the configured workers, each owning
+// one scratch drawn from the miner's pool for the drain (and reset between
+// nodes by the verification routines), and returns the outcomes in task
+// order — parallel runs therefore produce byte-identical results to serial
+// runs. Pooling the scratches across drains means the per-level ramp-up
+// allocates nothing once the pool is warm.
 //
 // done is the cancellation channel of the run's context: when it fires,
 // workers stop picking up tasks and return early. The caller (Mine)
 // detects cancellation via ctx.Err(), so partially-filled outcomes are
 // never observed by users.
-func runParallel[T, R any](done <-chan struct{}, workers int, tasks []T, fn func(*scratch, T) R) []R {
+func runParallel[T, R any](done <-chan struct{}, workers int, pool *sync.Pool, tasks []T, fn func(*scratch, T) R) []R {
 	out := make([]R, len(tasks))
 	cancelled := func() bool {
 		select {
@@ -37,7 +40,8 @@ func runParallel[T, R any](done <-chan struct{}, workers int, tasks []T, fn func
 		workers = len(tasks)
 	}
 	if workers <= 1 {
-		scr := &scratch{}
+		scr := pool.Get().(*scratch)
+		defer pool.Put(scr)
 		for i, t := range tasks {
 			if cancelled() {
 				break
@@ -52,7 +56,8 @@ func runParallel[T, R any](done <-chan struct{}, workers int, tasks []T, fn func
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			scr := &scratch{}
+			scr := pool.Get().(*scratch)
+			defer pool.Put(scr)
 			for {
 				if cancelled() {
 					return
@@ -117,14 +122,14 @@ func (m *miner) filterPair(t pairTask) (*hpg.Node, LevelStats) {
 
 // verifyPairTask runs the full L2 treatment of one candidate pair:
 // Apriori filtering (when enabled) and relation verification.
-func (m *miner) verifyPairTask(_ *scratch, t pairTask) nodeOutcome {
+func (m *miner) verifyPairTask(scr *scratch, t pairTask) nodeOutcome {
 	var o nodeOutcome
 	node, ls := m.filterPair(t)
 	o.ls = ls
 	if node == nil {
 		return o
 	}
-	m.verifyPair(node, &o.ls)
+	m.verifyPair(node, scr, &o.ls)
 	if node.NumPatterns() > 0 {
 		o.node = node
 	}

@@ -142,14 +142,37 @@ func Accuracy(approx, exact *Result) float64 {
 }
 
 // sortPatterns orders PatternInfos by (k, key) for deterministic output.
+// Keys are materialized once per pattern up front — computing them inside
+// the comparator would allocate two strings per comparison, which
+// dominated the allocation profile of large result sets.
 func sortPatterns(ps []PatternInfo) {
-	sort.Slice(ps, func(i, j int) bool {
-		a, b := ps[i].Pattern, ps[j].Pattern
-		if a.K() != b.K() {
-			return a.K() < b.K()
-		}
-		return a.Key() < b.Key()
-	})
+	sort.Sort(&patternSorter{ps: ps, keys: patternKeys(ps)})
+}
+
+func patternKeys(ps []PatternInfo) []string {
+	keys := make([]string, len(ps))
+	for i := range ps {
+		keys[i] = ps[i].Pattern.Key()
+	}
+	return keys
+}
+
+type patternSorter struct {
+	ps   []PatternInfo
+	keys []string
+}
+
+func (s *patternSorter) Len() int { return len(s.ps) }
+func (s *patternSorter) Less(i, j int) bool {
+	a, b := s.ps[i].Pattern, s.ps[j].Pattern
+	if a.K() != b.K() {
+		return a.K() < b.K()
+	}
+	return s.keys[i] < s.keys[j]
+}
+func (s *patternSorter) Swap(i, j int) {
+	s.ps[i], s.ps[j] = s.ps[j], s.ps[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }
 
 // Maximal returns the mined patterns that are not sub-patterns of any

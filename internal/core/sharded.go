@@ -163,7 +163,7 @@ func (m *miner) scanSinglesSharded() {
 	for i := range shardIdx {
 		shardIdx[i] = i
 	}
-	partials := runParallel(m.done, m.workers(), shardIdx, func(_ *scratch, s int) map[events.EventID][]int {
+	partials := runParallel(m.done, m.workers(), &m.scrPool, shardIdx, func(_ *scratch, s int) map[events.EventID][]int {
 		p := make(map[events.EventID][]int)
 		for j, seq := range m.sh.shards[s].Sequences {
 			g := m.sh.globalIdx[s][j]
@@ -217,7 +217,7 @@ func (m *miner) mineLevel2Sharded(level *hpg.Level, ls *LevelStats, tasks []pair
 		node *hpg.Node
 		ls   LevelStats
 	}
-	outcomes := runParallel(m.done, m.workers(), tasks, func(_ *scratch, t pairTask) filtered {
+	outcomes := runParallel(m.done, m.workers(), &m.scrPool, tasks, func(_ *scratch, t pairTask) filtered {
 		node, ls := m.filterPair(t)
 		return filtered{node: node, ls: ls}
 	})
@@ -242,6 +242,11 @@ func (m *miner) mineLevel2Sharded(level *hpg.Level, ls *LevelStats, tasks []pair
 	// shard order and the global thresholds apply once, keeping the level
 	// byte-identical to the unsharded path.
 	K := len(m.sh.shards)
+	// The coordinator owns a scratch of its own for the merge + flush
+	// (freelists, canonical table); the per-shard partials are built on
+	// the workers' scratches.
+	scr := m.scrPool.Get().(*scratch)
+	defer m.scrPool.Put(scr)
 	batch := (m.workers() + K - 1) / K // nodes per batch
 	for start := 0; start < len(nodes); start += batch {
 		end := start + batch
@@ -254,24 +259,39 @@ func (m *miner) mineLevel2Sharded(level *hpg.Level, ls *LevelStats, tasks []pair
 				shardTasks = append(shardTasks, pairShardTask{nodeIdx: ni, shard: s})
 			}
 		}
-		partials := runParallel(m.done, m.workers(), shardTasks, func(_ *scratch, t pairShardTask) map[string]*pendingPattern {
+		partials := runParallel(m.done, m.workers(), &m.scrPool, shardTasks, func(wscr *scratch, t pairShardTask) *pairAcc {
 			node := nodes[t.nodeIdx]
 			local := node.Bitmap.And(m.sh.masks[t.shard])
 			if local.Count() == 0 {
 				return nil
 			}
-			pend := make(map[string]*pendingPattern)
-			m.verifyPairOver(node, local, pend)
-			return pend
+			// The accumulator outlives the task (it crosses into the
+			// coordinator's merge), so it is heap-allocated rather than
+			// scratch-owned; its slot bitmaps and stores are drawn from
+			// the worker's freelists and handed over with it.
+			acc := &pairAcc{}
+			m.verifyPairOver(node, local, acc, wscr)
+			return acc
 		})
 
 		for ni := start; ni < end; ni++ {
 			node := nodes[ni]
-			pend := make(map[string]*pendingPattern)
+			var merged *pairAcc
 			for s := 0; s < K; s++ {
-				m.mergePending(pend, partials[(ni-start)*K+s])
+				p := partials[(ni-start)*K+s]
+				if p == nil {
+					continue
+				}
+				if merged == nil {
+					merged = p
+					continue
+				}
+				m.mergePairAcc(merged, p, scr)
 			}
-			m.flushPending(node, pend, ls)
+			if merged == nil {
+				merged = &pairAcc{}
+			}
+			m.flushPair(node, merged, scr, ls)
 			if node.NumPatterns() > 0 {
 				level.Add(node)
 				ls.GreenNodes++
@@ -280,28 +300,37 @@ func (m *miner) mineLevel2Sharded(level *hpg.Level, ls *LevelStats, tasks []pair
 	}
 }
 
-// mergePending folds a shard-local pending map into dst. The sequence
-// sets of distinct shards are disjoint, so occurrence maps union without
-// conflict; bitmaps OR, occurrence counts add, and the sample stays the
-// minimal global sequence index — exactly what a single-map run would
-// have recorded.
-func (m *miner) mergePending(dst, src map[string]*pendingPattern) {
-	for key, pp := range src {
-		ex := dst[key]
-		if ex == nil {
-			dst[key] = pp
+// mergePairAcc folds a shard-local L2 pending table into dst, slot-wise.
+// The sequence sets of distinct shards are disjoint, so occurrence runs
+// interleave without conflict: bitmaps OR, columnar stores merge by
+// sequence, occurrence counts add, and the sample stays the minimal
+// global sequence index — exactly what a single-table run would have
+// recorded.
+func (m *miner) mergePairAcc(dst, src *pairAcc, scr *scratch) {
+	for i := range src.slots {
+		if !src.used[i] {
 			continue
 		}
-		ex.bm.InPlaceOr(pp.bm)
-		if ex.occs != nil && pp.occs != nil {
-			for seqIdx, occs := range pp.occs {
-				ex.occs[seqIdx] = occs
-			}
+		sp := &src.slots[i]
+		if !dst.used[i] {
+			dst.used[i] = true
+			dst.slots[i] = *sp
+			continue
 		}
-		ex.nOcc += pp.nOcc
-		if pp.sampleSeq >= 0 && (ex.sampleSeq < 0 || pp.sampleSeq < ex.sampleSeq) {
-			ex.sampleSeq = pp.sampleSeq
-			ex.sampleOcc = pp.sampleOcc
+		dp := &dst.slots[i]
+		dp.bm.InPlaceOr(sp.bm)
+		scr.putBitmap(sp.bm)
+		if dp.occs != nil && sp.occs != nil {
+			out := scr.getStore(dp.occs.K())
+			hpg.MergeOccsInto(out, dp.occs, sp.occs, dp.occs.K(), m.cfg.MaxOccurrencesPerSeq)
+			scr.putStore(dp.occs)
+			scr.putStore(sp.occs)
+			dp.occs = out
+		}
+		dp.nOcc += sp.nOcc
+		if sp.sampleSeq >= 0 && (dp.sampleSeq < 0 || sp.sampleSeq < dp.sampleSeq) {
+			dp.sampleSeq = sp.sampleSeq
+			dp.sampleOcc = sp.sampleOcc
 		}
 	}
 }

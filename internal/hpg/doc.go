@@ -5,9 +5,19 @@
 // including the per-sequence occurrence tuples that the next level
 // extends.
 //
+// Occurrences are stored columnar (OccStore): one flat []int32 role arena
+// per pattern with CSR-style per-sequence runs, appended in ascending
+// sequence order and walked by monotone cursors during extension — no
+// per-sequence map entries, no per-occurrence slice headers. MergeOccsInto
+// combines stores with the exact append-then-cap semantics the miner's
+// flush relies on, for both composite canonicalization and disjoint
+// per-shard partials.
+//
 // The graph doubles as the miner's working memory: level k-1 occurrence
-// lists are dropped as soon as level k has extended them (unless the
+// stores are dropped as soon as level k has extended them (unless the
 // caller asked to keep the full graph), which bounds peak memory to two
-// adjacent levels. Nodes expose their patterns in a deterministic order
-// so that parallel mining runs produce byte-identical results.
+// adjacent levels. Nodes expose their patterns in a deterministic order —
+// cached after the first read, so re-reading a parent's patterns per
+// extension candidate stays allocation-free — and parallel mining runs
+// produce byte-identical results.
 package hpg

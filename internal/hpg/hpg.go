@@ -3,7 +3,6 @@ package hpg
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"ftpm/internal/bitmap"
 	"ftpm/internal/events"
@@ -12,21 +11,9 @@ import (
 
 // Occurrence is one realization of a pattern inside a sequence: the indexes
 // (into Sequence.Instances) of the instances filling the pattern's
-// chronological roles, in role order.
+// chronological roles, in role order. Bulk occurrence storage lives in
+// OccStore; the standalone slice type remains for samples and rendering.
 type Occurrence []int32
-
-// Key encodes the occurrence for deduplication within a sequence.
-func (o Occurrence) Key() string {
-	var sb strings.Builder
-	sb.Grow(len(o) * 4)
-	for _, i := range o {
-		sb.WriteByte(byte(i))
-		sb.WriteByte(byte(i >> 8))
-		sb.WriteByte(byte(i >> 16))
-		sb.WriteByte(byte(i >> 24))
-	}
-	return sb.String()
-}
 
 // Contains reports whether instance index idx is part of the occurrence.
 func (o Occurrence) Contains(idx int32) bool {
@@ -44,9 +31,9 @@ type PatternData struct {
 	Bitmap     *bitmap.Bitmap // sequences supporting the pattern
 	Support    int
 	Confidence float64
-	// Occs maps sequence id to the occurrence tuples realizing the pattern
-	// there. Level k+1 extends these.
-	Occs map[int][]Occurrence
+	// Occs holds the occurrence tuples realizing the pattern, columnar by
+	// sequence. Level k+1 extends these; nil once released.
+	Occs *OccStore
 	// SampleSeq and SampleOcc retain one representative occurrence for
 	// rendering even after Occs is released (-1 when unknown).
 	SampleSeq int
@@ -68,6 +55,7 @@ type Node struct {
 	patterns map[string]*PatternData
 	order    []string // pattern keys; sorted lazily for deterministic iteration
 	sorted   bool
+	view     []*PatternData // cached sorted snapshot; invalidated by AddPattern
 }
 
 // NewNode creates a node for the sorted event multiset.
@@ -100,6 +88,7 @@ func (n *Node) AddPattern(pd *PatternData) {
 	n.patterns[key] = pd
 	n.order = append(n.order, key)
 	n.sorted = false
+	n.view = nil
 }
 
 // Pattern returns the stored pattern with the given key, or nil.
@@ -109,17 +98,26 @@ func (n *Node) Pattern(key string) *PatternData { return n.patterns[key] }
 func (n *Node) NumPatterns() int { return len(n.patterns) }
 
 // Patterns iterates the node's patterns in deterministic (key) order.
-// The order is established lazily on first read after inserts.
+// The order is established lazily on first read after inserts, and the
+// returned slice is cached until the next insert: the miner re-reads a
+// parent node's patterns once per extension candidate, and rebuilding the
+// snapshot each time would allocate in the verification hot path. Callers
+// must not mutate the returned slice. Concurrent readers are safe only
+// once the snapshot exists — the miner establishes it single-threaded
+// before fanning out (see mineLevelK).
 func (n *Node) Patterns() []*PatternData {
 	if !n.sorted {
 		sort.Strings(n.order)
 		n.sorted = true
+		n.view = nil
 	}
-	out := make([]*PatternData, len(n.order))
-	for i, k := range n.order {
-		out[i] = n.patterns[k]
+	if n.view == nil {
+		n.view = make([]*PatternData, len(n.order))
+		for i, k := range n.order {
+			n.view[i] = n.patterns[k]
+		}
 	}
-	return out
+	return n.view
 }
 
 // DropOccurrences releases the occurrence storage of all patterns — called

@@ -9,19 +9,10 @@ import (
 	"ftpm/internal/temporal"
 )
 
-func TestOccurrenceKeyAndContains(t *testing.T) {
+func TestOccurrenceContains(t *testing.T) {
 	o := Occurrence{1, 300, 70000}
 	if !o.Contains(300) || o.Contains(2) {
 		t.Error("Contains wrong")
-	}
-	if o.Key() != (Occurrence{1, 300, 70000}).Key() {
-		t.Error("key must be deterministic")
-	}
-	if o.Key() == (Occurrence{1, 300, 70001}).Key() {
-		t.Error("different tuples must differ")
-	}
-	if (Occurrence{256}).Key() == (Occurrence{1}).Key() {
-		t.Error("wide indexes must not collide")
 	}
 }
 
@@ -50,7 +41,9 @@ func TestNodeBasics(t *testing.T) {
 	if len(ps) != 1 || ps[0] != pd {
 		t.Error("Patterns iteration wrong")
 	}
-	pd.Occs = map[int][]Occurrence{0: {{1, 2}}}
+	pd.Occs = &OccStore{}
+	pd.Occs.Reset(2)
+	pd.Occs.Append(0, []int32{1, 2})
 	n.DropOccurrences()
 	if pd.Occs != nil {
 		t.Error("DropOccurrences must nil the storage")

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -309,7 +310,7 @@ func newJobManager(workers, queueDepth int) *jobManager {
 		stop:     cancel,
 		queue:    make(chan *job, queueDepth),
 		budget:   newWorkerBudget(runtime.GOMAXPROCS(0)),
-		results:  newResultCache(maxResultCache),
+		results:  newResultCache(maxResultCache, maxResultCacheBytes),
 		counters: &cacheCounters{},
 		byID:     make(map[string]*job),
 	}
@@ -429,6 +430,17 @@ func (m *jobManager) worker() {
 			m.run(j)
 		}
 	}
+}
+
+// docSize measures a result document's serialized size — the byte cost
+// the result cache accounts for an entry. One marshal per completed job
+// is noise next to the mining itself.
+func docSize(doc *ftpm.ResultJSON) int64 {
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return 0
+	}
+	return int64(len(data))
 }
 
 // resultKey is the completed-job cache key: the dataset's content
@@ -554,7 +566,7 @@ func (m *jobManager) run(j *job) {
 			Mu:             res.Mu,
 			DurationMillis: res.Stats.Duration.Milliseconds(),
 		}
-		m.results.put(key, &resultEntry{doc: j.doc, summary: *j.summary})
+		m.results.put(key, &resultEntry{doc: j.doc, summary: *j.summary, size: docSize(j.doc)})
 	}
 }
 

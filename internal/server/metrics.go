@@ -84,6 +84,11 @@ type MetricsJSON struct {
 	QueueDepth int              `json:"queue_depth"`
 	JobStates  map[string]int   `json:"job_states"`
 	Cache      CacheMetricsJSON `json:"cache"`
+	// ResultCacheEntries and ResultCacheBytes gauge the completed-job
+	// result cache: live entry count and the cumulative serialized size of
+	// the retained documents (the byte-budget eviction currency).
+	ResultCacheEntries int   `json:"result_cache_entries"`
+	ResultCacheBytes   int64 `json:"result_cache_bytes"`
 	// Jobs lists the per-level timings of the most recent jobs (newest
 	// last), bounded by metricsJobWindow.
 	Jobs []JobMetricsJSON `json:"jobs"`
@@ -108,6 +113,7 @@ func (m *jobManager) metrics() MetricsJSON {
 		JobStates:  make(map[string]int),
 		Cache:      m.counters.snapshot(),
 	}
+	doc.ResultCacheEntries, doc.ResultCacheBytes = m.results.stats()
 	windowStart := len(jobs) - metricsJobWindow
 	for i, j := range jobs {
 		j.mu.Lock()
@@ -123,32 +129,46 @@ func (m *jobManager) metrics() MetricsJSON {
 	return doc
 }
 
-// resultEntry is one memoized completed job: its export document and the
-// summary of the run that produced it.
+// resultEntry is one memoized completed job: its export document, the
+// summary of the run that produced it, and the document's serialized size
+// in bytes — the currency of the cache's byte budget.
 type resultEntry struct {
 	doc     *ftpm.ResultJSON
 	summary JobSummary
+	size    int64
 }
 
 // resultCache memoizes completed jobs by (dataset fingerprint, canonical
-// options), bounded by an LRU so repeat submissions of hot
-// parameterizations return without mining while the cache cannot grow
-// with request variety. Keys are content-addressed, so dataset deletion
-// needs no invalidation and re-uploads of identical data still hit.
+// options), bounded by an LRU that is both entry- and size-aware: an
+// entry count cap keeps lookup structures small, and a byte budget over
+// the stored documents' serialized sizes keeps a handful of huge pattern
+// sets from pinning unbounded memory (low thresholds can make a single
+// document orders of magnitude larger than the median). Keys are
+// content-addressed, so dataset deletion needs no invalidation and
+// re-uploads of identical data still hit.
 type resultCache struct {
-	mu      sync.Mutex
-	cap     int
-	entries map[string]*resultEntry
-	order   []string // LRU order, least recently used first
+	mu       sync.Mutex
+	cap      int
+	maxBytes int64
+	bytes    int64
+	entries  map[string]*resultEntry
+	order    []string // LRU order, least recently used first
 }
 
-// maxResultCache bounds the number of memoized job results. Entries hold
-// full result documents, which can be large; 64 hot parameterizations is
-// plenty for repeat-query traffic without letting memory grow unbounded.
-const maxResultCache = 64
+// maxResultCache bounds the number of memoized job results and
+// maxResultCacheBytes their cumulative serialized size. 64 hot
+// parameterizations within 64 MiB is plenty for repeat-query traffic
+// without letting memory grow with either request variety or result
+// volume. A single document larger than the whole byte budget is not
+// cached at all — evicting every other entry to hold one outlier would
+// gut the cache for no repeat-traffic benefit.
+const (
+	maxResultCache      = 64
+	maxResultCacheBytes = 64 << 20
+)
 
-func newResultCache(capacity int) *resultCache {
-	return &resultCache{cap: capacity, entries: make(map[string]*resultEntry)}
+func newResultCache(capacity int, maxBytes int64) *resultCache {
+	return &resultCache{cap: capacity, maxBytes: maxBytes, entries: make(map[string]*resultEntry)}
 }
 
 // touch moves key to the most-recently-used end. Caller holds c.mu.
@@ -175,11 +195,29 @@ func (c *resultCache) get(key string) (*resultEntry, bool) {
 func (c *resultCache) put(key string, e *resultEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.entries[key]; !ok && len(c.order) >= c.cap {
-		oldest := c.order[0]
-		c.order = c.order[1:]
-		delete(c.entries, oldest)
+	if e.size > c.maxBytes {
+		return // oversized: caching it would evict everything else
+	}
+	if old, ok := c.entries[key]; ok {
+		c.bytes -= old.size
 	}
 	c.entries[key] = e
+	c.bytes += e.size
 	c.touch(key)
+	// Evict least-recently-used entries until both budgets hold; the entry
+	// just inserted is newest and fits the byte budget, so the loop always
+	// terminates with it retained.
+	for (len(c.order) > c.cap || c.bytes > c.maxBytes) && len(c.order) > 1 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		c.bytes -= c.entries[oldest].size
+		delete(c.entries, oldest)
+	}
+}
+
+// stats returns the current entry count and byte footprint.
+func (c *resultCache) stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries), c.bytes
 }

@@ -787,9 +787,81 @@ func TestResultCacheAndMetrics(t *testing.T) {
 		t.Fatalf("cross-geometry job summary = %+v, want nmi reuse only", geoInfo.Summary)
 	}
 
+	// The result-cache gauges account the retained documents: four mined
+	// parameterizations are resident, with their serialized byte footprint.
+	m = metrics()
+	if m.ResultCacheEntries != 4 {
+		t.Fatalf("result_cache_entries = %d, want 4", m.ResultCacheEntries)
+	}
+	if m.ResultCacheBytes <= 0 {
+		t.Fatalf("result_cache_bytes = %d, want > 0", m.ResultCacheBytes)
+	}
+	if m.ResultCacheBytes < int64(len(a)) {
+		t.Fatalf("result_cache_bytes = %d smaller than one retained document (%d)", m.ResultCacheBytes, len(a))
+	}
+
 	// Only GET is allowed.
 	if code := doJSON(t, http.MethodPost, ts.URL+"/metrics", nil, nil); code != http.StatusMethodNotAllowed {
 		t.Fatalf("POST /metrics: status %d, want 405", code)
+	}
+}
+
+// TestResultCacheSizeAwareEviction pins the byte-budget LRU policy: the
+// cache evicts least-recently-used entries once the cumulative document
+// size exceeds the budget (even while the entry cap is far away), updates
+// accounting on overwrite, and refuses documents larger than the whole
+// budget rather than evicting everything else to hold one outlier.
+func TestResultCacheSizeAwareEviction(t *testing.T) {
+	entry := func(size int64) *resultEntry {
+		return &resultEntry{doc: &ftpm.ResultJSON{}, size: size}
+	}
+	c := newResultCache(100, 1000)
+
+	c.put("a", entry(400))
+	c.put("b", entry(400))
+	if n, b := c.stats(); n != 2 || b != 800 {
+		t.Fatalf("stats = (%d, %d), want (2, 800)", n, b)
+	}
+	// Touch "a" so "b" is the LRU victim when the budget overflows.
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a must be resident")
+	}
+	c.put("c", entry(400))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b must have been evicted by the byte budget")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently-used a must survive")
+	}
+	if n, b := c.stats(); n != 2 || b != 800 {
+		t.Fatalf("stats after eviction = (%d, %d), want (2, 800)", n, b)
+	}
+
+	// Overwriting a key replaces its accounted size instead of leaking it.
+	c.put("a", entry(100))
+	if n, b := c.stats(); n != 2 || b != 500 {
+		t.Fatalf("stats after overwrite = (%d, %d), want (2, 500)", n, b)
+	}
+
+	// An entry above the whole budget is not cached and evicts nothing.
+	c.put("huge", entry(5000))
+	if _, ok := c.get("huge"); ok {
+		t.Fatal("oversized entry must not be cached")
+	}
+	if n, b := c.stats(); n != 2 || b != 500 {
+		t.Fatalf("stats after oversized put = (%d, %d), want (2, 500)", n, b)
+	}
+
+	// The entry cap still applies independently of bytes.
+	small := newResultCache(2, 1<<30)
+	small.put("x", entry(1))
+	small.put("y", entry(1))
+	small.put("z", entry(1))
+	if _, ok := small.get("x"); ok {
+		t.Fatal("entry cap must evict the oldest")
+	}
+	if n, _ := small.stats(); n != 2 {
+		t.Fatalf("entry-capped cache holds %d entries, want 2", n)
 	}
 }
 
