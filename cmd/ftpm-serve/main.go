@@ -5,7 +5,14 @@
 //
 // Usage:
 //
-//	ftpm-serve -addr :8080 -workers 4 -queue 64 -shards 8
+//	ftpm-serve -addr :8080 -workers 4 -queue 64 -shards 8 -data /var/lib/ftpm
+//
+// With -data set the service is durable: ingested datasets and the job
+// log (including result documents) are written to a fsync'd write-ahead
+// log with periodic snapshots and replayed on restart; jobs that were
+// queued or running when the process died come back failed with a
+// "lost to restart" error. Without -data the service is purely
+// in-memory, as before.
 //
 // Quick tour with curl:
 //
@@ -40,18 +47,23 @@ func main() {
 		maxUpload = flag.Int64("max-upload", 64<<20, "maximal dataset upload size in bytes")
 		threshold = flag.Float64("threshold", 0.05, "default On/Off threshold for numeric uploads")
 		shards    = flag.Int("shards", 0, "default shard count for uploads (0 = GOMAXPROCS); sharded datasets ingest and mine in parallel per shard")
+		data      = flag.String("data", "", "data directory for restart recovery (snapshot + WAL); empty runs purely in memory")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "ftpm-serve: ", log.LstdFlags)
-	srv := server.New(server.Options{
+	srv, err := server.New(server.Options{
 		Workers:          *workers,
 		QueueDepth:       *queue,
 		MaxUploadBytes:   *maxUpload,
 		DefaultThreshold: threshold,
 		DefaultShards:    *shards,
+		DataDir:          *data,
 		Logger:           logger,
 	})
+	if err != nil {
+		logger.Fatal(err)
+	}
 
 	hs := &http.Server{
 		Addr:              *addr,

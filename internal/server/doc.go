@@ -2,7 +2,7 @@
 // service: many datasets are ingested once and mined concurrently under
 // different parameterizations, instead of one CLI run at a time.
 //
-// The subsystem has three parts:
+// The subsystem has four parts:
 //
 //   - A sharded dataset registry (registry.go): CSV uploads are decoded
 //     by the internal/csvio readers directly from the request body with
@@ -34,6 +34,31 @@
 //     mining. Job summaries report cache effectiveness as the
 //     dseq_cache / nmi_cache / result_cache booleans.
 //
+//   - An optional persistence layer (persist.go over internal/server/
+//     store): with Options.DataDir set, dataset ingestions/removals and
+//     job submissions/terminal transitions (summary and result document
+//     included) are appended to a fsync'd write-ahead log with a CRC per
+//     record, and compacted into an atomically-replaced snapshot every
+//     Options.SnapshotEvery records (default 256) or 128 MiB of WAL,
+//     whichever comes first, plus at clean shutdown and at startup when
+//     the replayed WAL is already oversized. Compaction runs on a
+//     background goroutine — the triggering request doesn't pay for it,
+//     though durable writes landing during the compaction window wait
+//     behind it. The wal_records/wal_bytes/snapshot_age_seconds and
+//     snapshot_failures gauges on /metrics make WAL growth and a
+//     persistently-failing compaction operator-visible. On open
+//     the snapshot and WAL replay into the registry and job log:
+//     datasets return under their original ids with fingerprint,
+//     Analysis and Prepared caches re-derived (they are recomputable and
+//     lazy), terminal jobs return with byte-identical result documents
+//     (done jobs re-seed the result cache), and jobs that were queued or
+//     running at crash time surface as failed with a distinguishable
+//     "lost to restart" error. A torn WAL tail is truncated, not fatal;
+//     a damaged snapshot is ignored with a loud log line. DataDir ""
+//     keeps the service purely in-memory with zero new I/O. One server
+//     process owns a data directory at a time (there is no inter-process
+//     locking).
+//
 //   - A JSON/NDJSON HTTP API (server.go) built on net/http only:
 //
 //     POST   /datasets                upload a CSV dataset (?name=, ?format=numeric|symbolic, ?threshold=, ?shards=)
@@ -46,7 +71,7 @@
 //     DELETE /jobs/{id}               cancel a queued or running job
 //     GET    /jobs/{id}/patterns      page through mined patterns (?offset=, ?limit=, ?format=ndjson)
 //     GET    /jobs/{id}/result        the full result document
-//     GET    /metrics                 queue depth, job states, per-job level timings, cumulative cache hit/miss counters
+//     GET    /metrics                 queue depth, job states, per-job level timings, cumulative cache hit/miss counters, persistence gauges
 //     GET    /healthz                 liveness probe
 //
 // Errors are returned as {"error": "..."} with a matching status code.
@@ -77,6 +102,11 @@
 // summaries report the shard split, granted workers and cache hits, and
 // every job response carries the current queue depth; GET /metrics adds
 // the service-wide view — queue depth, job-state counts, per-job level
-// timings sourced from the miner's Progress callback, and the cumulative
-// dseq/nmi/result cache counters.
+// timings sourced from the miner's Progress callback, the cumulative
+// dseq/nmi/result cache counters, and — on durable servers — the
+// wal_records and snapshot_age_seconds persistence gauges. DELETE on a
+// job that already reached a terminal state answers 409 Conflict (a 202
+// would imply a cancellation was requested); queue_depth counts only
+// jobs genuinely waiting for a worker, excluding entries cancelled while
+// queued but not yet popped.
 package server

@@ -16,7 +16,10 @@ import (
 // upload a CSV dataset, submit a mining job, poll it to completion, and
 // fetch the mined patterns.
 func Example_serve() {
-	srv := server.New(server.Options{Workers: 1})
+	srv, err := server.New(server.Options{Workers: 1})
+	if err != nil {
+		panic(err)
+	}
 	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()

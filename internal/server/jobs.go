@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ftpm"
@@ -82,8 +83,17 @@ func (req MiningRequest) validate() error {
 	if req.Overlap < 0 || req.Epsilon < 0 || req.MinOverlap < 0 || req.TMax < 0 || req.MaxPatternSize < 0 {
 		return fmt.Errorf("overlap, epsilon, min_overlap, tmax and max_pattern_size must be non-negative")
 	}
-	if a := req.Approx; a != nil && (a.Mu > 0) == (a.Density > 0) {
-		return fmt.Errorf("approx requires exactly one of mu and density")
+	if a := req.Approx; a != nil {
+		// Reject negative selectors explicitly: {"mu": -1, "density": 0.5}
+		// would otherwise slip through the exactly-one check below (only
+		// density reads as "set") and fail at mine time as a failed job,
+		// defeating validate's fail-fast purpose.
+		if a.Mu < 0 || a.Density < 0 {
+			return fmt.Errorf("approx mu and density must be positive when set, got mu=%v density=%v", a.Mu, a.Density)
+		}
+		if (a.Mu > 0) == (a.Density > 0) {
+			return fmt.Errorf("approx requires exactly one of mu and density")
+		}
 	}
 	if req.Workers < 0 {
 		return fmt.Errorf("workers must be non-negative, got %d", req.Workers)
@@ -285,6 +295,35 @@ func (j *job) document() (*ftpm.ResultJSON, JobState) {
 	return j.doc, j.state
 }
 
+// recordLocked snapshots the job as its persistence record. The summary
+// is copied and the level slice cloned so the record stays immutable
+// once handed to the persister; the result document is shared — it is
+// never mutated after the job completes. Caller holds j.mu.
+func (j *job) recordLocked() jobRecord {
+	rec := jobRecord{
+		ID:        j.id,
+		Request:   j.req,
+		State:     j.state,
+		Error:     j.errMsg,
+		CreatedAt: j.createdAt,
+		Levels:    append([]LevelTimingJSON(nil), j.levels...),
+		Doc:       j.doc,
+	}
+	if !j.startedAt.IsZero() {
+		t := j.startedAt
+		rec.StartedAt = &t
+	}
+	if !j.finishedAt.IsZero() {
+		t := j.finishedAt
+		rec.FinishedAt = &t
+	}
+	if j.summary != nil {
+		s := *j.summary
+		rec.Summary = &s
+	}
+	return rec
+}
+
 // jobManager runs mining jobs on a bounded worker pool over a bounded
 // queue.
 type jobManager struct {
@@ -295,6 +334,13 @@ type jobManager struct {
 	budget   *workerBudget
 	results  *resultCache
 	counters *cacheCounters
+	persist  *persister // nil when DataDir is unset
+	// depth gauges the jobs genuinely waiting for a worker. len(m.queue)
+	// would overstate the backlog: a job cancelled while queued stays in
+	// the channel until a worker pops and discards it, so the counter
+	// moves on the queued→running and queued→cancelled transitions
+	// instead.
+	depth atomic.Int64
 
 	mu     sync.Mutex
 	closed bool
@@ -303,7 +349,7 @@ type jobManager struct {
 	seq    int
 }
 
-func newJobManager(workers, queueDepth int) *jobManager {
+func newJobManager(workers, queueDepth int, persist *persister) *jobManager {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &jobManager{
 		baseCtx:  ctx,
@@ -312,6 +358,7 @@ func newJobManager(workers, queueDepth int) *jobManager {
 		budget:   newWorkerBudget(runtime.GOMAXPROCS(0)),
 		results:  newResultCache(maxResultCache, maxResultCacheBytes),
 		counters: &cacheCounters{},
+		persist:  persist,
 		byID:     make(map[string]*job),
 	}
 	for i := 0; i < workers; i++ {
@@ -321,14 +368,76 @@ func newJobManager(workers, queueDepth int) *jobManager {
 	return m
 }
 
+// queueDepth is the number of jobs waiting for a worker, excluding
+// cancelled entries not yet popped from the channel.
+func (m *jobManager) queueDepth() int { return int(m.depth.Load()) }
+
+// restore loads replayed jobs into the manager. Jobs that were queued or
+// running when the previous process died come back failed with the
+// distinguishable lost-to-restart error — the service neither re-runs
+// nor silently drops half-finished work. Done jobs whose dataset still
+// exists re-seed the completed-job result cache, so repeat submissions
+// after a restart hit without mining.
+func (m *jobManager) restore(records []jobRecord, maxSeq int, reg *registry) {
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, rec := range records {
+		j := &job{
+			id:        rec.ID,
+			req:       rec.Request,
+			state:     rec.State,
+			errMsg:    rec.Error,
+			createdAt: rec.CreatedAt,
+			levels:    rec.Levels,
+			doc:       rec.Doc,
+			summary:   rec.Summary,
+		}
+		if rec.StartedAt != nil {
+			j.startedAt = *rec.StartedAt
+		}
+		if rec.FinishedAt != nil {
+			j.finishedAt = *rec.FinishedAt
+		}
+		// Progress is not persisted separately — it re-accumulates from
+		// the persisted level timings exactly as the live Progress
+		// callback built it.
+		for _, lv := range rec.Levels {
+			if lv.Level > j.progress.Level {
+				j.progress.Level = lv.Level
+			}
+			j.progress.Candidates += lv.Candidates
+			if lv.Level >= 2 {
+				j.progress.Patterns += lv.Patterns
+			}
+		}
+		if !j.state.Terminal() {
+			j.state = JobFailed
+			j.errMsg = lostToRestart
+			j.finishedAt = now
+		}
+		if j.state == JobDone && j.doc != nil && j.summary != nil {
+			if ds, ok := reg.get(rec.Request.DatasetID); ok {
+				m.results.put(resultKey(ds, rec.Request), &resultEntry{doc: j.doc, summary: *j.summary, size: docSize(j.doc)})
+			}
+		}
+		m.byID[j.id] = j
+		m.ids = append(m.ids, j.id)
+	}
+	if maxSeq > m.seq {
+		m.seq = maxSeq
+	}
+	m.evictLocked()
+}
+
 // submit enqueues a job against the dataset. It fails fast when the
 // queue is full or the manager is shutting down. The queue send and the
 // index registration happen under one critical section (the send is
 // non-blocking), so a rejected submit never disturbs concurrent ones.
 func (m *jobManager) submit(ds *Dataset, req MiningRequest) (*job, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
+		m.mu.Unlock()
 		return nil, errClosed
 	}
 	j := &job{
@@ -343,9 +452,16 @@ func (m *jobManager) submit(ds *Dataset, req MiningRequest) (*job, error) {
 		m.seq++
 		m.byID[j.id] = j
 		m.ids = append(m.ids, j.id)
+		m.depth.Add(1)
 		m.evictLocked()
+		m.mu.Unlock()
+		// Logged outside m.mu (the persister's snapshot gather takes the
+		// manager locks). A terminal record racing ahead of this one is
+		// fine: replay never downgrades a terminal job.
+		m.persist.jobSubmitted(j)
 		return j, nil
 	default:
+		m.mu.Unlock()
 		return nil, errQueueFull
 	}
 }
@@ -388,7 +504,7 @@ func (m *jobManager) list() []JobInfo {
 		byID[i] = m.byID[id]
 	}
 	m.mu.Unlock()
-	depth := len(m.queue)
+	depth := m.queueDepth()
 	out := make([]JobInfo, len(byID))
 	for i, j := range byID {
 		out[i] = j.snapshot()
@@ -397,27 +513,36 @@ func (m *jobManager) list() []JobInfo {
 	return out
 }
 
-// cancelJob cancels a queued or running job. Queued jobs transition to
-// cancelled immediately; running jobs are cancelled via their context and
-// transition once the miner observes ctx.Err(). Terminal jobs are left
-// untouched.
-func (m *jobManager) cancelJob(id string) (*job, bool) {
-	j, ok := m.get(id)
+// cancelJob cancels a queued or running job and reports the state the
+// job was in when the request arrived. Queued jobs transition to
+// cancelled immediately; running jobs are cancelled via their context
+// and transition once the miner observes ctx.Err(). Terminal jobs are
+// left untouched — the caller turns prior.Terminal() into a 409.
+func (m *jobManager) cancelJob(id string) (j *job, prior JobState, ok bool) {
+	j, ok = m.get(id)
 	if !ok {
-		return nil, false
+		return nil, "", false
 	}
+	var rec *jobRecord
 	j.mu.Lock()
+	prior = j.state
 	switch j.state {
 	case JobQueued:
 		j.state = JobCancelled
 		j.finishedAt = time.Now()
+		m.depth.Add(-1)
+		r := j.recordLocked()
+		rec = &r
 	case JobRunning:
 		if j.cancel != nil {
 			j.cancel()
 		}
 	}
 	j.mu.Unlock()
-	return j, true
+	if rec != nil {
+		m.persist.jobTerminal(*rec)
+	}
+	return j, prior, true
 }
 
 func (m *jobManager) worker() {
@@ -469,6 +594,7 @@ func (m *jobManager) run(j *job) {
 	j.state = JobRunning
 	j.startedAt = time.Now()
 	j.cancel = cancel
+	m.depth.Add(-1)
 	j.mu.Unlock()
 	defer cancel()
 
@@ -477,23 +603,25 @@ func (m *jobManager) run(j *job) {
 	key := resultKey(j.ds, j.req)
 	if ent, ok := m.results.get(key); ok {
 		j.mu.Lock()
-		defer j.mu.Unlock()
 		j.finishedAt = time.Now()
 		if ctx.Err() != nil { // cancelled while the job was being admitted
 			j.state = JobCancelled
 			j.errMsg = ctx.Err().Error()
-			return
+		} else {
+			m.counters.resultHits.Add(1)
+			j.state = JobDone
+			j.doc = ent.doc
+			sum := ent.summary
+			sum.ResultCache = true
+			sum.DSEQCache = true
+			sum.NMICache = j.req.Approx != nil
+			sum.Workers = 0
+			sum.DurationMillis = j.finishedAt.Sub(j.startedAt).Milliseconds()
+			j.summary = &sum
 		}
-		m.counters.resultHits.Add(1)
-		j.state = JobDone
-		j.doc = ent.doc
-		sum := ent.summary
-		sum.ResultCache = true
-		sum.DSEQCache = true
-		sum.NMICache = j.req.Approx != nil
-		sum.Workers = 0
-		sum.DurationMillis = j.finishedAt.Sub(j.startedAt).Milliseconds()
-		j.summary = &sum
+		rec := j.recordLocked()
+		j.mu.Unlock()
+		m.persist.jobTerminal(rec)
 		return
 	}
 
@@ -531,7 +659,6 @@ func (m *jobManager) run(j *job) {
 	}
 
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.finishedAt = time.Now()
 	switch {
 	case err != nil && (errors.Is(err, context.Canceled) || ctx.Err() != nil):
@@ -568,17 +695,22 @@ func (m *jobManager) run(j *job) {
 		}
 		m.results.put(key, &resultEntry{doc: j.doc, summary: *j.summary, size: docSize(j.doc)})
 	}
+	rec := j.recordLocked()
+	j.mu.Unlock()
+	m.persist.jobTerminal(rec)
 }
 
 // info snapshots a job and stamps the current queue depth onto it.
 func (m *jobManager) info(j *job) JobInfo {
 	in := j.snapshot()
-	in.QueueDepth = len(m.queue)
+	in.QueueDepth = m.queueDepth()
 	return in
 }
 
 // close stops the pool: running jobs are cancelled, queued jobs are
-// marked cancelled, and workers are joined.
+// marked cancelled, and workers are joined. The shutdown cancellations
+// are persisted as ordinary terminal transitions, so a clean restart
+// shows them cancelled — only a crash produces "lost to restart" jobs.
 func (m *jobManager) close() {
 	m.mu.Lock()
 	if m.closed {
@@ -591,14 +723,53 @@ func (m *jobManager) close() {
 	m.stop()
 	m.wg.Wait()
 
+	// All workers are joined: running jobs have already transitioned
+	// (and persisted) via run; only still-queued jobs are swept here.
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	jobs := make([]*job, 0, len(m.byID))
 	for _, j := range m.byID {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	var recs []jobRecord
+	for _, j := range jobs {
 		j.mu.Lock()
 		if !j.state.Terminal() {
+			if j.state == JobQueued {
+				m.depth.Add(-1)
+			}
 			j.state = JobCancelled
 			j.finishedAt = time.Now()
+			recs = append(recs, j.recordLocked())
 		}
 		j.mu.Unlock()
 	}
+	for _, rec := range recs {
+		m.persist.jobTerminal(rec)
+	}
+}
+
+// seqNo returns the highest job sequence number ever issued.
+func (m *jobManager) seqNo() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.seq
+}
+
+// records snapshots every retained job for a compacting snapshot, in
+// insertion order.
+func (m *jobManager) records() []jobRecord {
+	m.mu.Lock()
+	jobs := make([]*job, len(m.ids))
+	for i, id := range m.ids {
+		jobs[i] = m.byID[id]
+	}
+	m.mu.Unlock()
+	out := make([]jobRecord, len(jobs))
+	for i, j := range jobs {
+		j.mu.Lock()
+		out[i] = j.recordLocked()
+		j.mu.Unlock()
+	}
+	return out
 }

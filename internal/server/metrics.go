@@ -79,7 +79,23 @@ type JobMetricsJSON struct {
 	Levels []LevelTimingJSON `json:"levels,omitempty"`
 }
 
-// MetricsJSON is the GET /metrics document.
+// PersistenceMetricsJSON gauges the persistence layer of a durable
+// server: how many WAL records (and bytes) accumulated since the last
+// compacting snapshot — bounded replay work on restart — how old that
+// snapshot is, and whether compaction is failing (SnapshotFailures
+// climbing with a non-empty LastError means the WAL is growing without
+// bound and needs operator attention).
+type PersistenceMetricsJSON struct {
+	WALRecords         int     `json:"wal_records"`
+	WALBytes           int64   `json:"wal_bytes"`
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+	SnapshotFailures   int64   `json:"snapshot_failures,omitempty"`
+	LastError          string  `json:"last_error,omitempty"`
+}
+
+// MetricsJSON is the GET /metrics document. QueueDepth counts jobs
+// genuinely waiting for a worker — entries cancelled while queued but
+// not yet popped are excluded.
 type MetricsJSON struct {
 	QueueDepth int              `json:"queue_depth"`
 	JobStates  map[string]int   `json:"job_states"`
@@ -89,6 +105,9 @@ type MetricsJSON struct {
 	// the retained documents (the byte-budget eviction currency).
 	ResultCacheEntries int   `json:"result_cache_entries"`
 	ResultCacheBytes   int64 `json:"result_cache_bytes"`
+	// Persistence gauges the WAL and snapshot of a durable server; absent
+	// when DataDir is unset.
+	Persistence *PersistenceMetricsJSON `json:"persistence,omitempty"`
 	// Jobs lists the per-level timings of the most recent jobs (newest
 	// last), bounded by metricsJobWindow.
 	Jobs []JobMetricsJSON `json:"jobs"`
@@ -109,7 +128,7 @@ func (m *jobManager) metrics() MetricsJSON {
 	m.mu.Unlock()
 
 	doc := MetricsJSON{
-		QueueDepth: len(m.queue),
+		QueueDepth: m.queueDepth(),
 		JobStates:  make(map[string]int),
 		Cache:      m.counters.snapshot(),
 	}
@@ -126,6 +145,14 @@ func (m *jobManager) metrics() MetricsJSON {
 		}
 		j.mu.Unlock()
 	}
+	return doc
+}
+
+// metricsDoc assembles the full service metrics document, persistence
+// gauges included.
+func (s *Server) metricsDoc() MetricsJSON {
+	doc := s.jobs.metrics()
+	doc.Persistence = s.persist.metrics()
 	return doc
 }
 

@@ -1,0 +1,472 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ftpm"
+	"ftpm/internal/server/store"
+)
+
+// Persistence layer: the mining service's registry and job log survive
+// restarts. Service events — dataset ingested (with its full symbolic
+// payload and shard width), dataset removed, job submitted, job reached
+// a terminal state (with summary and result document) — are appended to
+// a write-ahead log under Options.DataDir, and the whole service state
+// is periodically compacted into a snapshot (see internal/server/store
+// for the on-disk format). On startup the snapshot and WAL replay into
+// the registry and job manager:
+//
+//   - Datasets come back with their original ids, symbolic databases and
+//     shard widths; the content fingerprint, the Analysis (NMI tables)
+//     and the Prepared cache are re-derived, not persisted — they are
+//     recomputable, and lazily so.
+//   - Terminal jobs come back with their summaries and result documents
+//     byte-identical; done jobs re-seed the result cache, so a repeat
+//     submission after a restart is still a cache hit.
+//   - Jobs that were queued or running when the process died come back
+//     failed with a distinguishable "lost to restart" error: the service
+//     does not silently re-run (or silently drop) half-finished work.
+//
+// Replay is idempotent — records re-applied over a snapshot that already
+// contains them (possible when a crash lands between snapshot
+// replacement and WAL truncation, or when an event races a concurrent
+// snapshot) overwrite rather than duplicate.
+
+// Record kinds of the service WAL.
+const (
+	kindDatasetAdded   store.Kind = 1
+	kindDatasetRemoved store.Kind = 2
+	kindJobSubmitted   store.Kind = 3
+	kindJobTerminal    store.Kind = 4
+)
+
+// defaultSnapshotEvery is the record-count compaction trigger: a
+// snapshot is written once this many WAL records accumulate since the
+// previous one.
+const defaultSnapshotEvery = 256
+
+// maxWALBytes is the byte-based compaction trigger: dataset records
+// carry full symbolic payloads, so a handful of large uploads can put
+// gigabytes into the WAL long before the record count trips. Startup
+// reads the whole WAL into memory, so its size must stay bounded.
+const maxWALBytes = 128 << 20
+
+// lostToRestart is the error restored onto jobs that were queued or
+// running when the process died. The wording is part of the API: clients
+// distinguish it from mining failures.
+const lostToRestart = "lost to restart: the server restarted while the job was queued or running"
+
+// seriesRecord is the persisted form of one symbolic series.
+type seriesRecord struct {
+	Name     string   `json:"name"`
+	Start    int64    `json:"start"`
+	Step     int64    `json:"step"`
+	Alphabet []string `json:"alphabet"`
+	Symbols  []int    `json:"symbols"`
+}
+
+// datasetRecord is the persisted form of one dataset: identity plus the
+// full symbolic payload and shard width. Fingerprint, Analysis and the
+// Prepared cache are re-derived on restore.
+type datasetRecord struct {
+	ID        string         `json:"id"`
+	Name      string         `json:"name"`
+	CreatedAt time.Time      `json:"created_at"`
+	Shards    int            `json:"shards"`
+	Series    []seriesRecord `json:"series"`
+}
+
+// removeRecord is the payload of a dataset removal event.
+type removeRecord struct {
+	ID string `json:"id"`
+}
+
+// jobRecord is the persisted form of one job. Submission events carry it
+// without terminal fields; terminal events carry the full record
+// (including the result document for done jobs), so either event alone
+// reconstructs the job.
+type jobRecord struct {
+	ID         string            `json:"id"`
+	Request    MiningRequest     `json:"request"`
+	State      JobState          `json:"state"`
+	Error      string            `json:"error,omitempty"`
+	CreatedAt  time.Time         `json:"created_at"`
+	StartedAt  *time.Time        `json:"started_at,omitempty"`
+	FinishedAt *time.Time        `json:"finished_at,omitempty"`
+	Summary    *JobSummary       `json:"summary,omitempty"`
+	Levels     []LevelTimingJSON `json:"levels,omitempty"`
+	Doc        *ftpm.ResultJSON  `json:"doc,omitempty"`
+}
+
+// snapshotRecord is the payload of a compacting snapshot: the whole
+// service state, datasets and jobs in insertion order. Live jobs are
+// included as-is; if the process dies they finalize to "lost to restart"
+// on the next open. DatasetSeq and JobSeq carry the id counters
+// explicitly: the highest-numbered dataset or job may have been removed
+// or evicted, so the surviving records alone cannot recover the
+// high-water mark, and re-issuing an id would let stale job records
+// (and the result cache they seed) cross-talk with new content.
+type snapshotRecord struct {
+	DatasetSeq int             `json:"dataset_seq"`
+	JobSeq     int             `json:"job_seq"`
+	Datasets   []datasetRecord `json:"datasets"`
+	Jobs       []jobRecord     `json:"jobs"`
+}
+
+// datasetRecordOf builds the persisted form of a dataset. The symbolic
+// database is immutable after ingestion, so no lock is needed.
+func datasetRecordOf(d *Dataset) datasetRecord {
+	rec := datasetRecord{
+		ID:        d.id,
+		Name:      d.name,
+		CreatedAt: d.createdAt,
+		Shards:    d.shards,
+		Series:    make([]seriesRecord, len(d.sdb.Series)),
+	}
+	for i, s := range d.sdb.Series {
+		rec.Series[i] = seriesRecord{
+			Name:     s.Name,
+			Start:    int64(s.Start),
+			Step:     int64(s.Step),
+			Alphabet: s.Alphabet,
+			Symbols:  s.Symbols,
+		}
+	}
+	return rec
+}
+
+// symbolicDB rebuilds the symbolic database of a persisted dataset.
+func (rec datasetRecord) symbolicDB() (*ftpm.SymbolicDB, error) {
+	series := make([]*ftpm.SymbolicSeries, len(rec.Series))
+	for i, s := range rec.Series {
+		series[i] = &ftpm.SymbolicSeries{
+			Name:     s.Name,
+			Start:    ftpm.Time(s.Start),
+			Step:     ftpm.Duration(s.Step),
+			Alphabet: s.Alphabet,
+			Symbols:  s.Symbols,
+		}
+	}
+	return ftpm.NewSymbolicDB(series...)
+}
+
+// persister serializes all durable writes of one server: WAL appends,
+// the record-count-triggered compaction, and the final snapshot at
+// Close. All hook methods are nil-receiver-safe, so the in-memory server
+// (DataDir "") calls them for free. Persistence failures (disk full,
+// yanked volume) are logged and do not fail requests: availability of
+// the in-memory service wins over durability of the event.
+//
+// Lock order: p.mu is taken before any registry or job lock (the
+// snapshot gather reads them), so hooks must be called while holding
+// neither.
+type persister struct {
+	mu            sync.Mutex
+	log           *store.Log
+	snapshotEvery int
+	// compacting marks an in-flight background compaction, so appends
+	// that keep crossing the trigger while one runs don't stack more.
+	compacting bool
+	// snapshotFailures counts failed compaction attempts and lastErr
+	// keeps the most recent failure; both are surfaced on /metrics so a
+	// permanently-failing compaction (e.g. state grown past the store's
+	// record cap) is an operator-visible condition, not just a log line.
+	// Atomics, not p.mu: /metrics must stay responsive while a
+	// compaction holds the lock.
+	snapshotFailures atomic.Int64
+	lastErr          atomic.Value // string
+	// gather assembles the current service state for a compacting
+	// snapshot; the server installs it after restore, so replay itself
+	// never triggers compaction.
+	gather func() snapshotRecord
+	logf   func(format string, args ...any)
+}
+
+// recoveredState is the replayed service state, ready to load into the
+// registry and job manager.
+type recoveredState struct {
+	datasets []datasetRecord
+	jobs     []jobRecord
+	// maxDatasetSeq / maxJobSeq are the highest id sequence numbers ever
+	// observed (including removed datasets), so restored servers never
+	// re-issue an id.
+	maxDatasetSeq int
+	maxJobSeq     int
+	// truncatedBytes and snapshotDamaged surface what recovery had to
+	// discard, for the startup log line.
+	truncatedBytes  int64
+	snapshotDamaged bool
+}
+
+// parseSeq extracts the numeric suffix of an "<prefix><n>" id; 0 when
+// the id has a different shape.
+func parseSeq(id, prefix string) int {
+	if !strings.HasPrefix(id, prefix) {
+		return 0
+	}
+	n, err := strconv.Atoi(id[len(prefix):])
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// openPersister opens the data directory and replays its snapshot and
+// WAL into a recoveredState.
+func openPersister(dir string, snapshotEvery int, logf func(string, ...any)) (*persister, *recoveredState, error) {
+	log, rec, err := store.Open(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if snapshotEvery <= 0 {
+		snapshotEvery = defaultSnapshotEvery
+	}
+	p := &persister{log: log, snapshotEvery: snapshotEvery, logf: logf}
+	st, err := replay(rec)
+	if err != nil {
+		log.Close()
+		return nil, nil, err
+	}
+	return p, st, nil
+}
+
+// replay folds the snapshot and WAL records into the service state.
+// Application is idempotent: added records overwrite existing entries,
+// removals of absent entries are no-ops, and a terminal job record wins
+// over its submission regardless of arrival order.
+func replay(rec store.Recovery) (*recoveredState, error) {
+	st := &recoveredState{
+		snapshotDamaged: rec.SnapshotDamaged,
+		truncatedBytes:  rec.TruncatedBytes,
+	}
+	dsIndex := make(map[string]int)
+	jobIndex := make(map[string]int)
+	noteDataset := func(id string) { st.maxDatasetSeq = max(st.maxDatasetSeq, parseSeq(id, "ds-")) }
+	noteJob := func(id string) { st.maxJobSeq = max(st.maxJobSeq, parseSeq(id, "job-")) }
+	putDataset := func(d datasetRecord) {
+		noteDataset(d.ID)
+		if i, ok := dsIndex[d.ID]; ok {
+			st.datasets[i] = d
+			return
+		}
+		dsIndex[d.ID] = len(st.datasets)
+		st.datasets = append(st.datasets, d)
+	}
+	dropDataset := func(id string) {
+		noteDataset(id)
+		i, ok := dsIndex[id]
+		if !ok {
+			return
+		}
+		st.datasets = append(st.datasets[:i], st.datasets[i+1:]...)
+		delete(dsIndex, id)
+		for k, v := range dsIndex {
+			if v > i {
+				dsIndex[k] = v - 1
+			}
+		}
+	}
+	putJob := func(j jobRecord, terminal bool) {
+		noteJob(j.ID)
+		if i, ok := jobIndex[j.ID]; ok {
+			// A submission record never downgrades a terminal state the
+			// log already holds (a fast job's terminal append can race
+			// ahead of its submission append).
+			if !terminal && st.jobs[i].State.Terminal() {
+				return
+			}
+			st.jobs[i] = j
+			return
+		}
+		jobIndex[j.ID] = len(st.jobs)
+		st.jobs = append(st.jobs, j)
+	}
+
+	if rec.Snapshot != nil {
+		var snap snapshotRecord
+		if err := json.Unmarshal(rec.Snapshot, &snap); err != nil {
+			return nil, fmt.Errorf("server: corrupt snapshot payload: %w", err)
+		}
+		st.maxDatasetSeq = max(st.maxDatasetSeq, snap.DatasetSeq)
+		st.maxJobSeq = max(st.maxJobSeq, snap.JobSeq)
+		for _, d := range snap.Datasets {
+			putDataset(d)
+		}
+		for _, j := range snap.Jobs {
+			putJob(j, j.State.Terminal())
+		}
+	}
+	for _, r := range rec.Records {
+		switch r.Kind {
+		case kindDatasetAdded:
+			var d datasetRecord
+			if err := json.Unmarshal(r.Data, &d); err != nil {
+				return nil, fmt.Errorf("server: corrupt dataset record (lsn %d): %w", r.LSN, err)
+			}
+			putDataset(d)
+		case kindDatasetRemoved:
+			var rm removeRecord
+			if err := json.Unmarshal(r.Data, &rm); err != nil {
+				return nil, fmt.Errorf("server: corrupt removal record (lsn %d): %w", r.LSN, err)
+			}
+			dropDataset(rm.ID)
+		case kindJobSubmitted, kindJobTerminal:
+			var j jobRecord
+			if err := json.Unmarshal(r.Data, &j); err != nil {
+				return nil, fmt.Errorf("server: corrupt job record (lsn %d): %w", r.LSN, err)
+			}
+			putJob(j, r.Kind == kindJobTerminal)
+		default:
+			// Unknown kinds are skipped, not fatal: a downgraded binary
+			// reading a newer log should serve what it understands.
+		}
+	}
+	return st, nil
+}
+
+// append marshals and durably logs one event. Crossing a snapshot
+// trigger — record count or WAL bytes — schedules a background
+// compaction instead of running it inline, so the request that happens
+// to land on the trigger does not pay the full-state marshal + fsync +
+// rename itself. The goroutine still holds p.mu for the compaction's
+// duration (the snapshot is stamped with the live LSN, so appends must
+// not interleave); durable writes arriving in that window wait.
+// Decoupling them fully needs snapshot-at-a-captured-LSN with partial
+// WAL retention — a ROADMAP follow-up.
+func (p *persister) append(kind store.Kind, v any) {
+	if p == nil {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		p.logf("persist: marshal failed: %v", err)
+		return
+	}
+	p.mu.Lock()
+	if err := p.log.Append(kind, data); err != nil {
+		p.mu.Unlock()
+		p.logf("persist: append failed: %v", err)
+		return
+	}
+	trigger := !p.compacting && p.gather != nil &&
+		(p.log.WALRecords() >= p.snapshotEvery || p.log.WALBytes() >= maxWALBytes)
+	if trigger {
+		p.compacting = true
+	}
+	p.mu.Unlock()
+	if trigger {
+		go func() {
+			p.mu.Lock()
+			p.compactLocked()
+			p.compacting = false
+			p.mu.Unlock()
+		}()
+	}
+}
+
+// compactLocked writes a fresh snapshot of the whole service state and
+// resets the WAL. Caller holds p.mu; the gather callback may take
+// registry and job locks.
+func (p *persister) compactLocked() {
+	if p.gather == nil {
+		return
+	}
+	data, err := json.Marshal(p.gather())
+	if err == nil {
+		err = p.log.WriteSnapshot(data)
+	}
+	if err != nil {
+		p.snapshotFailures.Add(1)
+		p.lastErr.Store(err.Error())
+		p.logf("persist: snapshot failed: %v", err)
+		return
+	}
+	p.lastErr.Store("")
+}
+
+// maybeCompact compacts if the WAL (e.g. as replayed at open) is already
+// past the trigger.
+func (p *persister) maybeCompact() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.log.WALRecords() >= p.snapshotEvery {
+		p.compactLocked()
+	}
+}
+
+// datasetAdded logs a dataset ingestion.
+func (p *persister) datasetAdded(d *Dataset) {
+	if p == nil {
+		return
+	}
+	p.append(kindDatasetAdded, datasetRecordOf(d))
+}
+
+// datasetRemoved logs a dataset removal.
+func (p *persister) datasetRemoved(id string) {
+	if p == nil {
+		return
+	}
+	p.append(kindDatasetRemoved, removeRecord{ID: id})
+}
+
+// jobSubmitted logs a job admission.
+func (p *persister) jobSubmitted(j *job) {
+	if p == nil {
+		return
+	}
+	j.mu.Lock()
+	rec := j.recordLocked()
+	j.mu.Unlock()
+	p.append(kindJobSubmitted, rec)
+}
+
+// jobTerminal logs a job's terminal transition, result document
+// included.
+func (p *persister) jobTerminal(rec jobRecord) {
+	if p == nil {
+		return
+	}
+	p.append(kindJobTerminal, rec)
+}
+
+// metrics reports the persistence gauges, nil when persistence is off.
+func (p *persister) metrics() *PersistenceMetricsJSON {
+	if p == nil {
+		return nil
+	}
+	lastErr, _ := p.lastErr.Load().(string)
+	return &PersistenceMetricsJSON{
+		WALRecords:         p.log.WALRecords(),
+		WALBytes:           p.log.WALBytes(),
+		SnapshotAgeSeconds: time.Since(p.log.SnapshotTime()).Seconds(),
+		SnapshotFailures:   p.snapshotFailures.Load(),
+		LastError:          lastErr,
+	}
+}
+
+// close takes a final compacting snapshot (so restarts after a clean
+// shutdown replay one record instead of the whole WAL) and closes the
+// log.
+func (p *persister) close() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.log.WALRecords() > 0 {
+		p.compactLocked()
+	}
+	if err := p.log.Close(); err != nil {
+		p.logf("persist: close failed: %v", err)
+	}
+}

@@ -1,0 +1,472 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ftpm"
+)
+
+// Restart-recovery tests: a server reopened on the same DataDir must
+// serve the same dataset ids/fingerprints and done-job result documents
+// byte-identically, mark crash-interrupted jobs as lost, and recover a
+// torn WAL tail by truncation.
+
+// getRaw fetches a URL and returns the raw response body, so documents
+// from two server generations can be compared byte for byte.
+func getRaw(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// submitJob posts a mining request and returns the accepted job.
+func submitJob(t *testing.T, base string, req MiningRequest) JobInfo {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	var job JobInfo
+	if code := doJSON(t, http.MethodPost, base+"/jobs", bytes.NewReader(body), &job); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	return job
+}
+
+// mineDone submits a job and waits for it to finish done.
+func mineDone(t *testing.T, base string, req MiningRequest) JobInfo {
+	t.Helper()
+	job := submitJob(t, base, req)
+	done := waitState(t, base, job.ID, 30*time.Second, func(j JobInfo) bool { return j.State.Terminal() })
+	if done.State != JobDone {
+		t.Fatalf("job finished as %s (%s)", done.State, done.Error)
+	}
+	return done
+}
+
+// crash simulates a process death for a durable server: the log file is
+// closed underneath it without the terminal sweep or final snapshot a
+// graceful Close performs.
+func crash(s *Server) { s.persist.log.Close() }
+
+// waitCompacted polls the metrics endpoint until the background
+// compaction has reset the WAL below limit records.
+func waitCompacted(t *testing.T, base string, limit int) MetricsJSON {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var m MetricsJSON
+		if code := doJSON(t, http.MethodGet, base+"/metrics", nil, &m); code != 200 {
+			t.Fatalf("metrics: status %d", code)
+		}
+		if m.Persistence != nil && m.Persistence.WALRecords < limit {
+			return m
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("compaction did not run: wal_records = %d, want < %d", m.Persistence.WALRecords, limit)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestRestartRecoveryE2E(t *testing.T) {
+	dir := t.TempDir()
+	srv1, ts1 := testServer(t, Options{Workers: 2, DataDir: dir})
+
+	plain := uploadCSV(t, ts1.URL, "name=plain&threshold=0.5&shards=1", smallCSV())
+	sharded := uploadCSV(t, ts1.URL, "name=sharded&threshold=0.5&shards=4", smallCSV())
+
+	exactReq := MiningRequest{
+		DatasetID: plain.ID, MinSupport: 0.2, MinConfidence: 0,
+		NumWindows: 2, MaxPatternSize: 3,
+	}
+	approxReq := MiningRequest{
+		DatasetID: sharded.ID, MinSupport: 0.2, MinConfidence: 0,
+		NumWindows: 2, MaxPatternSize: 2, Approx: &ApproxRequest{Density: 0.8},
+	}
+	exactJob := mineDone(t, ts1.URL, exactReq)
+	approxJob := mineDone(t, ts1.URL, approxReq)
+
+	code, exactDoc1 := getRaw(t, ts1.URL+"/jobs/"+exactJob.ID+"/result")
+	if code != 200 {
+		t.Fatalf("result: status %d", code)
+	}
+	_, approxDoc1 := getRaw(t, ts1.URL+"/jobs/"+approxJob.ID+"/result")
+	fp1 := map[string]string{}
+	for id, d := range srv1.reg.byID {
+		fp1[id] = d.fingerprint
+	}
+
+	// Clean shutdown, then reopen the same directory.
+	ts1.Close()
+	srv1.Close()
+	srv2, ts2 := testServer(t, Options{Workers: 2, DataDir: dir})
+
+	// Datasets come back under their ids, with identical content.
+	for _, want := range []DatasetInfo{plain, sharded} {
+		var got DatasetInfo
+		if code := doJSON(t, http.MethodGet, ts2.URL+"/datasets/"+want.ID, nil, &got); code != 200 {
+			t.Fatalf("dataset %s after restart: status %d", want.ID, code)
+		}
+		if got.Name != want.Name || got.Shards != want.Shards || got.Samples != want.Samples ||
+			len(got.Series) != len(want.Series) || !got.CreatedAt.Equal(want.CreatedAt) {
+			t.Fatalf("dataset %s after restart = %+v, want %+v", want.ID, got, want)
+		}
+	}
+	// Content fingerprints re-derive identically from the persisted
+	// symbolic payloads.
+	for id, want := range fp1 {
+		d, ok := srv2.reg.get(id)
+		if !ok {
+			t.Fatalf("dataset %s missing after restart", id)
+		}
+		if d.fingerprint != want {
+			t.Fatalf("dataset %s fingerprint diverged after restart", id)
+		}
+	}
+
+	// Done jobs come back with byte-identical result documents.
+	for jobID, want := range map[string][]byte{exactJob.ID: exactDoc1, approxJob.ID: approxDoc1} {
+		var info JobInfo
+		if code := doJSON(t, http.MethodGet, ts2.URL+"/jobs/"+jobID, nil, &info); code != 200 {
+			t.Fatalf("job %s after restart: status %d", jobID, code)
+		}
+		if info.State != JobDone || info.Summary == nil {
+			t.Fatalf("job %s after restart = %+v", jobID, info)
+		}
+		if info.Progress.Patterns != info.Summary.Patterns || info.Progress.Level < 2 {
+			t.Fatalf("job %s progress not rebuilt from persisted levels: %+v vs %+v", jobID, info.Progress, info.Summary)
+		}
+		code, doc := getRaw(t, ts2.URL+"/jobs/"+jobID+"/result")
+		if code != 200 {
+			t.Fatalf("result of %s after restart: status %d", jobID, code)
+		}
+		if !bytes.Equal(doc, want) {
+			t.Fatalf("result document of %s diverged after restart:\n%s\nvs\n%s", jobID, doc, want)
+		}
+	}
+
+	// Restored done jobs re-seed the result cache: an identical
+	// submission completes without mining.
+	repeat := mineDone(t, ts2.URL, exactReq)
+	if repeat.Summary == nil || !repeat.Summary.ResultCache {
+		t.Fatalf("repeat job after restart = %+v, want a result-cache hit", repeat.Summary)
+	}
+
+	// Id sequences continue past everything the log ever issued.
+	fresh := uploadCSV(t, ts2.URL, "name=fresh&threshold=0.5", smallCSV())
+	if fresh.ID != "ds-3" {
+		t.Fatalf("first post-restart dataset id = %s, want ds-3", fresh.ID)
+	}
+	if repeat.ID != "job-3" {
+		t.Fatalf("first post-restart job id = %s, want job-3", repeat.ID)
+	}
+
+	// Restored datasets mine normally (analysis and prepared artifacts
+	// re-derive lazily).
+	freshMine := mineDone(t, ts2.URL, MiningRequest{
+		DatasetID: sharded.ID, MinSupport: 0.2, MinConfidence: 0,
+		NumWindows: 4, MaxPatternSize: 2,
+	})
+	if freshMine.Summary.Patterns == 0 {
+		t.Fatal("post-restart mine found nothing")
+	}
+}
+
+func TestRestartMarksLiveJobsLost(t *testing.T) {
+	dir := t.TempDir()
+	srv1, ts1 := testServer(t, Options{Workers: 1, DataDir: dir})
+	info := uploadCSV(t, ts1.URL, "name=slow&threshold=0.5", slowCSV(4, 12000))
+
+	req := MiningRequest{
+		DatasetID: info.ID, MinSupport: 0.1, MinConfidence: 0,
+		NumWindows: 6, MaxPatternSize: 2, Workers: 1,
+	}
+	running := submitJob(t, ts1.URL, req)
+	waitState(t, ts1.URL, running.ID, 10*time.Second, func(j JobInfo) bool { return j.State == JobRunning })
+	queuedReq := req
+	queuedReq.MinSupport = 0.2
+	queued := submitJob(t, ts1.URL, queuedReq)
+
+	// The process dies: no terminal sweep, no final snapshot.
+	crash(srv1)
+	srv2, ts2 := testServer(t, Options{Workers: 1, DataDir: dir})
+	_ = srv2
+
+	for _, id := range []string{running.ID, queued.ID} {
+		var got JobInfo
+		if code := doJSON(t, http.MethodGet, ts2.URL+"/jobs/"+id, nil, &got); code != 200 {
+			t.Fatalf("job %s after crash: status %d", id, code)
+		}
+		if got.State != JobFailed {
+			t.Fatalf("job %s after crash = %s, want failed", id, got.State)
+		}
+		if !strings.Contains(got.Error, "lost to restart") {
+			t.Fatalf("job %s error = %q, want a distinguishable lost-to-restart error", id, got.Error)
+		}
+	}
+	// Lost jobs are terminal bookkeeping, not backlog.
+	var m MetricsJSON
+	if code := doJSON(t, http.MethodGet, ts2.URL+"/metrics", nil, &m); code != 200 {
+		t.Fatal("metrics after crash")
+	}
+	if m.QueueDepth != 0 {
+		t.Fatalf("queue_depth after crash recovery = %d, want 0", m.QueueDepth)
+	}
+	if m.JobStates[string(JobFailed)] != 2 {
+		t.Fatalf("job_states after crash = %v, want 2 failed", m.JobStates)
+	}
+}
+
+func TestGracefulShutdownPersistsCancellations(t *testing.T) {
+	dir := t.TempDir()
+	srv1, err := New(Options{Workers: 0, DataDir: dir}) // no workers: jobs stay queued
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float64, 32)
+	for i := range vals {
+		vals[i] = float64(i % 2)
+	}
+	series, err := ftpm.NewTimeSeries("A", 0, 1, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdb, err := ftpm.Symbolize([]*ftpm.TimeSeries{series}, func(string) ftpm.Symbolizer { return ftpm.OnOff(0.5) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := srv1.reg.add("a", sdb, 1)
+	j, err := srv1.jobs.submit(ds, MiningRequest{DatasetID: ds.id, MinSupport: 0.5, NumWindows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1.Close()
+
+	srv2, err := New(Options{Workers: 0, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	got, ok := srv2.jobs.get(j.id)
+	if !ok {
+		t.Fatalf("job %s missing after graceful restart", j.id)
+	}
+	info := got.snapshot()
+	if info.State != JobCancelled || strings.Contains(info.Error, "lost to restart") {
+		t.Fatalf("gracefully shut down job = %s (%q), want cancelled without a lost-to-restart error", info.State, info.Error)
+	}
+}
+
+func TestTornWALTailRecoveryEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	srv1, ts1 := testServer(t, Options{Workers: 1, DataDir: dir})
+	info := uploadCSV(t, ts1.URL, "name=energy&threshold=0.5", smallCSV())
+	done := mineDone(t, ts1.URL, MiningRequest{
+		DatasetID: info.ID, MinSupport: 0.2, MinConfidence: 0,
+		NumWindows: 2, MaxPatternSize: 3,
+	})
+
+	// Crash (so the WAL still holds the events), then tear its tail as a
+	// power cut mid-append would.
+	crash(srv1)
+	walPath := filepath.Join(dir, "wal")
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts2 := testServer(t, Options{Workers: 1, DataDir: dir})
+	// The torn record was the job's terminal transition — the newest
+	// event — so the job survives as submitted and finalizes to lost,
+	// while the dataset and everything before the tear replay intact.
+	var ds DatasetInfo
+	if code := doJSON(t, http.MethodGet, ts2.URL+"/datasets/"+info.ID, nil, &ds); code != 200 {
+		t.Fatalf("dataset after torn-tail recovery: status %d", code)
+	}
+	if ds.Name != "energy" || ds.Samples != info.Samples {
+		t.Fatalf("dataset after torn-tail recovery = %+v", ds)
+	}
+	var job JobInfo
+	if code := doJSON(t, http.MethodGet, ts2.URL+"/jobs/"+done.ID, nil, &job); code != 200 {
+		t.Fatalf("job after torn-tail recovery: status %d", code)
+	}
+	if job.State != JobFailed || !strings.Contains(job.Error, "lost to restart") {
+		t.Fatalf("job whose terminal record was torn = %s (%q), want lost to restart", job.State, job.Error)
+	}
+
+	// A tear before the terminal record only costs the tail: rerun the
+	// same scenario but tear nothing — the done state round-trips.
+	dir2 := t.TempDir()
+	srv3, ts3 := testServer(t, Options{Workers: 1, DataDir: dir2})
+	info3 := uploadCSV(t, ts3.URL, "name=energy&threshold=0.5", smallCSV())
+	done3 := mineDone(t, ts3.URL, MiningRequest{
+		DatasetID: info3.ID, MinSupport: 0.2, MinConfidence: 0,
+		NumWindows: 2, MaxPatternSize: 3,
+	})
+	crash(srv3)
+	wal3 := filepath.Join(dir2, "wal")
+	data3, err := os.ReadFile(wal3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Garbage appended after the last record (a torn next append).
+	if err := os.WriteFile(wal3, append(data3, 0xDE, 0xAD, 0xBE), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ts4 := testServer(t, Options{Workers: 1, DataDir: dir2})
+	code4, doc4 := getRaw(t, ts4.URL+"/jobs/"+done3.ID+"/result")
+	_, doc3 := getRaw(t, ts3.URL+"/jobs/"+done3.ID+"/result")
+	if code4 != 200 || !bytes.Equal(doc3, doc4) {
+		t.Fatalf("done job's document diverged across torn-garbage recovery (%d):\n%s\nvs\n%s", code4, doc4, doc3)
+	}
+}
+
+func TestSnapshotCompactionAndGauges(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := testServer(t, Options{Workers: 1, DataDir: dir, SnapshotEvery: 4})
+
+	var m MetricsJSON
+	if code := doJSON(t, http.MethodGet, ts.URL+"/metrics", nil, &m); code != 200 {
+		t.Fatal("metrics")
+	}
+	if m.Persistence == nil {
+		t.Fatal("durable server must report persistence gauges")
+	}
+	if m.Persistence.SnapshotAgeSeconds < 0 {
+		t.Fatalf("snapshot_age_seconds = %v", m.Persistence.SnapshotAgeSeconds)
+	}
+
+	// Cross the compaction trigger: ingestions/removals are one WAL
+	// record each.
+	ids := make([]string, 0, 6)
+	for i := 0; i < 6; i++ {
+		info := uploadCSV(t, ts.URL, "name=d&threshold=0.5", smallCSV())
+		ids = append(ids, info.ID)
+	}
+	for _, id := range ids[:2] {
+		if code := doJSON(t, http.MethodDelete, ts.URL+"/datasets/"+id, nil, nil); code != http.StatusNoContent {
+			t.Fatalf("delete %s: status %d", id, code)
+		}
+	}
+	waitCompacted(t, ts.URL, 4)
+	if _, err := os.Stat(filepath.Join(dir, "snapshot")); err != nil {
+		t.Fatalf("snapshot file missing after compaction: %v", err)
+	}
+
+	// The compacted state replays: 4 datasets, the removed two gone, and
+	// removed ids never reissued.
+	_, ts2 := testServer(t, Options{Workers: 1, DataDir: dir, SnapshotEvery: 4})
+	var list []DatasetInfo
+	if code := doJSON(t, http.MethodGet, ts2.URL+"/datasets", nil, &list); code != 200 || len(list) != 4 {
+		t.Fatalf("datasets after compacted restart = %d (%d)", len(list), code)
+	}
+	fresh := uploadCSV(t, ts2.URL, "name=later&threshold=0.5", smallCSV())
+	if fresh.ID != "ds-7" {
+		t.Fatalf("post-compaction dataset id = %s, want ds-7", fresh.ID)
+	}
+}
+
+// TestRemovedIDsNotReissuedAcrossCompaction pins the id high-water
+// mark: when the highest-numbered dataset is removed and a compaction
+// then discards its add/remove records, the snapshot's explicit seq
+// counters must still stop a restarted server from re-issuing the id
+// (a re-issued id would let persisted job records — and the result
+// cache they seed — cross-talk with unrelated new content).
+func TestRemovedIDsNotReissuedAcrossCompaction(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := testServer(t, Options{Workers: 1, DataDir: dir, SnapshotEvery: 3})
+
+	uploadCSV(t, ts.URL, "name=keep&threshold=0.5", smallCSV())
+	gone := uploadCSV(t, ts.URL, "name=gone&threshold=0.5", smallCSV())
+	if gone.ID != "ds-2" {
+		t.Fatalf("second dataset id = %s", gone.ID)
+	}
+	// The removal is the third record: compaction fires and the snapshot
+	// holds only ds-1 — no surviving record mentions seq 2.
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/datasets/"+gone.ID, nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete: status %d", code)
+	}
+	waitCompacted(t, ts.URL, 1)
+
+	_, ts2 := testServer(t, Options{Workers: 1, DataDir: dir, SnapshotEvery: 100})
+	fresh := uploadCSV(t, ts2.URL, "name=fresh&threshold=0.5", smallCSV())
+	if fresh.ID != "ds-3" {
+		t.Fatalf("post-restart dataset id = %s, want ds-3 (ds-2 was issued and removed)", fresh.ID)
+	}
+
+	// The same invariant with an empty registry: when the only dataset
+	// is removed, no restore loop runs at all, and the counter must
+	// still come from the snapshot's explicit seq.
+	dir2 := t.TempDir()
+	srv3, ts3 := testServer(t, Options{Workers: 1, DataDir: dir2})
+	only := uploadCSV(t, ts3.URL, "name=only&threshold=0.5", smallCSV())
+	if code := doJSON(t, http.MethodDelete, ts3.URL+"/datasets/"+only.ID, nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete: status %d", code)
+	}
+	ts3.Close()
+	srv3.Close() // graceful close compacts: the add/remove records are gone
+	_, ts4 := testServer(t, Options{Workers: 1, DataDir: dir2})
+	reissued := uploadCSV(t, ts4.URL, "name=new&threshold=0.5", smallCSV())
+	if reissued.ID != "ds-2" {
+		t.Fatalf("upload after removing the only dataset = %s, want ds-2 (ds-1 was issued and removed)", reissued.ID)
+	}
+}
+
+// TestClosedServerRejectsMutations pins the shutdown contract: after
+// Close the handler keeps answering reads, but uploads and dataset
+// removals get 503 — a 201 here would acknowledge state the closed log
+// can no longer make durable.
+func TestClosedServerRejectsMutations(t *testing.T) {
+	srv, ts := testServer(t, Options{Workers: 1, DataDir: t.TempDir()})
+	info := uploadCSV(t, ts.URL, "name=a&threshold=0.5", smallCSV())
+	srv.Close()
+
+	if code := doJSON(t, http.MethodPost, ts.URL+"/datasets?threshold=0.5", strings.NewReader(smallCSV()), nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("upload after Close: status %d, want 503", code)
+	}
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/datasets/"+info.ID, nil, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("dataset delete after Close: status %d, want 503", code)
+	}
+	var req bytes.Buffer
+	req.WriteString(`{"dataset_id":"` + info.ID + `","min_support":0.5,"num_windows":2}`)
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", &req, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("job submit after Close: status %d, want 503", code)
+	}
+	// Reads stay up.
+	if code := doJSON(t, http.MethodGet, ts.URL+"/datasets/"+info.ID, nil, nil); code != 200 {
+		t.Fatalf("read after Close: status %d, want 200", code)
+	}
+}
+
+// TestInMemoryServerHasNoPersistence pins the DataDir=="" contract: no
+// persister, no gauges, no files.
+func TestInMemoryServerHasNoPersistence(t *testing.T) {
+	srv, ts := testServer(t, Options{Workers: 1})
+	if srv.persist != nil {
+		t.Fatal("in-memory server must not build a persister")
+	}
+	var m MetricsJSON
+	if code := doJSON(t, http.MethodGet, ts.URL+"/metrics", nil, &m); code != 200 {
+		t.Fatal("metrics")
+	}
+	if m.Persistence != nil {
+		t.Fatalf("in-memory server reports persistence gauges: %+v", m.Persistence)
+	}
+}

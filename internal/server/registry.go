@@ -158,36 +158,102 @@ func (d *Dataset) noteSeqCounts(counts []int) {
 
 // registry holds the ingested datasets, keyed by their assigned ids.
 type registry struct {
+	persist *persister // nil when DataDir is unset
+	// logMu serializes each mutate+log pair: without it, a DELETE racing
+	// an upload (ids are predictable) could append its removal record at
+	// a lower LSN than the addition's — the addition's payload marshal is
+	// large and slow — and replay would then resurrect the deleted
+	// dataset. Held before (never inside) mu and the persister's lock.
+	logMu sync.Mutex
+
 	mu   sync.RWMutex
 	byID map[string]*Dataset
 	ids  []string // insertion order
 	seq  int
 }
 
-func newRegistry() *registry {
-	return &registry{byID: make(map[string]*Dataset)}
+func newRegistry(persist *persister) *registry {
+	return &registry{persist: persist, byID: make(map[string]*Dataset)}
 }
 
-func (r *registry) add(name string, sdb *ftpm.SymbolicDB, shards int) *Dataset {
+// newDataset assembles a Dataset, re-deriving the content fingerprint
+// and the shared NMI analysis from the symbolic payload.
+func newDataset(id, name string, createdAt time.Time, sdb *ftpm.SymbolicDB, shards int) *Dataset {
 	if shards < 1 {
 		shards = 1
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.seq++
-	d := &Dataset{
-		id:          fmt.Sprintf("ds-%d", r.seq),
+	return &Dataset{
+		id:          id,
 		name:        name,
-		createdAt:   time.Now(),
+		createdAt:   createdAt,
 		sdb:         sdb,
 		shards:      shards,
 		fingerprint: fingerprintSDB(sdb),
 		analysis:    ftpm.NewAnalysis(sdb),
 		prep:        make(map[string]*ftpm.Prepared),
 	}
+}
+
+func (r *registry) add(name string, sdb *ftpm.SymbolicDB, shards int) *Dataset {
+	r.logMu.Lock()
+	defer r.logMu.Unlock()
+	r.mu.Lock()
+	r.seq++
+	d := newDataset(fmt.Sprintf("ds-%d", r.seq), name, time.Now(), sdb, shards)
+	r.byID[d.id] = d
+	r.ids = append(r.ids, d.id)
+	r.mu.Unlock()
+	// Logged outside r.mu (the persister's snapshot gather takes the
+	// registry lock) but inside logMu, so this dataset's removal can
+	// never reach the WAL first.
+	r.persist.datasetAdded(d)
+	return d
+}
+
+// restore re-inserts a recovered dataset under its original id without
+// logging a new event.
+func (r *registry) restore(rec datasetRecord, sdb *ftpm.SymbolicDB) *Dataset {
+	d := newDataset(rec.ID, rec.Name, rec.CreatedAt, sdb, rec.Shards)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.byID[d.id] = d
 	r.ids = append(r.ids, d.id)
 	return d
+}
+
+// advanceSeq moves the id counter past every id the log ever issued
+// (including removed ones), so future uploads never re-issue an id —
+// applied unconditionally at restore, since the highest-numbered
+// dataset may not have survived replay at all.
+func (r *registry) advanceSeq(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n > r.seq {
+		r.seq = n
+	}
+}
+
+// seqNo returns the highest dataset sequence number ever issued.
+func (r *registry) seqNo() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.seq
+}
+
+// records snapshots every registered dataset for a compacting snapshot,
+// in insertion order.
+func (r *registry) records() []datasetRecord {
+	r.mu.RLock()
+	datasets := make([]*Dataset, len(r.ids))
+	for i, id := range r.ids {
+		datasets[i] = r.byID[id]
+	}
+	r.mu.RUnlock()
+	out := make([]datasetRecord, len(datasets))
+	for i, d := range datasets {
+		out[i] = datasetRecordOf(d)
+	}
+	return out
 }
 
 func (r *registry) get(id string) (*Dataset, bool) {
@@ -198,9 +264,11 @@ func (r *registry) get(id string) (*Dataset, bool) {
 }
 
 func (r *registry) remove(id string) bool {
+	r.logMu.Lock()
+	defer r.logMu.Unlock()
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, ok := r.byID[id]; !ok {
+		r.mu.Unlock()
 		return false
 	}
 	delete(r.byID, id)
@@ -210,6 +278,8 @@ func (r *registry) remove(id string) bool {
 			break
 		}
 	}
+	r.mu.Unlock()
+	r.persist.datasetRemoved(id)
 	return true
 }
 

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"ftpm"
 	"ftpm/internal/csvio"
@@ -36,21 +38,38 @@ type Options struct {
 	// parallelize across the machine by default, with results identical to
 	// one shard.
 	DefaultShards int
+	// DataDir, when non-empty, makes the service durable: dataset
+	// ingestions/removals and job submissions/terminal transitions are
+	// appended to a write-ahead log in this directory (fsync'd, CRC per
+	// record) and compacted into periodic snapshots; on startup the
+	// directory replays into the registry and job log. Empty keeps
+	// today's purely in-memory behavior with zero new I/O. One server
+	// process owns a data directory at a time.
+	DataDir string
+	// SnapshotEvery is the compaction trigger: a snapshot replaces the
+	// WAL once this many records accumulate since the previous one.
+	// Defaults to 256. Ignored without DataDir.
+	SnapshotEvery int
 	// Logger, when non-nil, receives one line per request and job
 	// transition.
 	Logger *log.Logger
 }
 
 // Server is the mining service: an http.Handler plus the dataset
-// registry and job manager behind it.
+// registry, job manager and (optional) persistence layer behind it.
 type Server struct {
-	opts Options
-	reg  *registry
-	jobs *jobManager
+	opts    Options
+	reg     *registry
+	jobs    *jobManager
+	persist *persister // nil when Options.DataDir is unset
+	closed  atomic.Bool
 }
 
-// New builds a Server and starts its worker pool. Call Close to stop it.
-func New(opts Options) *Server {
+// New builds a Server and starts its worker pool. With Options.DataDir
+// set it opens (or initializes) the data directory and replays its
+// snapshot and WAL back into the registry and job log before serving.
+// Call Close to stop it.
+func New(opts Options) (*Server, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -70,16 +89,82 @@ func New(opts Options) *Server {
 	if opts.DefaultShards > maxShards {
 		opts.DefaultShards = maxShards
 	}
-	return &Server{
-		opts: opts,
-		reg:  newRegistry(),
-		jobs: newJobManager(opts.Workers, opts.QueueDepth),
+	s := &Server{opts: opts}
+	var recovered *recoveredState
+	if opts.DataDir != "" {
+		var err error
+		s.persist, recovered, err = openPersister(opts.DataDir, opts.SnapshotEvery, s.logf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.reg = newRegistry(s.persist)
+	s.jobs = newJobManager(opts.Workers, opts.QueueDepth, s.persist)
+	if recovered != nil {
+		if err := s.restore(recovered); err != nil {
+			s.jobs.close()
+			s.persist.close()
+			return nil, err
+		}
+		// Compaction needs the gather callback and must not fire during
+		// replay, so it is installed after restore; an oversized replayed
+		// WAL is then collapsed into a fresh snapshot immediately.
+		s.persist.gather = s.snapshotState
+		s.persist.maybeCompact()
+	}
+	return s, nil
+}
+
+// restore loads the replayed datasets and jobs. Datasets rebuild their
+// fingerprints and analyses from the persisted symbolic payloads; jobs
+// that were live at crash time surface as failed ("lost to restart").
+func (s *Server) restore(st *recoveredState) error {
+	if st.snapshotDamaged {
+		s.logf("persist: snapshot failed verification and was ignored")
+	}
+	if st.truncatedBytes > 0 {
+		s.logf("persist: truncated %d bytes of torn WAL tail", st.truncatedBytes)
+	}
+	for _, rec := range st.datasets {
+		sdb, err := rec.symbolicDB()
+		if err != nil {
+			return fmt.Errorf("server: dataset %s does not replay: %w", rec.ID, err)
+		}
+		s.reg.restore(rec, sdb)
+	}
+	// Seq counters apply even when nothing survived replay (the highest
+	// id's dataset or job may have been removed or evicted).
+	s.reg.advanceSeq(st.maxDatasetSeq)
+	s.jobs.restore(st.jobs, st.maxJobSeq, s.reg)
+	if len(st.datasets) > 0 || len(st.jobs) > 0 {
+		s.logf("recovered %d datasets and %d jobs from %s", len(st.datasets), len(st.jobs), s.opts.DataDir)
+	}
+	return nil
+}
+
+// snapshotState gathers the whole service state for a compacting
+// snapshot, id counters included (the highest-numbered dataset or job
+// may be removed/evicted, so the records alone can't recover them).
+func (s *Server) snapshotState() snapshotRecord {
+	return snapshotRecord{
+		DatasetSeq: s.reg.seqNo(),
+		JobSeq:     s.jobs.seqNo(),
+		Datasets:   s.reg.records(),
+		Jobs:       s.jobs.records(),
 	}
 }
 
-// Close cancels running jobs and stops the worker pool. The handler keeps
-// answering reads; new job submissions are rejected.
-func (s *Server) Close() { s.jobs.close() }
+// Close cancels running jobs, stops the worker pool, then compacts and
+// closes the persistence log (shutdown cancellations included, so a
+// clean restart distinguishes them from crash losses). The handler
+// keeps answering reads; mutations — job submissions, dataset uploads
+// and removals — are rejected with 503. Accepting an upload here would
+// acknowledge state the closed log can no longer make durable.
+func (s *Server) Close() {
+	s.closed.Store(true)
+	s.jobs.close()
+	s.persist.close()
+}
 
 func (s *Server) logf(format string, args ...any) {
 	if s.opts.Logger != nil {
@@ -116,7 +201,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 			return
 		}
-		writeJSON(w, http.StatusOK, s.jobs.metrics())
+		writeJSON(w, http.StatusOK, s.metricsDoc())
 	case seg[0] == "datasets" && len(seg) <= 2:
 		s.routeDatasets(w, r, seg[1:])
 	case seg[0] == "jobs" && len(seg) <= 3:
@@ -129,6 +214,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) routeDatasets(w http.ResponseWriter, r *http.Request, rest []string) {
 	switch {
 	case len(rest) == 0 && r.Method == http.MethodPost:
+		if s.closed.Load() {
+			writeError(w, http.StatusServiceUnavailable, "server shutting down")
+			return
+		}
 		s.handleUploadDataset(w, r)
 	case len(rest) == 0 && r.Method == http.MethodGet:
 		writeJSON(w, http.StatusOK, s.reg.list())
@@ -140,6 +229,10 @@ func (s *Server) routeDatasets(w http.ResponseWriter, r *http.Request, rest []st
 		}
 		writeJSON(w, http.StatusOK, ds.info())
 	case len(rest) == 1 && r.Method == http.MethodDelete:
+		if s.closed.Load() {
+			writeError(w, http.StatusServiceUnavailable, "server shutting down")
+			return
+		}
 		if !s.reg.remove(rest[0]) {
 			writeError(w, http.StatusNotFound, "no such dataset: %s", rest[0])
 			return
@@ -192,6 +285,15 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 				writeError(w, http.StatusBadRequest, "bad threshold: %v", err)
 				return
 			}
+		}
+		// Checked on the effective value, wherever it came from:
+		// ParseFloat accepts "NaN" and "±Inf" (and Options can carry
+		// them), but every comparison against NaN is false (all-Off
+		// symbols) and infinities pin one symbol — silent garbage, not a
+		// usable mapping.
+		if math.IsNaN(threshold) || math.IsInf(threshold, 0) {
+			writeError(w, http.StatusBadRequest, "bad threshold %v: must be finite", threshold)
+			return
 		}
 		var series []*ftpm.TimeSeries
 		series, err = csvio.ReadNumericChunked(body, shards)
@@ -251,9 +353,15 @@ func (s *Server) routeJobs(w http.ResponseWriter, r *http.Request, rest []string
 		}
 		writeJSON(w, http.StatusOK, s.jobs.info(j))
 	case len(rest) == 1 && r.Method == http.MethodDelete:
-		j, ok := s.jobs.cancelJob(rest[0])
+		j, prior, ok := s.jobs.cancelJob(rest[0])
 		if !ok {
 			writeError(w, http.StatusNotFound, "no such job: %s", rest[0])
+			return
+		}
+		if prior.Terminal() {
+			// A 202 here would imply a cancellation was requested; the
+			// job is already finished and stays untouched.
+			writeError(w, http.StatusConflict, "job %s is already %s; only queued or running jobs can be cancelled", rest[0], prior)
 			return
 		}
 		s.logf("job %s cancellation requested", rest[0])

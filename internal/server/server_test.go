@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -63,7 +64,10 @@ func slowCSV(series, samples int) string {
 // testServer wires a Server into an httptest listener.
 func testServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := New(opts)
+	srv, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.Close()
@@ -326,6 +330,12 @@ func TestRequestValidation(t *testing.T) {
 		{"no geometry", MiningRequest{DatasetID: info.ID, MinSupport: 0.5}, 400},
 		{"both geometries", MiningRequest{DatasetID: info.ID, MinSupport: 0.5, NumWindows: 2, WindowLength: 60}, 400},
 		{"bad approx", MiningRequest{DatasetID: info.ID, MinSupport: 0.5, NumWindows: 2, Approx: &ApproxRequest{}}, 400},
+		// Regression: a negative value reads as "unset" to the
+		// exactly-one check, so {"mu": -1, "density": 0.5} used to pass
+		// validation and only fail at mine time as a failed job.
+		{"negative mu with density", MiningRequest{DatasetID: info.ID, MinSupport: 0.5, NumWindows: 2, Approx: &ApproxRequest{Mu: -1, Density: 0.5}}, 400},
+		{"negative density with mu", MiningRequest{DatasetID: info.ID, MinSupport: 0.5, NumWindows: 2, Approx: &ApproxRequest{Mu: 0.5, Density: -0.3}}, 400},
+		{"both negative", MiningRequest{DatasetID: info.ID, MinSupport: 0.5, NumWindows: 2, Approx: &ApproxRequest{Mu: -1, Density: -1}}, 400},
 		{"negative overlap", MiningRequest{DatasetID: info.ID, MinSupport: 0.5, NumWindows: 2, Overlap: -1}, 400},
 		{"negative tmax", MiningRequest{DatasetID: info.ID, MinSupport: 0.5, NumWindows: 2, TMax: -5}, 400},
 		{"negative workers", MiningRequest{DatasetID: info.ID, MinSupport: 0.5, NumWindows: 2, Workers: -1}, 400},
@@ -354,6 +364,130 @@ func TestRequestValidation(t *testing.T) {
 	}
 }
 
+// TestUploadNonFiniteThreshold is the regression test for NaN/Inf
+// thresholds: strconv.ParseFloat accepts them, and symbolization then
+// silently produces garbage (every NaN comparison is false), so the
+// upload must be rejected up front.
+func TestUploadNonFiniteThreshold(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 1})
+	for _, v := range []string{"NaN", "nan", "Inf", "+Inf", "-Inf", "Infinity"} {
+		code := doJSON(t, http.MethodPost, ts.URL+"/datasets?threshold="+v, strings.NewReader(smallCSV()), nil)
+		if code != http.StatusBadRequest {
+			t.Errorf("threshold=%s: status %d, want 400", v, code)
+		}
+	}
+	var list []DatasetInfo
+	if code := doJSON(t, http.MethodGet, ts.URL+"/datasets", nil, &list); code != 200 || len(list) != 0 {
+		t.Fatalf("rejected uploads must register nothing: %v (%d)", list, code)
+	}
+	// Finite thresholds keep working.
+	if info := uploadCSV(t, ts.URL, "threshold=0.5", smallCSV()); info.Samples != 24 {
+		t.Fatalf("finite threshold upload = %+v", info)
+	}
+
+	// A non-finite DefaultThreshold must not bypass the guard: the check
+	// applies to the effective threshold, not just the query parameter.
+	nan := math.NaN()
+	_, ts2 := testServer(t, Options{Workers: 1, DefaultThreshold: &nan})
+	if code := doJSON(t, http.MethodPost, ts2.URL+"/datasets", strings.NewReader(smallCSV()), nil); code != http.StatusBadRequest {
+		t.Errorf("upload under NaN default threshold: status %d, want 400", code)
+	}
+}
+
+// TestCancelTerminalJobConflict is the regression test for DELETE on a
+// finished job: 202 would imply a cancellation was requested, so a
+// terminal job must answer 409 with its state and stay untouched.
+func TestCancelTerminalJobConflict(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 1})
+	info := uploadCSV(t, ts.URL, "name=ok&threshold=0.5", smallCSV())
+	body, _ := json.Marshal(MiningRequest{
+		DatasetID: info.ID, MinSupport: 0.2, MinConfidence: 0,
+		NumWindows: 2, MaxPatternSize: 2,
+	})
+	var job JobInfo
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", bytes.NewReader(body), &job); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	done := waitState(t, ts.URL, job.ID, 30*time.Second, func(j JobInfo) bool { return j.State.Terminal() })
+	if done.State != JobDone {
+		t.Fatalf("job finished as %s (%s)", done.State, done.Error)
+	}
+
+	var apiErr apiError
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/jobs/"+job.ID, nil, &apiErr); code != http.StatusConflict {
+		t.Fatalf("DELETE on done job: status %d, want 409", code)
+	}
+	if !strings.Contains(apiErr.Error, string(JobDone)) {
+		t.Fatalf("conflict error %q must name the terminal state", apiErr.Error)
+	}
+	// The job is untouched: still done, result still served.
+	var after JobInfo
+	if code := doJSON(t, http.MethodGet, ts.URL+"/jobs/"+job.ID, nil, &after); code != 200 || after.State != JobDone {
+		t.Fatalf("job after rejected cancel = %s (%d)", after.State, code)
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/jobs/"+job.ID+"/result", nil, nil); code != 200 {
+		t.Fatalf("result after rejected cancel: status %d", code)
+	}
+
+	// Cancelled jobs conflict the same way on a second DELETE.
+	m := newJobManager(0, 4, nil)
+	defer m.close()
+	ds := &Dataset{id: "d", shards: 1, prep: map[string]*ftpm.Prepared{}}
+	j, err := m.submit(ds, MiningRequest{DatasetID: "d", MinSupport: 0.5, NumWindows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, prior, ok := m.cancelJob(j.id); !ok || prior != JobQueued {
+		t.Fatalf("first cancel: prior = %s, ok = %t", prior, ok)
+	}
+	if _, prior, ok := m.cancelJob(j.id); !ok || !prior.Terminal() {
+		t.Fatalf("second cancel must observe the terminal state, got %s", prior)
+	}
+}
+
+// TestQueueDepthExcludesCancelled is the regression test for the
+// queue_depth gauge: a job cancelled while queued sits in the channel
+// until a worker pops it, and used to be counted as backlog.
+func TestQueueDepthExcludesCancelled(t *testing.T) {
+	m := newJobManager(0, 8, nil) // no workers: nothing is ever popped
+	defer m.close()
+	ds := &Dataset{id: "d", shards: 1, prep: map[string]*ftpm.Prepared{}}
+	req := MiningRequest{DatasetID: "d", MinSupport: 0.5, NumWindows: 2}
+	jobs := make([]*job, 3)
+	for i := range jobs {
+		j, err := m.submit(ds, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	if _, _, ok := m.cancelJob(jobs[1].id); !ok {
+		t.Fatal("cancel failed")
+	}
+	// The cancelled entry is still physically queued but must not count.
+	if len(m.queue) != 3 {
+		t.Fatalf("channel backlog = %d, want 3 (cancelled entry not yet popped)", len(m.queue))
+	}
+	if got := m.queueDepth(); got != 2 {
+		t.Fatalf("queue_depth = %d, want 2", got)
+	}
+	if info := m.info(jobs[0]); info.QueueDepth != 2 {
+		t.Fatalf("job info queue_depth = %d, want 2", info.QueueDepth)
+	}
+	if doc := m.metrics(); doc.QueueDepth != 2 {
+		t.Fatalf("metrics queue_depth = %d, want 2", doc.QueueDepth)
+	}
+	if _, _, ok := m.cancelJob(jobs[0].id); !ok {
+		t.Fatal("cancel failed")
+	}
+	if _, _, ok := m.cancelJob(jobs[2].id); !ok {
+		t.Fatal("cancel failed")
+	}
+	if got := m.queueDepth(); got != 0 {
+		t.Fatalf("queue_depth after cancelling all = %d, want 0", got)
+	}
+}
+
 func TestUploadTooLarge(t *testing.T) {
 	_, ts := testServer(t, Options{Workers: 1, MaxUploadBytes: 64})
 	code := doJSON(t, http.MethodPost, ts.URL+"/datasets?threshold=0.5", strings.NewReader(smallCSV()), nil)
@@ -363,7 +497,7 @@ func TestUploadTooLarge(t *testing.T) {
 }
 
 func TestPreparedCacheReuse(t *testing.T) {
-	reg := newRegistry()
+	reg := newRegistry(nil)
 	vals := make([]float64, 64)
 	for i := range vals {
 		vals[i] = float64(i % 2)
@@ -489,7 +623,7 @@ func TestQueueFullRejection(t *testing.T) {
 func TestTerminalJobEviction(t *testing.T) {
 	// No workers: submitted jobs stay queued until cancelled, giving
 	// direct control over terminal states.
-	m := newJobManager(0, maxRetainedJobs+200)
+	m := newJobManager(0, maxRetainedJobs+200, nil)
 	defer m.close()
 	ds := &Dataset{id: "d", shards: 1, prep: map[string]*ftpm.Prepared{}}
 	req := MiningRequest{DatasetID: "d", MinSupport: 0.5, NumWindows: 2}
@@ -499,7 +633,7 @@ func TestTerminalJobEviction(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, ok := m.cancelJob(j.id); !ok {
+		if _, _, ok := m.cancelJob(j.id); !ok {
 			t.Fatal("cancel failed")
 		}
 	}
@@ -867,7 +1001,7 @@ func TestResultCacheSizeAwareEviction(t *testing.T) {
 
 func TestQueueDepthExposed(t *testing.T) {
 	// No workers: everything submitted stays queued.
-	m := newJobManager(0, 8)
+	m := newJobManager(0, 8, nil)
 	defer m.close()
 	ds := &Dataset{id: "d", shards: 1, prep: map[string]*ftpm.Prepared{}}
 	req := MiningRequest{DatasetID: "d", MinSupport: 0.5, NumWindows: 2}

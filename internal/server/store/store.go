@@ -1,0 +1,431 @@
+// Package store implements the durable log behind the mining service's
+// persistence: a write-ahead log of opaque service events plus an
+// atomically-replaced compacting snapshot, both fsync'd and CRC-framed.
+//
+// The format is deliberately simple. Every file starts with an 8-byte
+// magic that bakes in the format version ("FTPMLOG1"); after it come
+// length-prefixed records:
+//
+//	[u32 crc32][u32 payload len][u8 kind][u64 lsn][payload]
+//
+// The CRC (IEEE) covers everything after itself — length, kind, LSN and
+// payload — so a torn or bit-flipped tail fails verification no matter
+// which byte was damaged. Recovery keeps the longest valid prefix and
+// truncates the rest: a crash mid-append loses at most the record being
+// written, never the file.
+//
+// Records carry a monotonically increasing log sequence number (LSN).
+// The snapshot file holds a single record stamped with the LSN of the
+// last event it covers; on open, WAL records at or below the snapshot's
+// LSN are skipped, so a crash between "snapshot renamed into place" and
+// "WAL truncated" replays nothing twice. Snapshot replacement is atomic
+// (write to a temp file, fsync, rename, fsync the directory).
+//
+// The package stores bytes, not service state: callers choose the
+// payload encoding (the mining service uses JSON) and the record kinds.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+const (
+	// fileMagic identifies both the WAL and the snapshot file and bakes
+	// in the format version; bump the trailing digit on incompatible
+	// changes.
+	fileMagic = "FTPMLOG1"
+
+	// recHeader is the fixed per-record header size:
+	// crc u32 + len u32 + kind u8 + lsn u64.
+	recHeader = 4 + 4 + 1 + 8
+
+	// maxRecord bounds one payload; longer length fields are treated as
+	// corruption rather than attempted allocations.
+	maxRecord = 1 << 30
+
+	walName  = "wal"
+	snapName = "snapshot"
+)
+
+// ErrClosed is returned by operations on a closed Log.
+var ErrClosed = errors.New("store: log is closed")
+
+// Kind tags a record with its caller-defined event type.
+type Kind uint8
+
+// Record is one recovered WAL entry.
+type Record struct {
+	Kind Kind
+	LSN  uint64
+	Data []byte
+}
+
+// Recovery is what Open found on disk.
+type Recovery struct {
+	// Snapshot is the payload of the snapshot file, nil when none exists.
+	Snapshot []byte
+	// SnapshotLSN is the LSN the snapshot covers (0 without a snapshot).
+	SnapshotLSN uint64
+	// SnapshotDamaged reports that a snapshot file existed but failed
+	// verification and was ignored.
+	SnapshotDamaged bool
+	// Records are the WAL records newer than the snapshot, in log order.
+	Records []Record
+	// TruncatedBytes is how many bytes of torn or corrupt WAL tail were
+	// discarded (0 for a clean open).
+	TruncatedBytes int64
+}
+
+// Log is an open WAL + snapshot pair rooted in one directory. All
+// methods are safe for concurrent use. A directory must be owned by one
+// Log (one server process) at a time; the format has no inter-process
+// locking.
+type Log struct {
+	mu         sync.Mutex
+	dir        string
+	wal        *os.File
+	off        int64  // current end of the valid WAL prefix
+	lsn        uint64 // last assigned LSN
+	walRecords int    // records appended since the last snapshot
+	snapTime   time.Time
+	buf        []byte // append scratch, reused between records
+}
+
+// appendRecord encodes one record onto buf.
+func appendRecord(buf []byte, kind Kind, lsn uint64, data []byte) []byte {
+	off := len(buf)
+	var hdr [recHeader]byte
+	buf = append(buf, hdr[:]...)
+	binary.LittleEndian.PutUint32(buf[off+4:], uint32(len(data)))
+	buf[off+8] = byte(kind)
+	binary.LittleEndian.PutUint64(buf[off+9:], lsn)
+	buf = append(buf, data...)
+	crc := crc32.ChecksumIEEE(buf[off+4:])
+	binary.LittleEndian.PutUint32(buf[off:], crc)
+	return buf
+}
+
+// parseRecords scans a record stream (file content after the magic) and
+// returns the records of the longest valid prefix plus that prefix's
+// byte length. Anything after the first short, oversized or
+// CRC-mismatched record is untrusted: record boundaries downstream of a
+// corrupt length cannot be re-synchronized.
+func parseRecords(data []byte) (recs []Record, valid int) {
+	off := 0
+	for {
+		if len(data)-off < recHeader {
+			return recs, off
+		}
+		crc := binary.LittleEndian.Uint32(data[off:])
+		n := binary.LittleEndian.Uint32(data[off+4:])
+		if n > maxRecord || len(data)-off-recHeader < int(n) {
+			return recs, off
+		}
+		end := off + recHeader + int(n)
+		if crc32.ChecksumIEEE(data[off+4:end]) != crc {
+			return recs, off
+		}
+		recs = append(recs, Record{
+			Kind: Kind(data[off+8]),
+			LSN:  binary.LittleEndian.Uint64(data[off+9:]),
+			Data: append([]byte(nil), data[off+recHeader:end]...),
+		})
+		off = end
+	}
+}
+
+// checkMagic splits a file image into its record stream, reporting
+// whether the magic matched.
+func checkMagic(data []byte) (body []byte, ok bool) {
+	if len(data) < len(fileMagic) || string(data[:len(fileMagic)]) != fileMagic {
+		return nil, false
+	}
+	return data[len(fileMagic):], true
+}
+
+// syncDir fsyncs the directory so a just-renamed or just-created file
+// name is durable. Best-effort: some platforms cannot sync directories.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// Open opens (or initializes) the log directory, verifies the snapshot
+// and WAL, truncates any torn WAL tail in place, and returns the
+// recovered state. The returned Log is ready for Append.
+func Open(dir string) (*Log, Recovery, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, Recovery{}, fmt.Errorf("store: %w", err)
+	}
+	l := &Log{dir: dir}
+	var rec Recovery
+
+	// Snapshot: a damaged one is ignored, not fatal — it is replaced
+	// atomically, so damage means external corruption, and the WAL may
+	// still hold usable history.
+	snapPath := filepath.Join(dir, snapName)
+	if data, err := os.ReadFile(snapPath); err == nil {
+		if body, ok := checkMagic(data); ok {
+			if recs, valid := parseRecords(body); len(recs) == 1 && valid == len(body) {
+				rec.Snapshot = recs[0].Data
+				rec.SnapshotLSN = recs[0].LSN
+				l.lsn = recs[0].LSN
+				if st, err := os.Stat(snapPath); err == nil {
+					l.snapTime = st.ModTime()
+				}
+			} else {
+				rec.SnapshotDamaged = true
+			}
+		} else {
+			rec.SnapshotDamaged = true
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, Recovery{}, fmt.Errorf("store: %w", err)
+	}
+
+	// WAL: parse the longest valid prefix, keep records newer than the
+	// snapshot, and truncate the file to the valid prefix so the next
+	// append extends a clean log.
+	walPath := filepath.Join(dir, walName)
+	data, err := os.ReadFile(walPath)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, Recovery{}, fmt.Errorf("store: %w", err)
+	}
+	validLen := int64(len(fileMagic)) // rewritten below when the file is usable
+	if err == nil {
+		if body, ok := checkMagic(data); ok {
+			recs, valid := parseRecords(body)
+			validLen = int64(len(fileMagic) + valid)
+			rec.TruncatedBytes = int64(len(body) - valid)
+			for _, r := range recs {
+				if r.LSN > l.lsn {
+					l.lsn = r.LSN
+				}
+				if r.LSN > rec.SnapshotLSN {
+					rec.Records = append(rec.Records, r)
+					l.walRecords++
+				}
+			}
+		} else {
+			// Foreign or headerless file: nothing in it can be trusted.
+			rec.TruncatedBytes = int64(len(data))
+		}
+	}
+
+	wal, err := os.OpenFile(walPath, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, Recovery{}, fmt.Errorf("store: %w", err)
+	}
+	if err := initWAL(wal, validLen, rec.TruncatedBytes > 0 || len(data) < len(fileMagic)); err != nil {
+		wal.Close()
+		return nil, Recovery{}, err
+	}
+	l.wal = wal
+	l.off = validLen
+	if l.snapTime.IsZero() {
+		l.snapTime = time.Now()
+	}
+	return l, rec, nil
+}
+
+// initWAL makes the WAL file a clean, positioned log: the magic is
+// (re)written when the file is new or its header was untrusted, a torn
+// tail is cut off, and the write offset is left at the end.
+func initWAL(wal *os.File, validLen int64, rewrite bool) error {
+	st, err := wal.Stat()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if st.Size() < int64(len(fileMagic)) || rewrite && validLen == int64(len(fileMagic)) {
+		if err := wal.Truncate(0); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if _, err := wal.WriteAt([]byte(fileMagic), 0); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		validLen = int64(len(fileMagic))
+	} else if st.Size() > validLen {
+		if err := wal.Truncate(validLen); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := wal.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := wal.Seek(validLen, io.SeekStart); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// rollbackLocked restores the WAL to the last known-good prefix after a
+// failed append, so torn bytes never sit in front of later successful
+// records (replay truncates at the first bad record — everything after
+// it would be silently lost). If the rollback itself fails the log is
+// poisoned: further operations return ErrClosed, failing loudly instead
+// of diverging from disk. Caller holds l.mu.
+func (l *Log) rollbackLocked() {
+	if l.wal.Truncate(l.off) == nil {
+		if _, err := l.wal.Seek(l.off, io.SeekStart); err == nil {
+			return
+		}
+	}
+	l.wal.Close()
+	l.wal = nil
+}
+
+// Append durably writes one record (fsync before returning) and assigns
+// it the next LSN. A failed write is rolled back, leaving the log as it
+// was before the call.
+func (l *Log) Append(kind Kind, data []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wal == nil {
+		return ErrClosed
+	}
+	if len(data) > maxRecord {
+		return fmt.Errorf("store: record of %d bytes exceeds the %d-byte cap", len(data), maxRecord)
+	}
+	l.buf = appendRecord(l.buf[:0], kind, l.lsn+1, data)
+	n := int64(len(l.buf))
+	_, werr := l.wal.Write(l.buf)
+	// The scratch buffer amortizes header allocations across typical
+	// small records; one huge record (a large dataset ingestion) must not
+	// pin its size for the life of the log.
+	if cap(l.buf) > 1<<20 {
+		l.buf = nil
+	}
+	if werr == nil {
+		werr = l.wal.Sync()
+	}
+	if werr != nil {
+		l.rollbackLocked()
+		return fmt.Errorf("store: %w", werr)
+	}
+	l.off += n
+	l.lsn++
+	l.walRecords++
+	return nil
+}
+
+// WriteSnapshot atomically replaces the snapshot with data, stamped with
+// the current LSN, then resets the WAL. If the process dies between the
+// two steps, the next Open skips the WAL records the snapshot already
+// covers via their LSNs.
+func (l *Log) WriteSnapshot(data []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wal == nil {
+		return ErrClosed
+	}
+	// Mirror Append's cap: parseRecords rejects larger records, so an
+	// oversized snapshot would write "successfully" and then be discarded
+	// as damaged on the next open — fail here instead, which keeps the
+	// WAL (and the state it carries) intact.
+	if len(data) > maxRecord {
+		return fmt.Errorf("store: snapshot of %d bytes exceeds the %d-byte cap", len(data), maxRecord)
+	}
+	buf := append([]byte(fileMagic), appendRecord(nil, 0, l.lsn, data)...)
+	tmp := filepath.Join(l.dir, snapName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, werr := f.Write(buf)
+	if serr := f.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", werr)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	syncDir(l.dir)
+
+	// If the WAL reset fails the old records remain, but all of them are
+	// at or below the snapshot's LSN, so replay skips them — the off
+	// bookkeeping only advances once the truncate succeeds. A failed
+	// seek after a successful truncate leaves the write position
+	// unknown: poison the log rather than append at a wrong offset.
+	if err := l.wal.Truncate(int64(len(fileMagic))); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := l.wal.Seek(int64(len(fileMagic)), io.SeekStart); err != nil {
+		l.wal.Close()
+		l.wal = nil
+		return fmt.Errorf("store: %w", err)
+	}
+	l.off = int64(len(fileMagic))
+	if err := l.wal.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	l.walRecords = 0
+	l.snapTime = time.Now()
+	return nil
+}
+
+// WALRecords returns how many records the WAL holds beyond the last
+// snapshot — the compaction trigger and the wal_records gauge.
+func (l *Log) WALRecords() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.walRecords
+}
+
+// WALBytes returns the WAL's current payload size — the byte-based
+// compaction trigger (record counts alone let a WAL of large dataset
+// payloads grow to gigabytes before the count trips).
+func (l *Log) WALBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.off - int64(len(fileMagic))
+}
+
+// SnapshotTime returns when the current snapshot was written (for a
+// freshly initialized directory, when the log was opened) — the
+// snapshot_age gauge's anchor.
+func (l *Log) SnapshotTime() time.Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapTime
+}
+
+// LSN returns the last assigned log sequence number.
+func (l *Log) LSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lsn
+}
+
+// Close closes the WAL file. Further operations return ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wal == nil {
+		return nil
+	}
+	err := l.wal.Close()
+	l.wal = nil
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
