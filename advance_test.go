@@ -1,0 +1,224 @@
+package ftpm_test
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+
+	"ftpm"
+)
+
+// advanceSDB builds a seeded symbolic database of three binary series
+// over n samples. B lags A by two ticks and C tracks A with sparse noise,
+// so the series carry enough mutual information to survive NMI pruning in
+// the approximate modes.
+func advanceSDB(t *testing.T, seed int64, n int) *ftpm.SymbolicDB {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]int, n)
+	b := make([]int, n)
+	c := make([]int, n)
+	for i := range a {
+		if i%8 < 3 || rng.Intn(11) == 0 {
+			a[i] = 1
+		}
+	}
+	for i := range b {
+		if i >= 2 {
+			b[i] = a[i-2]
+		}
+		if i >= 1 {
+			c[i] = a[i-1]
+		} else {
+			c[i] = 1
+		}
+		if rng.Intn(17) == 0 {
+			c[i] = 1 - c[i]
+		}
+	}
+	mk := func(name string, syms []int) *ftpm.SymbolicSeries {
+		return &ftpm.SymbolicSeries{
+			Name: name, Start: 0, Step: 10,
+			Alphabet: []string{"Off", "On"}, Symbols: syms,
+		}
+	}
+	db, err := ftpm.NewSymbolicDB(mk("A", a), mk("B", b), mk("C", c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// prefixSDB returns the database restricted to its first n samples with
+// private storage.
+func prefixSDB(t *testing.T, db *ftpm.SymbolicDB, n int) *ftpm.SymbolicDB {
+	t.Helper()
+	series := make([]*ftpm.SymbolicSeries, len(db.Series))
+	for i, s := range db.Series {
+		series[i] = &ftpm.SymbolicSeries{
+			Name: s.Name, Start: s.Start, Step: s.Step,
+			Alphabet: append([]string(nil), s.Alphabet...),
+			Symbols:  append([]int(nil), s.Symbols[:n]...),
+		}
+	}
+	out, err := ftpm.NewSymbolicDB(series...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestAdvanceMatchesFreshPrepare is the append-then-mine equivalence
+// property at the façade layer: a handle advanced over an extended
+// database must mine byte-identically to a cold Prepare of the extended
+// database, across shard counts and every mining mode, whether or not
+// the old handle was warm — and the old handle must keep mining its own
+// (pre-append) view unchanged afterwards.
+func TestAdvanceMatchesFreshPrepare(t *testing.T) {
+	ctx := context.Background()
+	full := advanceSDB(t, 21, 360)
+	base := prefixSDB(t, full, 240)
+	split := ftpm.SplitOptions{WindowLength: 200, Overlap: 100}
+	variants := []struct {
+		name   string
+		approx *ftpm.ApproxOptions
+	}{
+		{"exact", nil},
+		{"approx-mu", &ftpm.ApproxOptions{Mu: 0.05}},
+		{"approx-density", &ftpm.ApproxOptions{Density: 0.6}},
+		{"event-level", &ftpm.ApproxOptions{Density: 0.6, EventLevel: true}},
+	}
+	for _, shards := range []int{1, 3} {
+		for _, warm := range []bool{false, true} {
+			prep, err := ftpm.Prepare(base, split, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := ftpm.Options{
+				MinSupport: 0.3, MinConfidence: 0.2, MaxPatternSize: 3,
+			}
+			var baseDoc []byte
+			if warm {
+				baseRes, err := prep.Mine(ctx, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				baseDoc = docBytes(t, baseRes)
+			}
+
+			adv, err := prep.Advance(ftpm.NewAnalysis(full))
+			if err != nil {
+				t.Fatalf("shards=%d warm=%v: Advance: %v", shards, warm, err)
+			}
+			fresh, err := ftpm.Prepare(full, split, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range variants {
+				opt.Approx = v.approx
+				want, err := fresh.Mine(ctx, opt)
+				if err != nil {
+					t.Fatalf("shards=%d warm=%v %s: fresh mine: %v", shards, warm, v.name, err)
+				}
+				if len(want.Patterns) == 0 {
+					t.Fatalf("shards=%d warm=%v %s: vacuous comparison", shards, warm, v.name)
+				}
+				got, err := adv.Mine(ctx, opt)
+				if err != nil {
+					t.Fatalf("shards=%d warm=%v %s: advanced mine: %v", shards, warm, v.name, err)
+				}
+				if g, w := docBytes(t, got), docBytes(t, want); !bytes.Equal(g, w) {
+					t.Fatalf("shards=%d warm=%v %s: advanced mine diverges from fresh prepare:\n%s\nvs\n%s",
+						shards, warm, v.name, g, w)
+				}
+			}
+
+			if warm {
+				// The pre-append handle must still serve its own view.
+				opt.Approx = nil
+				again, err := prep.Mine(ctx, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(docBytes(t, again), baseDoc) {
+					t.Fatalf("shards=%d: old handle's results changed after Advance", shards)
+				}
+			}
+		}
+	}
+}
+
+// TestAdvanceChainedAppends advances through several mine-less appends
+// and mines only at the end; the chain must match a cold prepare of the
+// final database.
+func TestAdvanceChainedAppends(t *testing.T) {
+	ctx := context.Background()
+	full := advanceSDB(t, 22, 400)
+	split := ftpm.SplitOptions{WindowLength: 200, Overlap: 100}
+	prep, err := ftpm.Prepare(prefixSDB(t, full, 150), split, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{220, 300, 400} {
+		next, err := prep.Advance(ftpm.NewAnalysis(prefixSDB(t, full, n)))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		prep = next
+	}
+	fresh, err := ftpm.Prepare(full, split, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := ftpm.Options{MinSupport: 0.3, MinConfidence: 0.2, MaxPatternSize: 3,
+		Approx: &ftpm.ApproxOptions{Mu: 0.05}}
+	want, err := fresh.Mine(ctx, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := prep.Mine(ctx, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := docBytes(t, got), docBytes(t, want); !bytes.Equal(g, w) {
+		t.Fatalf("chained advances diverge from fresh prepare:\n%s\nvs\n%s", g, w)
+	}
+}
+
+// TestAdvanceRejectsNonExtensions pins the extends validation: shrunk
+// series, renamed series, a changed grid, and a renumbered alphabet all
+// refuse to advance.
+func TestAdvanceRejectsNonExtensions(t *testing.T) {
+	full := advanceSDB(t, 23, 200)
+	base := prefixSDB(t, full, 160)
+	prep, err := ftpm.Prepare(base, ftpm.SplitOptions{WindowLength: 200, Overlap: 100}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(db *ftpm.SymbolicDB)) *ftpm.SymbolicDB {
+		db := prefixSDB(t, full, 200)
+		f(db)
+		return db
+	}
+	cases := []struct {
+		name string
+		db   *ftpm.SymbolicDB
+	}{
+		{"shrunk", prefixSDB(t, full, 100)},
+		{"renamed", mutate(func(db *ftpm.SymbolicDB) { db.Series[1].Name = "Q" })},
+		{"regridded", mutate(func(db *ftpm.SymbolicDB) {
+			for _, s := range db.Series {
+				s.Step = 20
+			}
+		})},
+		{"alphabet-renumbered", mutate(func(db *ftpm.SymbolicDB) {
+			db.Series[0].Alphabet = []string{"On", "Off"}
+		})},
+	}
+	for _, tc := range cases {
+		if _, err := prep.Advance(ftpm.NewAnalysis(tc.db)); err == nil {
+			t.Errorf("%s: Advance accepted a non-extension", tc.name)
+		}
+	}
+}

@@ -221,3 +221,120 @@ func BenchmarkEndToEndApprox(b *testing.B) {
 		}
 	}
 }
+
+// appendBenchDB builds the append benchmark's symbolic database: long
+// alternating runs so the DSEQ conversion and L1 scan — the work the
+// append path makes incremental — dominate, with the mining itself kept
+// to singles.
+func appendBenchDB(b *testing.B, nSeries, nSamples int) *ftpm.SymbolicDB {
+	b.Helper()
+	series := make([]*ftpm.SymbolicSeries, nSeries)
+	for s := 0; s < nSeries; s++ {
+		syms := make([]int, nSamples)
+		period := 12 + 2*(s%7)
+		phase := (s * 11) % period
+		for i := range syms {
+			if ((i+phase)/period)%2 == 0 {
+				syms[i] = 1
+			}
+		}
+		series[s] = &ftpm.SymbolicSeries{
+			Name: fmt.Sprintf("S%02d", s), Start: 0, Step: 1,
+			Alphabet: []string{"Off", "On"}, Symbols: syms,
+		}
+	}
+	sdb, err := ftpm.NewSymbolicDB(series...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sdb
+}
+
+// BenchmarkAppendVsReupload measures what the append path saves over
+// re-ingesting everything when 10% of the data is new: "reupload"
+// prepares and mines the full database from scratch each iteration (the
+// only option before incremental appends), "append" starts from a primed
+// handle over the first 90% and per iteration extends the series
+// (copy-on-append), advances the handle, and mines — so only the window
+// suffix touched by the delta is re-cut and re-scanned. CI asserts
+// append is at least 3x faster than reupload on any core count (the
+// "always" speedup spec in .github/workflows/ci.yml).
+func BenchmarkAppendVsReupload(b *testing.B) {
+	const (
+		nSeries = 16
+		total   = 16384
+		baseLen = total * 9 / 10
+		shards  = 4
+	)
+	full := appendBenchDB(b, nSeries, total)
+	base := make([]*ftpm.SymbolicSeries, nSeries)
+	for i, s := range full.Series {
+		base[i] = &ftpm.SymbolicSeries{
+			Name: s.Name, Start: s.Start, Step: s.Step,
+			Alphabet: s.Alphabet, Symbols: s.Symbols[:baseLen:baseLen],
+		}
+	}
+	baseSDB, err := ftpm.NewSymbolicDB(base...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	split := ftpm.SplitOptions{WindowLength: 256, Overlap: 248}
+	opt := ftpm.Options{
+		MinSupport: 0.4, MinConfidence: 0,
+		WindowLength: 256, Overlap: 248, MaxPatternSize: 1,
+	}
+
+	b.Run("reupload", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p, err := ftpm.Prepare(full, split, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := p.Mine(context.Background(), opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stats.Sequences == 0 {
+				b.Fatal("no sequences mined")
+			}
+		}
+	})
+	b.Run("append", func(b *testing.B) {
+		p, err := ftpm.Prepare(baseSDB, split, shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Mine(context.Background(), opt); err != nil { // prime conversion + L1 index
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ext := make([]*ftpm.SymbolicSeries, nSeries)
+			for si, s := range baseSDB.Series {
+				n := len(s.Symbols)
+				ext[si] = &ftpm.SymbolicSeries{
+					Name: s.Name, Start: s.Start, Step: s.Step,
+					Alphabet: s.Alphabet,
+					Symbols:  append(s.Symbols[:n:n], full.Series[si].Symbols[baseLen:]...),
+				}
+			}
+			extSDB, err := ftpm.NewSymbolicDB(ext...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			np, err := p.Advance(ftpm.NewAnalysis(extSDB))
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := np.Mine(context.Background(), opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stats.Sequences == 0 {
+				b.Fatal("no sequences mined")
+			}
+		}
+	})
+}

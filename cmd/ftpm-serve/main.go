@@ -22,6 +22,16 @@
 //	curl 'localhost:8080/jobs/job-1/patterns?offset=0&limit=50'
 //	curl -X DELETE localhost:8080/jobs/job-1
 //
+// As new samples arrive, append them instead of re-uploading — NDJSON
+// rows by default, or a CSV chunk with ?format=csv. Rows must continue
+// the dataset's sampling grid; each successful append bumps the
+// dataset's generation and the next mine reuses everything the new
+// samples didn't touch:
+//
+//	curl -X POST localhost:8080/datasets/ds-1/append --data-binary \
+//	  '{"time":86400,"values":{"Kitchen":0.07,"Toaster":0.0}}'
+//	curl -X POST --data-binary @delta.csv 'localhost:8080/datasets/ds-1/append?format=csv'
+//
 // See internal/server for the full API.
 package main
 

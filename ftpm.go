@@ -63,6 +63,20 @@
 // approximate, any thresholds — reuses them, so repeat A-HTPGM runs skip
 // the O(n²) mutual-information analysis entirely. MineSymbolic is a thin
 // wrapper over a one-shot Prepared.
+//
+// When the database grows — new samples appended to every series —
+// Prepared.Advance carries a handle forward instead of starting over:
+//
+//	next, _ := prep.Advance(ftpm.NewAnalysis(extendedSDB))
+//
+// Advance validates that the new database is a strict temporal extension
+// of the old one (same series names and grid, alphabets extended but
+// never renumbered), reuses every window the appended samples cannot
+// have touched, re-cuts only the unstable suffix, and patches the L1
+// support index for just those sequences; the NMI tables are rebuilt
+// lazily, since appended samples change every pairwise score. Mining an
+// advanced handle is byte-identical to a cold Prepare of the extended
+// database, and the original handle keeps serving its own view.
 package ftpm
 
 import (

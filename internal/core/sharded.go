@@ -3,6 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"ftpm/internal/bitmap"
 	"ftpm/internal/events"
@@ -32,6 +35,7 @@ type shardInfo struct {
 	shards    []*events.DB
 	globalIdx [][]int          // shard -> local seq -> global seq index
 	masks     []*bitmap.Bitmap // shard -> membership bitmap over global indexes
+	view      *ShardedView     // backing view; carries the L1 index memo
 }
 
 // ShardedView is the prepared state of a sharded mining run: the shards,
@@ -50,6 +54,50 @@ type ShardedView struct {
 
 	globalIdx [][]int
 	masks     []*bitmap.Bitmap
+
+	// l1 is the memoized L1 occurrence index: per event, the ascending
+	// global indexes of the sequences containing it. The first completed
+	// scan over the view installs it (offerL1); later runs — and delta
+	// views derived from this one (PrepareShardsDelta) — rebuild the L1
+	// bitmaps from it instead of re-walking every sequence. The map and
+	// its lists are immutable once published.
+	l1mu  sync.Mutex
+	l1    map[events.EventID][]int32
+	l1set atomic.Bool
+}
+
+// l1Peek returns the memoized L1 index, if a completed scan has been
+// installed. The returned map must not be mutated.
+func (v *ShardedView) l1Peek() (map[events.EventID][]int32, bool) {
+	if !v.l1set.Load() {
+		return nil, false
+	}
+	return v.l1, true
+}
+
+// offerL1 installs a completed L1 scan; only the first offer wins.
+func (v *ShardedView) offerL1(lists map[events.EventID][]int32) {
+	v.l1mu.Lock()
+	defer v.l1mu.Unlock()
+	if v.l1 == nil {
+		v.l1 = lists
+		v.l1set.Store(true)
+	}
+}
+
+// scanL1Lists appends, for every sequence of db at global index >= from,
+// the index to each contained event's list. Scanning in index order keeps
+// the lists ascending.
+func scanL1Lists(db *events.DB, from int, into map[events.EventID][]int32) map[events.EventID][]int32 {
+	if into == nil {
+		into = make(map[events.EventID][]int32)
+	}
+	for i := from; i < db.Size(); i++ {
+		for _, e := range db.Sequences[i].Events() {
+			into[e] = append(into[e], int32(i))
+		}
+	}
+	return into
 }
 
 // SeqCounts returns the per-shard sequence counts.
@@ -98,6 +146,44 @@ func PrepareShards(shards []*events.DB) (*ShardedView, error) {
 	return v, nil
 }
 
+// PrepareShardsDelta builds the ShardedView of a shard set that extends a
+// previous one: the first stable global sequences (window order == merged
+// order under the round-robin discipline) are shared by pointer with prev,
+// everything after them is new or re-cut. When prev carries a completed L1
+// index, the new view starts with that index patched instead of cold: the
+// per-event lists are truncated to entries below stable (copy-on-append,
+// prev's lists stay intact) and only the tail sequences are rescanned, so
+// the next mine's L1 pass re-verifies just the sequences the append
+// touched. Without a usable prev index the view is simply cold and the
+// next mine scans — and memoizes — from scratch. Either way the resulting
+// supports are byte-identical to a full PrepareShards + scan.
+func PrepareShardsDelta(prev *ShardedView, shards []*events.DB, stable int) (*ShardedView, error) {
+	v, err := PrepareShards(shards)
+	if err != nil {
+		return nil, err
+	}
+	if prev == nil || stable <= 0 || stable > v.Merged.Size() {
+		return v, nil
+	}
+	pl, ok := prev.l1Peek()
+	if !ok {
+		return v, nil
+	}
+	lists := make(map[events.EventID][]int32, len(pl))
+	for e, idx := range pl {
+		cut := sort.Search(len(idx), func(i int) bool { return idx[i] >= int32(stable) })
+		if cut == 0 {
+			continue
+		}
+		// Full slice expression: appending the rescanned tail must not
+		// grow into prev's backing array.
+		lists[e] = idx[:cut:cut]
+	}
+	v.l1 = scanL1Lists(v.Merged, stable, lists)
+	v.l1set.Store(true)
+	return v, nil
+}
+
 // MineSharded runs HTPGM over a sharded temporal sequence database,
 // returning the result — byte-identical to Mine over the merged database
 // — together with the merged database itself. It prepares the shard view
@@ -141,7 +227,7 @@ func MineShardedView(ctx context.Context, v *ShardedView, cfg Config) (*Result, 
 		minSupp: cfg.AbsoluteSupport(v.Merged.Size()),
 		graph:   &hpg.Graph{},
 		done:    ctx.Done(),
-		sh:      &shardInfo{shards: v.Shards, globalIdx: v.globalIdx, masks: v.masks},
+		sh:      &shardInfo{shards: v.Shards, globalIdx: v.globalIdx, masks: v.masks, view: v},
 	}
 	m.stats.Sequences = m.n
 	m.stats.AbsoluteSupport = m.minSupp
@@ -158,7 +244,33 @@ func MineShardedView(ctx context.Context, v *ShardedView, cfg Config) (*Result, 
 // transient L1 memory by K). The serial merge sets the bits in shard
 // order; merging is a disjoint union (a sequence lives in exactly one
 // shard), so the merged bitmaps equal the unsharded scan's.
+//
+// The view's L1 index memo short-circuits the scan: when a previous run
+// (or a delta preparation) installed the per-event occurrence lists, the
+// bitmaps rebuild directly from them. A cold scan installs the memo on
+// completion, so the second mine over any view — and the first mine after
+// an append, via PrepareShardsDelta's patched index — skips the walk.
 func (m *miner) scanSinglesSharded() {
+	vocabSize := m.db.Vocab.Size()
+	m.eventSupp = make(map[events.EventID]int, vocabSize)
+	m.eventBm = make(map[events.EventID]*bitmap.Bitmap, vocabSize)
+
+	if lists, ok := m.sh.view.l1Peek(); ok {
+		for id := 0; id < vocabSize; id++ {
+			e := events.EventID(id)
+			idx := lists[e]
+			bm := bitmap.New(m.n)
+			for _, g := range idx {
+				bm.Set(int(g))
+			}
+			m.eventBm[e] = bm
+			// One list entry per containing sequence, so the length is
+			// the support.
+			m.eventSupp[e] = len(idx)
+		}
+		return
+	}
+
 	shardIdx := make([]int, len(m.sh.shards))
 	for i := range shardIdx {
 		shardIdx[i] = i
@@ -174,9 +286,6 @@ func (m *miner) scanSinglesSharded() {
 		return p
 	})
 
-	vocabSize := m.db.Vocab.Size()
-	m.eventSupp = make(map[events.EventID]int, vocabSize)
-	m.eventBm = make(map[events.EventID]*bitmap.Bitmap, vocabSize)
 	for id := 0; id < vocabSize; id++ {
 		m.eventBm[events.EventID(id)] = bitmap.New(m.n)
 	}
@@ -192,6 +301,23 @@ func (m *miner) scanSinglesSharded() {
 		e := events.EventID(id)
 		m.eventSupp[e] = m.eventBm[e].Count()
 	}
+
+	// Memoize the completed scan on the view. A cancelled runParallel may
+	// have produced partial results; cancellation closes done permanently,
+	// so seeing it still open here proves the scan ran to completion.
+	select {
+	case <-m.done:
+		return
+	default:
+	}
+	lists := make(map[events.EventID][]int32, vocabSize)
+	for id := 0; id < vocabSize; id++ {
+		e := events.EventID(id)
+		if bm := m.eventBm[e]; bm.Count() > 0 {
+			lists[e] = bm.AppendIndices(nil)
+		}
+	}
+	m.sh.view.offerL1(lists)
 }
 
 // pairShardTask is one unit of sharded L2 verification: one surviving

@@ -1,0 +1,315 @@
+package server
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"ftpm"
+)
+
+// Incremental dataset appends: POST /datasets/{id}/append accepts NDJSON
+// rows (the default) or CSV chunks and extends the dataset in place —
+// symbolizing incrementally against the existing per-series alphabets
+// (new symbols extend an alphabet, never renumber it), validating that
+// the rows continue the dataset's sampling grid exactly, and swapping the
+// dataset to a new content generation. The previous generation stays
+// intact for jobs mid-mine; the new one advances the cached Prepared
+// handles incrementally, so the next mine re-cuts and re-verifies only
+// the window suffix the appended samples touched.
+
+// appendParser accumulates the parsed rows of one append body against a
+// fixed schema: the dataset's series (in order), their current alphabets,
+// the expected next grid timestamp, and the numeric mapping threshold.
+type appendParser struct {
+	names []string
+	index map[string]int // series name -> column
+	// alphabets / alphaIdx track each series' alphabet as rows extend it:
+	// the slice starts as the live generation's (shared) and is copied on
+	// first extension, so the old generation never observes growth.
+	alphabets [][]string
+	alphaIdx  []map[string]int
+	onoff     ftpm.Symbolizer
+
+	start ftpm.Time // first expected timestamp (the dataset's End)
+	step  ftpm.Duration
+
+	cols [][]int // appended symbol ids, one column per series
+	rows int
+}
+
+// newAppendParser builds the parser schema from the generation the append
+// applies to.
+func newAppendParser(sdb *ftpm.SymbolicDB, threshold float64) *appendParser {
+	n := len(sdb.Series)
+	p := &appendParser{
+		names:     make([]string, n),
+		index:     make(map[string]int, n),
+		alphabets: make([][]string, n),
+		alphaIdx:  make([]map[string]int, n),
+		onoff:     ftpm.OnOff(threshold),
+		start:     sdb.End(),
+		step:      sdb.Step(),
+		cols:      make([][]int, n),
+	}
+	for i, s := range sdb.Series {
+		p.names[i] = s.Name
+		p.index[s.Name] = i
+		p.alphabets[i] = s.Alphabet
+		idx := make(map[string]int, len(s.Alphabet))
+		for j, a := range s.Alphabet {
+			idx[a] = j
+		}
+		p.alphaIdx[i] = idx
+	}
+	return p
+}
+
+// intern resolves a symbol name for series col to its id, extending the
+// series alphabet (copy-on-first-extension) when the name is new.
+func (p *appendParser) intern(col int, name string) int {
+	if id, ok := p.alphaIdx[col][name]; ok {
+		return id
+	}
+	a := p.alphabets[col]
+	p.alphabets[col] = append(a[:len(a):len(a)], name)
+	id := len(a)
+	p.alphaIdx[col][name] = id
+	return id
+}
+
+// checkTime validates that a row's timestamp continues the grid exactly:
+// row i of the append must be stamped start + i*step. Duplicates land
+// below the expectation and gaps above it; both are row-numbered 400s.
+func (p *appendParser) checkTime(t int64) error {
+	want := int64(p.start) + int64(p.rows)*int64(p.step)
+	if t == want {
+		return nil
+	}
+	if t < want {
+		return fmt.Errorf("row %d: time %d duplicates or precedes the expected grid point %d", p.rows+1, t, want)
+	}
+	return fmt.Errorf("row %d: time %d leaves a gap before the expected grid point %d", p.rows+1, t, want)
+}
+
+// symbolize maps one cell to a symbol id for series col: numeric values
+// go through the dataset's On/Off threshold mapper, symbolic values are
+// interned by name.
+func (p *appendParser) symbolize(col int, numeric bool, num float64, sym string) int {
+	if numeric {
+		return p.intern(col, p.onoff.Alphabet()[p.onoff.Symbolize(num)])
+	}
+	return p.intern(col, sym)
+}
+
+// ndjsonRow is one NDJSON append row: a grid timestamp plus one value per
+// series. Values may be numbers (symbolized via the dataset's threshold)
+// or strings (symbol names).
+type ndjsonRow struct {
+	Time   *int64                     `json:"time"`
+	Values map[string]json.RawMessage `json:"values"`
+}
+
+// parseNDJSON consumes a stream of newline-delimited JSON rows. Every row
+// must carry the exact next grid timestamp and exactly the dataset's
+// series set — mixed column arity, unknown series, duplicate or
+// out-of-grid timestamps are 400s, never partial applications.
+func (p *appendParser) parseNDJSON(body io.Reader) error {
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	for {
+		var row ndjsonRow
+		if err := dec.Decode(&row); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("row %d: %w", p.rows+1, err)
+		}
+		if row.Time == nil {
+			return fmt.Errorf("row %d: missing time", p.rows+1)
+		}
+		if err := p.checkTime(*row.Time); err != nil {
+			return err
+		}
+		if len(row.Values) != len(p.names) {
+			return fmt.Errorf("row %d: %d values for %d series", p.rows+1, len(row.Values), len(p.names))
+		}
+		for name, raw := range row.Values {
+			col, ok := p.index[name]
+			if !ok {
+				return fmt.Errorf("row %d: unknown series %q", p.rows+1, name)
+			}
+			if string(raw) == "null" {
+				// Unmarshal into float64 would silently accept null as a
+				// no-op and read 0.
+				return fmt.Errorf("row %d: series %q: value is null", p.rows+1, name)
+			}
+			var num float64
+			if err := json.Unmarshal(raw, &num); err == nil {
+				p.cols[col] = append(p.cols[col], p.symbolize(col, true, num, ""))
+				continue
+			}
+			var sym string
+			if err := json.Unmarshal(raw, &sym); err != nil {
+				return fmt.Errorf("row %d: series %q: value %s is neither a number nor a symbol name", p.rows+1, name, raw)
+			}
+			p.cols[col] = append(p.cols[col], p.symbolize(col, false, 0, sym))
+		}
+		p.rows++
+	}
+}
+
+// parseCSV consumes a wide CSV chunk: header "time,<series...>" naming
+// every series in the dataset's exact order, then one row per grid
+// point. Cells parse as numbers first (threshold-symbolized) and as
+// symbol names otherwise.
+func (p *appendParser) parseCSV(body io.Reader) error {
+	r := csv.NewReader(body)
+	r.FieldsPerRecord = len(p.names) + 1 // uniform arity, header included
+	header, err := r.Read()
+	if err == io.EOF {
+		return fmt.Errorf("missing header")
+	} else if err != nil {
+		return fmt.Errorf("header: %w", err)
+	}
+	if header[0] != "time" {
+		return fmt.Errorf(`header must start with "time", got %q`, header[0])
+	}
+	for i, name := range p.names {
+		if header[i+1] != name {
+			return fmt.Errorf("header column %d is %q, want series %q", i+1, header[i+1], name)
+		}
+	}
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("row %d: %w", p.rows+1, err)
+		}
+		t, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("row %d: bad time %q", p.rows+1, rec[0])
+		}
+		if err := p.checkTime(t); err != nil {
+			return err
+		}
+		for col, cell := range rec[1:] {
+			if cell == "" {
+				return fmt.Errorf("row %d: empty cell for series %q", p.rows+1, p.names[col])
+			}
+			if num, err := strconv.ParseFloat(cell, 64); err == nil {
+				p.cols[col] = append(p.cols[col], p.symbolize(col, true, num, ""))
+				continue
+			}
+			p.cols[col] = append(p.cols[col], p.symbolize(col, false, 0, cell))
+		}
+		p.rows++
+	}
+}
+
+// extend builds the appended symbolic database: each series keeps its
+// identity and grid, gains the parsed symbol column, and carries the
+// (possibly extended) alphabet. Full slice expressions force the appends
+// to reallocate, so the previous generation's series — potentially
+// mid-mine — never observe the growth.
+func (p *appendParser) extend(old *ftpm.SymbolicDB) (*ftpm.SymbolicDB, error) {
+	series := make([]*ftpm.SymbolicSeries, len(old.Series))
+	for i, s := range old.Series {
+		n := len(s.Symbols)
+		series[i] = &ftpm.SymbolicSeries{
+			Name:     s.Name,
+			Start:    s.Start,
+			Step:     s.Step,
+			Alphabet: p.alphabets[i],
+			Symbols:  append(s.Symbols[:n:n], p.cols[i]...),
+		}
+	}
+	return ftpm.NewSymbolicDB(series...)
+}
+
+// record assembles the WAL payload of the append: the delta symbols per
+// series, the full post-append alphabets, the new generation number, and
+// the pre-append sample count that makes replay idempotent.
+func (p *appendParser) record(id string, gen int64, prevSamples int) appendRecord {
+	rec := appendRecord{ID: id, Gen: gen, PrevSamples: prevSamples,
+		Series: make([]appendSeriesRecord, len(p.names))}
+	for i, name := range p.names {
+		rec.Series[i] = appendSeriesRecord{
+			Name:     name,
+			Alphabet: p.alphabets[i],
+			Symbols:  p.cols[i],
+		}
+	}
+	return rec
+}
+
+// handleAppendDataset ingests one append: parse and validate the body
+// against the dataset's current generation, build the extended symbolic
+// database, derive the next generation (advancing the Prepared caches
+// incrementally), and commit the swap together with its WAL record. The
+// per-dataset appendMu serializes concurrent appends — each one builds on
+// the generation its predecessor installed — while running mines are
+// untouched: they hold the generation they started on.
+func (s *Server) handleAppendDataset(w http.ResponseWriter, r *http.Request, id string) {
+	ds, ok := s.reg.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such dataset: %s", id)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "ndjson"
+	}
+	if format != "ndjson" && format != "csv" {
+		writeError(w, http.StatusBadRequest, "unknown format %q (want ndjson or csv)", format)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+
+	ds.appendMu.Lock()
+	defer ds.appendMu.Unlock()
+
+	g := ds.view()
+	p := newAppendParser(g.sdb, ds.threshold)
+	var err error
+	if format == "ndjson" {
+		err = p.parseNDJSON(body)
+	} else {
+		err = p.parseCSV(body)
+	}
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, "append failed: %v", err)
+		return
+	}
+	if p.rows == 0 {
+		writeError(w, http.StatusBadRequest, "append failed: body contains no rows")
+		return
+	}
+	sdb, err := p.extend(g.sdb)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "append failed: %v", err)
+		return
+	}
+
+	next := ds.nextGen(sdb)
+	rec := p.record(ds.id, next.gen, g.sdb.Len())
+	if !s.reg.appendDataset(ds, next, rec) {
+		// The dataset was removed between lookup and commit: the append
+		// loses deterministically, nothing was swapped or logged.
+		writeError(w, http.StatusConflict, "dataset %s was removed", id)
+		return
+	}
+	s.appends.Add(1)
+	s.appendRows.Add(int64(p.rows))
+	s.logf("dataset %s appended: +%d rows, %d samples total, generation %d", ds.id, p.rows, sdb.Len(), next.gen)
+	writeJSON(w, http.StatusOK, ds.info())
+}

@@ -1,0 +1,407 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// appendRows builds n rows of three correlated binary columns (B lags A,
+// C tracks A with sparse noise) so the approximate modes keep patterns
+// after NMI pruning. Row i is stamped i*10 on the grid.
+func appendRows(seed int64, n int) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]int, n)
+	a := make([]int, n)
+	for i := range a {
+		if i%8 < 3 || rng.Intn(11) == 0 {
+			a[i] = 1
+		}
+	}
+	for i := range rows {
+		b, c := 0, 1
+		if i >= 2 {
+			b = a[i-2]
+		}
+		if i >= 1 {
+			c = a[i-1]
+		}
+		if rng.Intn(17) == 0 {
+			c = 1 - c
+		}
+		rows[i] = []int{a[i], b, c}
+	}
+	return rows
+}
+
+// appendCSV renders rows [lo, hi) as a full upload (or CSV append chunk)
+// body with the canonical header.
+func appendCSV(rows [][]int, lo, hi int) string {
+	var sb strings.Builder
+	sb.WriteString("time,A,B,C\n")
+	for i := lo; i < hi; i++ {
+		fmt.Fprintf(&sb, "%d,%d,%d,%d\n", i*10, rows[i][0], rows[i][1], rows[i][2])
+	}
+	return sb.String()
+}
+
+// appendNDJSON renders rows [lo, hi) as an NDJSON append body.
+func appendNDJSON(rows [][]int, lo, hi int) string {
+	var sb strings.Builder
+	for i := lo; i < hi; i++ {
+		fmt.Fprintf(&sb, "{\"time\":%d,\"values\":{\"A\":%d,\"B\":%d,\"C\":%d}}\n",
+			i*10, rows[i][0], rows[i][1], rows[i][2])
+	}
+	return sb.String()
+}
+
+// postAppend posts one append body and returns the status code plus the
+// response body (a DatasetInfo on 200, an error document otherwise).
+func postAppend(t *testing.T, base, id, format, body string) (int, []byte) {
+	t.Helper()
+	url := base + "/datasets/" + id + "/append"
+	if format != "" {
+		url += "?format=" + format
+	}
+	resp, err := http.Post(url, "application/octet-stream", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// mustAppend posts an append that must succeed and returns the updated
+// dataset info.
+func mustAppend(t *testing.T, base, id, format, body string) DatasetInfo {
+	t.Helper()
+	code, data := postAppend(t, base, id, format, body)
+	if code != http.StatusOK {
+		t.Fatalf("append: status %d: %s", code, data)
+	}
+	var info DatasetInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		t.Fatalf("append response: %v", err)
+	}
+	return info
+}
+
+// appendVariants builds one mining request per engine mode against the
+// given dataset, on a fixed-window geometry (the delta path's home turf).
+func appendVariants(dsID string) []MiningRequest {
+	base := MiningRequest{
+		DatasetID: dsID, MinSupport: 0.3, MinConfidence: 0.2,
+		WindowLength: 200, Overlap: 100, MaxPatternSize: 3,
+	}
+	exact := base
+	mu := base
+	mu.Approx = &ApproxRequest{Mu: 0.05}
+	density := base
+	density.Workers = 2
+	density.Approx = &ApproxRequest{Density: 0.6}
+	event := base
+	event.Approx = &ApproxRequest{Density: 0.6, EventLevel: true}
+	return []MiningRequest{exact, mu, density, event}
+}
+
+// resultBytes mines the request to done and returns the raw result
+// document bytes.
+func resultBytes(t *testing.T, base string, req MiningRequest) []byte {
+	t.Helper()
+	job := mineDone(t, base, req)
+	code, doc := getRaw(t, base+"/jobs/"+job.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result: status %d", code)
+	}
+	return doc
+}
+
+// TestAppendThenMineMatchesReupload is the tentpole property test:
+// uploading a base dataset, appending the remainder in chunks (NDJSON
+// then CSV), and mining must produce result documents byte-identical to
+// uploading everything at once and mining cold — across shard counts,
+// every engine mode, and with the appending server's caches both cold
+// and warm (pre-append mines populate the Prepared handles and result
+// cache; stale hits must miss after the append).
+func TestAppendThenMineMatchesReupload(t *testing.T) {
+	rows := appendRows(31, 240)
+	base, mid := 180, 210
+	for _, k := range []int{1, 2, 7} {
+		for _, warm := range []bool{false, true} {
+			t.Run(fmt.Sprintf("k=%d/warm=%v", k, warm), func(t *testing.T) {
+				_, tsA := testServer(t, Options{Workers: 2})
+				q := fmt.Sprintf("name=inc&threshold=0.5&shards=%d", k)
+				dsA := uploadCSV(t, tsA.URL, q, appendCSV(rows, 0, base))
+				if dsA.Generation != 0 {
+					t.Fatalf("fresh dataset generation = %d", dsA.Generation)
+				}
+				varsA := appendVariants(dsA.ID)
+				if warm {
+					for _, req := range varsA {
+						resultBytes(t, tsA.URL, req)
+					}
+				}
+
+				info := mustAppend(t, tsA.URL, dsA.ID, "", appendNDJSON(rows, base, mid))
+				if info.Generation != 1 || info.Samples != mid {
+					t.Fatalf("after NDJSON append: %+v", info)
+				}
+				info = mustAppend(t, tsA.URL, dsA.ID, "csv", appendCSV(rows, mid, len(rows)))
+				if info.Generation != 2 || info.Samples != len(rows) {
+					t.Fatalf("after CSV append: %+v", info)
+				}
+
+				_, tsB := testServer(t, Options{Workers: 2})
+				dsB := uploadCSV(t, tsB.URL, q, appendCSV(rows, 0, len(rows)))
+				varsB := appendVariants(dsB.ID)
+				for i := range varsA {
+					got := resultBytes(t, tsA.URL, varsA[i])
+					want := resultBytes(t, tsB.URL, varsB[i])
+					if !bytes.Equal(got, want) {
+						t.Fatalf("variant %d: append-then-mine diverges from re-upload:\n%s\nvs\n%s", i, got, want)
+					}
+					if i == 0 {
+						var doc struct {
+							Patterns []json.RawMessage `json:"patterns"`
+						}
+						if err := json.Unmarshal(want, &doc); err != nil || len(doc.Patterns) == 0 {
+							t.Fatalf("vacuous comparison: %v, %d patterns", err, len(doc.Patterns))
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestAppendMetricsAndGenerationGauge checks the observability surface:
+// appends_total, append_rows_total and the per-dataset generation gauge
+// move with each append.
+func TestAppendMetricsAndGenerationGauge(t *testing.T) {
+	rows := appendRows(32, 120)
+	_, ts := testServer(t, Options{Workers: 1})
+	ds := uploadCSV(t, ts.URL, "name=m&threshold=0.5&shards=1", appendCSV(rows, 0, 90))
+	mustAppend(t, ts.URL, ds.ID, "", appendNDJSON(rows, 90, 100))
+	mustAppend(t, ts.URL, ds.ID, "csv", appendCSV(rows, 100, 120))
+
+	var m MetricsJSON
+	if code := doJSON(t, http.MethodGet, ts.URL+"/metrics", nil, &m); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if m.Appends.AppendsTotal != 2 || m.Appends.AppendRowsTotal != 30 {
+		t.Fatalf("append counters = %+v, want 2 appends / 30 rows", m.Appends)
+	}
+	if g := m.Appends.DatasetGenerations[ds.ID]; g != 2 {
+		t.Fatalf("generation gauge = %v, want 2", m.Appends.DatasetGenerations)
+	}
+}
+
+// TestAppendValidation is the 400 table: malformed bodies must be
+// rejected atomically — a failed append leaves the dataset's samples,
+// generation, and mineability untouched.
+func TestAppendValidation(t *testing.T) {
+	rows := appendRows(33, 60)
+	_, ts := testServer(t, Options{Workers: 1})
+	ds := uploadCSV(t, ts.URL, "name=v&threshold=0.5&shards=2", appendCSV(rows, 0, 60))
+	next := len(rows) * 10 // the one valid next grid timestamp
+
+	cases := []struct {
+		name, format, body string
+	}{
+		{"empty-body", "", ""},
+		{"not-json", "", "this is not json\n"},
+		{"missing-time", "", `{"values":{"A":1,"B":0,"C":1}}`},
+		{"null-time", "", `{"time":null,"values":{"A":1,"B":0,"C":1}}`},
+		{"duplicate-time", "", `{"time":590,"values":{"A":1,"B":0,"C":1}}`},
+		{"gap-time", "", fmt.Sprintf(`{"time":%d,"values":{"A":1,"B":0,"C":1}}`, next+10)},
+		{"missing-series", "", fmt.Sprintf(`{"time":%d,"values":{"A":1,"B":0}}`, next)},
+		{"extra-series", "", fmt.Sprintf(`{"time":%d,"values":{"A":1,"B":0,"C":1,"D":1}}`, next)},
+		{"unknown-series", "", fmt.Sprintf(`{"time":%d,"values":{"A":1,"B":0,"Q":1}}`, next)},
+		{"null-value", "", fmt.Sprintf(`{"time":%d,"values":{"A":1,"B":0,"C":null}}`, next)},
+		{"object-value", "", fmt.Sprintf(`{"time":%d,"values":{"A":1,"B":0,"C":{}}}`, next)},
+		{"unknown-top-field", "", fmt.Sprintf(`{"time":%d,"vals":{"A":1,"B":0,"C":1}}`, next)},
+		{"second-row-dup", "", fmt.Sprintf("{\"time\":%d,\"values\":{\"A\":1,\"B\":0,\"C\":1}}\n{\"time\":%d,\"values\":{\"A\":1,\"B\":0,\"C\":1}}", next, next)},
+		{"csv-missing-header", "csv", ""},
+		{"csv-wrong-header", "csv", fmt.Sprintf("time,A,C,B\n%d,1,0,1\n", next)},
+		{"csv-no-time-column", "csv", fmt.Sprintf("A,B,C,D\n%d,1,0,1\n", next)},
+		{"csv-mixed-arity", "csv", fmt.Sprintf("time,A,B,C\n%d,1,0\n", next)},
+		{"csv-bad-time", "csv", "time,A,B,C\nnoon,1,0,1\n"},
+		{"csv-empty-cell", "csv", fmt.Sprintf("time,A,B,C\n%d,1,,1\n", next)},
+		{"csv-header-only", "csv", "time,A,B,C\n"},
+		{"bad-format", "xml", "<rows/>"},
+	}
+	for _, tc := range cases {
+		code, body := postAppend(t, ts.URL, ds.ID, tc.format, tc.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", tc.name, code, body)
+		}
+	}
+
+	// Unknown dataset ids are 404, not 400.
+	if code, _ := postAppend(t, ts.URL, "ds-999", "", appendNDJSON(rows, 0, 1)); code != http.StatusNotFound {
+		t.Errorf("unknown dataset: status %d, want 404", code)
+	}
+
+	var info DatasetInfo
+	if code := doJSON(t, http.MethodGet, ts.URL+"/datasets/"+ds.ID, nil, &info); code != http.StatusOK {
+		t.Fatalf("dataset after rejected appends: status %d", code)
+	}
+	if info.Samples != 60 || info.Generation != 0 {
+		t.Fatalf("rejected appends mutated the dataset: %+v", info)
+	}
+	if done := mineDone(t, ts.URL, appendVariants(ds.ID)[0]); done.Summary.Patterns == 0 {
+		t.Fatal("dataset unusable after rejected appends")
+	}
+}
+
+// TestAppendRemovedDataset pins the append-vs-removal determinism: once
+// DELETE returns, an append on the id is a clean 404; and an append that
+// loses the commit race (removal between lookup and swap) is a 409 that
+// neither swaps generations nor logs a WAL record.
+func TestAppendRemovedDataset(t *testing.T) {
+	rows := appendRows(34, 80)
+	srv, ts := testServer(t, Options{Workers: 1})
+	ds := uploadCSV(t, ts.URL, "name=r&threshold=0.5&shards=1", appendCSV(rows, 0, 60))
+
+	// The commit race, deterministically: hold the Dataset handle across
+	// the removal, as the handler does between reg.get and the commit.
+	held, ok := srv.reg.get(ds.ID)
+	if !ok {
+		t.Fatal("dataset missing")
+	}
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/datasets/"+ds.ID, nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete: status %d", code)
+	}
+	next := held.nextGen(held.view().sdb)
+	if srv.reg.appendDataset(held, next, appendRecord{ID: held.id, Gen: next.gen}) {
+		t.Fatal("appendDataset committed to a removed dataset")
+	}
+	if held.view().gen != 0 {
+		t.Fatal("losing append still swapped the generation")
+	}
+
+	// Post-removal appends over HTTP are 404s.
+	if code, _ := postAppend(t, ts.URL, ds.ID, "", appendNDJSON(rows, 60, 61)); code != http.StatusNotFound {
+		t.Fatalf("append after delete: status %d, want 404", code)
+	}
+}
+
+// TestConcurrentAppendsVsMines exercises the generation model under the
+// race detector: a stream of appends advances the dataset while mining
+// jobs run against whatever generation they captured, and two appends
+// racing for the same grid slot resolve deterministically (one 200, one
+// 400). Afterwards the accumulated dataset mines byte-identically to a
+// cold full upload.
+func TestConcurrentAppendsVsMines(t *testing.T) {
+	rows := appendRows(35, 360)
+	base := 240
+	_, ts := testServer(t, Options{Workers: 4})
+	ds := uploadCSV(t, ts.URL, "name=c&threshold=0.5&shards=2", appendCSV(rows, 0, base))
+	req := appendVariants(ds.ID)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+
+	// Appender: four 30-row chunks, alternating formats.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			lo, hi := base+30*i, base+30*(i+1)
+			var code int
+			var body []byte
+			if i%2 == 0 {
+				code, body = postAppend(t, ts.URL, ds.ID, "", appendNDJSON(rows, lo, hi))
+			} else {
+				code, body = postAppend(t, ts.URL, ds.ID, "csv", appendCSV(rows, lo, hi))
+			}
+			if code != http.StatusOK {
+				errs <- fmt.Errorf("append chunk %d: status %d: %s", i, code, body)
+				return
+			}
+		}
+	}()
+
+	// Miners: submit and await jobs throughout the append stream.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				r := req[(w+2*i)%len(req)]
+				body, _ := json.Marshal(r)
+				var job JobInfo
+				if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", bytes.NewReader(body), &job); code != http.StatusAccepted {
+					errs <- fmt.Errorf("miner %d: submit status %d", w, code)
+					return
+				}
+				deadline := time.Now().Add(30 * time.Second)
+				for {
+					var info JobInfo
+					doJSON(t, http.MethodGet, ts.URL+"/jobs/"+job.ID, nil, &info)
+					if info.State.Terminal() {
+						if info.State != JobDone {
+							errs <- fmt.Errorf("miner %d: job %s ended %s (%s)", w, job.ID, info.State, info.Error)
+						}
+						break
+					}
+					if time.Now().After(deadline) {
+						errs <- fmt.Errorf("miner %d: job %s stuck", w, job.ID)
+						return
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	var info DatasetInfo
+	doJSON(t, http.MethodGet, ts.URL+"/datasets/"+ds.ID, nil, &info)
+	if info.Samples != 360 || info.Generation != 4 {
+		t.Fatalf("after concurrent run: %+v, want 360 samples at generation 4", info)
+	}
+
+	// Two appends racing for the same grid slot: exactly one wins.
+	body := fmt.Sprintf("{\"time\":%d,\"values\":{\"A\":1,\"B\":1,\"C\":1}}", 360*10)
+	codes := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, _ := postAppend(t, ts.URL, ds.ID, "", body)
+			codes <- code
+		}()
+	}
+	wg.Wait()
+	close(codes)
+	got := []int{<-codes, <-codes}
+	if !(got[0] == 200 && got[1] == 400 || got[0] == 400 && got[1] == 200) {
+		t.Fatalf("racing identical appends returned %v, want one 200 and one 400", got)
+	}
+
+	// The accumulated dataset mines identically to a cold full upload.
+	_, ts2 := testServer(t, Options{Workers: 4})
+	full := appendCSV(rows, 0, 360) + fmt.Sprintf("%d,1,1,1\n", 360*10)
+	ds2 := uploadCSV(t, ts2.URL, "name=c&threshold=0.5&shards=2", full)
+	for i, r2 := range appendVariants(ds2.ID) {
+		want := resultBytes(t, ts2.URL, r2)
+		if got := resultBytes(t, ts.URL, req[i]); !bytes.Equal(got, want) {
+			t.Fatalf("variant %d: post-race mine diverges from full upload", i)
+		}
+	}
+}

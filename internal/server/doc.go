@@ -18,6 +18,26 @@
 //     — shares the same cached artifacts and a repeat A-HTPGM job
 //     recomputes neither the conversion nor the O(n²) NMI analysis.
 //
+//     Dataset content lives in immutable generations (append.go):
+//     POST /datasets/{id}/append extends a dataset with NDJSON rows or a
+//     CSV chunk without re-uploading it. Rows must continue the sampling
+//     grid exactly (gaps, duplicates, ragged rows, unknown series all
+//     400 with the dataset untouched — appends are all-or-nothing);
+//     numeric values symbolize against the upload's threshold and
+//     symbolic values intern into the existing per-series alphabets,
+//     extending but never renumbering them, so append-then-mine is
+//     byte-identical to reupload-then-mine. Each append bumps the
+//     dataset's generation: jobs mid-mine keep the generation they
+//     captured at run start, the new generation advances each cached
+//     Prepared handle incrementally (only the window suffix the new
+//     samples touched is re-cut and re-verified at L1), and the NMI
+//     tables start fresh — appended samples change every pairwise score.
+//     The result cache keys on the content fingerprint, so
+//     stale-generation lookups structurally miss. A per-dataset append
+//     mutex serializes concurrent appends (each builds on the generation
+//     its predecessor installed); an append racing DELETE loses
+//     deterministically with 409 and nothing swapped or logged.
+//
 //   - An async job manager (jobs.go): a bounded worker pool drains a
 //     bounded queue of mining jobs. Jobs move through the states queued →
 //     running → done | failed | cancelled; per-job progress is sourced
@@ -35,9 +55,10 @@
 //     dseq_cache / nmi_cache / result_cache booleans.
 //
 //   - An optional persistence layer (persist.go over internal/server/
-//     store): with Options.DataDir set, dataset ingestions/removals and
-//     job submissions/terminal transitions (summary and result document
-//     included) are appended to a fsync'd write-ahead log with a CRC per
+//     store): with Options.DataDir set, dataset ingestions/appends/
+//     removals and job submissions/terminal transitions (summary and
+//     result document included) are appended to a fsync'd write-ahead
+//     log with a CRC per
 //     record, and compacted into an atomically-replaced snapshot every
 //     Options.SnapshotEvery records (default 256) or 128 MiB of WAL,
 //     whichever comes first, plus at clean shutdown and at startup when
@@ -50,10 +71,14 @@
 //     the snapshot and WAL replay into the registry and job log:
 //     datasets return under their original ids with fingerprint,
 //     Analysis and Prepared caches re-derived (they are recomputable and
-//     lazy), terminal jobs return with byte-identical result documents
-//     (done jobs re-seed the result cache), and jobs that were queued or
-//     running at crash time surface as failed with a distinguishable
-//     "lost to restart" error. A torn WAL tail is truncated, not fatal;
+//     lazy), append records replay idempotently on top of them — each
+//     applies only when the dataset still has exactly the record's
+//     pre-append sample count, so a crash between an append's WAL write
+//     and the next snapshot replays it exactly once and generations
+//     never regress — terminal jobs return with byte-identical result
+//     documents (done jobs re-seed the result cache), and jobs that were
+//     queued or running at crash time surface as failed with a
+//     distinguishable "lost to restart" error. A torn WAL tail is truncated, not fatal;
 //     a damaged snapshot is ignored with a loud log line. DataDir ""
 //     keeps the service purely in-memory with zero new I/O. One server
 //     process owns a data directory at a time (there is no inter-process
@@ -64,6 +89,7 @@
 //     POST   /datasets                upload a CSV dataset (?name=, ?format=numeric|symbolic, ?threshold=, ?shards=)
 //     GET    /datasets                list datasets
 //     GET    /datasets/{id}           dataset detail
+//     POST   /datasets/{id}/append    append rows to a dataset (?format=ndjson|csv, default ndjson)
 //     DELETE /datasets/{id}           drop a dataset
 //     POST   /jobs                    submit a mining job (JSON body)
 //     GET    /jobs                    list jobs
@@ -71,7 +97,7 @@
 //     DELETE /jobs/{id}               cancel a queued or running job
 //     GET    /jobs/{id}/patterns      page through mined patterns (?offset=, ?limit=, ?format=ndjson)
 //     GET    /jobs/{id}/result        the full result document
-//     GET    /metrics                 queue depth, job states, per-job level timings, cumulative cache hit/miss counters, persistence gauges
+//     GET    /metrics                 queue depth, job states, per-job level timings, cache hit/miss counters, append counters + per-dataset generation gauge, persistence gauges
 //     GET    /healthz                 liveness probe
 //
 // Errors are returned as {"error": "..."} with a matching status code.
@@ -103,7 +129,9 @@
 // every job response carries the current queue depth; GET /metrics adds
 // the service-wide view — queue depth, job-state counts, per-job level
 // timings sourced from the miner's Progress callback, the cumulative
-// dseq/nmi/result cache counters, and — on durable servers — the
+// dseq/nmi/result cache counters, the appends_total/append_rows_total
+// counters with the per-dataset dataset_generations gauge (generations
+// survive restarts without regressing), and — on durable servers — the
 // wal_records and snapshot_age_seconds persistence gauges. DELETE on a
 // job that already reached a terminal state answers 409 Conflict (a 202
 // would imply a cancellation was requested); queue_depth counts only

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	"ftpm"
+)
+
+// fuzzBaseSDB is the fixed schema the fuzzed append bodies are parsed
+// against: three binary series of four samples on a step-10 grid (next
+// valid timestamp: 40).
+func fuzzBaseSDB(tb testing.TB) *ftpm.SymbolicDB {
+	tb.Helper()
+	mk := func(name string, syms ...int) *ftpm.SymbolicSeries {
+		return &ftpm.SymbolicSeries{
+			Name: name, Start: 0, Step: 10,
+			Alphabet: []string{"Off", "On"}, Symbols: syms,
+		}
+	}
+	sdb, err := ftpm.NewSymbolicDB(mk("A", 0, 1, 0, 1), mk("B", 1, 0, 1, 0), mk("C", 0, 0, 1, 1))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sdb
+}
+
+// FuzzAppendParser drives arbitrary bodies through both append parsers.
+// The contract under fuzzing: the parser may reject (any error) but must
+// never panic, and on acceptance the parsed state must uphold the
+// invariants the rest of the append path builds on — rectangular
+// columns, in-range symbol ids, alphabets only ever extended — and
+// extend() must yield a database that is a valid temporal extension.
+func FuzzAppendParser(f *testing.F) {
+	// The seed corpus mirrors the handwritten 400 table: well-formed
+	// bodies, duplicate and gapped timestamps, mixed arity, unknown and
+	// null values, torn JSON, quoted CSV edge cases.
+	seeds := []struct {
+		ndjson bool
+		body   string
+	}{
+		{true, "{\"time\":40,\"values\":{\"A\":1,\"B\":0,\"C\":1}}\n{\"time\":50,\"values\":{\"A\":0.7,\"B\":\"On\",\"C\":0}}\n"},
+		{true, `{"time":40,"values":{"A":"Spike","B":0,"C":1}}`},
+		{true, `{"time":30,"values":{"A":1,"B":0,"C":1}}`},
+		{true, `{"time":60,"values":{"A":1,"B":0,"C":1}}`},
+		{true, `{"time":40,"values":{"A":1,"B":0}}`},
+		{true, `{"time":40,"values":{"A":1,"B":0,"C":1,"D":0}}`},
+		{true, `{"time":40,"values":{"A":1,"B":0,"Q":1}}`},
+		{true, `{"time":40,"values":{"A":null,"B":0,"C":1}}`},
+		{true, `{"values":{"A":1,"B":0,"C":1}}`},
+		{true, `{"time":40,"values":{"A":[1],"B":0,"C":1}}`},
+		{true, "{\"time\":40,\"values\":{\"A\":1,\"B\":0,\"C\":1}}\n{\"time\":40,"},
+		{true, "not json at all"},
+		{true, ""},
+		{false, "time,A,B,C\n40,1,0,1\n50,0.7,On,0\n"},
+		{false, "time,A,B,C\n40,1,0\n"},
+		{false, "time,A,C,B\n40,1,0,1\n"},
+		{false, "time,A,B,C\nnoon,1,0,1\n"},
+		{false, "time,A,B,C\n40,1,,1\n"},
+		{false, "time,A,B,C\n40,1,0,1\n40,1,0,1\n"},
+		{false, "time,A,B,C\n40,\"quoted,cell\",0,1\n"},
+		{false, "time,A,B,C\n"},
+		{false, ""},
+	}
+	for _, s := range seeds {
+		f.Add(s.ndjson, []byte(s.body))
+	}
+
+	f.Fuzz(func(t *testing.T, ndjson bool, body []byte) {
+		sdb := fuzzBaseSDB(t)
+		p := newAppendParser(sdb, 0.5)
+		var err error
+		if ndjson {
+			err = p.parseNDJSON(bytes.NewReader(body))
+		} else {
+			err = p.parseCSV(bytes.NewReader(body))
+		}
+		if err != nil {
+			return // rejection is fine; panicking is the bug class under test
+		}
+		for col, syms := range p.cols {
+			if len(syms) != p.rows {
+				t.Fatalf("column %d has %d symbols for %d rows", col, len(syms), p.rows)
+			}
+			for _, id := range syms {
+				if id < 0 || id >= len(p.alphabets[col]) {
+					t.Fatalf("column %d holds out-of-range symbol id %d (alphabet %v)", col, id, p.alphabets[col])
+				}
+			}
+		}
+		for i, s := range sdb.Series {
+			if len(p.alphabets[i]) < len(s.Alphabet) {
+				t.Fatalf("series %q alphabet shrank: %v", s.Name, p.alphabets[i])
+			}
+			for j, a := range s.Alphabet {
+				if p.alphabets[i][j] != a {
+					t.Fatalf("series %q alphabet renumbered: %v", s.Name, p.alphabets[i])
+				}
+			}
+		}
+		if p.rows == 0 {
+			return // the handler 400s row-less bodies before extending
+		}
+		next, err := p.extend(sdb)
+		if err != nil {
+			t.Fatalf("accepted body failed to extend: %v", err)
+		}
+		if next.Len() != sdb.Len()+p.rows {
+			t.Fatalf("extended to %d samples, want %d", next.Len(), sdb.Len()+p.rows)
+		}
+		if sdb.Len() != 4 {
+			t.Fatal("extend mutated the base database")
+		}
+	})
+}

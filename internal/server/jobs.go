@@ -248,8 +248,12 @@ type job struct {
 	ds  *Dataset
 	req MiningRequest
 
-	mu         sync.Mutex
-	state      JobState
+	mu    sync.Mutex
+	state JobState
+	// fp is the content fingerprint of the dataset generation the run
+	// captured — the result cache key component and the provenance stamp
+	// persisted with the terminal record.
+	fp         string
 	errMsg     string
 	createdAt  time.Time
 	startedAt  time.Time
@@ -301,13 +305,14 @@ func (j *job) document() (*ftpm.ResultJSON, JobState) {
 // never mutated after the job completes. Caller holds j.mu.
 func (j *job) recordLocked() jobRecord {
 	rec := jobRecord{
-		ID:        j.id,
-		Request:   j.req,
-		State:     j.state,
-		Error:     j.errMsg,
-		CreatedAt: j.createdAt,
-		Levels:    append([]LevelTimingJSON(nil), j.levels...),
-		Doc:       j.doc,
+		ID:          j.id,
+		Request:     j.req,
+		Fingerprint: j.fp,
+		State:       j.state,
+		Error:       j.errMsg,
+		CreatedAt:   j.createdAt,
+		Levels:      append([]LevelTimingJSON(nil), j.levels...),
+		Doc:         j.doc,
 	}
 	if !j.startedAt.IsZero() {
 		t := j.startedAt
@@ -386,6 +391,7 @@ func (m *jobManager) restore(records []jobRecord, maxSeq int, reg *registry) {
 		j := &job{
 			id:        rec.ID,
 			req:       rec.Request,
+			fp:        rec.Fingerprint,
 			state:     rec.State,
 			errMsg:    rec.Error,
 			createdAt: rec.CreatedAt,
@@ -418,7 +424,14 @@ func (m *jobManager) restore(records []jobRecord, maxSeq int, reg *registry) {
 		}
 		if j.state == JobDone && j.doc != nil && j.summary != nil {
 			if ds, ok := reg.get(rec.Request.DatasetID); ok {
-				m.results.put(resultKey(ds, rec.Request), &resultEntry{doc: j.doc, summary: *j.summary, size: docSize(j.doc)})
+				// Pre-append-era records carry no fingerprint; their log
+				// cannot contain appends, so the dataset's current
+				// fingerprint is the one the job mined.
+				fp := rec.Fingerprint
+				if fp == "" {
+					fp = ds.view().fingerprint
+				}
+				m.results.put(resultKey(fp, ds.shards, rec.Request), &resultEntry{doc: j.doc, summary: *j.summary, size: docSize(j.doc)})
 			}
 		}
 		m.byID[j.id] = j
@@ -568,23 +581,34 @@ func docSize(doc *ftpm.ResultJSON) int64 {
 	return int64(len(data))
 }
 
-// resultKey is the completed-job cache key: the dataset's content
-// fingerprint and shard width plus every result-affecting option. Workers
-// is deliberately excluded — mined results are byte-identical across
-// worker counts — so jobs differing only in parallelism share an entry.
-func resultKey(ds *Dataset, req MiningRequest) string {
+// resultKey is the completed-job cache key: the content fingerprint of
+// the dataset generation the job runs against and the shard width, plus
+// every result-affecting option. Appending to a dataset changes its
+// fingerprint, so a lookup after an append structurally misses — the
+// result cache's generation invalidation is this key, not an eviction
+// sweep — while re-uploading (or rolling forward to) identical content
+// still hits. Workers is deliberately excluded — mined results are
+// byte-identical across worker counts — so jobs differing only in
+// parallelism share an entry.
+func resultKey(fingerprint string, shards int, req MiningRequest) string {
 	approx := "-"
 	if a := req.Approx; a != nil {
 		approx = fmt.Sprintf("%g|%g|%t", a.Mu, a.Density, a.EventLevel)
 	}
 	return fmt.Sprintf("%s|K%d|s%g|c%g|e%d|o%d|t%d|k%d|wl%d|nw%d|ov%d|a%s",
-		ds.fingerprint, ds.shards, req.MinSupport, req.MinConfidence,
+		fingerprint, shards, req.MinSupport, req.MinConfidence,
 		req.Epsilon, req.MinOverlap, req.TMax, req.MaxPatternSize,
 		req.WindowLength, req.NumWindows, req.Overlap, approx)
 }
 
-// run executes one job end to end on the calling worker goroutine.
+// run executes one job end to end on the calling worker goroutine. The
+// dataset's current generation is captured once, before anything else:
+// the cache key, the Prepared handle and the mine all resolve against
+// that one immutable view, so an append landing mid-run can neither tear
+// the job's data nor mislabel its result — the job simply completes on
+// the generation it started on, and the next job picks up the new one.
 func (m *jobManager) run(j *job) {
+	g := j.ds.view()
 	j.mu.Lock()
 	if j.state != JobQueued { // cancelled while waiting in the queue
 		j.mu.Unlock()
@@ -594,13 +618,14 @@ func (m *jobManager) run(j *job) {
 	j.state = JobRunning
 	j.startedAt = time.Now()
 	j.cancel = cancel
+	j.fp = g.fingerprint
 	m.depth.Add(-1)
 	j.mu.Unlock()
 	defer cancel()
 
 	// Completed-job cache: an identical (dataset content, options) job
 	// returns the memoized document without preparing or mining anything.
-	key := resultKey(j.ds, j.req)
+	key := resultKey(g.fingerprint, j.ds.shards, j.req)
 	if ent, ok := m.results.get(key); ok {
 		j.mu.Lock()
 		j.finishedAt = time.Now()
@@ -653,7 +678,7 @@ func (m *jobManager) run(j *job) {
 	// through the dataset's geometry-keyed Prepared handle and shares its
 	// cached DSEQ conversion and NMI tables.
 	var res *ftpm.Result
-	prep, err := j.ds.prepared(j.req.splitOptions())
+	prep, err := j.ds.prepared(g, j.req.splitOptions())
 	if err == nil {
 		res, err = prep.Mine(ctx, opt)
 	}

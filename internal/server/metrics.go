@@ -93,6 +93,16 @@ type PersistenceMetricsJSON struct {
 	LastError          string  `json:"last_error,omitempty"`
 }
 
+// AppendMetricsJSON reports the append path: the cumulative append count
+// and row count, and the current generation of every dataset (0 = never
+// appended; the gauge lets operators confirm an append actually advanced
+// its dataset and that generations survive restarts without regressing).
+type AppendMetricsJSON struct {
+	AppendsTotal       int64            `json:"appends_total"`
+	AppendRowsTotal    int64            `json:"append_rows_total"`
+	DatasetGenerations map[string]int64 `json:"dataset_generations,omitempty"`
+}
+
 // MetricsJSON is the GET /metrics document. QueueDepth counts jobs
 // genuinely waiting for a worker — entries cancelled while queued but
 // not yet popped are excluded.
@@ -100,6 +110,8 @@ type MetricsJSON struct {
 	QueueDepth int              `json:"queue_depth"`
 	JobStates  map[string]int   `json:"job_states"`
 	Cache      CacheMetricsJSON `json:"cache"`
+	// Appends gauges the incremental-append path.
+	Appends AppendMetricsJSON `json:"appends"`
 	// ResultCacheEntries and ResultCacheBytes gauge the completed-job
 	// result cache: live entry count and the cumulative serialized size of
 	// the retained documents (the byte-budget eviction currency).
@@ -153,6 +165,11 @@ func (m *jobManager) metrics() MetricsJSON {
 func (s *Server) metricsDoc() MetricsJSON {
 	doc := s.jobs.metrics()
 	doc.Persistence = s.persist.metrics()
+	doc.Appends = AppendMetricsJSON{
+		AppendsTotal:       s.appends.Load(),
+		AppendRowsTotal:    s.appendRows.Load(),
+		DatasetGenerations: s.reg.generations(),
+	}
 	return doc
 }
 

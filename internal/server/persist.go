@@ -15,7 +15,8 @@ import (
 
 // Persistence layer: the mining service's registry and job log survive
 // restarts. Service events — dataset ingested (with its full symbolic
-// payload and shard width), dataset removed, job submitted, job reached
+// payload and shard width), dataset appended (the delta rows and the new
+// generation), dataset removed, job submitted, job reached
 // a terminal state (with summary and result document) — are appended to
 // a write-ahead log under Options.DataDir, and the whole service state
 // is periodically compacted into a snapshot (see internal/server/store
@@ -40,10 +41,11 @@ import (
 
 // Record kinds of the service WAL.
 const (
-	kindDatasetAdded   store.Kind = 1
-	kindDatasetRemoved store.Kind = 2
-	kindJobSubmitted   store.Kind = 3
-	kindJobTerminal    store.Kind = 4
+	kindDatasetAdded    store.Kind = 1
+	kindDatasetRemoved  store.Kind = 2
+	kindJobSubmitted    store.Kind = 3
+	kindJobTerminal     store.Kind = 4
+	kindDatasetAppended store.Kind = 5
 )
 
 // defaultSnapshotEvery is the record-count compaction trigger: a
@@ -72,14 +74,19 @@ type seriesRecord struct {
 }
 
 // datasetRecord is the persisted form of one dataset: identity plus the
-// full symbolic payload and shard width. Fingerprint, Analysis and the
-// Prepared cache are re-derived on restore.
+// full symbolic payload, shard width, append generation and numeric-append
+// threshold. Fingerprint, Analysis and the Prepared cache are re-derived
+// on restore. Generation and Threshold are omitempty so records written
+// by earlier versions replay unchanged (generation 0, server-default
+// threshold).
 type datasetRecord struct {
-	ID        string         `json:"id"`
-	Name      string         `json:"name"`
-	CreatedAt time.Time      `json:"created_at"`
-	Shards    int            `json:"shards"`
-	Series    []seriesRecord `json:"series"`
+	ID         string         `json:"id"`
+	Name       string         `json:"name"`
+	CreatedAt  time.Time      `json:"created_at"`
+	Shards     int            `json:"shards"`
+	Generation int64          `json:"generation,omitempty"`
+	Threshold  *float64       `json:"threshold,omitempty"`
+	Series     []seriesRecord `json:"series"`
 }
 
 // removeRecord is the payload of a dataset removal event.
@@ -87,21 +94,54 @@ type removeRecord struct {
 	ID string `json:"id"`
 }
 
+// appendSeriesRecord is one series' slice of an append event: the
+// appended symbols only, plus the full post-append alphabet (appends may
+// extend alphabets, never renumber them, so replaying the whole alphabet
+// is idempotent by construction).
+type appendSeriesRecord struct {
+	Name     string   `json:"name"`
+	Alphabet []string `json:"alphabet"`
+	Symbols  []int    `json:"symbols"`
+}
+
+// appendRecord is the payload of a dataset append event. PrevSamples is
+// the per-series sample count the append applied to: replay appends the
+// symbols only when the replayed dataset still has exactly that many
+// samples, so a record re-applied over a snapshot that already contains
+// it (crash between snapshot replacement and WAL truncation) is a no-op
+// rather than a duplication. Gen still folds in monotonically either way,
+// so generations never regress across restarts.
+type appendRecord struct {
+	ID          string               `json:"id"`
+	Gen         int64                `json:"generation"`
+	PrevSamples int                  `json:"prev_samples"`
+	Series      []appendSeriesRecord `json:"series"`
+}
+
 // jobRecord is the persisted form of one job. Submission events carry it
 // without terminal fields; terminal events carry the full record
 // (including the result document for done jobs), so either event alone
 // reconstructs the job.
 type jobRecord struct {
-	ID         string            `json:"id"`
-	Request    MiningRequest     `json:"request"`
-	State      JobState          `json:"state"`
-	Error      string            `json:"error,omitempty"`
-	CreatedAt  time.Time         `json:"created_at"`
-	StartedAt  *time.Time        `json:"started_at,omitempty"`
-	FinishedAt *time.Time        `json:"finished_at,omitempty"`
-	Summary    *JobSummary       `json:"summary,omitempty"`
-	Levels     []LevelTimingJSON `json:"levels,omitempty"`
-	Doc        *ftpm.ResultJSON  `json:"doc,omitempty"`
+	ID      string        `json:"id"`
+	Request MiningRequest `json:"request"`
+	// Fingerprint is the content fingerprint of the dataset generation the
+	// job ran against. Appends change a dataset's fingerprint, so restore
+	// must key the re-seeded result cache by the generation the document
+	// was actually mined from — keying by the restored dataset's current
+	// fingerprint would serve a pre-append document for post-append
+	// content. Empty on records from before appends existed; those are
+	// keyed by the dataset's fingerprint, which is correct for a log that
+	// can't contain appends.
+	Fingerprint string            `json:"fingerprint,omitempty"`
+	State       JobState          `json:"state"`
+	Error       string            `json:"error,omitempty"`
+	CreatedAt   time.Time         `json:"created_at"`
+	StartedAt   *time.Time        `json:"started_at,omitempty"`
+	FinishedAt  *time.Time        `json:"finished_at,omitempty"`
+	Summary     *JobSummary       `json:"summary,omitempty"`
+	Levels      []LevelTimingJSON `json:"levels,omitempty"`
+	Doc         *ftpm.ResultJSON  `json:"doc,omitempty"`
 }
 
 // snapshotRecord is the payload of a compacting snapshot: the whole
@@ -119,17 +159,22 @@ type snapshotRecord struct {
 	Jobs       []jobRecord     `json:"jobs"`
 }
 
-// datasetRecordOf builds the persisted form of a dataset. The symbolic
-// database is immutable after ingestion, so no lock is needed.
+// datasetRecordOf builds the persisted form of a dataset's current
+// generation. Generations are immutable, so beyond the view() read no
+// lock is needed.
 func datasetRecordOf(d *Dataset) datasetRecord {
+	g := d.view()
+	threshold := d.threshold
 	rec := datasetRecord{
-		ID:        d.id,
-		Name:      d.name,
-		CreatedAt: d.createdAt,
-		Shards:    d.shards,
-		Series:    make([]seriesRecord, len(d.sdb.Series)),
+		ID:         d.id,
+		Name:       d.name,
+		CreatedAt:  d.createdAt,
+		Shards:     d.shards,
+		Generation: g.gen,
+		Threshold:  &threshold,
+		Series:     make([]seriesRecord, len(g.sdb.Series)),
 	}
-	for i, s := range d.sdb.Series {
+	for i, s := range g.sdb.Series {
 		rec.Series[i] = seriesRecord{
 			Name:     s.Name,
 			Start:    int64(s.Start),
@@ -316,6 +361,12 @@ func replay(rec store.Recovery) (*recoveredState, error) {
 				return nil, fmt.Errorf("server: corrupt removal record (lsn %d): %w", r.LSN, err)
 			}
 			dropDataset(rm.ID)
+		case kindDatasetAppended:
+			var ar appendRecord
+			if err := json.Unmarshal(r.Data, &ar); err != nil {
+				return nil, fmt.Errorf("server: corrupt append record (lsn %d): %w", r.LSN, err)
+			}
+			applyAppend(st, dsIndex, ar)
 		case kindJobSubmitted, kindJobTerminal:
 			var j jobRecord
 			if err := json.Unmarshal(r.Data, &j); err != nil {
@@ -328,6 +379,40 @@ func replay(rec store.Recovery) (*recoveredState, error) {
 		}
 	}
 	return st, nil
+}
+
+// applyAppend folds one append record into the replayed state. The
+// symbols apply only when the dataset exists, matches the record's series
+// set, and still has exactly PrevSamples samples — a record whose data a
+// later snapshot already contains is thereby a no-op, so crash-replay
+// applies each append exactly once. The generation folds in monotonically
+// regardless, so a skipped (already-applied) record still keeps the
+// generation from regressing. Appends to datasets replay has already
+// dropped (append record racing ahead of a removal's, or a removal
+// earlier in the log) are skipped entirely.
+func applyAppend(st *recoveredState, dsIndex map[string]int, ar appendRecord) {
+	i, ok := dsIndex[ar.ID]
+	if !ok {
+		return
+	}
+	d := &st.datasets[i]
+	if ar.Gen > d.Generation {
+		d.Generation = ar.Gen
+	}
+	if len(d.Series) != len(ar.Series) || len(d.Series) == 0 {
+		return
+	}
+	for si := range d.Series {
+		if d.Series[si].Name != ar.Series[si].Name || len(d.Series[si].Symbols) != ar.PrevSamples {
+			return
+		}
+	}
+	for si := range d.Series {
+		s := &d.Series[si]
+		n := len(s.Symbols)
+		s.Symbols = append(s.Symbols[:n:n], ar.Series[si].Symbols...)
+		s.Alphabet = ar.Series[si].Alphabet
+	}
 }
 
 // append marshals and durably logs one event. Crossing a snapshot
@@ -417,6 +502,14 @@ func (p *persister) datasetRemoved(id string) {
 		return
 	}
 	p.append(kindDatasetRemoved, removeRecord{ID: id})
+}
+
+// datasetAppended logs a dataset append.
+func (p *persister) datasetAppended(rec appendRecord) {
+	if p == nil {
+		return
+	}
+	p.append(kindDatasetAppended, rec)
 }
 
 // jobSubmitted logs a job admission.

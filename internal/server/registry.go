@@ -11,41 +11,68 @@ import (
 	"ftpm"
 )
 
-// Dataset is one ingested, symbolized dataset held by the registry. The
-// symbolic database is immutable after ingestion. Mining goes through
-// geometry-keyed ftpm.Prepared handles: one handle per window geometry
-// owns that geometry's sharded DSEQ conversion (window i of the split
-// lives in shard i%K), its merged view, and the dataset's memoized
-// pairwise NMI tables, so every job over the same split — exact, approx,
-// event-level, sharded or not — shares the same cached artifacts.
+// Dataset is one ingested, symbolized dataset held by the registry. Its
+// content lives in immutable generations: appending data never mutates
+// the current generation's symbolic database — it builds a new one
+// (sharing the unchanged sample prefix) and swaps it in, so jobs that
+// captured the previous generation keep mining a consistent view. Mining
+// goes through geometry-keyed ftpm.Prepared handles owned by the
+// generation: one handle per window geometry owns that geometry's sharded
+// DSEQ conversion (window i of the split lives in shard i%K), its merged
+// view, and the generation's memoized pairwise NMI tables, so every job
+// over the same split — exact, approx, event-level, sharded or not —
+// shares the same cached artifacts.
 type Dataset struct {
 	id        string
 	name      string
 	createdAt time.Time
-	sdb       *ftpm.SymbolicDB
 	shards    int // partition width K; >= 1, fixed at upload
-	// fingerprint is a content hash of the symbolic database, computed at
-	// ingestion. The completed-job result cache keys on it (not the
-	// dataset id), so re-uploading identical content hits the cache.
-	fingerprint string
-	// analysis holds the dataset's geometry-independent NMI tables; every
-	// Prepared handle shares it, so approx jobs at different window
-	// geometries still reuse one pairwise analysis and geometry eviction
-	// never discards it.
-	analysis *ftpm.Analysis
+	// threshold is the On/Off mapping threshold numeric appends symbolize
+	// with — the upload's effective threshold, so appended samples map
+	// exactly like the original ingestion's.
+	threshold float64
 
-	mu   sync.Mutex
-	prep map[string]*ftpm.Prepared
-	keys []string // prep cache keys, oldest first
+	// appendMu serializes appends to this dataset: generation numbers
+	// and the expected-next-timestamp check are race-free only when one
+	// append builds against the generation the previous one installed.
+	appendMu sync.Mutex
+
+	mu  sync.Mutex
+	cur *dsGen
 	// lastShardSeqs is the per-shard sequence count of the most recently
 	// mined geometry — the shard-balance view of DatasetInfo.
 	lastShardSeqs []int
 }
 
-// maxPreparedCache bounds how many window geometries one dataset caches:
-// each Prepared can hold a full DSEQ conversion, and geometries are
-// client-supplied, so the cache must not grow with request variety. The
-// NMI tables live on the dataset's shared Analysis, outside this bound.
+// dsGen is one immutable content generation of a dataset: the symbolic
+// database as of some append, its content fingerprint, the shared NMI
+// analysis, and the geometry-keyed Prepared cache. An append builds the
+// next generation (advancing each cached Prepared incrementally) and the
+// dataset atomically swaps to it; jobs hold the generation they started
+// on, so a swap never tears a running mine.
+type dsGen struct {
+	gen int64
+	sdb *ftpm.SymbolicDB
+	// fingerprint is a content hash of the symbolic database, recomputed
+	// per generation. The completed-job result cache keys on it (not the
+	// dataset id), so stale-generation lookups structurally miss and
+	// re-uploading identical content hits.
+	fingerprint string
+	// analysis holds the generation's geometry-independent NMI tables;
+	// every Prepared handle of the generation shares it. NMI depends on
+	// every sample, so appends invalidate rather than patch it: a new
+	// generation starts with fresh (lazily built) tables.
+	analysis *ftpm.Analysis
+
+	prep map[string]*ftpm.Prepared
+	keys []string // prep cache keys, oldest first
+}
+
+// maxPreparedCache bounds how many window geometries one generation
+// caches: each Prepared can hold a full DSEQ conversion, and geometries
+// are client-supplied, so the cache must not grow with request variety.
+// The NMI tables live on the generation's shared Analysis, outside this
+// bound.
 const maxPreparedCache = 8
 
 // fingerprintSDB hashes the full content of a symbolic database — series
@@ -84,65 +111,116 @@ func fingerprintSDB(sdb *ftpm.SymbolicDB) string {
 // DatasetInfo is the JSON view of a dataset. ShardSeqs reports the
 // per-shard sequence counts of the most recently mined window geometry
 // (empty until a first job converts one) so operators and the bench job
-// can verify shard balance.
+// can verify shard balance. Generation counts the appends applied since
+// upload (0 for a freshly uploaded dataset) and never regresses, restarts
+// included.
 type DatasetInfo struct {
-	ID        string    `json:"id"`
-	Name      string    `json:"name"`
-	Series    []string  `json:"series"`
-	Samples   int       `json:"samples"`
-	Start     int64     `json:"start"`
-	Step      int64     `json:"step"`
-	Shards    int       `json:"shards"`
-	ShardSeqs []int     `json:"shard_sequences,omitempty"`
-	CreatedAt time.Time `json:"created_at"`
+	ID         string    `json:"id"`
+	Name       string    `json:"name"`
+	Series     []string  `json:"series"`
+	Samples    int       `json:"samples"`
+	Start      int64     `json:"start"`
+	Step       int64     `json:"step"`
+	Shards     int       `json:"shards"`
+	Generation int64     `json:"generation"`
+	ShardSeqs  []int     `json:"shard_sequences,omitempty"`
+	CreatedAt  time.Time `json:"created_at"`
+}
+
+// view returns the dataset's current generation. Generations are
+// immutable, so the caller can read it lock-free afterwards; jobs capture
+// one view at run start and mine it end to end.
+func (d *Dataset) view() *dsGen {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cur
 }
 
 func (d *Dataset) info() DatasetInfo {
-	names := make([]string, len(d.sdb.Series))
-	for i, s := range d.sdb.Series {
+	g := d.view()
+	names := make([]string, len(g.sdb.Series))
+	for i, s := range g.sdb.Series {
 		names[i] = s.Name
 	}
 	d.mu.Lock()
 	shardSeqs := append([]int(nil), d.lastShardSeqs...)
 	d.mu.Unlock()
 	return DatasetInfo{
-		ID:        d.id,
-		Name:      d.name,
-		Series:    names,
-		Samples:   d.sdb.Len(),
-		Start:     d.sdb.Start(),
-		Step:      d.sdb.Step(),
-		Shards:    d.shards,
-		ShardSeqs: shardSeqs,
-		CreatedAt: d.createdAt,
+		ID:         d.id,
+		Name:       d.name,
+		Series:     names,
+		Samples:    g.sdb.Len(),
+		Start:      g.sdb.Start(),
+		Step:       g.sdb.Step(),
+		Shards:     d.shards,
+		Generation: g.gen,
+		ShardSeqs:  shardSeqs,
+		CreatedAt:  d.createdAt,
 	}
 }
 
-// prepared returns the dataset's mining handle for the given window
+// prepared returns the generation's mining handle for the given window
 // geometry, building (and caching) one when none exists. Prepare itself
 // is cheap — the expensive artifacts (DSEQ conversion, NMI tables) build
 // lazily inside the handle on first use, with concurrent jobs blocking on
 // one build instead of duplicating it — so holding the lock across it is
 // fine. Evicting a handle never disturbs jobs already mining on it; they
-// hold their own reference.
-func (d *Dataset) prepared(opt ftpm.SplitOptions) (*ftpm.Prepared, error) {
+// hold their own reference. The generation is a parameter (not read from
+// d.cur) so a job keeps resolving handles against the view it captured
+// even after an append swapped the dataset forward.
+func (d *Dataset) prepared(g *dsGen, opt ftpm.SplitOptions) (*ftpm.Prepared, error) {
 	key := fmt.Sprintf("%d|%d|%d", opt.WindowLength, opt.NumWindows, opt.Overlap)
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if p, ok := d.prep[key]; ok {
+	if p, ok := g.prep[key]; ok {
 		return p, nil
 	}
-	p, err := ftpm.PrepareWith(d.analysis, opt, d.shards)
+	p, err := ftpm.PrepareWith(g.analysis, opt, d.shards)
 	if err != nil {
 		return nil, err
 	}
-	if len(d.keys) >= maxPreparedCache {
-		delete(d.prep, d.keys[0])
-		d.keys = d.keys[1:]
+	if len(g.keys) >= maxPreparedCache {
+		delete(g.prep, g.keys[0])
+		g.keys = g.keys[1:]
 	}
-	d.prep[key] = p
-	d.keys = append(d.keys, key)
+	g.prep[key] = p
+	g.keys = append(g.keys, key)
 	return p, nil
+}
+
+// nextGen assembles the generation an append produces: the extended
+// symbolic database with a fresh fingerprint and fresh (lazily built) NMI
+// tables, plus the previous generation's Prepared cache advanced handle
+// by handle — each advanced handle converts incrementally against its
+// predecessor's memoized DSEQ artifacts on first use. A handle that
+// cannot advance (geometry no longer valid for the grown span, or the
+// append broke the extension contract) is dropped from the cache rather
+// than carried stale. Callers hold d.appendMu.
+func (d *Dataset) nextGen(sdb *ftpm.SymbolicDB) *dsGen {
+	cur := d.view()
+	next := &dsGen{
+		gen:         cur.gen + 1,
+		sdb:         sdb,
+		fingerprint: fingerprintSDB(sdb),
+		analysis:    ftpm.NewAnalysis(sdb),
+		prep:        make(map[string]*ftpm.Prepared),
+	}
+	d.mu.Lock()
+	keys := append([]string(nil), cur.keys...)
+	preps := make([]*ftpm.Prepared, len(keys))
+	for i, k := range keys {
+		preps[i] = cur.prep[k]
+	}
+	d.mu.Unlock()
+	for i, k := range keys {
+		np, err := preps[i].Advance(next.analysis)
+		if err != nil {
+			continue
+		}
+		next.prep[k] = np
+		next.keys = append(next.keys, k)
+	}
+	return next
 }
 
 // noteSeqCounts records the per-shard sequence counts of the most
@@ -163,7 +241,10 @@ type registry struct {
 	// an upload (ids are predictable) could append its removal record at
 	// a lower LSN than the addition's — the addition's payload marshal is
 	// large and slow — and replay would then resurrect the deleted
-	// dataset. Held before (never inside) mu and the persister's lock.
+	// dataset. Appends take it for the same reason (an append record
+	// after its dataset's removal record would be a silent no-op at
+	// replay but a lie to the acknowledged client). Held before (never
+	// inside) mu and the persister's lock.
 	logMu sync.Mutex
 
 	mu   sync.RWMutex
@@ -176,30 +257,35 @@ func newRegistry(persist *persister) *registry {
 	return &registry{persist: persist, byID: make(map[string]*Dataset)}
 }
 
-// newDataset assembles a Dataset, re-deriving the content fingerprint
-// and the shared NMI analysis from the symbolic payload.
-func newDataset(id, name string, createdAt time.Time, sdb *ftpm.SymbolicDB, shards int) *Dataset {
+// newDataset assembles a Dataset at generation gen, re-deriving the
+// content fingerprint and the shared NMI analysis from the symbolic
+// payload.
+func newDataset(id, name string, createdAt time.Time, sdb *ftpm.SymbolicDB, shards int, threshold float64, gen int64) *Dataset {
 	if shards < 1 {
 		shards = 1
 	}
 	return &Dataset{
-		id:          id,
-		name:        name,
-		createdAt:   createdAt,
-		sdb:         sdb,
-		shards:      shards,
-		fingerprint: fingerprintSDB(sdb),
-		analysis:    ftpm.NewAnalysis(sdb),
-		prep:        make(map[string]*ftpm.Prepared),
+		id:        id,
+		name:      name,
+		createdAt: createdAt,
+		shards:    shards,
+		threshold: threshold,
+		cur: &dsGen{
+			gen:         gen,
+			sdb:         sdb,
+			fingerprint: fingerprintSDB(sdb),
+			analysis:    ftpm.NewAnalysis(sdb),
+			prep:        make(map[string]*ftpm.Prepared),
+		},
 	}
 }
 
-func (r *registry) add(name string, sdb *ftpm.SymbolicDB, shards int) *Dataset {
+func (r *registry) add(name string, sdb *ftpm.SymbolicDB, shards int, threshold float64) *Dataset {
 	r.logMu.Lock()
 	defer r.logMu.Unlock()
 	r.mu.Lock()
 	r.seq++
-	d := newDataset(fmt.Sprintf("ds-%d", r.seq), name, time.Now(), sdb, shards)
+	d := newDataset(fmt.Sprintf("ds-%d", r.seq), name, time.Now(), sdb, shards, threshold, 0)
 	r.byID[d.id] = d
 	r.ids = append(r.ids, d.id)
 	r.mu.Unlock()
@@ -210,10 +296,37 @@ func (r *registry) add(name string, sdb *ftpm.SymbolicDB, shards int) *Dataset {
 	return d
 }
 
-// restore re-inserts a recovered dataset under its original id without
-// logging a new event.
-func (r *registry) restore(rec datasetRecord, sdb *ftpm.SymbolicDB) *Dataset {
-	d := newDataset(rec.ID, rec.Name, rec.CreatedAt, sdb, rec.Shards)
+// appendDataset commits a prepared append: it re-checks membership, swaps
+// the dataset to its next generation, and logs the append record — all
+// under logMu, so the swap and its WAL record are atomic against a
+// concurrent DELETE. A dataset removed between the handler's lookup and
+// this commit reports false and nothing is swapped or logged: the append
+// deterministically loses to the removal instead of racing it.
+func (r *registry) appendDataset(d *Dataset, next *dsGen, rec appendRecord) bool {
+	r.logMu.Lock()
+	defer r.logMu.Unlock()
+	r.mu.RLock()
+	_, ok := r.byID[d.id]
+	r.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	d.mu.Lock()
+	d.cur = next
+	d.mu.Unlock()
+	r.persist.datasetAppended(rec)
+	return true
+}
+
+// restore re-inserts a recovered dataset under its original id (and
+// replayed generation) without logging a new event. defaultThreshold
+// covers records from before thresholds were persisted.
+func (r *registry) restore(rec datasetRecord, sdb *ftpm.SymbolicDB, defaultThreshold float64) *Dataset {
+	threshold := defaultThreshold
+	if rec.Threshold != nil {
+		threshold = *rec.Threshold
+	}
+	d := newDataset(rec.ID, rec.Name, rec.CreatedAt, sdb, rec.Shards, threshold, rec.Generation)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.byID[d.id] = d
@@ -281,6 +394,21 @@ func (r *registry) remove(id string) bool {
 	r.mu.Unlock()
 	r.persist.datasetRemoved(id)
 	return true
+}
+
+// generations snapshots every dataset's current generation number, for
+// the /metrics gauge.
+func (r *registry) generations() map[string]int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.ids) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(r.ids))
+	for _, id := range r.ids {
+		out[id] = r.byID[id].view().gen
+	}
+	return out
 }
 
 func (r *registry) list() []DatasetInfo {

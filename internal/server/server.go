@@ -63,6 +63,11 @@ type Server struct {
 	jobs    *jobManager
 	persist *persister // nil when Options.DataDir is unset
 	closed  atomic.Bool
+
+	// appends / appendRows are the service-lifetime append counters
+	// surfaced on /metrics.
+	appends    atomic.Int64
+	appendRows atomic.Int64
 }
 
 // New builds a Server and starts its worker pool. With Options.DataDir
@@ -130,7 +135,7 @@ func (s *Server) restore(st *recoveredState) error {
 		if err != nil {
 			return fmt.Errorf("server: dataset %s does not replay: %w", rec.ID, err)
 		}
-		s.reg.restore(rec, sdb)
+		s.reg.restore(rec, sdb, *s.opts.DefaultThreshold)
 	}
 	// Seq counters apply even when nothing survived replay (the highest
 	// id's dataset or job may have been removed or evicted).
@@ -202,7 +207,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, http.StatusOK, s.metricsDoc())
-	case seg[0] == "datasets" && len(seg) <= 2:
+	case seg[0] == "datasets" && len(seg) <= 3:
 		s.routeDatasets(w, r, seg[1:])
 	case seg[0] == "jobs" && len(seg) <= 3:
 		s.routeJobs(w, r, seg[1:])
@@ -238,6 +243,14 @@ func (s *Server) routeDatasets(w http.ResponseWriter, r *http.Request, rest []st
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
+	case len(rest) == 2 && rest[1] == "append" && r.Method == http.MethodPost:
+		if s.closed.Load() {
+			writeError(w, http.StatusServiceUnavailable, "server shutting down")
+			return
+		}
+		s.handleAppendDataset(w, r, rest[0])
+	case len(rest) == 2 && rest[1] != "append":
+		writeError(w, http.StatusNotFound, "no such route: %s %s", r.Method, r.URL.Path)
 	default:
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 	}
@@ -274,27 +287,31 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 	}
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
 
+	// The effective threshold is parsed regardless of format: numeric
+	// uploads symbolize with it now, and the dataset keeps it either way
+	// so numeric values in later appends map consistently.
+	threshold := *s.opts.DefaultThreshold
+	if v := q.Get("threshold"); v != "" {
+		var err error
+		threshold, err = strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad threshold: %v", err)
+			return
+		}
+	}
+	// Checked on the effective value, wherever it came from: ParseFloat
+	// accepts "NaN" and "±Inf" (and Options can carry them), but every
+	// comparison against NaN is false (all-Off symbols) and infinities
+	// pin one symbol — silent garbage, not a usable mapping.
+	if math.IsNaN(threshold) || math.IsInf(threshold, 0) {
+		writeError(w, http.StatusBadRequest, "bad threshold %v: must be finite", threshold)
+		return
+	}
+
 	var sdb *ftpm.SymbolicDB
 	var err error
 	switch format {
 	case "numeric":
-		threshold := *s.opts.DefaultThreshold
-		if v := q.Get("threshold"); v != "" {
-			threshold, err = strconv.ParseFloat(v, 64)
-			if err != nil {
-				writeError(w, http.StatusBadRequest, "bad threshold: %v", err)
-				return
-			}
-		}
-		// Checked on the effective value, wherever it came from:
-		// ParseFloat accepts "NaN" and "±Inf" (and Options can carry
-		// them), but every comparison against NaN is false (all-Off
-		// symbols) and infinities pin one symbol — silent garbage, not a
-		// usable mapping.
-		if math.IsNaN(threshold) || math.IsInf(threshold, 0) {
-			writeError(w, http.StatusBadRequest, "bad threshold %v: must be finite", threshold)
-			return
-		}
 		var series []*ftpm.TimeSeries
 		series, err = csvio.ReadNumericChunked(body, shards)
 		if err == nil {
@@ -316,7 +333,7 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ds := s.reg.add(name, sdb, shards)
+	ds := s.reg.add(name, sdb, shards, threshold)
 	s.logf("dataset %s ingested: %q, %d series, %d samples, %d shards", ds.id, name, len(sdb.Series), sdb.Len(), shards)
 	writeJSON(w, http.StatusCreated, ds.info())
 }

@@ -432,7 +432,7 @@ func TestCancelTerminalJobConflict(t *testing.T) {
 	// Cancelled jobs conflict the same way on a second DELETE.
 	m := newJobManager(0, 4, nil)
 	defer m.close()
-	ds := &Dataset{id: "d", shards: 1, prep: map[string]*ftpm.Prepared{}}
+	ds := &Dataset{id: "d", shards: 1, cur: &dsGen{prep: map[string]*ftpm.Prepared{}}}
 	j, err := m.submit(ds, MiningRequest{DatasetID: "d", MinSupport: 0.5, NumWindows: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -451,7 +451,7 @@ func TestCancelTerminalJobConflict(t *testing.T) {
 func TestQueueDepthExcludesCancelled(t *testing.T) {
 	m := newJobManager(0, 8, nil) // no workers: nothing is ever popped
 	defer m.close()
-	ds := &Dataset{id: "d", shards: 1, prep: map[string]*ftpm.Prepared{}}
+	ds := &Dataset{id: "d", shards: 1, cur: &dsGen{prep: map[string]*ftpm.Prepared{}}}
 	req := MiningRequest{DatasetID: "d", MinSupport: 0.5, NumWindows: 2}
 	jobs := make([]*job, 3)
 	for i := range jobs {
@@ -510,17 +510,17 @@ func TestPreparedCacheReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds := reg.add("a", sdb, 2)
-	if ds.fingerprint == "" {
+	ds := reg.add("a", sdb, 2, 0.5)
+	if ds.view().fingerprint == "" {
 		t.Fatal("dataset must carry a content fingerprint")
 	}
 
 	opt := ftpm.SplitOptions{NumWindows: 2}
-	p1, err := ds.prepared(opt)
+	p1, err := ds.prepared(ds.view(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := ds.prepared(opt)
+	p2, err := ds.prepared(ds.view(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -530,7 +530,7 @@ func TestPreparedCacheReuse(t *testing.T) {
 	if p1.Shards() != 2 {
 		t.Fatalf("prepared handle carries %d shards, want 2", p1.Shards())
 	}
-	p3, err := ds.prepared(ftpm.SplitOptions{NumWindows: 4})
+	p3, err := ds.prepared(ds.view(), ftpm.SplitOptions{NumWindows: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -563,12 +563,12 @@ func TestPreparedCacheReuse(t *testing.T) {
 	// The cache is bounded: client-supplied geometries must not grow it
 	// without limit.
 	for n := 1; n <= 2*maxPreparedCache; n++ {
-		if _, err := ds.prepared(ftpm.SplitOptions{NumWindows: n}); err != nil {
+		if _, err := ds.prepared(ds.view(), ftpm.SplitOptions{NumWindows: n}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if len(ds.prep) > maxPreparedCache || len(ds.keys) > maxPreparedCache {
-		t.Fatalf("cache grew to %d entries, cap is %d", len(ds.prep), maxPreparedCache)
+	if g := ds.view(); len(g.prep) > maxPreparedCache || len(g.keys) > maxPreparedCache {
+		t.Fatalf("cache grew to %d entries, cap is %d", len(g.prep), maxPreparedCache)
 	}
 }
 
@@ -625,7 +625,7 @@ func TestTerminalJobEviction(t *testing.T) {
 	// direct control over terminal states.
 	m := newJobManager(0, maxRetainedJobs+200, nil)
 	defer m.close()
-	ds := &Dataset{id: "d", shards: 1, prep: map[string]*ftpm.Prepared{}}
+	ds := &Dataset{id: "d", shards: 1, cur: &dsGen{prep: map[string]*ftpm.Prepared{}}}
 	req := MiningRequest{DatasetID: "d", MinSupport: 0.5, NumWindows: 2}
 	total := maxRetainedJobs + 100
 	for i := 0; i < total; i++ {
@@ -1003,7 +1003,7 @@ func TestQueueDepthExposed(t *testing.T) {
 	// No workers: everything submitted stays queued.
 	m := newJobManager(0, 8, nil)
 	defer m.close()
-	ds := &Dataset{id: "d", shards: 1, prep: map[string]*ftpm.Prepared{}}
+	ds := &Dataset{id: "d", shards: 1, cur: &dsGen{prep: map[string]*ftpm.Prepared{}}}
 	req := MiningRequest{DatasetID: "d", MinSupport: 0.5, NumWindows: 2}
 	var last *job
 	for i := 0; i < 3; i++ {

@@ -35,9 +35,10 @@ import (
 // cache an error — builds are deterministic in the Prepared's inputs);
 // concurrent getters block on the build instead of duplicating it.
 type cached[T any] struct {
-	once sync.Once
-	val  T
-	err  error
+	once  sync.Once
+	val   T
+	err   error
+	ready atomic.Bool
 }
 
 // get returns the artifact and whether it was served from cache (false
@@ -47,8 +48,19 @@ func (c *cached[T]) get(build func() (T, error)) (T, bool, error) {
 	c.once.Do(func() {
 		hit = false
 		c.val, c.err = build()
+		c.ready.Store(true)
 	})
 	return c.val, hit, c.err
+}
+
+// peek returns the artifact if — and only if — a build already completed
+// successfully, without triggering one.
+func (c *cached[T]) peek() (T, bool) {
+	if c.ready.Load() && c.err == nil {
+		return c.val, true
+	}
+	var zero T
+	return zero, false
 }
 
 // preparedSeqs is the memoized DSEQ conversion of one Prepared: for
@@ -115,6 +127,14 @@ type Prepared struct {
 	shards int
 	an     *Analysis
 
+	// prev, when set by Advance, is the handle this one extends: the
+	// first sequences() build converts incrementally against prev's
+	// memoized conversion instead of from scratch, then drops the link so
+	// retired generations become collectable. Guarded by prevMu (the
+	// build clears it while an Advance may be walking the chain).
+	prevMu sync.Mutex
+	prev   *Prepared
+
 	seq cached[*preparedSeqs]
 
 	dseqBuilds, dseqHits atomic.Int64
@@ -152,6 +172,91 @@ func PrepareWith(an *Analysis, split SplitOptions, shards int) (*Prepared, error
 // Shards returns the shard width the handle was prepared with (>= 1).
 func (p *Prepared) Shards() int { return p.shards }
 
+// takePrev claims and clears the delta-ancestor link.
+func (p *Prepared) takePrev() *Prepared {
+	p.prevMu.Lock()
+	defer p.prevMu.Unlock()
+	prev := p.prev
+	p.prev = nil
+	return prev
+}
+
+// peekPrev reads the delta-ancestor link without claiming it.
+func (p *Prepared) peekPrev() *Prepared {
+	p.prevMu.Lock()
+	defer p.prevMu.Unlock()
+	return p.prev
+}
+
+// extends validates that next is an in-place temporal extension of old:
+// the same series (by position and name) on the same grid, each at least
+// as long, with alphabets only appended to. The per-sample symbol prefix
+// is a documented contract of the append path rather than a checked one —
+// verifying it would re-read every old sample and erase the point of a
+// delta conversion.
+func extends(old, next *SymbolicDB) error {
+	if len(next.Series) != len(old.Series) {
+		return fmt.Errorf("series count changed (%d -> %d)", len(old.Series), len(next.Series))
+	}
+	for i, os := range old.Series {
+		ns := next.Series[i]
+		if ns.Name != os.Name {
+			return fmt.Errorf("series %d renamed (%q -> %q)", i, os.Name, ns.Name)
+		}
+		if ns.Start != os.Start || ns.Step != os.Step {
+			return fmt.Errorf("series %q grid changed", ns.Name)
+		}
+		if ns.Len() < os.Len() {
+			return fmt.Errorf("series %q shrank (%d -> %d samples)", ns.Name, os.Len(), ns.Len())
+		}
+		if len(ns.Alphabet) < len(os.Alphabet) {
+			return fmt.Errorf("series %q alphabet shrank", ns.Name)
+		}
+		for j, a := range os.Alphabet {
+			if ns.Alphabet[j] != a {
+				return fmt.Errorf("series %q alphabet renumbered at %d (%q -> %q)", ns.Name, j, a, ns.Alphabet[j])
+			}
+		}
+	}
+	return nil
+}
+
+// Advance derives a handle over next — an Analysis of a database that
+// extends this handle's in time — with the same split geometry and shard
+// width. The new handle's first DSEQ access converts incrementally: the
+// window prefix untouched by the appended samples is shared by pointer
+// with this handle's memoized conversion (which stays fully usable for
+// in-flight mines), and for sharded geometries the L1 occurrence index is
+// patched rather than rebuilt. The NMI tables are not carried over — they
+// depend on every sample, so next starts with fresh ones.
+//
+// The delta path is an optimization, never a semantic: when nothing is
+// reusable (this handle never converted, a NumWindows geometry whose
+// window length moved, or an append that interned new symbols out of
+// prefix order) the new handle silently falls back to a full conversion,
+// and results are byte-identical either way.
+func (p *Prepared) Advance(next *Analysis) (*Prepared, error) {
+	np, err := PrepareWith(next, p.split, p.shards)
+	if err != nil {
+		return nil, err
+	}
+	if err := extends(p.sdb, next.sdb); err != nil {
+		return nil, fmt.Errorf("ftpm: Advance: new database does not extend the prepared one: %v", err)
+	}
+	// Link to the nearest generation with a completed conversion, so a
+	// chain of mine-less appends neither accumulates retained generations
+	// nor loses the last actually-built artifacts.
+	anc := p
+	for anc != nil {
+		if _, ok := anc.seq.peek(); ok {
+			break
+		}
+		anc = anc.peekPrev()
+	}
+	np.prev = anc
+	return np, nil
+}
+
 // Stats snapshots the cumulative cache counters of the handle.
 func (p *Prepared) Stats() PreparedStats {
 	return PreparedStats{
@@ -164,11 +269,28 @@ func (p *Prepared) Stats() PreparedStats {
 
 // sequences returns the memoized DSEQ conversion, building it on first
 // use: an unsharded Convert for shard width 1, otherwise the sharded
-// conversion plus its prepared merge view.
+// conversion plus its prepared merge view. A handle created by Advance
+// converts incrementally against its ancestor's memoized conversion when
+// one exists (sharing the stable window prefix by pointer and, for
+// sharded geometries, patching the L1 index), and falls back to the full
+// conversion otherwise.
 func (p *Prepared) sequences() (*preparedSeqs, bool, error) {
 	ps, hit, err := p.seq.get(func() (*preparedSeqs, error) {
+		var memo *preparedSeqs
+		var prevEnd Time
+		if prev := p.takePrev(); prev != nil {
+			if m, ok := prev.seq.peek(); ok {
+				memo, prevEnd = m, prev.sdb.End()
+			}
+		}
 		if p.shards <= 1 {
-			db, err := events.Convert(p.sdb, p.split)
+			var db *SequenceDB
+			var err error
+			if memo != nil && memo.view == nil {
+				db, _, err = events.ConvertDelta(p.sdb, p.split, memo.db, prevEnd)
+			} else {
+				db, err = events.Convert(p.sdb, p.split)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -176,6 +298,17 @@ func (p *Prepared) sequences() (*preparedSeqs, bool, error) {
 				return nil, fmt.Errorf("ftpm: empty sequence database")
 			}
 			return &preparedSeqs{db: db}, nil
+		}
+		if memo != nil && memo.view != nil && len(memo.view.Shards) == p.shards {
+			shards, stable, err := events.ConvertShardsDelta(p.sdb, p.split, p.shards, memo.view.Shards, prevEnd)
+			if err != nil {
+				return nil, err
+			}
+			view, err := core.PrepareShardsDelta(memo.view, shards, stable)
+			if err != nil {
+				return nil, err
+			}
+			return &preparedSeqs{db: view.Merged, view: view}, nil
 		}
 		shards, err := events.ConvertShards(p.sdb, p.split, p.shards)
 		if err != nil {
