@@ -1,26 +1,51 @@
 // Command ftpm-serve exposes the ftpm library as a long-running mining
 // service: datasets are uploaded once as CSV and mined concurrently under
-// different parameterizations through a JSON/NDJSON HTTP API with
-// cancellable jobs.
+// different parameterizations through a versioned JSON/NDJSON HTTP API
+// with cancellable jobs, real-time job event streams, and per-tenant
+// fair-share scheduling.
 //
 // Usage:
 //
-//	ftpm-serve -addr :8080 -workers 4 -queue 64 -shards 8 -data /var/lib/ftpm
+//	ftpm-serve -addr :8080 -workers 4 -queue 64 -shards 8 -data /var/lib/ftpm \
+//	  -tenant-max-queued 16 -tenant-weights gold=3,free=1
 //
 // With -data set the service is durable: ingested datasets and the job
 // log (including result documents) are written to a fsync'd write-ahead
 // log with periodic snapshots and replayed on restart; jobs that were
-// queued or running when the process died come back failed with a
-// "lost to restart" error. Without -data the service is purely
+// queued or running when the process died re-queue against their tenant
+// and re-run from scratch (mining is deterministic, so the re-run yields
+// the same result document). Without -data the service is purely
 // in-memory, as before.
 //
-// Quick tour with curl:
+// Quick tour with curl (the unversioned paths still answer, with a
+// Deprecation header pointing at their /v1 successor):
 //
-//	curl -X POST --data-binary @energy.csv 'localhost:8080/datasets?name=energy&threshold=0.05'
-//	curl -X POST -d '{"dataset_id":"ds-1","min_support":0.2,"min_confidence":0.5,"num_windows":24}' localhost:8080/jobs
-//	curl localhost:8080/jobs/job-1
-//	curl 'localhost:8080/jobs/job-1/patterns?offset=0&limit=50'
-//	curl -X DELETE localhost:8080/jobs/job-1
+//	curl -X POST --data-binary @energy.csv 'localhost:8080/v1/datasets?name=energy&threshold=0.05'
+//	curl -X POST -d '{"dataset_id":"ds-1","min_support":0.2,"min_confidence":0.5,"num_windows":24}' localhost:8080/v1/jobs
+//	curl localhost:8080/v1/jobs/job-1
+//	curl 'localhost:8080/v1/jobs/job-1/patterns?limit=50'
+//	curl -X DELETE localhost:8080/v1/jobs/job-1
+//
+// Follow a job live instead of polling — Server-Sent Events by default
+// (curl -N keeps the stream unbuffered), NDJSON with the right Accept
+// header, and Last-Event-ID resumes after a disconnect without losing or
+// repeating a transition. /v1/events is the firehose across all jobs:
+//
+//	curl -N localhost:8080/v1/jobs/job-1/events
+//	curl -N -H 'Accept: application/x-ndjson' localhost:8080/v1/jobs/job-1/events
+//	curl -N -H 'Last-Event-ID: 7' localhost:8080/v1/jobs/job-1/events
+//	curl -N localhost:8080/v1/events
+//
+// Every request may carry an X-Tenant header (default tenant otherwise).
+// Tenants share the mining budget by weight, and a tenant past its queued
+// quota is shed with 429 plus a Retry-After hint — the polite client
+// dance is:
+//
+//	curl -sS -D- -H 'X-Tenant: free' -d '{...}' localhost:8080/v1/jobs
+//	  → HTTP/1.1 429 Too Many Requests
+//	  → Retry-After: 12
+//	  → {"error":{"code":"quota_exceeded","message":"tenant \"free\" has 16 queued jobs (the quota); retry later"}}
+//	sleep 12   # then submit again
 //
 // As new samples arrive, append them instead of re-uploading — NDJSON
 // rows by default, or a CSV chunk with ?format=csv. Rows must continue
@@ -28,9 +53,9 @@
 // dataset's generation and the next mine reuses everything the new
 // samples didn't touch:
 //
-//	curl -X POST localhost:8080/datasets/ds-1/append --data-binary \
+//	curl -X POST localhost:8080/v1/datasets/ds-1/append --data-binary \
 //	  '{"time":86400,"values":{"Kitchen":0.07,"Toaster":0.0}}'
-//	curl -X POST --data-binary @delta.csv 'localhost:8080/datasets/ds-1/append?format=csv'
+//	curl -X POST --data-binary @delta.csv 'localhost:8080/v1/datasets/ds-1/append?format=csv'
 //
 // See internal/server for the full API.
 package main
@@ -39,27 +64,60 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"ftpm/internal/server"
 )
 
+// parseWeights turns a "name=weight,name=weight" flag into the tenant
+// weight map.
+func parseWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	weights := make(map[string]int)
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad tenant weight %q (want name=weight)", pair)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad tenant weight %q (want a positive integer)", pair)
+		}
+		weights[name] = w
+	}
+	return weights, nil
+}
+
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "mining worker pool size (0 = GOMAXPROCS)")
-		queue     = flag.Int("queue", 64, "job queue depth; submits beyond it get 503")
-		maxUpload = flag.Int64("max-upload", 64<<20, "maximal dataset upload size in bytes")
-		threshold = flag.Float64("threshold", 0.05, "default On/Off threshold for numeric uploads")
-		shards    = flag.Int("shards", 0, "default shard count for uploads (0 = GOMAXPROCS); sharded datasets ingest and mine in parallel per shard")
-		data      = flag.String("data", "", "data directory for restart recovery (snapshot + WAL); empty runs purely in memory")
+		addr          = flag.String("addr", ":8080", "listen address")
+		workers       = flag.Int("workers", 0, "mining worker pool size (0 = GOMAXPROCS)")
+		queue         = flag.Int("queue", 64, "job queue depth; submits beyond it get 503")
+		maxUpload     = flag.Int64("max-upload", 64<<20, "maximal dataset upload size in bytes")
+		threshold     = flag.Float64("threshold", 0.05, "default On/Off threshold for numeric uploads")
+		shards        = flag.Int("shards", 0, "default shard count for uploads (0 = GOMAXPROCS); sharded datasets ingest and mine in parallel per shard")
+		data          = flag.String("data", "", "data directory for restart recovery (snapshot + WAL); empty runs purely in memory")
+		tenantQueued  = flag.Int("tenant-max-queued", 0, "per-tenant queued-job quota; submits beyond it get 429 + Retry-After (0 = the global queue depth)")
+		tenantRunning = flag.Int("tenant-max-running", 0, "per-tenant running-job cap (0 = bounded only by the worker pool)")
+		tenantWeights = flag.String("tenant-weights", "", "fair-share weights as name=weight,... (unlisted tenants weigh 1)")
+		eventRing     = flag.Int("event-ring", 0, "job events retained for stream replay/resume (0 = 1024)")
 	)
 	flag.Parse()
+
+	weights, err := parseWeights(*tenantWeights)
+	if err != nil {
+		log.Fatalf("ftpm-serve: -tenant-weights: %v", err)
+	}
 
 	logger := log.New(os.Stderr, "ftpm-serve: ", log.LstdFlags)
 	srv, err := server.New(server.Options{
@@ -69,6 +127,10 @@ func main() {
 		DefaultThreshold: threshold,
 		DefaultShards:    *shards,
 		DataDir:          *data,
+		TenantMaxQueued:  *tenantQueued,
+		TenantMaxRunning: *tenantRunning,
+		TenantWeights:    weights,
+		EventRing:        *eventRing,
 		Logger:           logger,
 	})
 	if err != nil {
@@ -80,6 +142,10 @@ func main() {
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	// Shutdown waits for in-flight requests, and an event stream is
+	// in-flight until its client goes away: close the streams so Shutdown
+	// can finish inside its deadline.
+	hs.RegisterOnShutdown(srv.CloseStreams)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -91,7 +157,8 @@ func main() {
 		_ = hs.Shutdown(shutdownCtx)
 	}()
 
-	logger.Printf("listening on %s (workers=%d queue=%d)", *addr, *workers, *queue)
+	logger.Printf("listening on %s (workers=%d queue=%d tenant-max-queued=%d tenant-max-running=%d)",
+		*addr, *workers, *queue, *tenantQueued, *tenantRunning)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Fatal(err)
 	}

@@ -128,6 +128,17 @@ type Config struct {
 	// (0 or 1 = serial). Results are byte-identical to serial runs; this
 	// is an extension over the paper's single-threaded implementation.
 	Workers int
+	// WorkersFunc, when non-nil, renegotiates the worker count at each
+	// level boundary: it is invoked on the mining goroutine with the level
+	// about to be mined (1, 2, 3, ...) and its return value replaces the
+	// effective worker count for that whole level. A negative return keeps
+	// the current grant. The count is stable within a level — every fan-out
+	// of one level sees the same value — so results stay byte-identical
+	// across any sequence of grants (worker count never affects mined
+	// output, only parallelism). Long-running schedulers (the job server's
+	// fair-share budget) use it to rebalance a running job's parallelism
+	// when other jobs arrive or finish mid-run.
+	WorkersFunc func(level int) int
 	// Progress, when non-nil, is invoked on the mining goroutine after
 	// each level completes, with that level's final counters (a copy).
 	// Long-running callers (the job server) use it to surface per-level

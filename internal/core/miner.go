@@ -56,6 +56,7 @@ func Mine(ctx context.Context, db *events.DB, cfg Config) (*Result, error) {
 func (m *miner) mineAll(ctx context.Context) (*Result, error) {
 	start := time.Now()
 	m.scrPool.New = func() any { return &scratch{} }
+	m.curWorkers = m.cfg.Workers
 	m.mineSingles()
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -123,6 +124,13 @@ type miner struct {
 	// done is the cancellation channel of the run's context; cancelled()
 	// polls it between verification units.
 	done <-chan struct{}
+
+	// curWorkers is the effective worker count of the level currently
+	// being mined. It starts at cfg.Workers and is renegotiated through
+	// cfg.WorkersFunc at each level boundary (renegotiateWorkers); it must
+	// stay fixed within a level so every fan-out of that level sees the
+	// same parallelism.
+	curWorkers int
 
 	// sh is the sharded-run state (nil for unsharded runs): the per-shard
 	// databases, local→global sequence index maps, and shard membership
@@ -211,6 +219,7 @@ func (m *miner) spanOK(first, other events.Instance) bool {
 // support scan is shard-local when the miner was built by MineSharded.
 func (m *miner) mineSingles() {
 	t0 := time.Now()
+	m.renegotiateWorkers(1)
 	if m.sh != nil {
 		m.scanSinglesSharded()
 	} else {
@@ -274,7 +283,8 @@ func (m *miner) filterSingles(t0 time.Time) {
 	m.stats.SinglesFrequent = len(m.oneFreq)
 	m.graph.Levels = append(m.graph.Levels, level)
 	m.finishLevel(LevelStats{K: 1, Candidates: m.stats.SinglesConsidered,
-		NodesVerified: m.stats.SinglesConsidered, GreenNodes: len(m.oneFreq), Duration: time.Since(t0)})
+		NodesVerified: m.stats.SinglesConsidered, GreenNodes: len(m.oneFreq),
+		Workers: m.workers(), Duration: time.Since(t0)})
 }
 
 // finishLevel records a completed level's stats and notifies the progress
@@ -300,7 +310,8 @@ func (m *miner) keepOccsAt(k int) bool {
 // Config.Workers.
 func (m *miner) mineLevel2() {
 	t0 := time.Now()
-	ls := LevelStats{K: 2}
+	m.renegotiateWorkers(2)
+	ls := LevelStats{K: 2, Workers: m.workers()}
 	level := hpg.NewLevel(2)
 
 	var tasks []pairTask
@@ -496,7 +507,8 @@ func (m *miner) flushInto(node *hpg.Node, pps []*pendingPattern, scr *scratch, l
 // for k >= 3. It returns the number of green nodes added.
 func (m *miner) mineLevelK(k int) int {
 	t0 := time.Now()
-	ls := LevelStats{K: k}
+	m.renegotiateWorkers(k)
+	ls := LevelStats{K: k, Workers: m.workers()}
 	prev := m.graph.Level(k - 1)
 	level := hpg.NewLevel(k)
 
@@ -856,10 +868,22 @@ func (m *miner) buildResult() *Result {
 	return res
 }
 
-// workers returns the effective parallelism of the run.
+// workers returns the effective parallelism of the current level.
 func (m *miner) workers() int {
-	if m.cfg.Workers <= 1 {
+	if m.curWorkers <= 1 {
 		return 1
 	}
-	return m.cfg.Workers
+	return m.curWorkers
+}
+
+// renegotiateWorkers consults Config.WorkersFunc at the boundary before
+// level k. The returned grant applies to the whole level; a negative
+// return (or a nil func) keeps the current one.
+func (m *miner) renegotiateWorkers(k int) {
+	if m.cfg.WorkersFunc == nil {
+		return
+	}
+	if w := m.cfg.WorkersFunc(k); w >= 0 {
+		m.curWorkers = w
+	}
 }

@@ -56,7 +56,11 @@ type LevelStats struct {
 	// TripleChecksFailed counts occurrence extensions rejected by the
 	// iterative L2 verification (Lemmas 4, 6, 7).
 	TripleChecksFailed int
-	Duration           time.Duration
+	// Workers is the effective worker count the level ran with — the
+	// grant Config.WorkersFunc (or Config.Workers) gave this level. It is
+	// observability only; mined output is byte-identical across grants.
+	Workers  int
+	Duration time.Duration
 }
 
 // Stats aggregates counters over a mining run.

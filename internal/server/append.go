@@ -257,7 +257,7 @@ func (p *appendParser) record(id string, gen int64, prevSamples int) appendRecor
 func (s *Server) handleAppendDataset(w http.ResponseWriter, r *http.Request, id string) {
 	ds, ok := s.reg.get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such dataset: %s", id)
+		writeError(w, http.StatusNotFound, codeNotFound, "no such dataset: %s", id)
 		return
 	}
 	format := r.URL.Query().Get("format")
@@ -265,7 +265,7 @@ func (s *Server) handleAppendDataset(w http.ResponseWriter, r *http.Request, id 
 		format = "ndjson"
 	}
 	if format != "ndjson" && format != "csv" {
-		writeError(w, http.StatusBadRequest, "unknown format %q (want ndjson or csv)", format)
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, "unknown format %q (want ndjson or csv)", format)
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
@@ -282,21 +282,21 @@ func (s *Server) handleAppendDataset(w http.ResponseWriter, r *http.Request, id 
 		err = p.parseCSV(body)
 	}
 	if err != nil {
-		status := http.StatusBadRequest
+		status, code := http.StatusBadRequest, codeInvalidArgument
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			status = http.StatusRequestEntityTooLarge
+			status, code = http.StatusRequestEntityTooLarge, codePayloadTooLarge
 		}
-		writeError(w, status, "append failed: %v", err)
+		writeError(w, status, code, "append failed: %v", err)
 		return
 	}
 	if p.rows == 0 {
-		writeError(w, http.StatusBadRequest, "append failed: body contains no rows")
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, "append failed: body contains no rows")
 		return
 	}
 	sdb, err := p.extend(g.sdb)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "append failed: %v", err)
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, "append failed: %v", err)
 		return
 	}
 
@@ -305,7 +305,7 @@ func (s *Server) handleAppendDataset(w http.ResponseWriter, r *http.Request, id 
 	if !s.reg.appendDataset(ds, next, rec) {
 		// The dataset was removed between lookup and commit: the append
 		// loses deterministically, nothing was swapped or logged.
-		writeError(w, http.StatusConflict, "dataset %s was removed", id)
+		writeError(w, http.StatusConflict, codeConflict, "dataset %s was removed", id)
 		return
 	}
 	s.appends.Add(1)

@@ -38,16 +38,28 @@
 //     its predecessor installed); an append racing DELETE loses
 //     deterministically with 409 and nothing swapped or logged.
 //
-//   - An async job manager (jobs.go): a bounded worker pool drains a
-//     bounded queue of mining jobs. Jobs move through the states queued →
-//     running → done | failed | cancelled; per-job progress is sourced
-//     from the miner's per-level stats via Options.Progress, and
-//     cancellation is real — DELETE propagates context cancellation into
-//     the miner, which stops between verification units and returns
-//     ctx.Err(). A worker budget divides GOMAXPROCS among running jobs
-//     at admission (max(1, total/running), capped by the request), so a
-//     full pool of max-worker jobs no longer oversubscribes the CPU by
-//     the pool size. Completed jobs are additionally memoized in a
+//   - An async job manager (jobs.go) with multi-tenant QoS (tenant.go):
+//     a bounded worker pool drains per-tenant FIFO queues of mining jobs
+//     by weighted fair share. Every request may carry an X-Tenant header
+//     (the default tenant otherwise); the scheduler picks the queued
+//     tenant with the lowest running/weight ratio, per-tenant quotas
+//     bound queued (429 + Retry-After beyond it) and running jobs, and
+//     the GOMAXPROCS worker budget splits over the running tenants in
+//     proportion to their weights — recomputed between mining levels
+//     through ftpm.Options.WorkersFunc, so a newly-arrived tenant
+//     shrinks an incumbent job's parallelism at its next level boundary
+//     instead of waiting for the whole run (results are byte-identical
+//     across worker counts, so mid-run renegotiation is safe). Jobs move
+//     through the states queued → running → done | failed | cancelled;
+//     per-job progress is sourced from the miner's per-level stats via
+//     Options.Progress, and cancellation is real — DELETE propagates
+//     context cancellation into the miner, which stops between
+//     verification units and returns ctx.Err(). Every transition and
+//     per-level progress tick is also published to a broadcast hub
+//     (events/hub.go) feeding the event-stream endpoints: per-client
+//     bounded buffers never block the miner, and a stalled consumer is
+//     told how many events it missed via a "dropped" event instead of
+//     silently losing them. Completed jobs are additionally memoized in a
 //     bounded LRU result cache keyed by (dataset fingerprint, canonical
 //     options — worker count excluded, results are byte-identical across
 //     it): a repeat submission returns the cached document without
@@ -77,30 +89,59 @@
 //     and the next snapshot replays it exactly once and generations
 //     never regress — terminal jobs return with byte-identical result
 //     documents (done jobs re-seed the result cache), and jobs that were
-//     queued or running at crash time surface as failed with a
-//     distinguishable "lost to restart" error. A torn WAL tail is truncated, not fatal;
+//     queued or running at crash time re-queue against their tenant —
+//     counting against its quota — and re-run from scratch, which is safe
+//     because mining is deterministic; only a live job whose dataset did
+//     not survive the crash comes back failed with a distinguishable
+//     "lost to restart" error. A torn WAL tail is truncated, not fatal;
 //     a damaged snapshot is ignored with a loud log line. DataDir ""
 //     keeps the service purely in-memory with zero new I/O. One server
 //     process owns a data directory at a time (there is no inter-process
 //     locking).
 //
-//   - A JSON/NDJSON HTTP API (server.go) built on net/http only:
+//   - A versioned JSON/NDJSON HTTP API (server.go) built on net/http
+//     only. Routes live under /v1; the original unversioned paths keep
+//     answering identically but carry a Deprecation header and a Link to
+//     their /v1 successor (the event streams are /v1-only):
 //
-//     POST   /datasets                upload a CSV dataset (?name=, ?format=numeric|symbolic, ?threshold=, ?shards=)
-//     GET    /datasets                list datasets
-//     GET    /datasets/{id}           dataset detail
-//     POST   /datasets/{id}/append    append rows to a dataset (?format=ndjson|csv, default ndjson)
-//     DELETE /datasets/{id}           drop a dataset
-//     POST   /jobs                    submit a mining job (JSON body)
-//     GET    /jobs                    list jobs
-//     GET    /jobs/{id}               job status and progress
-//     DELETE /jobs/{id}               cancel a queued or running job
-//     GET    /jobs/{id}/patterns      page through mined patterns (?offset=, ?limit=, ?format=ndjson)
-//     GET    /jobs/{id}/result        the full result document
-//     GET    /metrics                 queue depth, job states, per-job level timings, cache hit/miss counters, append counters + per-dataset generation gauge, persistence gauges
-//     GET    /healthz                 liveness probe
+//     POST   /v1/datasets                upload a CSV dataset (?name=, ?format=numeric|symbolic, ?threshold=, ?shards=)
+//     GET    /v1/datasets                list datasets (?limit=, ?page_token=)
+//     GET    /v1/datasets/{id}           dataset detail
+//     POST   /v1/datasets/{id}/append    append rows to a dataset (?format=ndjson|csv, default ndjson)
+//     DELETE /v1/datasets/{id}           drop a dataset
+//     POST   /v1/jobs                    submit a mining job (JSON body; optional X-Tenant header)
+//     GET    /v1/jobs                    list jobs (?limit=, ?page_token=)
+//     GET    /v1/jobs/{id}               job status and progress
+//     DELETE /v1/jobs/{id}               cancel a queued or running job
+//     GET    /v1/jobs/{id}/patterns      page through mined patterns (?limit=, ?page_token= or ?offset=, ?format=ndjson)
+//     GET    /v1/jobs/{id}/events        stream the job's state/progress events (SSE; NDJSON via Accept)
+//     GET    /v1/events                  firehose event stream across all jobs
+//     GET    /v1/metrics                 queue depth, job states, per-tenant scheduler state, event-hub gauges, cache hit/miss counters, append counters + per-dataset generation gauge, persistence gauges
+//     GET    /v1/healthz                 liveness probe
 //
-// Errors are returned as {"error": "..."} with a matching status code.
+// Errors are returned uniformly as
+// {"error":{"code":"...","message":"..."}} with a matching status code;
+// the codes (invalid_argument, not_found, method_not_allowed, conflict,
+// payload_too_large, quota_exceeded, unavailable) are stable API surface,
+// the messages are not. List endpoints share one pagination contract:
+// ?limit= bounds the page and a non-empty next_page_token resumes
+// strictly after the last delivered item — tokens are opaque, and they
+// stay valid while the collection grows, so a walk started before an
+// upload neither skips nor repeats anything.
+//
+// Event streams speak Server-Sent Events by default and NDJSON when the
+// request prefers application/x-ndjson. Frames are sequenced by a
+// monotone event id; clients resume after a disconnect with the standard
+// Last-Event-ID header (or ?last_event_id=) and the hub's ring buffer
+// (Options.EventRing, default 1024) replays what they missed. A resume
+// gap larger than the ring surfaces as an explicit "dropped" event
+// followed by a synthetic state snapshot, never as silent loss. A
+// per-job stream ends after the job's terminal event; the firehose runs
+// until the client goes away (use Server.CloseStreams via
+// http.Server.RegisterOnShutdown so Shutdown is not held open by
+// streams). Event ids are process-local and restart from 1 with the
+// process.
+//
 // Pattern pages reuse the stable export document shapes of the root
 // package (ftpm.PatternJSON), so service responses and CLI -json output
 // stay interchangeable.

@@ -1,0 +1,220 @@
+// Package events is the job-event broadcast hub of the mining service:
+// the job manager publishes state and progress transitions into it, and
+// the streaming handlers (SSE / NDJSON) subscribe.
+//
+// Design constraints, in priority order:
+//
+//   - Publishing never blocks: the miner must not stall on a slow client.
+//     Every subscriber owns a bounded channel; a full channel drops the
+//     event and bumps the subscriber's missed counter, which the handler
+//     surfaces as a "dropped" event before the next delivery.
+//   - Events carry monotonically increasing ids (one sequence per hub),
+//     and a bounded ring retains the most recent ones, so a reconnecting
+//     client resumes from Last-Event-ID without losing or duplicating
+//     transitions as long as the gap fits the ring; a larger gap is
+//     reported, not silently skipped.
+//   - Subscription replay and registration are atomic: events seeded from
+//     the ring and events delivered live never interleave or duplicate.
+//
+// Ids are in-memory only — they restart from 1 with the process, so
+// Last-Event-ID resume spans reconnects, not server restarts.
+package events
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// Event is one published job event. Data is the marshalled payload;
+// Final marks the terminal event of a job's stream (per-job subscribers
+// end after it).
+type Event struct {
+	ID    uint64
+	Type  string
+	Job   string
+	Data  json.RawMessage
+	Final bool
+}
+
+// Sub is one subscription. Receive from C; events arrive in publish
+// order. The channel is closed when the hub shuts down.
+type Sub struct {
+	// C delivers the subscription's events.
+	C <-chan Event
+
+	ch     chan Event
+	job    string // "" = all jobs
+	missed uint64
+}
+
+// Hub is the broadcast hub: a bounded ring of recent events plus the live
+// subscriber set.
+type Hub struct {
+	mu       sync.Mutex
+	closed   bool
+	nextID   uint64
+	ring     []Event // filled to ringCap, then circular
+	ringCap  int
+	head     int // index of the oldest retained event once the ring is full
+	subs     map[*Sub]struct{}
+	dropped  uint64 // lifetime count of events dropped on full subscriber channels
+	everSubs uint64
+}
+
+// NewHub builds a hub retaining the most recent ringSize events for
+// Last-Event-ID resume (minimum 1).
+func NewHub(ringSize int) *Hub {
+	if ringSize < 1 {
+		ringSize = 1
+	}
+	return &Hub{ringCap: ringSize, subs: make(map[*Sub]struct{})}
+}
+
+// Publish marshals data, assigns the next event id, retains the event in
+// the ring and fans it out to matching subscribers without blocking. It
+// returns the assigned id (0 when the hub is closed or data does not
+// marshal).
+func (h *Hub) Publish(typ, job string, final bool, data any) uint64 {
+	payload, err := json.Marshal(data)
+	if err != nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0
+	}
+	h.nextID++
+	ev := Event{ID: h.nextID, Type: typ, Job: job, Data: payload, Final: final}
+	if len(h.ring) < h.ringCap {
+		h.ring = append(h.ring, ev)
+	} else {
+		h.ring[h.head] = ev
+		h.head = (h.head + 1) % len(h.ring)
+	}
+	for s := range h.subs {
+		if s.job != "" && s.job != job {
+			continue
+		}
+		select {
+		case s.ch <- ev:
+		default:
+			s.missed++
+			h.dropped++
+		}
+	}
+	return ev.ID
+}
+
+// LastID returns the most recently assigned event id (0 before the first
+// publish).
+func (h *Hub) LastID() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.nextID
+}
+
+// oldestLocked returns the id of the oldest retained event, or 0 when the
+// ring is empty. Caller holds h.mu.
+func (h *Hub) oldestLocked() uint64 {
+	if len(h.ring) == 0 {
+		return 0
+	}
+	if len(h.ring) < h.ringCap {
+		return h.ring[0].ID
+	}
+	return h.ring[h.head].ID
+}
+
+// Subscribe registers a subscriber for job's events (job "" subscribes to
+// all jobs) with a delivery buffer of buf events. Retained events with
+// id > afterID are seeded into the buffer atomically with registration,
+// so live events follow them without loss or duplication. seededFinal
+// reports whether the replay included a Final event for job.
+//
+// When afterID predates the oldest retained event, the gap is counted on
+// the subscriber's missed counter (a best-effort signal: the exact number
+// of matching events evicted is unknowable for a filtered subscription).
+// On a closed hub the returned subscription's channel is already closed.
+func (h *Hub) Subscribe(job string, afterID uint64, buf int) (s *Sub, seededFinal bool) {
+	if buf < 1 {
+		buf = 1
+	}
+	s = &Sub{ch: make(chan Event, buf), job: job}
+	s.C = s.ch
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		close(s.ch)
+		return s, false
+	}
+	h.everSubs++
+	if oldest := h.oldestLocked(); afterID+1 < oldest {
+		s.missed++
+	}
+	n := len(h.ring)
+	for i := 0; i < n; i++ {
+		ev := h.ring[(h.head+i)%n]
+		if ev.ID <= afterID {
+			continue
+		}
+		if job != "" && ev.Job != job {
+			continue
+		}
+		select {
+		case s.ch <- ev:
+			if ev.Final {
+				seededFinal = true
+			}
+		default:
+			s.missed++
+			h.dropped++
+		}
+	}
+	h.subs[s] = struct{}{}
+	return s, seededFinal
+}
+
+// Unsubscribe removes the subscription; its channel is left open (the hub
+// simply stops delivering into it).
+func (h *Hub) Unsubscribe(s *Sub) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.subs, s)
+}
+
+// TakeMissed returns and resets the subscription's missed-event count.
+// The handler turns a non-zero count into a "dropped" event ahead of the
+// next delivery.
+func (h *Hub) TakeMissed(s *Sub) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := s.missed
+	s.missed = 0
+	return n
+}
+
+// Stats reports the hub gauges for /metrics: total events published,
+// current and lifetime subscriber counts, and events dropped on full
+// subscriber buffers.
+func (h *Hub) Stats() (published uint64, subscribers int, everSubscribed, dropped uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.nextID, len(h.subs), h.everSubs, h.dropped
+}
+
+// Close shuts the hub down: subsequent publishes are dropped and every
+// subscriber's channel is closed (after its already-buffered events are
+// drained by the receiver).
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for s := range h.subs {
+		close(s.ch)
+	}
+	h.subs = make(map[*Sub]struct{})
+}

@@ -1,0 +1,195 @@
+package events
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func collect(s *Sub, n int) []Event {
+	out := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, <-s.C)
+	}
+	return out
+}
+
+// TestPublishOrderAndFilter: subscribers see events in publish order;
+// per-job subscribers see only their job.
+func TestPublishOrderAndFilter(t *testing.T) {
+	h := NewHub(16)
+	all, _ := h.Subscribe("", 0, 16)
+	only, _ := h.Subscribe("job-2", 0, 16)
+
+	h.Publish("state", "job-1", false, map[string]string{"s": "queued"})
+	h.Publish("state", "job-2", false, map[string]string{"s": "queued"})
+	h.Publish("state", "job-1", true, map[string]string{"s": "done"})
+
+	got := collect(all, 3)
+	for i, ev := range got {
+		if ev.ID != uint64(i+1) {
+			t.Fatalf("event %d has id %d, want %d", i, ev.ID, i+1)
+		}
+	}
+	ev := collect(only, 1)[0]
+	if ev.Job != "job-2" || ev.ID != 2 {
+		t.Fatalf("filtered sub got %+v", ev)
+	}
+	if n := h.TakeMissed(all); n != 0 {
+		t.Fatalf("missed %d on an unloaded sub", n)
+	}
+}
+
+// TestResumeAfterID: a subscriber resuming with Last-Event-ID sees
+// exactly the retained events after that id — nothing lost, nothing
+// duplicated — and replayed events precede live ones.
+func TestResumeAfterID(t *testing.T) {
+	h := NewHub(64)
+	for i := 1; i <= 5; i++ {
+		h.Publish("state", "job-1", false, i)
+	}
+	s, final := h.Subscribe("job-1", 2, 16)
+	if final {
+		t.Fatal("no final event was published")
+	}
+	h.Publish("state", "job-1", true, 6)
+	got := collect(s, 4)
+	want := []uint64{3, 4, 5, 6}
+	for i, ev := range got {
+		if ev.ID != want[i] {
+			t.Fatalf("resume event %d has id %d, want %d", i, ev.ID, want[i])
+		}
+	}
+	if !got[3].Final {
+		t.Fatal("last event should be final")
+	}
+}
+
+// TestSeededFinal: replaying a ring that already holds the job's terminal
+// event reports it, so handlers know the stream is complete.
+func TestSeededFinal(t *testing.T) {
+	h := NewHub(8)
+	h.Publish("state", "job-1", false, "queued")
+	h.Publish("state", "job-1", true, "done")
+	s, final := h.Subscribe("job-1", 0, 4)
+	if !final {
+		t.Fatal("replay included the final event but seededFinal is false")
+	}
+	if got := collect(s, 2); !got[1].Final {
+		t.Fatal("second replayed event should be final")
+	}
+}
+
+// TestGapDetection: resuming from before the ring's retention window
+// flags the subscription as having missed events.
+func TestGapDetection(t *testing.T) {
+	h := NewHub(4)
+	for i := 1; i <= 10; i++ { // ids 1..10; ring retains 7..10
+		h.Publish("state", "job-1", false, i)
+	}
+	s, _ := h.Subscribe("job-1", 2, 16)
+	if n := h.TakeMissed(s); n == 0 {
+		t.Fatal("gap past the ring was not flagged")
+	}
+	got := collect(s, 4)
+	if got[0].ID != 7 || got[3].ID != 10 {
+		t.Fatalf("replay ids %d..%d, want 7..10", got[0].ID, got[3].ID)
+	}
+}
+
+// TestSlowConsumerDrops: a subscriber that stops draining loses events —
+// counted on its missed counter — while publishing never blocks and a
+// healthy subscriber sees everything. Run under -race in CI.
+func TestSlowConsumerDrops(t *testing.T) {
+	h := NewHub(8)
+	slow, _ := h.Subscribe("", 0, 2) // tiny buffer, never drained
+	fast, _ := h.Subscribe("", 0, 128)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			h.Publish("progress", "job-1", false, i)
+		}
+	}()
+	seen := 0
+	for seen < 100 {
+		<-fast.C
+		seen++
+	}
+	wg.Wait()
+
+	if n := h.TakeMissed(slow); n != 98 {
+		t.Fatalf("slow sub missed %d events, want 98 (buffer 2 of 100)", n)
+	}
+	if n := h.TakeMissed(fast); n != 0 {
+		t.Fatalf("fast sub missed %d events", n)
+	}
+	_, _, _, dropped := h.Stats()
+	if dropped != 98 {
+		t.Fatalf("hub counted %d drops, want 98", dropped)
+	}
+}
+
+// TestConcurrentPublishSubscribe: publishers, subscribers and
+// unsubscribers race without corrupting per-subscriber ordering (ids
+// strictly increase on every channel). Run under -race in CI.
+func TestConcurrentPublishSubscribe(t *testing.T) {
+	h := NewHub(32)
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h.Publish("progress", fmt.Sprintf("job-%d", p), false, i)
+			}
+		}(p)
+	}
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, _ := h.Subscribe("", 0, 64)
+			defer h.Unsubscribe(s)
+			var last uint64
+			for i := 0; i < 100; i++ {
+				select {
+				case ev := <-s.C:
+					if ev.ID <= last {
+						t.Errorf("out-of-order delivery: %d after %d", ev.ID, last)
+						return
+					}
+					last = ev.ID
+				default:
+					return // publishers may already be done
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCloseUnblocksSubscribers: Close closes every subscriber channel so
+// handlers waiting in a receive return, and later publishes are no-ops.
+func TestCloseUnblocksSubscribers(t *testing.T) {
+	h := NewHub(8)
+	s, _ := h.Subscribe("", 0, 4)
+	done := make(chan struct{})
+	go func() {
+		for range s.C {
+		}
+		close(done)
+	}()
+	h.Close()
+	<-done
+	if id := h.Publish("state", "job-1", false, "x"); id != 0 {
+		t.Fatalf("publish after close assigned id %d", id)
+	}
+	if s2, _ := h.Subscribe("", 0, 4); true {
+		if _, ok := <-s2.C; ok {
+			t.Fatal("subscribe after close returned an open channel")
+		}
+	}
+}

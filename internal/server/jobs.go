@@ -7,10 +7,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"ftpm"
+	"ftpm/internal/server/events"
 )
 
 // JobState is the lifecycle state of a mining job.
@@ -101,61 +101,11 @@ func (req MiningRequest) validate() error {
 	return nil
 }
 
-// workerBudget divides the machine's parallelism among running jobs. The
-// old scheme clamped each job to GOMAXPROCS independently, so a full pool
-// of max-worker jobs oversubscribed the CPU by the pool size; the budget
-// grants each job at admission its fair share of the total —
-// max(1, total/running) — capped by what the job requested. Shares are
-// fixed for a job's lifetime (the miner cannot change parallelism
-// mid-run), so the division is fair at admission rather than continually
-// rebalanced.
-type workerBudget struct {
-	mu     sync.Mutex
-	total  int
-	active int
-}
-
-func newWorkerBudget(total int) *workerBudget {
-	if total < 1 {
-		total = 1
-	}
-	return &workerBudget{total: total}
-}
-
-// acquire admits one job and returns its granted worker count. A
-// non-positive request keeps the job serial (workers 0), matching the
-// library's default; it still counts toward active jobs since a serial
-// job occupies one CPU.
-func (b *workerBudget) acquire(requested int) int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.active++
-	if requested <= 0 {
-		return 0
-	}
-	share := b.total / b.active
-	if share < 1 {
-		share = 1
-	}
-	if requested < share {
-		return requested
-	}
-	return share
-}
-
-// release returns one job's admission.
-func (b *workerBudget) release() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.active > 0 {
-		b.active--
-	}
-}
-
 // options maps the request onto the library's mining options. The
 // client-supplied worker count is clamped to the machine's parallelism
-// here as a first bound; the job manager's worker budget then divides
-// that parallelism across running jobs at admission (see workerBudget).
+// here as a first bound; the job manager's fair-share budget then grants
+// the job its tenant's share of that parallelism at admission and
+// renegotiates it at every level boundary (see grantLocked in tenant.go).
 func (req MiningRequest) options() ftpm.Options {
 	workers := req.Workers
 	if max := runtime.GOMAXPROCS(0); workers > max {
@@ -231,6 +181,7 @@ type JobSummary struct {
 type JobInfo struct {
 	ID         string      `json:"id"`
 	DatasetID  string      `json:"dataset_id"`
+	Tenant     string      `json:"tenant"`
 	State      JobState    `json:"state"`
 	Error      string      `json:"error,omitempty"`
 	CreatedAt  time.Time   `json:"created_at"`
@@ -244,9 +195,10 @@ type JobInfo struct {
 // job is one mining job. Mutable fields are guarded by mu; the request
 // and dataset are immutable after submission.
 type job struct {
-	id  string
-	ds  *Dataset
-	req MiningRequest
+	id     string
+	ds     *Dataset
+	req    MiningRequest
+	tenant string
 
 	mu    sync.Mutex
 	state JobState
@@ -274,6 +226,7 @@ func (j *job) snapshot() JobInfo {
 	info := JobInfo{
 		ID:        j.id,
 		DatasetID: j.req.DatasetID,
+		Tenant:    j.tenant,
 		State:     j.state,
 		Error:     j.errMsg,
 		CreatedAt: j.createdAt,
@@ -307,6 +260,7 @@ func (j *job) recordLocked() jobRecord {
 	rec := jobRecord{
 		ID:          j.id,
 		Request:     j.req,
+		Tenant:      j.tenant,
 		Fingerprint: j.fp,
 		State:       j.state,
 		Error:       j.errMsg,
@@ -329,43 +283,73 @@ func (j *job) recordLocked() jobRecord {
 	return rec
 }
 
-// jobManager runs mining jobs on a bounded worker pool over a bounded
-// queue.
+// jobManager runs mining jobs on a bounded worker pool over per-tenant
+// FIFO queues drained by weighted fair share (tenant.go).
+//
+// Lock order: m.mu before j.mu (evictLocked and the scheduler take both);
+// the event hub's internal lock is a leaf and may be taken under either.
 type jobManager struct {
 	baseCtx  context.Context
 	stop     context.CancelFunc
-	queue    chan *job
 	wg       sync.WaitGroup
-	budget   *workerBudget
 	results  *resultCache
 	counters *cacheCounters
-	persist  *persister // nil when DataDir is unset
-	// depth gauges the jobs genuinely waiting for a worker. len(m.queue)
-	// would overstate the backlog: a job cancelled while queued stays in
-	// the channel until a worker pops and discards it, so the counter
-	// moves on the queued→running and queued→cancelled transitions
-	// instead.
-	depth atomic.Int64
+	persist  *persister  // nil when DataDir is unset
+	hub      *events.Hub // never nil
+	qos      qosOptions
+	// workerCount / budgetTotal are the pool size and the worker budget
+	// the fair share divides (GOMAXPROCS).
+	workerCount int
+	budgetTotal int
 
-	mu     sync.Mutex
-	closed bool
-	byID   map[string]*job
-	ids    []string // insertion order
-	seq    int
+	mu   sync.Mutex
+	cond *sync.Cond // signalled when a job is enqueued or a slot frees
+	// tenants / tenantOrder hold the per-tenant scheduler state in
+	// first-seen order (deterministic iteration).
+	tenants     map[string]*tenantState
+	tenantOrder []string
+	// totalQueued gauges the jobs genuinely waiting for a worker across
+	// all tenants; cancelled-while-queued jobs leave their queue (and this
+	// counter) immediately.
+	totalQueued int
+	// queueCap is the global admission bound (Options.QueueDepth): submits
+	// beyond it are rejected 503 regardless of tenant.
+	queueCap int
+	// pickTick orders tenant drains for the scheduler's round-robin
+	// tie-break.
+	pickTick int64
+	// avgJobMillis is the EWMA of completed mining durations feeding the
+	// Retry-After estimate.
+	avgJobMillis int64
+	closed       bool
+	byID         map[string]*job
+	ids          []string // insertion order
+	seq          int
 }
 
-func newJobManager(workers, queueDepth int, persist *persister) *jobManager {
+func newJobManager(workers, queueDepth int, persist *persister, hub *events.Hub, qos qosOptions) *jobManager {
 	ctx, cancel := context.WithCancel(context.Background())
-	m := &jobManager{
-		baseCtx:  ctx,
-		stop:     cancel,
-		queue:    make(chan *job, queueDepth),
-		budget:   newWorkerBudget(runtime.GOMAXPROCS(0)),
-		results:  newResultCache(maxResultCache, maxResultCacheBytes),
-		counters: &cacheCounters{},
-		persist:  persist,
-		byID:     make(map[string]*job),
+	if hub == nil {
+		hub = events.NewHub(1)
 	}
+	if qos.maxQueued <= 0 {
+		qos.maxQueued = queueDepth
+	}
+	m := &jobManager{
+		baseCtx:     ctx,
+		stop:        cancel,
+		results:     newResultCache(maxResultCache, maxResultCacheBytes),
+		counters:    &cacheCounters{},
+		persist:     persist,
+		hub:         hub,
+		qos:         qos,
+		workerCount: workers,
+		budgetTotal: runtime.GOMAXPROCS(0),
+		tenants:     make(map[string]*tenantState),
+		queueCap:    queueDepth,
+		byID:        make(map[string]*job),
+	}
+	m.cond = sync.NewCond(&m.mu)
 	for i := 0; i < workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -373,24 +357,63 @@ func newJobManager(workers, queueDepth int, persist *persister) *jobManager {
 	return m
 }
 
-// queueDepth is the number of jobs waiting for a worker, excluding
-// cancelled entries not yet popped from the channel.
-func (m *jobManager) queueDepth() int { return int(m.depth.Load()) }
+// queueDepth is the number of jobs waiting for a worker across all
+// tenants.
+func (m *jobManager) queueDepth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.totalQueued
+}
 
-// restore loads replayed jobs into the manager. Jobs that were queued or
-// running when the previous process died come back failed with the
-// distinguishable lost-to-restart error — the service neither re-runs
-// nor silently drops half-finished work. Done jobs whose dataset still
-// exists re-seed the completed-job result cache, so repeat submissions
-// after a restart hit without mining.
+// jobEventData is the data payload of job stream events ("state" and
+// "progress").
+type jobEventData struct {
+	JobID  string   `json:"job_id"`
+	Tenant string   `json:"tenant"`
+	State  JobState `json:"state"`
+	Error  string   `json:"error,omitempty"`
+	// Level carries one completed pattern-graph level on "progress"
+	// events.
+	Level *LevelTimingJSON `json:"level,omitempty"`
+}
+
+// publishState pushes a job state transition into the event hub. The
+// terminal transitions mark the event final, ending per-job streams.
+func (m *jobManager) publishState(id, tenant string, state JobState, errMsg string) {
+	m.hub.Publish("state", id, state.Terminal(), jobEventData{
+		JobID: id, Tenant: tenant, State: state, Error: errMsg,
+	})
+}
+
+// publishProgress pushes one completed level of a running job.
+func (m *jobManager) publishProgress(id, tenant string, lv LevelTimingJSON) {
+	m.hub.Publish("progress", id, false, jobEventData{
+		JobID: id, Tenant: tenant, State: JobRunning, Level: &lv,
+	})
+}
+
+// restore loads replayed jobs into the manager. Jobs that were live
+// (queued or running) when the previous process died re-queue against
+// their tenant — they count against its quota immediately, so admission
+// control survives restarts — and re-run from scratch; mining is pure, so
+// the re-run is safe and byte-identical. Only live jobs whose dataset did
+// not survive replay come back failed with the distinguishable
+// lost-to-restart error. Done jobs whose dataset still exists re-seed the
+// completed-job result cache, so repeat submissions after a restart hit
+// without mining.
 func (m *jobManager) restore(records []jobRecord, maxSeq int, reg *registry) {
 	now := time.Now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, rec := range records {
+		tenant := rec.Tenant
+		if tenant == "" { // records from before tenants existed
+			tenant = DefaultTenant
+		}
 		j := &job{
 			id:        rec.ID,
 			req:       rec.Request,
+			tenant:    tenant,
 			fp:        rec.Fingerprint,
 			state:     rec.State,
 			errMsg:    rec.Error,
@@ -418,9 +441,25 @@ func (m *jobManager) restore(records []jobRecord, maxSeq int, reg *registry) {
 			}
 		}
 		if !j.state.Terminal() {
-			j.state = JobFailed
-			j.errMsg = lostToRestart
-			j.finishedAt = now
+			if ds, ok := reg.get(rec.Request.DatasetID); ok {
+				// Re-queue: reset to a clean pre-run lifecycle (a snapshot
+				// may have captured the job mid-run with partial levels).
+				j.state = JobQueued
+				j.errMsg = ""
+				j.startedAt = time.Time{}
+				j.progress = Progress{}
+				j.levels = nil
+				j.ds = ds
+				t := m.tenantLocked(tenant)
+				t.queue = append(t.queue, j)
+				t.admitted++
+				m.totalQueued++
+				m.publishState(j.id, tenant, JobQueued, "")
+			} else {
+				j.state = JobFailed
+				j.errMsg = lostToRestart
+				j.finishedAt = now
+			}
 		}
 		if j.state == JobDone && j.doc != nil && j.summary != nil {
 			if ds, ok := reg.get(rec.Request.DatasetID); ok {
@@ -441,42 +480,57 @@ func (m *jobManager) restore(records []jobRecord, maxSeq int, reg *registry) {
 		m.seq = maxSeq
 	}
 	m.evictLocked()
+	m.cond.Broadcast() // wake workers for any re-queued jobs
 }
 
-// submit enqueues a job against the dataset. It fails fast when the
-// queue is full or the manager is shutting down. The queue send and the
-// index registration happen under one critical section (the send is
-// non-blocking), so a rejected submit never disturbs concurrent ones.
-func (m *jobManager) submit(ds *Dataset, req MiningRequest) (*job, error) {
+// submit enqueues a job against the dataset for the given tenant.
+// Admission control applies in order: a closing manager rejects with
+// errClosed (503), a service-wide queue at capacity with errQueueFull
+// (503), and a tenant past its queued quota with errQuotaExceeded (429 +
+// Retry-After). The enqueue, the index registration and the "queued"
+// event publish happen under one critical section, so the queued event
+// always precedes the job's running event and a rejected submit never
+// disturbs concurrent ones.
+func (m *jobManager) submit(ds *Dataset, req MiningRequest, tenant string) (*job, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return nil, errClosed
 	}
+	if m.totalQueued >= m.queueCap {
+		m.mu.Unlock()
+		return nil, errQueueFull
+	}
+	t := m.tenantLocked(tenant)
+	if len(t.queue) >= m.qos.maxQueued {
+		t.shed++
+		retry := m.retryAfterLocked(t)
+		m.mu.Unlock()
+		return nil, errQuotaExceeded{tenant: tenant, maxQueued: m.qos.maxQueued, retryAfter: retry}
+	}
 	j := &job{
 		id:        fmt.Sprintf("job-%d", m.seq+1),
 		ds:        ds,
 		req:       req,
+		tenant:    tenant,
 		state:     JobQueued,
 		createdAt: time.Now(),
 	}
-	select {
-	case m.queue <- j:
-		m.seq++
-		m.byID[j.id] = j
-		m.ids = append(m.ids, j.id)
-		m.depth.Add(1)
-		m.evictLocked()
-		m.mu.Unlock()
-		// Logged outside m.mu (the persister's snapshot gather takes the
-		// manager locks). A terminal record racing ahead of this one is
-		// fine: replay never downgrades a terminal job.
-		m.persist.jobSubmitted(j)
-		return j, nil
-	default:
-		m.mu.Unlock()
-		return nil, errQueueFull
-	}
+	m.seq++
+	m.byID[j.id] = j
+	m.ids = append(m.ids, j.id)
+	t.queue = append(t.queue, j)
+	t.admitted++
+	m.totalQueued++
+	m.evictLocked()
+	m.publishState(j.id, tenant, JobQueued, "")
+	m.cond.Signal()
+	m.mu.Unlock()
+	// Logged outside m.mu (the persister's snapshot gather takes the
+	// manager locks). A terminal record racing ahead of this one is
+	// fine: replay never downgrades a terminal job.
+	m.persist.jobSubmitted(j)
+	return j, nil
 }
 
 // evictLocked drops the oldest terminal jobs while the retained set
@@ -528,12 +582,15 @@ func (m *jobManager) list() []JobInfo {
 
 // cancelJob cancels a queued or running job and reports the state the
 // job was in when the request arrived. Queued jobs transition to
-// cancelled immediately; running jobs are cancelled via their context
-// and transition once the miner observes ctx.Err(). Terminal jobs are
-// left untouched — the caller turns prior.Terminal() into a 409.
+// cancelled immediately and leave their tenant's queue; running jobs are
+// cancelled via their context and transition once the miner observes
+// ctx.Err(). Terminal jobs are left untouched — the caller turns
+// prior.Terminal() into a 409.
 func (m *jobManager) cancelJob(id string) (j *job, prior JobState, ok bool) {
-	j, ok = m.get(id)
+	m.mu.Lock()
+	j, ok = m.byID[id]
 	if !ok {
+		m.mu.Unlock()
 		return nil, "", false
 	}
 	var rec *jobRecord
@@ -543,7 +600,13 @@ func (m *jobManager) cancelJob(id string) (j *job, prior JobState, ok bool) {
 	case JobQueued:
 		j.state = JobCancelled
 		j.finishedAt = time.Now()
-		m.depth.Add(-1)
+		// The job may already have been popped by a worker that has not
+		// yet observed the state (run discards it then); only a job still
+		// queued moves the gauge here.
+		m.removeQueuedLocked(j)
+		if t, tok := m.tenants[j.tenant]; tok {
+			t.finished++
+		}
 		r := j.recordLocked()
 		rec = &r
 	case JobRunning:
@@ -552,22 +615,86 @@ func (m *jobManager) cancelJob(id string) (j *job, prior JobState, ok bool) {
 		}
 	}
 	j.mu.Unlock()
+	m.mu.Unlock()
 	if rec != nil {
+		m.publishState(rec.ID, rec.Tenant, JobCancelled, rec.Error)
 		m.persist.jobTerminal(*rec)
 	}
 	return j, prior, true
 }
 
+// removeQueuedLocked drops j from its tenant's queue if still present and
+// reports whether it was. Caller holds m.mu.
+func (m *jobManager) removeQueuedLocked(j *job) bool {
+	t, ok := m.tenants[j.tenant]
+	if !ok {
+		return false
+	}
+	for i, q := range t.queue {
+		if q == j {
+			t.queue = append(t.queue[:i], t.queue[i+1:]...)
+			m.totalQueued--
+			return true
+		}
+	}
+	return false
+}
+
 func (m *jobManager) worker() {
 	defer m.wg.Done()
 	for {
-		select {
-		case <-m.baseCtx.Done():
+		j := m.nextJob()
+		if j == nil {
 			return
-		case j := <-m.queue:
-			m.run(j)
+		}
+		m.run(j)
+	}
+}
+
+// nextJob blocks until the fair-share scheduler yields a job or the
+// manager closes (nil then). Popping the job, decrementing the queue
+// gauge and incrementing the tenant's running count are one atomic step.
+func (m *jobManager) nextJob() *job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.closed {
+			return nil
+		}
+		if t := m.pickLocked(); t != nil {
+			j := t.queue[0]
+			copy(t.queue, t.queue[1:])
+			t.queue[len(t.queue)-1] = nil
+			t.queue = t.queue[:len(t.queue)-1]
+			m.totalQueued--
+			t.running++
+			m.pickTick++
+			t.lastPick = m.pickTick
+			return j
+		}
+		m.cond.Wait()
+	}
+}
+
+// releaseRun returns a popped job's worker slot to its tenant. finished
+// marks jobs that reached a terminal state in run (a job cancelled
+// between pop and run start was already counted by cancelJob);
+// minedMillis, when positive, feeds the Retry-After duration estimate.
+func (m *jobManager) releaseRun(j *job, minedMillis int64, finished bool) {
+	m.mu.Lock()
+	if t, ok := m.tenants[j.tenant]; ok {
+		if t.running > 0 {
+			t.running--
+		}
+		if finished {
+			t.finished++
 		}
 	}
+	if minedMillis > 0 {
+		m.noteJobDurationLocked(minedMillis)
+	}
+	m.cond.Signal()
+	m.mu.Unlock()
 }
 
 // docSize measures a result document's serialized size — the byte cost
@@ -610,8 +737,9 @@ func resultKey(fingerprint string, shards int, req MiningRequest) string {
 func (m *jobManager) run(j *job) {
 	g := j.ds.view()
 	j.mu.Lock()
-	if j.state != JobQueued { // cancelled while waiting in the queue
+	if j.state != JobQueued { // cancelled between pop and here
 		j.mu.Unlock()
+		m.releaseRun(j, 0, false)
 		return
 	}
 	ctx, cancel := context.WithCancel(m.baseCtx)
@@ -619,9 +747,9 @@ func (m *jobManager) run(j *job) {
 	j.startedAt = time.Now()
 	j.cancel = cancel
 	j.fp = g.fingerprint
-	m.depth.Add(-1)
 	j.mu.Unlock()
 	defer cancel()
+	m.publishState(j.id, j.tenant, JobRunning, "")
 
 	// Completed-job cache: an identical (dataset content, options) job
 	// returns the memoized document without preparing or mining anything.
@@ -645,18 +773,34 @@ func (m *jobManager) run(j *job) {
 			j.summary = &sum
 		}
 		rec := j.recordLocked()
+		state, errMsg := j.state, j.errMsg
+		millis := j.finishedAt.Sub(j.startedAt).Milliseconds()
 		j.mu.Unlock()
+		m.publishState(j.id, j.tenant, state, errMsg)
 		m.persist.jobTerminal(rec)
+		m.releaseRun(j, millis, true)
 		return
 	}
 
 	opt := j.req.options()
-	// The worker budget divides GOMAXPROCS among running jobs: the grant
-	// replaces the per-job clamp for the lifetime of this run.
-	workers := m.budget.acquire(opt.Workers)
-	defer m.budget.release()
+	// The fair-share budget grants the job its tenant's share of
+	// GOMAXPROCS at admission, and the miner renegotiates the grant at
+	// every level boundary — a tenant arriving mid-run reclaims its share
+	// without waiting for this job to finish.
+	requested := opt.Workers
+	workers := m.grantFor(j.tenant, requested)
 	opt.Workers = workers
+	if requested > 0 {
+		opt.WorkersFunc = func(int) int { return m.grantFor(j.tenant, requested) }
+	}
 	opt.Progress = func(ls ftpm.LevelStats) {
+		lv := LevelTimingJSON{
+			Level:          ls.K,
+			DurationMillis: ls.Duration.Milliseconds(),
+			Candidates:     ls.Candidates,
+			Patterns:       ls.Patterns,
+			Workers:        ls.Workers,
+		}
 		j.mu.Lock()
 		if ls.K > j.progress.Level {
 			j.progress.Level = ls.K
@@ -665,13 +809,9 @@ func (m *jobManager) run(j *job) {
 		if ls.K >= 2 {
 			j.progress.Patterns += ls.Patterns
 		}
-		j.levels = append(j.levels, LevelTimingJSON{
-			Level:          ls.K,
-			DurationMillis: ls.Duration.Milliseconds(),
-			Candidates:     ls.Candidates,
-			Patterns:       ls.Patterns,
-		})
+		j.levels = append(j.levels, lv)
 		j.mu.Unlock()
+		m.publishProgress(j.id, j.tenant, lv)
 	}
 
 	// Every job — exact, approx, event-level, sharded or not — mines
@@ -721,8 +861,12 @@ func (m *jobManager) run(j *job) {
 		m.results.put(key, &resultEntry{doc: j.doc, summary: *j.summary, size: docSize(j.doc)})
 	}
 	rec := j.recordLocked()
+	state, errMsg := j.state, j.errMsg
+	millis := j.finishedAt.Sub(j.startedAt).Milliseconds()
 	j.mu.Unlock()
+	m.publishState(j.id, j.tenant, state, errMsg)
 	m.persist.jobTerminal(rec)
+	m.releaseRun(j, millis, true)
 }
 
 // info snapshots a job and stamps the current queue depth onto it.
@@ -743,6 +887,7 @@ func (m *jobManager) close() {
 		return
 	}
 	m.closed = true
+	m.cond.Broadcast() // unblock workers waiting for jobs
 	m.mu.Unlock()
 
 	m.stop()
@@ -751,27 +896,85 @@ func (m *jobManager) close() {
 	// All workers are joined: running jobs have already transitioned
 	// (and persisted) via run; only still-queued jobs are swept here.
 	m.mu.Lock()
-	jobs := make([]*job, 0, len(m.byID))
-	for _, j := range m.byID {
-		jobs = append(jobs, j)
-	}
-	m.mu.Unlock()
 	var recs []jobRecord
-	for _, j := range jobs {
+	for _, id := range m.ids {
+		j := m.byID[id]
 		j.mu.Lock()
 		if !j.state.Terminal() {
-			if j.state == JobQueued {
-				m.depth.Add(-1)
-			}
 			j.state = JobCancelled
 			j.finishedAt = time.Now()
+			if t, ok := m.tenants[j.tenant]; ok {
+				t.finished++
+			}
 			recs = append(recs, j.recordLocked())
 		}
 		j.mu.Unlock()
 	}
+	for _, t := range m.tenants {
+		t.queue = nil
+	}
+	m.totalQueued = 0
+	m.mu.Unlock()
 	for _, rec := range recs {
+		// Published before the hub closes (Server.Close closes it after
+		// this returns), so streaming clients see the shutdown
+		// cancellations as ordinary terminal events.
+		m.publishState(rec.ID, rec.Tenant, JobCancelled, rec.Error)
 		m.persist.jobTerminal(rec)
 	}
+}
+
+// tenantMetrics snapshots the per-tenant scheduler gauges and counters.
+func (m *jobManager) tenantMetrics() map[string]TenantMetricsJSON {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.tenants) == 0 {
+		return nil
+	}
+	out := make(map[string]TenantMetricsJSON, len(m.tenants))
+	for name, t := range m.tenants {
+		out[name] = TenantMetricsJSON{
+			Weight:   t.weight,
+			Queued:   len(t.queue),
+			Running:  t.running,
+			Admitted: t.admitted,
+			Finished: t.finished,
+			Shed:     t.shed,
+		}
+	}
+	return out
+}
+
+// page returns up to limit job snapshots strictly after the afterSeq id
+// cursor, in insertion order (ascending job number — insertion order and
+// id order coincide, and terminal-job eviction only removes entries, so a
+// cursor stays stable across appends and evictions). nextAfter is the
+// cursor of the following page ("" when this page is the last).
+func (m *jobManager) page(afterSeq, limit int) (infos []JobInfo, nextAfter string) {
+	m.mu.Lock()
+	var jobs []*job
+	more := false
+	for _, id := range m.ids {
+		if parseSeq(id, "job-") <= afterSeq {
+			continue
+		}
+		if len(jobs) == limit {
+			more = true
+			break
+		}
+		jobs = append(jobs, m.byID[id])
+	}
+	m.mu.Unlock()
+	depth := m.queueDepth()
+	infos = make([]JobInfo, len(jobs))
+	for i, j := range jobs {
+		infos[i] = j.snapshot()
+		infos[i].QueueDepth = depth
+	}
+	if more {
+		nextAfter = jobs[len(jobs)-1].id
+	}
+	return infos, nextAfter
 }
 
 // seqNo returns the highest job sequence number ever issued.

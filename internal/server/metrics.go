@@ -62,12 +62,38 @@ func (c *cacheCounters) snapshot() CacheMetricsJSON {
 }
 
 // LevelTimingJSON is one completed pattern-graph level of a job, sourced
-// from the miner's Options.Progress callback.
+// from the miner's Options.Progress callback. Workers is the effective
+// worker grant the level ran with — under fair-share scheduling it can
+// change between levels as other tenants' jobs arrive or finish.
 type LevelTimingJSON struct {
 	Level          int   `json:"level"`
 	DurationMillis int64 `json:"duration_ms"`
 	Candidates     int   `json:"candidates"`
 	Patterns       int   `json:"patterns"`
+	Workers        int   `json:"workers,omitempty"`
+}
+
+// TenantMetricsJSON is one tenant's slice of the scheduler on /metrics:
+// the queued/running gauges, the fair-share weight, and the lifetime
+// admitted/finished/shed counters (shed counts submits rejected by the
+// tenant's queued quota with 429).
+type TenantMetricsJSON struct {
+	Weight   int   `json:"weight"`
+	Queued   int   `json:"queued"`
+	Running  int   `json:"running"`
+	Admitted int64 `json:"admitted"`
+	Finished int64 `json:"finished"`
+	Shed     int64 `json:"shed"`
+}
+
+// EventsMetricsJSON gauges the job-event hub: events published, current
+// and lifetime subscriber counts, and events dropped on slow consumers'
+// full buffers.
+type EventsMetricsJSON struct {
+	Published       uint64 `json:"published"`
+	Subscribers     int    `json:"subscribers"`
+	EverSubscribers uint64 `json:"ever_subscribers"`
+	Dropped         uint64 `json:"dropped"`
 }
 
 // JobMetricsJSON is the per-job slice of the metrics document: the level
@@ -110,6 +136,11 @@ type MetricsJSON struct {
 	QueueDepth int              `json:"queue_depth"`
 	JobStates  map[string]int   `json:"job_states"`
 	Cache      CacheMetricsJSON `json:"cache"`
+	// Tenants reports the per-tenant scheduler state; absent until the
+	// first job is submitted.
+	Tenants map[string]TenantMetricsJSON `json:"tenants,omitempty"`
+	// Events gauges the job-event broadcast hub.
+	Events EventsMetricsJSON `json:"events"`
 	// Appends gauges the incremental-append path.
 	Appends AppendMetricsJSON `json:"appends"`
 	// ResultCacheEntries and ResultCacheBytes gauge the completed-job
@@ -143,7 +174,9 @@ func (m *jobManager) metrics() MetricsJSON {
 		QueueDepth: m.queueDepth(),
 		JobStates:  make(map[string]int),
 		Cache:      m.counters.snapshot(),
+		Tenants:    m.tenantMetrics(),
 	}
+	doc.Events.Published, doc.Events.Subscribers, doc.Events.EverSubscribers, doc.Events.Dropped = m.hub.Stats()
 	doc.ResultCacheEntries, doc.ResultCacheBytes = m.results.stats()
 	windowStart := len(jobs) - metricsJobWindow
 	for i, j := range jobs {

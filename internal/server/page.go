@@ -1,0 +1,97 @@
+package server
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Unified list pagination: /v1/datasets, /v1/jobs and
+// /v1/jobs/{id}/patterns share one limit/page_token contract. Tokens are
+// opaque base64url strings; inside, list cursors are "a:<id>" (resume
+// strictly after that id — stable across appends and evictions because
+// list order is insertion order and ids are monotone) and pattern cursors
+// are "o:<offset>" (patterns of one job are an immutable array, so an
+// offset cursor cannot drift).
+
+// defaultPageLimit / maxPageLimit bound the limit query parameter of
+// every paged endpoint.
+const (
+	defaultPageLimit = 100
+	maxPageLimit     = 10000
+)
+
+// encodeAfterToken builds the page token resuming strictly after id.
+func encodeAfterToken(id string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte("a:" + id))
+}
+
+// encodeOffsetToken builds the page token resuming at a pattern offset.
+func encodeOffsetToken(offset int) string {
+	return base64.RawURLEncoding.EncodeToString([]byte("o:" + strconv.Itoa(offset)))
+}
+
+// decodePageToken splits a token into its cursor kind ('a' or 'o') and
+// value.
+func decodePageToken(tok string) (kind byte, value string, err error) {
+	raw, err := base64.RawURLEncoding.DecodeString(tok)
+	if err != nil {
+		return 0, "", fmt.Errorf("bad page_token")
+	}
+	s := string(raw)
+	i := strings.IndexByte(s, ':')
+	if i != 1 || (s[0] != 'a' && s[0] != 'o') {
+		return 0, "", fmt.Errorf("bad page_token")
+	}
+	return s[0], s[2:], nil
+}
+
+// afterSeqFromToken resolves a list page token to the numeric id cursor
+// it resumes after (0 for an empty token: first page). prefix is the id
+// namespace ("ds-" or "job-").
+func afterSeqFromToken(tok, prefix string) (int, error) {
+	if tok == "" {
+		return 0, nil
+	}
+	kind, val, err := decodePageToken(tok)
+	if err != nil {
+		return 0, err
+	}
+	if kind != 'a' || !strings.HasPrefix(val, prefix) {
+		return 0, fmt.Errorf("bad page_token")
+	}
+	n := parseSeq(val, prefix)
+	if n == 0 {
+		return 0, fmt.Errorf("bad page_token")
+	}
+	return n, nil
+}
+
+// offsetFromToken resolves a patterns page token to its offset.
+func offsetFromToken(tok string) (int, error) {
+	kind, val, err := decodePageToken(tok)
+	if err != nil {
+		return 0, err
+	}
+	if kind != 'o' {
+		return 0, fmt.Errorf("bad page_token")
+	}
+	n, err := strconv.Atoi(val)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad page_token")
+	}
+	return n, nil
+}
+
+// datasetsPage is the JSON body of GET /v1/datasets.
+type datasetsPage struct {
+	Datasets      []DatasetInfo `json:"datasets"`
+	NextPageToken string        `json:"next_page_token,omitempty"`
+}
+
+// jobsPage is the JSON body of GET /v1/jobs.
+type jobsPage struct {
+	Jobs          []JobInfo `json:"jobs"`
+	NextPageToken string    `json:"next_page_token,omitempty"`
+}

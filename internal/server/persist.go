@@ -30,9 +30,12 @@ import (
 //   - Terminal jobs come back with their summaries and result documents
 //     byte-identical; done jobs re-seed the result cache, so a repeat
 //     submission after a restart is still a cache hit.
-//   - Jobs that were queued or running when the process died come back
-//     failed with a distinguishable "lost to restart" error: the service
-//     does not silently re-run (or silently drop) half-finished work.
+//   - Jobs that were queued or running when the process died re-queue
+//     against their tenant (mining is pure, so the re-run is safe and
+//     byte-identical, and the re-queued jobs count against the tenant's
+//     quota immediately — admission control survives restarts). Only live
+//     jobs whose dataset did not survive replay come back failed with a
+//     distinguishable "lost to restart" error.
 //
 // Replay is idempotent — records re-applied over a snapshot that already
 // contains them (possible when a crash lands between snapshot
@@ -59,9 +62,10 @@ const defaultSnapshotEvery = 256
 // reads the whole WAL into memory, so its size must stay bounded.
 const maxWALBytes = 128 << 20
 
-// lostToRestart is the error restored onto jobs that were queued or
-// running when the process died. The wording is part of the API: clients
-// distinguish it from mining failures.
+// lostToRestart is the error restored onto live-at-crash jobs whose
+// dataset did not survive replay (jobs whose dataset is present re-queue
+// instead). The wording is part of the API: clients distinguish it from
+// mining failures.
 const lostToRestart = "lost to restart: the server restarted while the job was queued or running"
 
 // seriesRecord is the persisted form of one symbolic series.
@@ -125,6 +129,11 @@ type appendRecord struct {
 type jobRecord struct {
 	ID      string        `json:"id"`
 	Request MiningRequest `json:"request"`
+	// Tenant is the owning tenant; replay rebuilds per-tenant quota
+	// accounting from it, so admission control (429 + Retry-After)
+	// survives restarts. Empty on records from before tenants existed —
+	// those restore under the default tenant.
+	Tenant string `json:"tenant,omitempty"`
 	// Fingerprint is the content fingerprint of the dataset generation the
 	// job ran against. Appends change a dataset's fingerprint, so restore
 	// must key the re-seeded result cache by the generation the document

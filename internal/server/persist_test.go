@@ -187,48 +187,70 @@ func TestRestartRecoveryE2E(t *testing.T) {
 	}
 }
 
-func TestRestartMarksLiveJobsLost(t *testing.T) {
+// TestRestartRequeuesLiveJobs pins the recovery contract for jobs that
+// were live (queued or running) when the process died: when their dataset
+// survives replay, they re-queue against their tenant and re-run from
+// scratch — mining is pure, so a re-run is safe — instead of coming back
+// failed. Only a live job whose dataset did not survive is lost.
+func TestRestartRequeuesLiveJobs(t *testing.T) {
 	dir := t.TempDir()
 	srv1, ts1 := testServer(t, Options{Workers: 1, DataDir: dir})
-	info := uploadCSV(t, ts1.URL, "name=slow&threshold=0.5", slowCSV(4, 12000))
+	info := uploadCSV(t, ts1.URL, "name=small&threshold=0.5", smallCSV())
+	gone := uploadCSV(t, ts1.URL, "name=doomed&threshold=0.5", smallCSV())
+	slow := uploadCSV(t, ts1.URL, "name=slow&threshold=0.5", slowCSV(4, 12000))
 
 	req := MiningRequest{
-		DatasetID: info.ID, MinSupport: 0.1, MinConfidence: 0,
+		DatasetID: slow.ID, MinSupport: 0.1, MinConfidence: 0,
 		NumWindows: 6, MaxPatternSize: 2, Workers: 1,
 	}
 	running := submitJob(t, ts1.URL, req)
 	waitState(t, ts1.URL, running.ID, 10*time.Second, func(j JobInfo) bool { return j.State == JobRunning })
-	queuedReq := req
-	queuedReq.MinSupport = 0.2
-	queued := submitJob(t, ts1.URL, queuedReq)
+	queued := submitJob(t, ts1.URL, MiningRequest{
+		DatasetID: info.ID, MinSupport: 0.2, MinConfidence: 0,
+		NumWindows: 2, MaxPatternSize: 2,
+	})
+	// A queued job whose dataset is removed before the crash cannot
+	// re-run after replay.
+	orphan := submitJob(t, ts1.URL, MiningRequest{
+		DatasetID: gone.ID, MinSupport: 0.2, MinConfidence: 0,
+		NumWindows: 2, MaxPatternSize: 2,
+	})
+	if code := doJSON(t, http.MethodDelete, ts1.URL+"/datasets/"+gone.ID, nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete doomed dataset: status %d", code)
+	}
 
 	// The process dies: no terminal sweep, no final snapshot.
 	crash(srv1)
-	srv2, ts2 := testServer(t, Options{Workers: 1, DataDir: dir})
-	_ = srv2
+	_, ts2 := testServer(t, Options{Workers: 1, DataDir: dir})
 
+	// The surviving-dataset jobs re-run to done — nothing is lost.
 	for _, id := range []string{running.ID, queued.ID} {
-		var got JobInfo
-		if code := doJSON(t, http.MethodGet, ts2.URL+"/jobs/"+id, nil, &got); code != 200 {
-			t.Fatalf("job %s after crash: status %d", id, code)
+		got := waitState(t, ts2.URL, id, 60*time.Second, func(j JobInfo) bool { return j.State.Terminal() })
+		if got.State != JobDone {
+			t.Fatalf("requeued job %s after crash = %s (%q), want done", id, got.State, got.Error)
 		}
-		if got.State != JobFailed {
-			t.Fatalf("job %s after crash = %s, want failed", id, got.State)
-		}
-		if !strings.Contains(got.Error, "lost to restart") {
-			t.Fatalf("job %s error = %q, want a distinguishable lost-to-restart error", id, got.Error)
+		if got.Tenant != DefaultTenant {
+			t.Fatalf("requeued job %s tenant = %q, want %q", id, got.Tenant, DefaultTenant)
 		}
 	}
-	// Lost jobs are terminal bookkeeping, not backlog.
+	// The orphan comes back failed with a distinguishable error.
+	var got JobInfo
+	if code := doJSON(t, http.MethodGet, ts2.URL+"/jobs/"+orphan.ID, nil, &got); code != 200 {
+		t.Fatalf("orphan job after crash: status %d", code)
+	}
+	if got.State != JobFailed || !strings.Contains(got.Error, "lost to restart") {
+		t.Fatalf("orphan job after crash = %s (%q), want failed lost-to-restart", got.State, got.Error)
+	}
+
 	var m MetricsJSON
 	if code := doJSON(t, http.MethodGet, ts2.URL+"/metrics", nil, &m); code != 200 {
 		t.Fatal("metrics after crash")
 	}
 	if m.QueueDepth != 0 {
-		t.Fatalf("queue_depth after crash recovery = %d, want 0", m.QueueDepth)
+		t.Fatalf("queue_depth after recovery jobs finished = %d, want 0", m.QueueDepth)
 	}
-	if m.JobStates[string(JobFailed)] != 2 {
-		t.Fatalf("job_states after crash = %v, want 2 failed", m.JobStates)
+	if m.JobStates[string(JobFailed)] != 1 || m.JobStates[string(JobDone)] != 2 {
+		t.Fatalf("job_states after crash = %v, want 2 done + 1 failed", m.JobStates)
 	}
 }
 
@@ -251,7 +273,7 @@ func TestGracefulShutdownPersistsCancellations(t *testing.T) {
 		t.Fatal(err)
 	}
 	ds := srv1.reg.add("a", sdb, 1, 0.5)
-	j, err := srv1.jobs.submit(ds, MiningRequest{DatasetID: ds.id, MinSupport: 0.5, NumWindows: 2})
+	j, err := srv1.jobs.submit(ds, MiningRequest{DatasetID: ds.id, MinSupport: 0.5, NumWindows: 2}, DefaultTenant)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,8 +317,8 @@ func TestTornWALTailRecoveryEndToEnd(t *testing.T) {
 
 	_, ts2 := testServer(t, Options{Workers: 1, DataDir: dir})
 	// The torn record was the job's terminal transition — the newest
-	// event — so the job survives as submitted and finalizes to lost,
-	// while the dataset and everything before the tear replay intact.
+	// event — so the job replays as live; its dataset survived the tear,
+	// so it re-queues and re-runs to done rather than coming back lost.
 	var ds DatasetInfo
 	if code := doJSON(t, http.MethodGet, ts2.URL+"/datasets/"+info.ID, nil, &ds); code != 200 {
 		t.Fatalf("dataset after torn-tail recovery: status %d", code)
@@ -304,12 +326,9 @@ func TestTornWALTailRecoveryEndToEnd(t *testing.T) {
 	if ds.Name != "energy" || ds.Samples != info.Samples {
 		t.Fatalf("dataset after torn-tail recovery = %+v", ds)
 	}
-	var job JobInfo
-	if code := doJSON(t, http.MethodGet, ts2.URL+"/jobs/"+done.ID, nil, &job); code != 200 {
-		t.Fatalf("job after torn-tail recovery: status %d", code)
-	}
-	if job.State != JobFailed || !strings.Contains(job.Error, "lost to restart") {
-		t.Fatalf("job whose terminal record was torn = %s (%q), want lost to restart", job.State, job.Error)
+	rerun := waitState(t, ts2.URL, done.ID, 30*time.Second, func(j JobInfo) bool { return j.State.Terminal() })
+	if rerun.State != JobDone || rerun.Summary == nil || rerun.Summary.Patterns == 0 {
+		t.Fatalf("job whose terminal record was torn = %s (%q), want re-mined to done", rerun.State, rerun.Error)
 	}
 
 	// A tear before the terminal record only costs the tail: rerun the
@@ -374,9 +393,9 @@ func TestSnapshotCompactionAndGauges(t *testing.T) {
 	// The compacted state replays: 4 datasets, the removed two gone, and
 	// removed ids never reissued.
 	_, ts2 := testServer(t, Options{Workers: 1, DataDir: dir, SnapshotEvery: 4})
-	var list []DatasetInfo
-	if code := doJSON(t, http.MethodGet, ts2.URL+"/datasets", nil, &list); code != 200 || len(list) != 4 {
-		t.Fatalf("datasets after compacted restart = %d (%d)", len(list), code)
+	var list datasetsPage
+	if code := doJSON(t, http.MethodGet, ts2.URL+"/datasets", nil, &list); code != 200 || len(list.Datasets) != 4 {
+		t.Fatalf("datasets after compacted restart = %d (%d)", len(list.Datasets), code)
 	}
 	fresh := uploadCSV(t, ts2.URL, "name=later&threshold=0.5", smallCSV())
 	if fresh.ID != "ds-7" {

@@ -420,3 +420,22 @@ func (r *registry) list() []DatasetInfo {
 	}
 	return out
 }
+
+// page returns up to limit dataset infos strictly after the afterSeq id
+// cursor, in insertion order (id order — ids are monotone, removals only
+// delete entries, so a cursor stays stable across appends and removals).
+// nextAfter is the id cursor of the following page ("" on the last).
+func (r *registry) page(afterSeq, limit int) (infos []DatasetInfo, nextAfter string) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, id := range r.ids {
+		if parseSeq(id, "ds-") <= afterSeq {
+			continue
+		}
+		if len(infos) == limit {
+			return infos, infos[len(infos)-1].ID
+		}
+		infos = append(infos, r.byID[id].info())
+	}
+	return infos, ""
+}

@@ -7,6 +7,7 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"net/url"
 	"runtime"
 	"strconv"
 	"strings"
@@ -15,6 +16,7 @@ import (
 	"ftpm"
 	"ftpm/internal/csvio"
 	"ftpm/internal/par"
+	"ftpm/internal/server/events"
 )
 
 // Options configures a Server.
@@ -50,6 +52,21 @@ type Options struct {
 	// WAL once this many records accumulate since the previous one.
 	// Defaults to 256. Ignored without DataDir.
 	SnapshotEvery int
+	// TenantMaxQueued caps one tenant's queued jobs: submits beyond it
+	// are shed with 429 + Retry-After while other tenants keep
+	// submitting. Defaults to QueueDepth (per-tenant admission then only
+	// binds when several tenants share the service).
+	TenantMaxQueued int
+	// TenantMaxRunning caps one tenant's concurrently running jobs; 0
+	// (the default) leaves tenants bounded only by the worker pool and
+	// fair-share scheduling.
+	TenantMaxRunning int
+	// TenantWeights sets per-tenant fair-share weights for worker
+	// scheduling and the worker-budget split; tenants not listed weigh 1.
+	TenantWeights map[string]int
+	// EventRing is how many recent job events the broadcast hub retains
+	// for Last-Event-ID resume. Defaults to 1024.
+	EventRing int
 	// Logger, when non-nil, receives one line per request and job
 	// transition.
 	Logger *log.Logger
@@ -61,6 +78,7 @@ type Server struct {
 	opts    Options
 	reg     *registry
 	jobs    *jobManager
+	hub     *events.Hub
 	persist *persister // nil when Options.DataDir is unset
 	closed  atomic.Bool
 
@@ -94,6 +112,9 @@ func New(opts Options) (*Server, error) {
 	if opts.DefaultShards > maxShards {
 		opts.DefaultShards = maxShards
 	}
+	if opts.EventRing <= 0 {
+		opts.EventRing = 1024
+	}
 	s := &Server{opts: opts}
 	var recovered *recoveredState
 	if opts.DataDir != "" {
@@ -103,8 +124,13 @@ func New(opts Options) (*Server, error) {
 			return nil, err
 		}
 	}
+	s.hub = events.NewHub(opts.EventRing)
 	s.reg = newRegistry(s.persist)
-	s.jobs = newJobManager(opts.Workers, opts.QueueDepth, s.persist)
+	s.jobs = newJobManager(opts.Workers, opts.QueueDepth, s.persist, s.hub, qosOptions{
+		maxQueued:  opts.TenantMaxQueued,
+		maxRunning: opts.TenantMaxRunning,
+		weights:    opts.TenantWeights,
+	})
 	if recovered != nil {
 		if err := s.restore(recovered); err != nil {
 			s.jobs.close()
@@ -168,7 +194,19 @@ func (s *Server) snapshotState() snapshotRecord {
 func (s *Server) Close() {
 	s.closed.Store(true)
 	s.jobs.close()
+	// Closed after the job manager so the shutdown cancellations publish
+	// to streaming clients before their channels close.
+	s.hub.Close()
 	s.persist.close()
+}
+
+// CloseStreams ends every open event stream (their subscriber channels
+// close and the handlers return). Graceful HTTP shutdown wires this into
+// http.Server.RegisterOnShutdown: Shutdown waits for in-flight handlers,
+// and an SSE handler would otherwise hold its connection open until the
+// shutdown deadline.
+func (s *Server) CloseStreams() {
+	s.hub.Close()
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -177,9 +215,28 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// apiError is the JSON error envelope.
+// Stable machine-readable error codes of the uniform envelope. Every
+// non-2xx response body is {"error":{"code":..., "message":...}}; clients
+// branch on the code, humans read the message.
+const (
+	codeInvalidArgument  = "invalid_argument"   // 400
+	codeNotFound         = "not_found"          // 404
+	codeMethodNotAllowed = "method_not_allowed" // 405
+	codeConflict         = "conflict"           // 409
+	codePayloadTooLarge  = "payload_too_large"  // 413
+	codeQuotaExceeded    = "quota_exceeded"     // 429
+	codeUnavailable      = "unavailable"        // 503
+)
+
+// apiErrorBody is the inner object of the error envelope.
+type apiErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// apiError is the JSON error envelope shared by every error response.
 type apiError struct {
-	Error string `json:"error"`
+	Error apiErrorBody `json:"error"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -190,69 +247,116 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+// writeError is the single place error responses are written; the
+// envelope vet test enforces that no handler bypasses it.
+func writeError(w http.ResponseWriter, status int, code string, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: apiErrorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
 // ServeHTTP routes requests by hand on net/http only, so the server works
-// identically across toolchain versions.
+// identically across toolchain versions. The canonical surface lives
+// under /v1; the original unversioned paths answer identically but carry
+// Deprecation and successor-version Link headers. The event streams are
+// v1-only — they postdate the unversioned surface, so aliasing them would
+// grow the deprecated API.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	seg := strings.Split(strings.Trim(r.URL.Path, "/"), "/")
+	v1 := len(seg) > 0 && seg[0] == "v1"
+	if v1 {
+		seg = seg[1:]
+	} else if len(seg) > 0 && seg[0] != "" {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "</v1"+r.URL.Path+">; rel=\"successor-version\"")
+	}
 	switch {
 	case len(seg) == 1 && seg[0] == "healthz":
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	case len(seg) == 1 && seg[0] == "metrics":
 		if r.Method != http.MethodGet {
-			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+			writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "method %s not allowed", r.Method)
 			return
 		}
 		writeJSON(w, http.StatusOK, s.metricsDoc())
-	case seg[0] == "datasets" && len(seg) <= 3:
+	case v1 && len(seg) == 1 && seg[0] == "events":
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "method %s not allowed", r.Method)
+			return
+		}
+		s.handleEvents(w, r, "")
+	case len(seg) >= 1 && seg[0] == "datasets" && len(seg) <= 3:
 		s.routeDatasets(w, r, seg[1:])
-	case seg[0] == "jobs" && len(seg) <= 3:
-		s.routeJobs(w, r, seg[1:])
+	case len(seg) >= 1 && seg[0] == "jobs" && len(seg) <= 3:
+		s.routeJobs(w, r, seg[1:], v1)
 	default:
-		writeError(w, http.StatusNotFound, "no such route: %s %s", r.Method, r.URL.Path)
+		writeError(w, http.StatusNotFound, codeNotFound, "no such route: %s %s", r.Method, r.URL.Path)
 	}
+}
+
+// pageParams parses the shared limit/page_token pagination parameters.
+func pageParams(q url.Values) (limit int, token string, err error) {
+	limit = defaultPageLimit
+	if v := q.Get("limit"); v != "" {
+		n, convErr := strconv.Atoi(v)
+		if convErr != nil || n <= 0 || n > maxPageLimit {
+			return 0, "", fmt.Errorf("bad limit %q (want 1..%d)", v, maxPageLimit)
+		}
+		limit = n
+	}
+	return limit, q.Get("page_token"), nil
 }
 
 func (s *Server) routeDatasets(w http.ResponseWriter, r *http.Request, rest []string) {
 	switch {
 	case len(rest) == 0 && r.Method == http.MethodPost:
 		if s.closed.Load() {
-			writeError(w, http.StatusServiceUnavailable, "server shutting down")
+			writeError(w, http.StatusServiceUnavailable, codeUnavailable, "server shutting down")
 			return
 		}
 		s.handleUploadDataset(w, r)
 	case len(rest) == 0 && r.Method == http.MethodGet:
-		writeJSON(w, http.StatusOK, s.reg.list())
+		limit, token, err := pageParams(r.URL.Query())
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeInvalidArgument, "%v", err)
+			return
+		}
+		after, err := afterSeqFromToken(token, "ds-")
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeInvalidArgument, "%v", err)
+			return
+		}
+		infos, next := s.reg.page(after, limit)
+		page := datasetsPage{Datasets: infos}
+		if next != "" {
+			page.NextPageToken = encodeAfterToken(next)
+		}
+		writeJSON(w, http.StatusOK, page)
 	case len(rest) == 1 && r.Method == http.MethodGet:
 		ds, ok := s.reg.get(rest[0])
 		if !ok {
-			writeError(w, http.StatusNotFound, "no such dataset: %s", rest[0])
+			writeError(w, http.StatusNotFound, codeNotFound, "no such dataset: %s", rest[0])
 			return
 		}
 		writeJSON(w, http.StatusOK, ds.info())
 	case len(rest) == 1 && r.Method == http.MethodDelete:
 		if s.closed.Load() {
-			writeError(w, http.StatusServiceUnavailable, "server shutting down")
+			writeError(w, http.StatusServiceUnavailable, codeUnavailable, "server shutting down")
 			return
 		}
 		if !s.reg.remove(rest[0]) {
-			writeError(w, http.StatusNotFound, "no such dataset: %s", rest[0])
+			writeError(w, http.StatusNotFound, codeNotFound, "no such dataset: %s", rest[0])
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	case len(rest) == 2 && rest[1] == "append" && r.Method == http.MethodPost:
 		if s.closed.Load() {
-			writeError(w, http.StatusServiceUnavailable, "server shutting down")
+			writeError(w, http.StatusServiceUnavailable, codeUnavailable, "server shutting down")
 			return
 		}
 		s.handleAppendDataset(w, r, rest[0])
 	case len(rest) == 2 && rest[1] != "append":
-		writeError(w, http.StatusNotFound, "no such route: %s %s", r.Method, r.URL.Path)
+		writeError(w, http.StatusNotFound, codeNotFound, "no such route: %s %s", r.Method, r.URL.Path)
 	default:
-		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "method %s not allowed", r.Method)
 	}
 }
 
@@ -280,7 +384,7 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("shards"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 || n > maxShards {
-			writeError(w, http.StatusBadRequest, "bad shards %q (want 1..%d)", v, maxShards)
+			writeError(w, http.StatusBadRequest, codeInvalidArgument, "bad shards %q (want 1..%d)", v, maxShards)
 			return
 		}
 		shards = n
@@ -295,7 +399,7 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 		var err error
 		threshold, err = strconv.ParseFloat(v, 64)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad threshold: %v", err)
+			writeError(w, http.StatusBadRequest, codeInvalidArgument, "bad threshold: %v", err)
 			return
 		}
 	}
@@ -304,7 +408,7 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 	// comparison against NaN is false (all-Off symbols) and infinities
 	// pin one symbol — silent garbage, not a usable mapping.
 	if math.IsNaN(threshold) || math.IsInf(threshold, 0) {
-		writeError(w, http.StatusBadRequest, "bad threshold %v: must be finite", threshold)
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, "bad threshold %v: must be finite", threshold)
 		return
 	}
 
@@ -320,16 +424,16 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 	case "symbolic":
 		sdb, err = csvio.ReadSymbolic(body)
 	default:
-		writeError(w, http.StatusBadRequest, "unknown format %q (want numeric or symbolic)", format)
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, "unknown format %q (want numeric or symbolic)", format)
 		return
 	}
 	if err != nil {
-		status := http.StatusBadRequest
+		status, code := http.StatusBadRequest, codeInvalidArgument
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			status = http.StatusRequestEntityTooLarge
+			status, code = http.StatusRequestEntityTooLarge, codePayloadTooLarge
 		}
-		writeError(w, status, "ingest failed: %v", err)
+		writeError(w, status, code, "ingest failed: %v", err)
 		return
 	}
 
@@ -356,103 +460,148 @@ func symbolizeConcurrent(series []*ftpm.TimeSeries, threshold float64, workers i
 	return ftpm.NewSymbolicDB(out...)
 }
 
-func (s *Server) routeJobs(w http.ResponseWriter, r *http.Request, rest []string) {
+func (s *Server) routeJobs(w http.ResponseWriter, r *http.Request, rest []string, v1 bool) {
 	switch {
 	case len(rest) == 0 && r.Method == http.MethodPost:
 		s.handleSubmitJob(w, r)
 	case len(rest) == 0 && r.Method == http.MethodGet:
-		writeJSON(w, http.StatusOK, s.jobs.list())
+		limit, token, err := pageParams(r.URL.Query())
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeInvalidArgument, "%v", err)
+			return
+		}
+		after, err := afterSeqFromToken(token, "job-")
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeInvalidArgument, "%v", err)
+			return
+		}
+		infos, next := s.jobs.page(after, limit)
+		page := jobsPage{Jobs: infos}
+		if next != "" {
+			page.NextPageToken = encodeAfterToken(next)
+		}
+		writeJSON(w, http.StatusOK, page)
 	case len(rest) == 1 && r.Method == http.MethodGet:
 		j, ok := s.jobs.get(rest[0])
 		if !ok {
-			writeError(w, http.StatusNotFound, "no such job: %s", rest[0])
+			writeError(w, http.StatusNotFound, codeNotFound, "no such job: %s", rest[0])
 			return
 		}
 		writeJSON(w, http.StatusOK, s.jobs.info(j))
 	case len(rest) == 1 && r.Method == http.MethodDelete:
 		j, prior, ok := s.jobs.cancelJob(rest[0])
 		if !ok {
-			writeError(w, http.StatusNotFound, "no such job: %s", rest[0])
+			writeError(w, http.StatusNotFound, codeNotFound, "no such job: %s", rest[0])
 			return
 		}
 		if prior.Terminal() {
 			// A 202 here would imply a cancellation was requested; the
 			// job is already finished and stays untouched.
-			writeError(w, http.StatusConflict, "job %s is already %s; only queued or running jobs can be cancelled", rest[0], prior)
+			writeError(w, http.StatusConflict, codeConflict, "job %s is already %s; only queued or running jobs can be cancelled", rest[0], prior)
 			return
 		}
 		s.logf("job %s cancellation requested", rest[0])
 		writeJSON(w, http.StatusAccepted, s.jobs.info(j))
+	case len(rest) == 2 && rest[1] == "events" && r.Method == http.MethodGet:
+		if !v1 {
+			// The streams postdate the unversioned surface; no legacy alias.
+			writeError(w, http.StatusNotFound, codeNotFound, "no such route: %s %s (events are served under /v1)", r.Method, r.URL.Path)
+			return
+		}
+		s.handleEvents(w, r, rest[0])
 	case len(rest) == 2 && rest[1] == "patterns" && r.Method == http.MethodGet:
 		s.handlePatterns(w, r, rest[0])
 	case len(rest) == 2 && rest[1] == "result" && r.Method == http.MethodGet:
 		s.handleResult(w, r, rest[0])
 	default:
-		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "method %s not allowed", r.Method)
 	}
 }
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	tenant, ok := tenantOf(r.Header.Get(tenantHeader))
+	if !ok {
+		writeError(w, http.StatusBadRequest, codeInvalidArgument,
+			"bad %s header %q (want 1..%d chars of [A-Za-z0-9._-])", tenantHeader, r.Header.Get(tenantHeader), maxTenantName)
+		return
+	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	var req MiningRequest
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad job request: %v", err)
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, "bad job request: %v", err)
 		return
 	}
 	if err := req.validate(); err != nil {
-		writeError(w, http.StatusBadRequest, "bad job request: %v", err)
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, "bad job request: %v", err)
 		return
 	}
 	ds, ok := s.reg.get(req.DatasetID)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such dataset: %s", req.DatasetID)
+		writeError(w, http.StatusNotFound, codeNotFound, "no such dataset: %s", req.DatasetID)
 		return
 	}
-	j, err := s.jobs.submit(ds, req)
+	j, err := s.jobs.submit(ds, req, tenant)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		var quota errQuotaExceeded
+		if errors.As(err, &quota) {
+			w.Header().Set("Retry-After", strconv.Itoa(quota.retryAfter))
+			writeError(w, http.StatusTooManyRequests, codeQuotaExceeded, "%v", err)
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, codeUnavailable, "%v", err)
 		return
 	}
-	s.logf("job %s submitted on %s (σ=%v δ=%v approx=%v)",
-		j.id, req.DatasetID, req.MinSupport, req.MinConfidence, req.Approx != nil)
+	s.logf("job %s submitted on %s by tenant %s (σ=%v δ=%v approx=%v)",
+		j.id, req.DatasetID, tenant, req.MinSupport, req.MinConfidence, req.Approx != nil)
 	writeJSON(w, http.StatusAccepted, s.jobs.info(j))
 }
 
-// patternsPage is the JSON body of GET /jobs/{id}/patterns.
+// patternsPage is the JSON body of GET /jobs/{id}/patterns. It carries
+// both cursor styles: the original offset/next_offset pair and the
+// unified next_page_token (feed it back as ?page_token=).
 type patternsPage struct {
-	JobID      string             `json:"job_id"`
-	Total      int                `json:"total"`
-	Offset     int                `json:"offset"`
-	Limit      int                `json:"limit"`
-	NextOffset *int               `json:"next_offset,omitempty"`
-	Patterns   []ftpm.PatternJSON `json:"patterns"`
+	JobID         string             `json:"job_id"`
+	Total         int                `json:"total"`
+	Offset        int                `json:"offset"`
+	Limit         int                `json:"limit"`
+	NextOffset    *int               `json:"next_offset,omitempty"`
+	NextPageToken string             `json:"next_page_token,omitempty"`
+	Patterns      []ftpm.PatternJSON `json:"patterns"`
 }
 
 // handlePatterns pages through a done job's patterns. With
 // ?format=ndjson (or Accept: application/x-ndjson) the page streams as
-// one JSON document per line instead of a wrapped array.
+// one JSON document per line instead of a wrapped array. ?page_token=
+// (from a previous page's next_page_token) wins over ?offset=.
 func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request, id string) {
 	j, ok := s.jobs.get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such job: %s", id)
+		writeError(w, http.StatusNotFound, codeNotFound, "no such job: %s", id)
 		return
 	}
 	doc, state := j.document()
 	if state != JobDone {
-		writeError(w, http.StatusConflict, "job %s is %s; patterns are available once it is done", id, state)
+		writeError(w, http.StatusConflict, codeConflict, "job %s is %s; patterns are available once it is done", id, state)
 		return
 	}
 
 	q := r.URL.Query()
 	offset, err := intParam(q.Get("offset"), 0)
 	if err != nil || offset < 0 {
-		writeError(w, http.StatusBadRequest, "bad offset %q", q.Get("offset"))
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, "bad offset %q", q.Get("offset"))
 		return
 	}
-	limit, err := intParam(q.Get("limit"), 100)
-	if err != nil || limit <= 0 || limit > 10000 {
-		writeError(w, http.StatusBadRequest, "bad limit %q (want 1..10000)", q.Get("limit"))
+	if tok := q.Get("page_token"); tok != "" {
+		offset, err = offsetFromToken(tok)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeInvalidArgument, "%v", err)
+			return
+		}
+	}
+	limit, err := intParam(q.Get("limit"), defaultPageLimit)
+	if err != nil || limit <= 0 || limit > maxPageLimit {
+		writeError(w, http.StatusBadRequest, codeInvalidArgument, "bad limit %q (want 1..%d)", q.Get("limit"), maxPageLimit)
 		return
 	}
 
@@ -481,6 +630,7 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request, id strin
 	if end < total {
 		next := end
 		resp.NextOffset = &next
+		resp.NextPageToken = encodeOffsetToken(end)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -490,12 +640,12 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request, id strin
 func (s *Server) handleResult(w http.ResponseWriter, _ *http.Request, id string) {
 	j, ok := s.jobs.get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such job: %s", id)
+		writeError(w, http.StatusNotFound, codeNotFound, "no such job: %s", id)
 		return
 	}
 	doc, state := j.document()
 	if state != JobDone {
-		writeError(w, http.StatusConflict, "job %s is %s; the result is available once it is done", id, state)
+		writeError(w, http.StatusConflict, codeConflict, "job %s is %s; the result is available once it is done", id, state)
 		return
 	}
 	writeJSON(w, http.StatusOK, doc)

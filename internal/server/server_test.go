@@ -140,8 +140,8 @@ func TestEndToEndMineAndPage(t *testing.T) {
 		t.Fatalf("dataset info = %+v", info)
 	}
 
-	var list []DatasetInfo
-	if code := doJSON(t, http.MethodGet, ts.URL+"/datasets", nil, &list); code != 200 || len(list) != 1 {
+	var list datasetsPage
+	if code := doJSON(t, http.MethodGet, ts.URL+"/datasets", nil, &list); code != 200 || len(list.Datasets) != 1 {
 		t.Fatalf("dataset list = %v (%d)", list, code)
 	}
 
@@ -306,8 +306,8 @@ func TestCancelQueuedJob(t *testing.T) {
 	doJSON(t, http.MethodDelete, ts.URL+"/jobs/"+blocker.ID, nil, nil)
 	waitState(t, ts.URL, blocker.ID, 20*time.Second, func(j JobInfo) bool { return j.State.Terminal() })
 
-	var jobs []JobInfo
-	if code := doJSON(t, http.MethodGet, ts.URL+"/jobs", nil, &jobs); code != 200 || len(jobs) != 2 {
+	var jobs jobsPage
+	if code := doJSON(t, http.MethodGet, ts.URL+"/jobs", nil, &jobs); code != 200 || len(jobs.Jobs) != 2 {
 		t.Fatalf("job list = %v (%d)", jobs, code)
 	}
 }
@@ -376,8 +376,8 @@ func TestUploadNonFiniteThreshold(t *testing.T) {
 			t.Errorf("threshold=%s: status %d, want 400", v, code)
 		}
 	}
-	var list []DatasetInfo
-	if code := doJSON(t, http.MethodGet, ts.URL+"/datasets", nil, &list); code != 200 || len(list) != 0 {
+	var list datasetsPage
+	if code := doJSON(t, http.MethodGet, ts.URL+"/datasets", nil, &list); code != 200 || len(list.Datasets) != 0 {
 		t.Fatalf("rejected uploads must register nothing: %v (%d)", list, code)
 	}
 	// Finite thresholds keep working.
@@ -417,8 +417,11 @@ func TestCancelTerminalJobConflict(t *testing.T) {
 	if code := doJSON(t, http.MethodDelete, ts.URL+"/jobs/"+job.ID, nil, &apiErr); code != http.StatusConflict {
 		t.Fatalf("DELETE on done job: status %d, want 409", code)
 	}
-	if !strings.Contains(apiErr.Error, string(JobDone)) {
-		t.Fatalf("conflict error %q must name the terminal state", apiErr.Error)
+	if apiErr.Error.Code != codeConflict {
+		t.Fatalf("conflict error code = %q, want %q", apiErr.Error.Code, codeConflict)
+	}
+	if !strings.Contains(apiErr.Error.Message, string(JobDone)) {
+		t.Fatalf("conflict error %q must name the terminal state", apiErr.Error.Message)
 	}
 	// The job is untouched: still done, result still served.
 	var after JobInfo
@@ -430,10 +433,10 @@ func TestCancelTerminalJobConflict(t *testing.T) {
 	}
 
 	// Cancelled jobs conflict the same way on a second DELETE.
-	m := newJobManager(0, 4, nil)
+	m := newJobManager(0, 4, nil, nil, qosOptions{})
 	defer m.close()
 	ds := &Dataset{id: "d", shards: 1, cur: &dsGen{prep: map[string]*ftpm.Prepared{}}}
-	j, err := m.submit(ds, MiningRequest{DatasetID: "d", MinSupport: 0.5, NumWindows: 2})
+	j, err := m.submit(ds, MiningRequest{DatasetID: "d", MinSupport: 0.5, NumWindows: 2}, DefaultTenant)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -446,16 +449,16 @@ func TestCancelTerminalJobConflict(t *testing.T) {
 }
 
 // TestQueueDepthExcludesCancelled is the regression test for the
-// queue_depth gauge: a job cancelled while queued sits in the channel
-// until a worker pops it, and used to be counted as backlog.
+// queue_depth gauge: a job cancelled while queued leaves its tenant's
+// queue immediately and must not be counted as backlog.
 func TestQueueDepthExcludesCancelled(t *testing.T) {
-	m := newJobManager(0, 8, nil) // no workers: nothing is ever popped
+	m := newJobManager(0, 8, nil, nil, qosOptions{}) // no workers: nothing is ever popped
 	defer m.close()
 	ds := &Dataset{id: "d", shards: 1, cur: &dsGen{prep: map[string]*ftpm.Prepared{}}}
 	req := MiningRequest{DatasetID: "d", MinSupport: 0.5, NumWindows: 2}
 	jobs := make([]*job, 3)
 	for i := range jobs {
-		j, err := m.submit(ds, req)
+		j, err := m.submit(ds, req, DefaultTenant)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -463,10 +466,6 @@ func TestQueueDepthExcludesCancelled(t *testing.T) {
 	}
 	if _, _, ok := m.cancelJob(jobs[1].id); !ok {
 		t.Fatal("cancel failed")
-	}
-	// The cancelled entry is still physically queued but must not count.
-	if len(m.queue) != 3 {
-		t.Fatalf("channel backlog = %d, want 3 (cancelled entry not yet popped)", len(m.queue))
 	}
 	if got := m.queueDepth(); got != 2 {
 		t.Fatalf("queue_depth = %d, want 2", got)
@@ -581,9 +580,18 @@ func TestQueueFullRejection(t *testing.T) {
 			DatasetID: info.ID, MinSupport: 0.1, MinConfidence: 0,
 			NumWindows: 6, MaxPatternSize: 2, Workers: 1,
 		})
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
 		var job JobInfo
-		code := doJSON(t, http.MethodPost, ts.URL+"/jobs", bytes.NewReader(body), &job)
-		return job, code
+		if resp.StatusCode == http.StatusAccepted {
+			if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return job, resp.StatusCode
 	}
 
 	// Fill the single worker and the depth-1 queue, then overflow.
@@ -605,12 +613,12 @@ func TestQueueFullRejection(t *testing.T) {
 	}
 
 	// Rejected submits must not corrupt the job listing.
-	var jobs []JobInfo
+	var jobs jobsPage
 	if code := doJSON(t, http.MethodGet, ts.URL+"/jobs", nil, &jobs); code != 200 {
 		t.Fatalf("job list after rejects: status %d", code)
 	}
-	if len(jobs) != len(accepted) {
-		t.Fatalf("job list has %d entries, want %d accepted", len(jobs), len(accepted))
+	if len(jobs.Jobs) != len(accepted) {
+		t.Fatalf("job list has %d entries, want %d accepted", len(jobs.Jobs), len(accepted))
 	}
 	for _, j := range accepted {
 		doJSON(t, http.MethodDelete, ts.URL+"/jobs/"+j.ID, nil, nil)
@@ -623,13 +631,13 @@ func TestQueueFullRejection(t *testing.T) {
 func TestTerminalJobEviction(t *testing.T) {
 	// No workers: submitted jobs stay queued until cancelled, giving
 	// direct control over terminal states.
-	m := newJobManager(0, maxRetainedJobs+200, nil)
+	m := newJobManager(0, maxRetainedJobs+200, nil, nil, qosOptions{})
 	defer m.close()
 	ds := &Dataset{id: "d", shards: 1, cur: &dsGen{prep: map[string]*ftpm.Prepared{}}}
 	req := MiningRequest{DatasetID: "d", MinSupport: 0.5, NumWindows: 2}
 	total := maxRetainedJobs + 100
 	for i := 0; i < total; i++ {
-		j, err := m.submit(ds, req)
+		j, err := m.submit(ds, req, DefaultTenant)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -734,39 +742,6 @@ func TestUploadShardsValidation(t *testing.T) {
 		if code != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", q, code)
 		}
-	}
-}
-
-func TestWorkerBudget(t *testing.T) {
-	b := newWorkerBudget(8)
-	if got := b.acquire(8); got != 8 {
-		t.Fatalf("sole job granted %d workers, want 8", got)
-	}
-	if got := b.acquire(8); got != 4 {
-		t.Fatalf("second job granted %d workers, want 4", got)
-	}
-	if got := b.acquire(2); got != 2 {
-		t.Fatalf("small request granted %d workers, want its own 2", got)
-	}
-	if got := b.acquire(0); got != 0 {
-		t.Fatalf("serial request granted %d workers, want 0", got)
-	}
-	for i := 0; i < 10; i++ {
-		if got := b.acquire(8); got < 1 {
-			t.Fatalf("oversubscribed pool granted %d workers, want >= 1", got)
-		}
-	}
-	for i := 0; i < 14; i++ {
-		b.release()
-	}
-	if got := b.acquire(8); got != 8 {
-		t.Fatalf("after releases, sole job granted %d workers, want 8", got)
-	}
-	// release never drives active negative.
-	b.release()
-	b.release()
-	if got := b.acquire(8); got != 8 {
-		t.Fatalf("budget corrupted by extra release: granted %d", got)
 	}
 }
 
@@ -1001,13 +976,13 @@ func TestResultCacheSizeAwareEviction(t *testing.T) {
 
 func TestQueueDepthExposed(t *testing.T) {
 	// No workers: everything submitted stays queued.
-	m := newJobManager(0, 8, nil)
+	m := newJobManager(0, 8, nil, nil, qosOptions{})
 	defer m.close()
 	ds := &Dataset{id: "d", shards: 1, cur: &dsGen{prep: map[string]*ftpm.Prepared{}}}
 	req := MiningRequest{DatasetID: "d", MinSupport: 0.5, NumWindows: 2}
 	var last *job
 	for i := 0; i < 3; i++ {
-		j, err := m.submit(ds, req)
+		j, err := m.submit(ds, req, DefaultTenant)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -70,6 +70,14 @@ type Options struct {
 	// Workers shards candidate verification over goroutines (0 or 1 =
 	// serial); results are identical to serial runs.
 	Workers int
+	// WorkersFunc, when non-nil, renegotiates the worker count at each
+	// level boundary of the mining loop: it is called on the mining
+	// goroutine with the level about to be mined and its return value
+	// replaces the effective worker count for that level (negative keeps
+	// the current grant). Results are byte-identical across any sequence
+	// of grants; schedulers use this to rebalance a running job's
+	// parallelism as other jobs arrive or finish.
+	WorkersFunc func(level int) int
 
 	// Progress, when non-nil, is called on the mining goroutine after each
 	// level of the pattern graph completes, with that level's counters.
@@ -95,6 +103,7 @@ func (o Options) coreConfig() core.Config {
 		Pruning:       o.Pruning,
 		KeepGraph:     o.KeepGraph,
 		Workers:       o.Workers,
+		WorkersFunc:   o.WorkersFunc,
 		Progress:      o.Progress,
 	}
 }

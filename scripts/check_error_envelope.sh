@@ -1,0 +1,33 @@
+#!/bin/sh
+# Vet-style guard for the v1 error envelope: production HTTP code must
+# route every error response through writeError (internal/server/server.go),
+# which is the only place allowed to construct the apiError envelope.
+# http.Error would write text/plain bodies that break API clients.
+#
+# Mirrored as TestNoRawErrorWritesInHandlers so `go test` catches it too;
+# this script gives CI a dependency-free line of defense.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# No http.Error anywhere in production server or command code.
+if matches=$(grep -rn 'http\.Error(' internal/server cmd --include='*.go' | grep -v '_test\.go'); then
+    echo "error: http.Error bypasses the error envelope; use writeError instead:" >&2
+    echo "$matches" >&2
+    fail=1
+fi
+
+# The apiError envelope literal is constructed only by the helper's file.
+if matches=$(grep -rn 'apiError{' internal/server cmd --include='*.go' |
+        grep -v '_test\.go' | grep -v '^internal/server/server\.go:'); then
+    echo "error: apiError built outside internal/server/server.go; only writeError may:" >&2
+    echo "$matches" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "error envelope check: ok"
