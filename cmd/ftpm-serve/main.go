@@ -9,13 +9,19 @@
 //	ftpm-serve -addr :8080 -workers 4 -queue 64 -shards 8 -data /var/lib/ftpm \
 //	  -tenant-max-queued 16 -tenant-weights gold=3,free=1
 //
-// With -data set the service is durable: ingested datasets and the job
-// log (including result documents) are written to a fsync'd write-ahead
-// log with periodic snapshots and replayed on restart; jobs that were
-// queued or running when the process died re-queue against their tenant
-// and re-run from scratch (mining is deterministic, so the re-run yields
-// the same result document). Without -data the service is purely
-// in-memory, as before.
+// With -data set the service is durable and out-of-core: each uploaded
+// (or appended) dataset is sealed into an immutable columnar segment
+// file under <data>/segments and served from a read-only memory map —
+// the heap holds no per-sample payload — while the fsync'd write-ahead
+// log records only metadata plus segment references, alongside the job
+// log (result documents included) and periodic streamed snapshots. On
+// restart the segments are mapped back (a footer read each, not a
+// payload replay) and the log replays; jobs that were queued or running
+// when the process died re-queue against their tenant and re-run from
+// scratch (mining is deterministic, so the re-run yields the same result
+// document), and job event ids continue past their pre-restart values so
+// Last-Event-ID resume survives the bounce. Without -data the service is
+// purely in-memory, as before.
 //
 // Quick tour with curl (the unversioned paths still answer, with a
 // Deprecation header pointing at their /v1 successor):
@@ -111,6 +117,7 @@ func main() {
 		tenantRunning = flag.Int("tenant-max-running", 0, "per-tenant running-job cap (0 = bounded only by the worker pool)")
 		tenantWeights = flag.String("tenant-weights", "", "fair-share weights as name=weight,... (unlisted tenants weigh 1)")
 		eventRing     = flag.Int("event-ring", 0, "job events retained for stream replay/resume (0 = 1024)")
+		maxStreamSubs = flag.Int("max-stream-subscribers", 0, "concurrent firehose (/v1/events) streams allowed; connections beyond it get 429 (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -121,17 +128,18 @@ func main() {
 
 	logger := log.New(os.Stderr, "ftpm-serve: ", log.LstdFlags)
 	srv, err := server.New(server.Options{
-		Workers:          *workers,
-		QueueDepth:       *queue,
-		MaxUploadBytes:   *maxUpload,
-		DefaultThreshold: threshold,
-		DefaultShards:    *shards,
-		DataDir:          *data,
-		TenantMaxQueued:  *tenantQueued,
-		TenantMaxRunning: *tenantRunning,
-		TenantWeights:    weights,
-		EventRing:        *eventRing,
-		Logger:           logger,
+		Workers:              *workers,
+		QueueDepth:           *queue,
+		MaxUploadBytes:       *maxUpload,
+		DefaultThreshold:     threshold,
+		DefaultShards:        *shards,
+		DataDir:              *data,
+		TenantMaxQueued:      *tenantQueued,
+		TenantMaxRunning:     *tenantRunning,
+		TenantWeights:        weights,
+		EventRing:            *eventRing,
+		MaxStreamSubscribers: *maxStreamSubs,
+		Logger:               logger,
 	})
 	if err != nil {
 		logger.Fatal(err)

@@ -109,6 +109,15 @@ type (
 	SymbolicSeries = timeseries.SymbolicSeries
 	// SymbolicDB is the symbolic database DSYB (Def 3.3).
 	SymbolicDB = timeseries.SymbolicDB
+	// SymbolSource is a read-only columnar view of a symbolic database:
+	// the surface the DSEQ conversion and the NMI analysis consume.
+	// *SymbolicDB implements it, as do out-of-core views such as the
+	// server's mmap'd segment files; mining through any SymbolSource
+	// over the same data is byte-identical.
+	SymbolSource = timeseries.SymbolSource
+	// Run is one maximal symbol run of a symbolic series, as yielded by
+	// SymbolSource.AppendRuns.
+	Run = timeseries.Run
 
 	// EventID identifies an interned (series, symbol) event.
 	EventID = events.EventID
@@ -223,7 +232,7 @@ func NewSymbolicDB(series ...*SymbolicSeries) (*SymbolicDB, error) {
 
 // BuildSequences converts a symbolic database into the temporal sequence
 // database DSEQ (§IV-B2).
-func BuildSequences(db *SymbolicDB, opt SplitOptions) (*SequenceDB, error) {
+func BuildSequences(db SymbolSource, opt SplitOptions) (*SequenceDB, error) {
 	return events.Convert(db, opt)
 }
 
@@ -232,7 +241,7 @@ func BuildSequences(db *SymbolicDB, opt SplitOptions) (*SequenceDB, error) {
 // expensive window cutting runs concurrently per shard. The shards share
 // one vocabulary and feed MineSharded; merging them (MergeShards)
 // reconstructs BuildSequences' output exactly.
-func BuildShardedSequences(db *SymbolicDB, opt SplitOptions, shards int) ([]*SequenceDB, error) {
+func BuildShardedSequences(db SymbolSource, opt SplitOptions, shards int) ([]*SequenceDB, error) {
 	return events.ConvertShards(db, opt, shards)
 }
 
@@ -248,7 +257,7 @@ func NMI(x, y *SymbolicSeries) (float64, error) { return mi.NMI(x, y) }
 
 // CorrelationGraphAt computes the correlation graph of the database at MI
 // threshold mu (Def 5.5).
-func CorrelationGraphAt(db *SymbolicDB, mu float64) (*CorrelationGraph, error) {
+func CorrelationGraphAt(db SymbolSource, mu float64) (*CorrelationGraph, error) {
 	pw, err := mi.ComputePairwise(db)
 	if err != nil {
 		return nil, err
@@ -262,7 +271,7 @@ func CorrelationGraphAt(db *SymbolicDB, mu float64) (*CorrelationGraph, error) {
 // Density 0 is the degenerate sweep endpoint: µ lands just above the
 // largest pairwise NMI, leaving the graph empty unless perfectly
 // correlated pairs force µ's ceiling of 1.
-func CorrelationGraphByDensity(db *SymbolicDB, density float64) (*CorrelationGraph, float64, error) {
+func CorrelationGraphByDensity(db SymbolSource, density float64) (*CorrelationGraph, float64, error) {
 	pw, err := mi.ComputePairwise(db)
 	if err != nil {
 		return nil, 0, err

@@ -59,18 +59,18 @@ func vocabExtends(prev, next *Vocab) bool {
 // end; prevVocab guards id stability. It returns the shards and the
 // stable-prefix length in windows (== global sequences, since the
 // round-robin merge order equals window order).
-func convertDelta(db *timeseries.SymbolicDB, opt SplitOptions, k int,
+func convertDelta(src timeseries.SymbolSource, opt SplitOptions, k int,
 	prevSeq func(int) *Sequence, prevCount int, prevVocab *Vocab, prevEnd temporal.Time) ([]*DB, int, error) {
 	if k <= 0 {
 		return nil, 0, fmt.Errorf("events: shard count must be positive, got %d", k)
 	}
-	w, err := opt.resolve(db)
+	w, err := opt.resolve(src)
 	if err != nil {
 		return nil, 0, err
 	}
 
-	vocab, all := buildRuns(db)
-	windows := windowsOf(db, w, opt.Overlap)
+	vocab, all := buildRuns(src)
+	windows := windowsOf(src, w, opt.Overlap)
 
 	stable := 0
 	if opt.WindowLength > 0 && vocabExtends(prevVocab, vocab) {
@@ -114,12 +114,12 @@ func convertDelta(db *timeseries.SymbolicDB, opt SplitOptions, k int,
 // sequences reused; when nothing is reusable (NumWindows geometry, or a
 // vocabulary-shifting append) it degrades to a full conversion with
 // stable 0 and remains exact either way.
-func ConvertDelta(db *timeseries.SymbolicDB, opt SplitOptions, prev *DB, prevEnd temporal.Time) (*DB, int, error) {
+func ConvertDelta(src timeseries.SymbolSource, opt SplitOptions, prev *DB, prevEnd temporal.Time) (*DB, int, error) {
 	if prev == nil {
-		out, err := Convert(db, opt)
+		out, err := Convert(src, opt)
 		return out, 0, err
 	}
-	shards, stable, err := convertDelta(db, opt, 1,
+	shards, stable, err := convertDelta(src, opt, 1,
 		func(i int) *Sequence { return prev.Sequences[i] }, prev.Size(), prev.Vocab, prevEnd)
 	if err != nil {
 		return nil, 0, err
@@ -135,9 +135,9 @@ func ConvertDelta(db *timeseries.SymbolicDB, opt SplitOptions, prev *DB, prevEnd
 // shard set stays valid for readers still mining it. The returned stable
 // count is in windows, which equals global (merged) sequence indexes:
 // window i lives in shard i%K at local position i/K on both sides.
-func ConvertShardsDelta(db *timeseries.SymbolicDB, opt SplitOptions, k int, prev []*DB, prevEnd temporal.Time) ([]*DB, int, error) {
+func ConvertShardsDelta(src timeseries.SymbolSource, opt SplitOptions, k int, prev []*DB, prevEnd temporal.Time) ([]*DB, int, error) {
 	if len(prev) == 0 {
-		out, err := ConvertShards(db, opt, k)
+		out, err := ConvertShards(src, opt, k)
 		return out, 0, err
 	}
 	if len(prev) != k {
@@ -150,6 +150,6 @@ func ConvertShardsDelta(db *timeseries.SymbolicDB, opt SplitOptions, k int, prev
 		}
 		prevCount += sh.Size()
 	}
-	return convertDelta(db, opt, k,
+	return convertDelta(src, opt, k,
 		func(i int) *Sequence { return prev[i%k].Sequences[i/k] }, prevCount, prev[0].Vocab, prevEnd)
 }

@@ -215,15 +215,15 @@ type SplitOptions struct {
 // set, the resolved window must be non-empty, and the overlap must fit
 // inside it. The prepared-dataset façade uses it to reject bad geometry
 // at Prepare time instead of at the first (lazy) conversion.
-func (o SplitOptions) Validate(db *timeseries.SymbolicDB) error {
-	_, err := o.resolve(db)
+func (o SplitOptions) Validate(src timeseries.SymbolSource) error {
+	_, err := o.resolve(src)
 	return err
 }
 
 // resolve returns the effective window length after full geometry
 // validation — the shared front half of Convert and ConvertShards.
-func (o SplitOptions) resolve(db *timeseries.SymbolicDB) (temporal.Duration, error) {
-	w, err := o.windowLength(db)
+func (o SplitOptions) resolve(src timeseries.SymbolSource) (temporal.Duration, error) {
+	w, err := o.windowLength(src)
 	if err != nil {
 		return 0, err
 	}
@@ -233,14 +233,14 @@ func (o SplitOptions) resolve(db *timeseries.SymbolicDB) (temporal.Duration, err
 	return w, nil
 }
 
-func (o SplitOptions) windowLength(db *timeseries.SymbolicDB) (temporal.Duration, error) {
+func (o SplitOptions) windowLength(src timeseries.SymbolSource) (temporal.Duration, error) {
 	switch {
 	case o.WindowLength > 0 && o.NumWindows > 0:
 		return 0, fmt.Errorf("events: set either WindowLength or NumWindows, not both")
 	case o.WindowLength > 0:
 		return o.WindowLength, nil
 	case o.NumWindows > 0:
-		total := db.End() - db.Start()
+		total := src.End() - src.Start()
 		w := total / temporal.Duration(o.NumWindows)
 		if w <= 0 {
 			return 0, fmt.Errorf("events: %d windows over %d ticks leaves empty windows", o.NumWindows, total)
@@ -262,16 +262,25 @@ type seriesRuns struct {
 // buildRuns extracts every series' maximal symbol runs with the
 // touching-interval convention ([run start, next run start)) and interns
 // the (series, symbol) events into a fresh vocabulary. Event ids depend
-// only on the symbolic database, not on the window geometry, so every
-// window cut from the same runs shares the vocabulary.
-func buildRuns(db *timeseries.SymbolicDB) (*Vocab, []seriesRuns) {
+// only on the symbolic data, not on the window geometry, so every window
+// cut from the same runs shares the vocabulary. Consuming the source
+// through AppendRuns keeps the conversion oblivious to the backing
+// representation — in-memory symbol slices and mmap'd run-length columns
+// produce identical vocabularies and intervals.
+func buildRuns(src timeseries.SymbolSource) (*Vocab, []seriesRuns) {
 	vocab := NewVocab()
-	all := make([]seriesRuns, 0, len(db.Series))
-	for _, s := range db.Series {
-		sr := seriesRuns{name: s.Name}
-		for _, r := range s.Runs() {
-			sr.intervals = append(sr.intervals, s.Interval(r))
-			sr.eventIDs = append(sr.eventIDs, vocab.Define(s.Name, s.Alphabet[r.Symbol]))
+	n := src.NumSeries()
+	start, step := src.Start(), src.Step()
+	all := make([]seriesRuns, 0, n)
+	var buf []timeseries.Run
+	for i := 0; i < n; i++ {
+		name, alpha := src.SeriesName(i), src.SeriesAlphabet(i)
+		buf = src.AppendRuns(i, buf[:0])
+		sr := seriesRuns{name: name}
+		for _, r := range buf {
+			iv := temporal.NewInterval(start+temporal.Time(r.First)*step, start+temporal.Time(r.Last+1)*step)
+			sr.intervals = append(sr.intervals, iv)
+			sr.eventIDs = append(sr.eventIDs, vocab.Define(name, alpha[r.Symbol]))
 		}
 		all = append(all, sr)
 	}
@@ -281,9 +290,9 @@ func buildRuns(db *timeseries.SymbolicDB) (*Vocab, []seriesRuns) {
 // windowsOf enumerates the window intervals of the split: length w,
 // consecutive windows opt.Overlap apart, the last one clipped at the
 // observation end.
-func windowsOf(db *timeseries.SymbolicDB, w, overlap temporal.Duration) []temporal.Interval {
+func windowsOf(src timeseries.SymbolSource, w, overlap temporal.Duration) []temporal.Interval {
 	stride := w - overlap
-	start, end := db.Start(), db.End()
+	start, end := src.Start(), src.End()
 	var out []temporal.Interval
 	for ws := start; ws < end; ws += stride {
 		we := ws + w
@@ -319,16 +328,17 @@ func cutWindow(id int, window temporal.Interval, all []seriesRuns) *Sequence {
 // DSEQ. Every maximal symbol run of every series becomes an instance with
 // the touching-interval convention ([run start, next run start)); runs are
 // clipped at window boundaries. Consecutive windows overlap by
-// opt.Overlap ticks.
-func Convert(db *timeseries.SymbolicDB, opt SplitOptions) (*DB, error) {
-	w, err := opt.resolve(db)
+// opt.Overlap ticks. Any SymbolSource over the same data converts
+// byte-identically.
+func Convert(src timeseries.SymbolSource, opt SplitOptions) (*DB, error) {
+	w, err := opt.resolve(src)
 	if err != nil {
 		return nil, err
 	}
 
-	vocab, all := buildRuns(db)
+	vocab, all := buildRuns(src)
 	out := &DB{Vocab: vocab}
-	for i, window := range windowsOf(db, w, opt.Overlap) {
+	for i, window := range windowsOf(src, w, opt.Overlap) {
 		out.Sequences = append(out.Sequences, cutWindow(i, window, all))
 	}
 	return out, nil

@@ -99,17 +99,17 @@ func MergeShards(shards []*DB) (*DB, [][]int, error) {
 // per shard. ConvertShards(db, opt, 1) is equivalent to Convert(db, opt),
 // and MergeShards applied to the result reconstructs Convert's sequence
 // order exactly.
-func ConvertShards(db *timeseries.SymbolicDB, opt SplitOptions, k int) ([]*DB, error) {
+func ConvertShards(src timeseries.SymbolSource, opt SplitOptions, k int) ([]*DB, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("events: shard count must be positive, got %d", k)
 	}
-	w, err := opt.resolve(db)
+	w, err := opt.resolve(src)
 	if err != nil {
 		return nil, err
 	}
 
-	vocab, all := buildRuns(db)
-	windows := windowsOf(db, w, opt.Overlap)
+	vocab, all := buildRuns(src)
+	windows := windowsOf(src, w, opt.Overlap)
 
 	shards := make([]*DB, k)
 	var wg sync.WaitGroup

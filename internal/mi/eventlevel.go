@@ -31,41 +31,52 @@ type EventPairwise struct {
 	Values [][]float64
 }
 
-// indicator builds the binary indicator series of symbol sym of s.
-func indicator(s *timeseries.SymbolicSeries, sym int) *timeseries.SymbolicSeries {
-	out := &timeseries.SymbolicSeries{
-		Name:     s.Name + "=" + s.Alphabet[sym],
-		Start:    s.Start,
-		Step:     s.Step,
-		Alphabet: []string{"absent", "present"},
-		Symbols:  make([]int, len(s.Symbols)),
-	}
-	for i, v := range s.Symbols {
-		if v == sym {
-			out.Symbols[i] = 1
+// indicatorRuns maps the base runs of a series onto the binary indicator
+// of symbol sym: runs keep their extents, the symbol becomes 1 where it
+// matched and 0 elsewhere. The result is a valid (if not maximal) run
+// partition of the indicator series — the run-based counting only needs a
+// partition into constant runs, so adjacent same-value runs need no
+// merging.
+func indicatorRuns(base []timeseries.Run, sym int) []timeseries.Run {
+	out := make([]timeseries.Run, len(base))
+	for i, r := range base {
+		v := 0
+		if r.Symbol == sym {
+			v = 1
 		}
+		out[i] = timeseries.Run{Symbol: v, First: r.First, Last: r.Last}
 	}
 	return out
 }
 
 // ComputeEventPairwise evaluates NMI between every pair of event
-// indicator series. With m total events over n samples this costs
-// O(m^2 n); it is the price of finer pruning and is included in the
-// A-HTPGM timing when event-level pruning is enabled.
-func ComputeEventPairwise(db *timeseries.SymbolicDB) (*EventPairwise, error) {
+// indicator series. The indicators are derived from the source's maximal
+// symbol runs, so with m total events the table costs O(m² · runs)
+// rather than O(m² · samples); it is the price of finer pruning and is
+// included in the A-HTPGM timing when event-level pruning is enabled.
+// Like ComputePairwise, any SymbolSource over the same data yields a
+// bit-identical table.
+func ComputeEventPairwise(src timeseries.SymbolSource) (*EventPairwise, error) {
+	samples := src.Len()
 	var keys []EventKey
-	var inds []*timeseries.SymbolicSeries
-	for _, s := range db.Series {
-		for sym := range s.Alphabet {
-			keys = append(keys, EventKey{Series: s.Name, Symbol: s.Alphabet[sym]})
-			inds = append(inds, indicator(s, sym))
+	var inds [][]timeseries.Run
+	var counts [][]int
+	for si := 0; si < src.NumSeries(); si++ {
+		name := src.SeriesName(si)
+		alpha := src.SeriesAlphabet(si)
+		base := src.AppendRuns(si, nil)
+		for sym := range alpha {
+			keys = append(keys, EventKey{Series: name, Symbol: alpha[sym]})
+			ind := indicatorRuns(base, sym)
+			inds = append(inds, ind)
+			counts = append(counts, countsFromRuns(ind, 2))
 		}
 	}
 	m := len(keys)
 	p := &EventPairwise{Keys: keys, Values: make([][]float64, m)}
 	entropies := make([]float64, m)
-	for i, ind := range inds {
-		entropies[i] = Entropy(ind)
+	for i := range inds {
+		entropies[i] = entropyFromCounts(counts[i], samples)
 		p.Values[i] = make([]float64, m)
 	}
 	for i := 0; i < m; i++ {
@@ -81,11 +92,8 @@ func ComputeEventPairwise(db *timeseries.SymbolicDB) (*EventPairwise, error) {
 				p.Values[i][j] = p.Values[j][i] * entropies[j] / entropies[i]
 				continue
 			}
-			v, err := NMI(inds[i], inds[j])
-			if err != nil {
-				return nil, err
-			}
-			p.Values[i][j] = v
+			joint := jointFromRuns(inds[i], inds[j], 2, 2)
+			p.Values[i][j] = nmiFromCounts(joint, counts[i], counts[j], samples, entropies[i])
 		}
 	}
 	return p, nil

@@ -111,6 +111,106 @@ func NMI(x, y *timeseries.SymbolicSeries) (float64, error) {
 	return nmi, nil
 }
 
+// Run-based counting. The entropy and mutual-information formulas only
+// consume integer occurrence counts; those counts are computed exactly
+// from the maximal symbol runs a SymbolSource exposes — a run of length L
+// contributes L to its symbol's marginal, and two overlapping runs
+// contribute their overlap length to one joint cell. The counts are
+// identical integers to a per-sample tally, and the floating-point
+// summation below visits cells in the same order as the per-sample
+// formulas above, so NMI tables computed through a SymbolSource (e.g. an
+// mmap'd segment file) are bit-identical to the in-memory ones. It is
+// also the cheaper path: a pair costs O(|runs_x| + |runs_y|) instead of
+// O(samples).
+
+// countsFromRuns tallies the marginal symbol counts of one series from
+// its maximal runs.
+func countsFromRuns(runs []timeseries.Run, alphabetLen int) []int {
+	c := make([]int, alphabetLen)
+	for _, r := range runs {
+		c[r.Symbol] += r.Last - r.First + 1
+	}
+	return c
+}
+
+// entropyFromCounts is Entropy over precomputed marginal counts; the
+// iteration order and float operations match Entropy exactly.
+func entropyFromCounts(counts []int, samples int) float64 {
+	n := float64(samples)
+	if n == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		h -= p * math.Log(p)
+	}
+	return h
+}
+
+// jointFromRuns tallies the joint counts of two aligned series by a
+// two-pointer sweep over their run partitions: the overlap length of each
+// run pair lands in one joint cell. Equal to the per-sample tally of
+// jointCounts, in O(|xr| + |yr|).
+func jointFromRuns(xr, yr []timeseries.Run, nx, ny int) [][]int {
+	joint := make([][]int, nx)
+	for i := range joint {
+		joint[i] = make([]int, ny)
+	}
+	i, j := 0, 0
+	for i < len(xr) && j < len(yr) {
+		a, b := xr[i], yr[j]
+		lo, hi := a.First, a.Last
+		if b.First > lo {
+			lo = b.First
+		}
+		if b.Last < hi {
+			hi = b.Last
+		}
+		if hi >= lo {
+			joint[a.Symbol][b.Symbol] += hi - lo + 1
+		}
+		if a.Last <= b.Last {
+			i++
+		}
+		if b.Last <= a.Last {
+			j++
+		}
+	}
+	return joint
+}
+
+// nmiFromCounts evaluates Ĩ(X;Y) = I/H(X) from precomputed counts with
+// the exact float operation order of MutualInformation + NMI. hx must be
+// entropyFromCounts(xCounts, samples) and must be non-zero (callers
+// short-circuit constant series to 0 first).
+func nmiFromCounts(joint [][]int, xCounts, yCounts []int, samples int, hx float64) float64 {
+	n := float64(samples)
+	mi := 0.0
+	for xi := range joint {
+		for yi, c := range joint[xi] {
+			if c == 0 {
+				continue
+			}
+			pxy := float64(c) / n
+			px := float64(xCounts[xi]) / n
+			py := float64(yCounts[yi]) / n
+			mi += pxy * math.Log(pxy/(px*py))
+		}
+	}
+	if mi < 0 { // guard against floating point noise
+		mi = 0
+	}
+	nmi := mi / hx
+	if nmi > 1 { // floating point guard; I <= H(X) analytically
+		nmi = 1
+	}
+	return nmi
+}
+
 // Pairwise holds the NMI values of every ordered series pair of a symbolic
 // database.
 type Pairwise struct {
@@ -121,17 +221,29 @@ type Pairwise struct {
 }
 
 // ComputePairwise evaluates NMI for all ordered pairs (Alg 2, lines 2-3).
-func ComputePairwise(db *timeseries.SymbolicDB) (*Pairwise, error) {
-	n := len(db.Series)
+// It consumes the source's maximal symbol runs only, so any SymbolSource
+// — the in-memory database or an mmap'd segment — yields a bit-identical
+// table.
+func ComputePairwise(src timeseries.SymbolSource) (*Pairwise, error) {
+	n := src.NumSeries()
+	samples := src.Len()
 	p := &Pairwise{
 		Names:  make([]string, n),
 		Values: make([][]float64, n),
 	}
+	runs := make([][]timeseries.Run, n)
+	counts := make([][]int, n)
 	entropies := make([]float64, n)
-	for i, s := range db.Series {
-		p.Names[i] = s.Name
+	for i := 0; i < n; i++ {
+		p.Names[i] = src.SeriesName(i)
 		p.Values[i] = make([]float64, n)
-		entropies[i] = Entropy(s)
+		runs[i] = src.AppendRuns(i, nil)
+		counts[i] = countsFromRuns(runs[i], len(src.SeriesAlphabet(i)))
+		entropies[i] = entropyFromCounts(counts[i], samples)
+	}
+	nmiOf := func(i, j int) float64 {
+		joint := jointFromRuns(runs[i], runs[j], len(counts[i]), len(counts[j]))
+		return nmiFromCounts(joint, counts[i], counts[j], samples, entropies[i])
 	}
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
@@ -148,21 +260,13 @@ func ComputePairwise(db *timeseries.SymbolicDB) (*Pairwise, error) {
 				if entropies[j] == 0 {
 					// I(X;Y) unavailable from transpose (it was zeroed);
 					// compute directly.
-					v, err := NMI(db.Series[i], db.Series[j])
-					if err != nil {
-						return nil, err
-					}
-					p.Values[i][j] = v
+					p.Values[i][j] = nmiOf(i, j)
 					continue
 				}
 				p.Values[i][j] = p.Values[j][i] * entropies[j] / entropies[i]
 				continue
 			}
-			v, err := NMI(db.Series[i], db.Series[j])
-			if err != nil {
-				return nil, err
-			}
-			p.Values[i][j] = v
+			p.Values[i][j] = nmiOf(i, j)
 		}
 	}
 	return p, nil

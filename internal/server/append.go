@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"strconv"
 
 	"ftpm"
+	"ftpm/internal/server/store"
 )
 
 // Incremental dataset appends: POST /datasets/{id}/append accepts NDJSON
@@ -43,25 +45,29 @@ type appendParser struct {
 }
 
 // newAppendParser builds the parser schema from the generation the append
-// applies to.
-func newAppendParser(sdb *ftpm.SymbolicDB, threshold float64) *appendParser {
-	n := len(sdb.Series)
+// applies to. The generation's content view abstracts the storage mode:
+// an in-memory symbolic database and an mmap'd segment chain present the
+// same names, alphabets and grid.
+func newAppendParser(src ftpm.SymbolSource, threshold float64) *appendParser {
+	n := src.NumSeries()
 	p := &appendParser{
 		names:     make([]string, n),
 		index:     make(map[string]int, n),
 		alphabets: make([][]string, n),
 		alphaIdx:  make([]map[string]int, n),
 		onoff:     ftpm.OnOff(threshold),
-		start:     sdb.End(),
-		step:      sdb.Step(),
+		start:     src.End(),
+		step:      src.Step(),
 		cols:      make([][]int, n),
 	}
-	for i, s := range sdb.Series {
-		p.names[i] = s.Name
-		p.index[s.Name] = i
-		p.alphabets[i] = s.Alphabet
-		idx := make(map[string]int, len(s.Alphabet))
-		for j, a := range s.Alphabet {
+	for i := 0; i < n; i++ {
+		name := src.SeriesName(i)
+		alpha := src.SeriesAlphabet(i)
+		p.names[i] = name
+		p.index[name] = i
+		p.alphabets[i] = alpha
+		idx := make(map[string]int, len(alpha))
+		for j, a := range alpha {
 			idx[a] = j
 		}
 		p.alphaIdx[i] = idx
@@ -231,6 +237,25 @@ func (p *appendParser) extend(old *ftpm.SymbolicDB) (*ftpm.SymbolicDB, error) {
 	return ftpm.NewSymbolicDB(series...)
 }
 
+// deltaDB builds a symbolic database of only the appended samples — the
+// payload a segment-mode append seals into its delta segment file. Its
+// grid starts where the base generation ends, and each series carries the
+// full post-append alphabet, so chaining it after the base view yields
+// exactly the extended dataset.
+func (p *appendParser) deltaDB() (*ftpm.SymbolicDB, error) {
+	series := make([]*ftpm.SymbolicSeries, len(p.names))
+	for i, name := range p.names {
+		series[i] = &ftpm.SymbolicSeries{
+			Name:     name,
+			Start:    p.start,
+			Step:     p.step,
+			Alphabet: p.alphabets[i],
+			Symbols:  p.cols[i],
+		}
+	}
+	return ftpm.NewSymbolicDB(series...)
+}
+
 // record assembles the WAL payload of the append: the delta symbols per
 // series, the full post-append alphabets, the new generation number, and
 // the pre-append sample count that makes replay idempotent.
@@ -274,7 +299,7 @@ func (s *Server) handleAppendDataset(w http.ResponseWriter, r *http.Request, id 
 	defer ds.appendMu.Unlock()
 
 	g := ds.view()
-	p := newAppendParser(g.sdb, ds.threshold)
+	p := newAppendParser(g.src, ds.threshold)
 	var err error
 	if format == "ndjson" {
 		err = p.parseNDJSON(body)
@@ -294,14 +319,34 @@ func (s *Server) handleAppendDataset(w http.ResponseWriter, r *http.Request, id 
 		writeError(w, http.StatusBadRequest, codeInvalidArgument, "append failed: body contains no rows")
 		return
 	}
-	sdb, err := p.extend(g.sdb)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, codeInvalidArgument, "append failed: %v", err)
-		return
-	}
 
-	next := ds.nextGen(sdb)
-	rec := p.record(ds.id, next.gen, g.sdb.Len())
+	var next *dsGen
+	var rec appendRecord
+	if g.sdb != nil {
+		// Memory-backed dataset: build the extended in-heap database and
+		// log the delta payload in the record, exactly as before.
+		sdb, err := p.extend(g.sdb)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeInvalidArgument, "append failed: %v", err)
+			return
+		}
+		next = ds.nextGen(sdb)
+		rec = p.record(ds.id, next.gen, g.sdb.Len())
+	} else {
+		// Segment-backed dataset: seal the delta into its own segment file
+		// and log only the reference.
+		delta, err := p.deltaDB()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeInvalidArgument, "append failed: %v", err)
+			return
+		}
+		next, rec, err = s.sealAppend(ds, g, delta)
+		if err != nil {
+			s.logf("append seal failed: %v", err)
+			writeError(w, http.StatusServiceUnavailable, codeUnavailable, "append storage failed: %v", err)
+			return
+		}
+	}
 	if !s.reg.appendDataset(ds, next, rec) {
 		// The dataset was removed between lookup and commit: the append
 		// loses deterministically, nothing was swapped or logged.
@@ -310,6 +355,43 @@ func (s *Server) handleAppendDataset(w http.ResponseWriter, r *http.Request, id 
 	}
 	s.appends.Add(1)
 	s.appendRows.Add(int64(p.rows))
-	s.logf("dataset %s appended: +%d rows, %d samples total, generation %d", ds.id, p.rows, sdb.Len(), next.gen)
+	s.logf("dataset %s appended: +%d rows, %d samples total, generation %d", ds.id, p.rows, next.src.Len(), next.gen)
 	writeJSON(w, http.StatusOK, ds.info())
+}
+
+// sealAppend builds a segment-mode append's next generation: the delta
+// samples are sealed into a new segment file (named by the generation it
+// produces, so a crashed-and-retried append replaces its own leftover),
+// the file is mapped back, and the chained view over the previous
+// generation plus the mapped delta becomes the new content source. The
+// fingerprint hashes the full post-append content — computed over the
+// chain before sealing — and is stored in both the segment footer and the
+// WAL record, so restart trusts it without rehashing. A crash between the
+// seal and the WAL append leaves an unreferenced file for startup orphan
+// collection; replaying the WAL without the record simply reproduces the
+// pre-append generation.
+func (s *Server) sealAppend(ds *Dataset, g *dsGen, delta *ftpm.SymbolicDB) (*dsGen, appendRecord, error) {
+	fp := fingerprintSource(&chainSource{base: g.src, tail: delta})
+	segName := segmentName(ds.id, g.gen+1)
+	path := filepath.Join(s.segDir, segName)
+	size, err := store.WriteSegment(path, delta, fp)
+	if err != nil {
+		return nil, appendRecord{}, err
+	}
+	seg, err := store.OpenSegment(path)
+	if err != nil {
+		return nil, appendRecord{}, err
+	}
+	chain := &chainSource{base: g.src, tail: seg}
+	segments := append(append([]string(nil), g.segments...), segName)
+	next := ds.nextGenSource(chain, segments, g.segBytes+size, fp)
+	rec := appendRecord{
+		ID:          ds.id,
+		Gen:         next.gen,
+		PrevSamples: g.src.Len(),
+		Segment:     segName,
+		Samples:     chain.Len(),
+		Fingerprint: fp,
+	}
+	return next, rec, nil
 }

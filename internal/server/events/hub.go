@@ -16,8 +16,12 @@
 //   - Subscription replay and registration are atomic: events seeded from
 //     the ring and events delivered live never interleave or duplicate.
 //
-// Ids are in-memory only — they restart from 1 with the process, so
-// Last-Event-ID resume spans reconnects, not server restarts.
+// Ids are assigned in memory, but a durable server records the hub's
+// high-water id with every persisted job record and snapshot, and
+// reseeds the sequence past it on restart (SeedIDs) — so ids stay
+// monotone across a server bounce and Last-Event-ID resume spans
+// restarts, not just reconnects. In-memory servers restart the sequence
+// from 1 with the process, as before.
 package events
 
 import (
@@ -59,6 +63,7 @@ type Hub struct {
 	subs     map[*Sub]struct{}
 	dropped  uint64 // lifetime count of events dropped on full subscriber channels
 	everSubs uint64
+	seeded   uint64 // id floor installed by SeedIDs; excluded from Stats' published count
 }
 
 // NewHub builds a hub retaining the most recent ringSize events for
@@ -112,6 +117,21 @@ func (h *Hub) LastID() uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.nextID
+}
+
+// SeedIDs advances the id sequence to at least n, so the next published
+// event gets id n+1. A durable server calls it once at restore with the
+// highest persisted id (plus slack for ids assigned after the last
+// persisted record): ids never regress across restarts, which is what
+// keeps a client's Last-Event-ID meaningful through a server bounce.
+// Seeding never moves the sequence backwards.
+func (h *Hub) SeedIDs(n uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if n > h.nextID {
+		h.seeded += n - h.nextID
+		h.nextID = n
+	}
 }
 
 // oldestLocked returns the id of the oldest retained event, or 0 when the
@@ -200,7 +220,7 @@ func (h *Hub) TakeMissed(s *Sub) uint64 {
 func (h *Hub) Stats() (published uint64, subscribers int, everSubscribed, dropped uint64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.nextID, len(h.subs), h.everSubs, h.dropped
+	return h.nextID - h.seeded, len(h.subs), h.everSubs, h.dropped
 }
 
 // Close shuts the hub down: subsequent publishes are dropped and every

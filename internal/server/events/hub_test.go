@@ -193,3 +193,27 @@ func TestCloseUnblocksSubscribers(t *testing.T) {
 		}
 	}
 }
+
+func TestSeedIDs(t *testing.T) {
+	h := NewHub(8)
+	id1 := h.Publish("state", "job-1", false, nil)
+	if id1 != 1 {
+		t.Fatalf("first id = %d", id1)
+	}
+	h.SeedIDs(100)
+	if got := h.LastID(); got != 100 {
+		t.Fatalf("LastID after seed = %d, want 100", got)
+	}
+	// Seeding never moves the sequence backwards.
+	h.SeedIDs(50)
+	if got := h.LastID(); got != 100 {
+		t.Fatalf("LastID after lower seed = %d, want 100", got)
+	}
+	if id := h.Publish("state", "job-1", false, nil); id != 101 {
+		t.Fatalf("post-seed id = %d, want 101", id)
+	}
+	// Stats counts real publishes, not the seeded gap.
+	if published, _, _, _ := h.Stats(); published != 2 {
+		t.Fatalf("published = %d, want 2", published)
+	}
+}

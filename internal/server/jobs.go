@@ -529,8 +529,21 @@ func (m *jobManager) submit(ds *Dataset, req MiningRequest, tenant string) (*job
 	// Logged outside m.mu (the persister's snapshot gather takes the
 	// manager locks). A terminal record racing ahead of this one is
 	// fine: replay never downgrades a terminal job.
-	m.persist.jobSubmitted(j)
+	j.mu.Lock()
+	rec := j.recordLocked()
+	j.mu.Unlock()
+	m.persist.jobSubmitted(m.stamp(rec))
 	return j, nil
+}
+
+// stamp records the hub's high-water event id on a record headed for the
+// WAL. Restore reseeds the hub past the highest persisted value, so event
+// ids stay monotone across restarts and Last-Event-ID resume survives a
+// server bounce. Called after the transition publishes, so the stamped
+// id covers the record's own event.
+func (m *jobManager) stamp(rec jobRecord) jobRecord {
+	rec.EventSeq = m.hub.LastID()
+	return rec
 }
 
 // evictLocked drops the oldest terminal jobs while the retained set
@@ -618,7 +631,7 @@ func (m *jobManager) cancelJob(id string) (j *job, prior JobState, ok bool) {
 	m.mu.Unlock()
 	if rec != nil {
 		m.publishState(rec.ID, rec.Tenant, JobCancelled, rec.Error)
-		m.persist.jobTerminal(*rec)
+		m.persist.jobTerminal(m.stamp(*rec))
 	}
 	return j, prior, true
 }
@@ -777,7 +790,7 @@ func (m *jobManager) run(j *job) {
 		millis := j.finishedAt.Sub(j.startedAt).Milliseconds()
 		j.mu.Unlock()
 		m.publishState(j.id, j.tenant, state, errMsg)
-		m.persist.jobTerminal(rec)
+		m.persist.jobTerminal(m.stamp(rec))
 		m.releaseRun(j, millis, true)
 		return
 	}
@@ -865,7 +878,7 @@ func (m *jobManager) run(j *job) {
 	millis := j.finishedAt.Sub(j.startedAt).Milliseconds()
 	j.mu.Unlock()
 	m.publishState(j.id, j.tenant, state, errMsg)
-	m.persist.jobTerminal(rec)
+	m.persist.jobTerminal(m.stamp(rec))
 	m.releaseRun(j, millis, true)
 }
 
@@ -920,7 +933,7 @@ func (m *jobManager) close() {
 		// this returns), so streaming clients see the shutdown
 		// cancellations as ordinary terminal events.
 		m.publishState(rec.ID, rec.Tenant, JobCancelled, rec.Error)
-		m.persist.jobTerminal(rec)
+		m.persist.jobTerminal(m.stamp(rec))
 	}
 }
 

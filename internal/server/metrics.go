@@ -87,13 +87,16 @@ type TenantMetricsJSON struct {
 }
 
 // EventsMetricsJSON gauges the job-event hub: events published, current
-// and lifetime subscriber counts, and events dropped on slow consumers'
-// full buffers.
+// and lifetime subscriber counts, events dropped on slow consumers' full
+// buffers, and firehose connections rejected by the subscriber quota
+// (Options.MaxStreamSubscribers).
 type EventsMetricsJSON struct {
 	Published       uint64 `json:"published"`
 	Subscribers     int    `json:"subscribers"`
 	EverSubscribers uint64 `json:"ever_subscribers"`
 	Dropped         uint64 `json:"dropped"`
+	RejectedStreams int64  `json:"rejected_streams,omitempty"`
+	FirehoseStreams int64  `json:"firehose_streams"`
 }
 
 // JobMetricsJSON is the per-job slice of the metrics document: the level
@@ -117,6 +120,20 @@ type PersistenceMetricsJSON struct {
 	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
 	SnapshotFailures   int64   `json:"snapshot_failures,omitempty"`
 	LastError          string  `json:"last_error,omitempty"`
+}
+
+// StorageMetricsJSON gauges where dataset payloads live. A durable
+// server keeps DatasetResidentBytes at (or near) zero — content is
+// served from mmap'd segment files whose pages the kernel reclaims under
+// pressure — while an in-memory server reports the full heap footprint
+// of its symbol slices and no segments. The split is the operator's
+// direct view of the out-of-core story: resident is what restarts must
+// rebuild and the heap must hold, segment bytes are sealed files that
+// survive for free.
+type StorageMetricsJSON struct {
+	DatasetResidentBytes int64 `json:"dataset_resident_bytes"`
+	DatasetSegmentBytes  int64 `json:"dataset_segment_bytes"`
+	SegmentsTotal        int   `json:"segments_total"`
 }
 
 // AppendMetricsJSON reports the append path: the cumulative append count
@@ -143,6 +160,9 @@ type MetricsJSON struct {
 	Events EventsMetricsJSON `json:"events"`
 	// Appends gauges the incremental-append path.
 	Appends AppendMetricsJSON `json:"appends"`
+	// Storage gauges dataset payload placement: heap-resident bytes vs
+	// sealed on-disk segment bytes.
+	Storage StorageMetricsJSON `json:"storage"`
 	// ResultCacheEntries and ResultCacheBytes gauge the completed-job
 	// result cache: live entry count and the cumulative serialized size of
 	// the retained documents (the byte-budget eviction currency).
@@ -203,6 +223,14 @@ func (s *Server) metricsDoc() MetricsJSON {
 		AppendRowsTotal:    s.appendRows.Load(),
 		DatasetGenerations: s.reg.generations(),
 	}
+	resident, segBytes, segments := s.reg.storageTotals()
+	doc.Storage = StorageMetricsJSON{
+		DatasetResidentBytes: resident,
+		DatasetSegmentBytes:  segBytes,
+		SegmentsTotal:        segments,
+	}
+	doc.Events.RejectedStreams = s.streamRejected.Load()
+	doc.Events.FirehoseStreams = s.streamSubs.Load()
 	return doc
 }
 

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -14,19 +15,26 @@ import (
 )
 
 // Persistence layer: the mining service's registry and job log survive
-// restarts. Service events — dataset ingested (with its full symbolic
-// payload and shard width), dataset appended (the delta rows and the new
-// generation), dataset removed, job submitted, job reached
-// a terminal state (with summary and result document) — are appended to
-// a write-ahead log under Options.DataDir, and the whole service state
-// is periodically compacted into a snapshot (see internal/server/store
-// for the on-disk format). On startup the snapshot and WAL replay into
-// the registry and job manager:
+// restarts. Dataset payloads live out-of-core: an ingestion seals the
+// symbolized columns into an immutable segment file and an append seals
+// a delta segment (internal/server/store's columnar format), so the
+// write-ahead log under Options.DataDir records only metadata plus
+// segment references — dataset ingested (shard width, fingerprint,
+// segment name), dataset appended (the new generation and its delta
+// segment), dataset removed, job submitted, job reached a terminal state
+// (with summary and result document). The whole service state is
+// periodically compacted into a snapshot streamed in bounded chunks at a
+// captured LSN, with the WAL records logged during the snapshot retained
+// past it. On startup the snapshot and WAL replay into the registry and
+// job manager:
 //
-//   - Datasets come back with their original ids, symbolic databases and
-//     shard widths; the content fingerprint, the Analysis (NMI tables)
-//     and the Prepared cache are re-derived, not persisted — they are
-//     recomputable, and lazily so.
+//   - Datasets come back with their original ids and shard widths,
+//     served straight from their mmap'd segments (fingerprints read from
+//     the records, not recomputed); the Analysis (NMI tables) and the
+//     Prepared cache are re-derived, not persisted — they are
+//     recomputable, and lazily so. Datasets persisted by earlier
+//     versions carry full symbolic payloads in their records; those
+//     replay into memory-backed datasets exactly as before.
 //   - Terminal jobs come back with their summaries and result documents
 //     byte-identical; done jobs re-seed the result cache, so a repeat
 //     submission after a restart is still a cache hit.
@@ -56,10 +64,10 @@ const (
 // previous one.
 const defaultSnapshotEvery = 256
 
-// maxWALBytes is the byte-based compaction trigger: dataset records
-// carry full symbolic payloads, so a handful of large uploads can put
-// gigabytes into the WAL long before the record count trips. Startup
-// reads the whole WAL into memory, so its size must stay bounded.
+// maxWALBytes is the byte-based compaction trigger. Segment-mode dataset
+// records are O(1), but terminal job records still carry result
+// documents (and legacy payload records can replay in), so a byte bound
+// keeps startup's whole-WAL read bounded regardless of record mix.
 const maxWALBytes = 128 << 20
 
 // lostToRestart is the error restored onto live-at-crash jobs whose
@@ -77,9 +85,15 @@ type seriesRecord struct {
 	Symbols  []int    `json:"symbols"`
 }
 
-// datasetRecord is the persisted form of one dataset: identity plus the
-// full symbolic payload, shard width, append generation and numeric-append
-// threshold. Fingerprint, Analysis and the Prepared cache are re-derived
+// datasetRecord is the persisted form of one dataset. Segment-backed
+// datasets (the durable server's native mode) record identity plus
+// references: the segment file names holding the columnar payload, the
+// content fingerprint sealed into them, and the sample count — O(1)
+// bytes regardless of dataset size, which is what lifts the WAL off the
+// record-size cap and makes restart a footer read instead of a payload
+// replay. Memory-backed datasets (and records written by earlier
+// versions) carry the full symbolic payload in Series instead; either
+// shape replays. Analysis and the Prepared cache are always re-derived
 // on restore. Generation and Threshold are omitempty so records written
 // by earlier versions replay unchanged (generation 0, server-default
 // threshold).
@@ -90,7 +104,11 @@ type datasetRecord struct {
 	Shards     int            `json:"shards"`
 	Generation int64          `json:"generation,omitempty"`
 	Threshold  *float64       `json:"threshold,omitempty"`
-	Series     []seriesRecord `json:"series"`
+	Series     []seriesRecord `json:"series,omitempty"`
+	// Segment-mode fields; Series stays empty when these are set.
+	Segments    []string `json:"segments,omitempty"`
+	Fingerprint string   `json:"fingerprint,omitempty"`
+	Samples     int      `json:"samples,omitempty"`
 }
 
 // removeRecord is the payload of a dataset removal event.
@@ -119,7 +137,14 @@ type appendRecord struct {
 	ID          string               `json:"id"`
 	Gen         int64                `json:"generation"`
 	PrevSamples int                  `json:"prev_samples"`
-	Series      []appendSeriesRecord `json:"series"`
+	Series      []appendSeriesRecord `json:"series,omitempty"`
+	// Segment-mode fields: the delta segment sealed by this append, the
+	// post-append total sample count and content fingerprint. Series
+	// stays empty — the delta payload lives in the segment file, and
+	// replay only folds the reference in.
+	Segment     string `json:"segment,omitempty"`
+	Samples     int    `json:"samples,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
 }
 
 // jobRecord is the persisted form of one job. Submission events carry it
@@ -151,6 +176,12 @@ type jobRecord struct {
 	Summary     *JobSummary       `json:"summary,omitempty"`
 	Levels      []LevelTimingJSON `json:"levels,omitempty"`
 	Doc         *ftpm.ResultJSON  `json:"doc,omitempty"`
+	// EventSeq is the event hub's last assigned id when the record was
+	// persisted. Restore seeds the hub's sequence past the maximum
+	// recorded value, so event ids stay monotone across restarts and a
+	// client's Last-Event-ID resume survives a server bounce instead of
+	// silently replaying a restarted sequence.
+	EventSeq uint64 `json:"event_seq,omitempty"`
 }
 
 // snapshotRecord is the payload of a compacting snapshot: the whole
@@ -164,6 +195,7 @@ type jobRecord struct {
 type snapshotRecord struct {
 	DatasetSeq int             `json:"dataset_seq"`
 	JobSeq     int             `json:"job_seq"`
+	EventSeq   uint64          `json:"event_seq,omitempty"`
 	Datasets   []datasetRecord `json:"datasets"`
 	Jobs       []jobRecord     `json:"jobs"`
 }
@@ -181,8 +213,16 @@ func datasetRecordOf(d *Dataset) datasetRecord {
 		Shards:     d.shards,
 		Generation: g.gen,
 		Threshold:  &threshold,
-		Series:     make([]seriesRecord, len(g.sdb.Series)),
 	}
+	if len(g.segments) > 0 {
+		// Segment-backed: the payload lives in sealed files; the record
+		// carries only references and is O(1) regardless of dataset size.
+		rec.Segments = append([]string(nil), g.segments...)
+		rec.Fingerprint = g.fingerprint
+		rec.Samples = g.src.Len()
+		return rec
+	}
+	rec.Series = make([]seriesRecord, len(g.sdb.Series))
 	for i, s := range g.sdb.Series {
 		rec.Series[i] = seriesRecord{
 			Name:     s.Name,
@@ -211,17 +251,24 @@ func (rec datasetRecord) symbolicDB() (*ftpm.SymbolicDB, error) {
 }
 
 // persister serializes all durable writes of one server: WAL appends,
-// the record-count-triggered compaction, and the final snapshot at
-// Close. All hook methods are nil-receiver-safe, so the in-memory server
-// (DataDir "") calls them for free. Persistence failures (disk full,
-// yanked volume) are logged and do not fail requests: availability of
-// the in-memory service wins over durability of the event.
+// the trigger-driven compaction, and the final snapshot at Close. All
+// hook methods are nil-receiver-safe, so the in-memory server (DataDir
+// "") calls them for free. Persistence failures (disk full, yanked
+// volume) are logged and do not fail requests: availability of the
+// in-memory service wins over durability of the event.
 //
-// Lock order: p.mu is taken before any registry or job lock (the
-// snapshot gather reads them), so hooks must be called while holding
-// neither.
+// Compaction streams through store.BeginSnapshot at a captured LSN, so
+// appends are never blocked behind a snapshot's gather/marshal/fsync —
+// p.mu is held only for the append itself and the trigger bookkeeping,
+// while snapMu serializes whole snapshots against each other (background
+// compaction, the replay-time catch-up and the final snapshot at close).
+//
+// Lock order: snapMu and p.mu are taken before any registry or job lock
+// (the snapshot gather reads them), so hooks must be called while
+// holding neither.
 type persister struct {
 	mu            sync.Mutex
+	snapMu        sync.Mutex
 	log           *store.Log
 	snapshotEvery int
 	// compacting marks an in-flight background compaction, so appends
@@ -252,6 +299,9 @@ type recoveredState struct {
 	// re-issue an id.
 	maxDatasetSeq int
 	maxJobSeq     int
+	// maxEventSeq is the highest event-hub id any replayed record
+	// carried; the hub reseeds past it so event ids never restart.
+	maxEventSeq uint64
 	// truncatedBytes and snapshotDamaged surface what recovery had to
 	// discard, for the startup log line.
 	truncatedBytes  int64
@@ -328,6 +378,7 @@ func replay(rec store.Recovery) (*recoveredState, error) {
 	}
 	putJob := func(j jobRecord, terminal bool) {
 		noteJob(j.ID)
+		st.maxEventSeq = max(st.maxEventSeq, j.EventSeq)
 		if i, ok := jobIndex[j.ID]; ok {
 			// A submission record never downgrades a terminal state the
 			// log already holds (a fast job's terminal append can race
@@ -349,6 +400,7 @@ func replay(rec store.Recovery) (*recoveredState, error) {
 		}
 		st.maxDatasetSeq = max(st.maxDatasetSeq, snap.DatasetSeq)
 		st.maxJobSeq = max(st.maxJobSeq, snap.JobSeq)
+		st.maxEventSeq = max(st.maxEventSeq, snap.EventSeq)
 		for _, d := range snap.Datasets {
 			putDataset(d)
 		}
@@ -408,6 +460,26 @@ func applyAppend(st *recoveredState, dsIndex map[string]int, ar appendRecord) {
 	if ar.Gen > d.Generation {
 		d.Generation = ar.Gen
 	}
+	if ar.Segment != "" {
+		// Segment-mode append: fold the delta segment reference in. The
+		// record applies only when the replayed dataset does not already
+		// reference the segment and still has the pre-append sample count
+		// — the same idempotence contract as the payload shape below.
+		for _, seg := range d.Segments {
+			if seg == ar.Segment {
+				return
+			}
+		}
+		if len(d.Segments) == 0 || d.Samples != ar.PrevSamples {
+			return
+		}
+		d.Segments = append(d.Segments, ar.Segment)
+		d.Samples = ar.Samples
+		if ar.Fingerprint != "" {
+			d.Fingerprint = ar.Fingerprint
+		}
+		return
+	}
 	if len(d.Series) != len(ar.Series) || len(d.Series) == 0 {
 		return
 	}
@@ -428,11 +500,9 @@ func applyAppend(st *recoveredState, dsIndex map[string]int, ar appendRecord) {
 // trigger — record count or WAL bytes — schedules a background
 // compaction instead of running it inline, so the request that happens
 // to land on the trigger does not pay the full-state marshal + fsync +
-// rename itself. The goroutine still holds p.mu for the compaction's
-// duration (the snapshot is stamped with the live LSN, so appends must
-// not interleave); durable writes arriving in that window wait.
-// Decoupling them fully needs snapshot-at-a-captured-LSN with partial
-// WAL retention — a ROADMAP follow-up.
+// rename itself. The compaction streams at a captured LSN, so durable
+// writes arriving while it runs append to the WAL concurrently and are
+// retained past the snapshot — nothing waits on it.
 func (p *persister) append(kind store.Kind, v any) {
 	if p == nil {
 		return
@@ -456,32 +526,65 @@ func (p *persister) append(kind store.Kind, v any) {
 	p.mu.Unlock()
 	if trigger {
 		go func() {
+			p.compact()
 			p.mu.Lock()
-			p.compactLocked()
 			p.compacting = false
 			p.mu.Unlock()
 		}()
 	}
 }
 
-// compactLocked writes a fresh snapshot of the whole service state and
-// resets the WAL. Caller holds p.mu; the gather callback may take
-// registry and job locks.
-func (p *persister) compactLocked() {
+// snapshotChunk bounds one streamed snapshot chunk. Chunking keeps every
+// WAL/snapshot record far below the store's per-record cap, so total
+// service state is no longer bounded by it.
+const snapshotChunk = 4 << 20
+
+// compact streams a fresh snapshot of the whole service state at a
+// captured LSN and trims the covered prefix out of the WAL. The gather
+// callback may take registry and job locks; appends proceed throughout —
+// anything logged mid-gather lands both in the snapshot and the retained
+// WAL, which replay applies idempotently.
+func (p *persister) compact() {
+	p.snapMu.Lock()
+	defer p.snapMu.Unlock()
 	if p.gather == nil {
 		return
 	}
-	data, err := json.Marshal(p.gather())
-	if err == nil {
-		err = p.log.WriteSnapshot(data)
-	}
+	w, err := p.log.BeginSnapshot()
 	if err != nil {
-		p.snapshotFailures.Add(1)
-		p.lastErr.Store(err.Error())
-		p.logf("persist: snapshot failed: %v", err)
+		p.noteSnapshotErr(err)
+		return
+	}
+	data, err := json.Marshal(p.gather())
+	if err != nil {
+		w.Abort()
+		p.noteSnapshotErr(err)
+		return
+	}
+	for off := 0; off < len(data); off += snapshotChunk {
+		end := min(off+snapshotChunk, len(data))
+		if err := w.WriteChunk(data[off:end]); err != nil {
+			p.noteSnapshotErr(err)
+			return
+		}
+	}
+	if err := w.Commit(); err != nil {
+		p.noteSnapshotErr(err)
 		return
 	}
 	p.lastErr.Store("")
+}
+
+// noteSnapshotErr records a failed compaction for the /metrics gauges. A
+// close racing a scheduled background compaction loses benignly — the
+// final snapshot already covered the state — so ErrClosed is not counted.
+func (p *persister) noteSnapshotErr(err error) {
+	if errors.Is(err, store.ErrClosed) {
+		return
+	}
+	p.snapshotFailures.Add(1)
+	p.lastErr.Store(err.Error())
+	p.logf("persist: snapshot failed: %v", err)
 }
 
 // maybeCompact compacts if the WAL (e.g. as replayed at open) is already
@@ -490,10 +593,8 @@ func (p *persister) maybeCompact() {
 	if p == nil {
 		return
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.log.WALRecords() >= p.snapshotEvery {
-		p.compactLocked()
+		p.compact()
 	}
 }
 
@@ -522,13 +623,10 @@ func (p *persister) datasetAppended(rec appendRecord) {
 }
 
 // jobSubmitted logs a job admission.
-func (p *persister) jobSubmitted(j *job) {
+func (p *persister) jobSubmitted(rec jobRecord) {
 	if p == nil {
 		return
 	}
-	j.mu.Lock()
-	rec := j.recordLocked()
-	j.mu.Unlock()
 	p.append(kindJobSubmitted, rec)
 }
 
@@ -563,10 +661,10 @@ func (p *persister) close() {
 	if p == nil {
 		return
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	// compact takes snapMu, so an in-flight background compaction is
+	// waited out rather than raced.
 	if p.log.WALRecords() > 0 {
-		p.compactLocked()
+		p.compact()
 	}
 	if err := p.log.Close(); err != nil {
 		p.logf("persist: close failed: %v", err)

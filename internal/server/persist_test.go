@@ -225,7 +225,10 @@ func TestRestartRequeuesLiveJobs(t *testing.T) {
 
 	// The surviving-dataset jobs re-run to done — nothing is lost.
 	for _, id := range []string{running.ID, queued.ID} {
-		got := waitState(t, ts2.URL, id, 60*time.Second, func(j JobInfo) bool { return j.State.Terminal() })
+		// Generous deadline: the re-run mines the slow dataset from
+		// scratch, and under the race detector on a loaded runner that
+		// can take well over a minute.
+		got := waitState(t, ts2.URL, id, 4*time.Minute, func(j JobInfo) bool { return j.State.Terminal() })
 		if got.State != JobDone {
 			t.Fatalf("requeued job %s after crash = %s (%q), want done", id, got.State, got.Error)
 		}

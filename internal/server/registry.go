@@ -52,7 +52,17 @@ type Dataset struct {
 // on, so a swap never tears a running mine.
 type dsGen struct {
 	gen int64
+	// src is the generation's content view — what conversion, NMI and the
+	// info endpoints consume. In-memory datasets point it at sdb; durable
+	// datasets point it at an mmap'd segment (or a chain of base segment +
+	// delta segments after appends), and sdb stays nil.
+	src ftpm.SymbolSource
 	sdb *ftpm.SymbolicDB
+	// segments are the file names (under the data directory's segments/
+	// subdirectory) backing this generation, oldest first; segBytes is
+	// their total on-disk size. Empty / 0 for memory-backed generations.
+	segments []string
+	segBytes int64
 	// fingerprint is a content hash of the symbolic database, recomputed
 	// per generation. The completed-job result cache keys on it (not the
 	// dataset id), so stale-generation lookups structurally miss and
@@ -113,18 +123,45 @@ func fingerprintSDB(sdb *ftpm.SymbolicDB) string {
 // (empty until a first job converts one) so operators and the bench job
 // can verify shard balance. Generation counts the appends applied since
 // upload (0 for a freshly uploaded dataset) and never regresses, restarts
-// included.
+// included. Storage reports where the content lives: "memory" (in-heap
+// symbol slices) or "segment" (mmap'd columnar segment files), with
+// ResidentBytes the heap footprint of the symbol payload and SegmentBytes
+// its on-disk footprint — segment-backed datasets keep ResidentBytes 0
+// because the kernel pages column bytes in and out on demand.
 type DatasetInfo struct {
-	ID         string    `json:"id"`
-	Name       string    `json:"name"`
-	Series     []string  `json:"series"`
-	Samples    int       `json:"samples"`
-	Start      int64     `json:"start"`
-	Step       int64     `json:"step"`
-	Shards     int       `json:"shards"`
-	Generation int64     `json:"generation"`
-	ShardSeqs  []int     `json:"shard_sequences,omitempty"`
-	CreatedAt  time.Time `json:"created_at"`
+	ID            string    `json:"id"`
+	Name          string    `json:"name"`
+	Series        []string  `json:"series"`
+	Samples       int       `json:"samples"`
+	Start         int64     `json:"start"`
+	Step          int64     `json:"step"`
+	Shards        int       `json:"shards"`
+	Generation    int64     `json:"generation"`
+	Storage       string    `json:"storage"`
+	ResidentBytes int64     `json:"resident_bytes"`
+	SegmentBytes  int64     `json:"segment_bytes,omitempty"`
+	Segments      int       `json:"segments,omitempty"`
+	ShardSeqs     []int     `json:"shard_sequences,omitempty"`
+	CreatedAt     time.Time `json:"created_at"`
+}
+
+// storage reports the generation's storage mode.
+func (g *dsGen) storage() string {
+	if len(g.segments) > 0 {
+		return "segment"
+	}
+	return "memory"
+}
+
+// residentBytes estimates the heap bytes the generation's symbol payload
+// pins: the per-sample symbol slices for memory-backed generations,
+// nothing for segment-backed ones (runs decode transiently per use).
+func (g *dsGen) residentBytes() int64 {
+	if g.sdb == nil {
+		return 0
+	}
+	const intSize = 8
+	return int64(g.sdb.Len()) * int64(len(g.sdb.Series)) * intSize
 }
 
 // view returns the dataset's current generation. Generations are
@@ -138,24 +175,28 @@ func (d *Dataset) view() *dsGen {
 
 func (d *Dataset) info() DatasetInfo {
 	g := d.view()
-	names := make([]string, len(g.sdb.Series))
-	for i, s := range g.sdb.Series {
-		names[i] = s.Name
+	names := make([]string, g.src.NumSeries())
+	for i := range names {
+		names[i] = g.src.SeriesName(i)
 	}
 	d.mu.Lock()
 	shardSeqs := append([]int(nil), d.lastShardSeqs...)
 	d.mu.Unlock()
 	return DatasetInfo{
-		ID:         d.id,
-		Name:       d.name,
-		Series:     names,
-		Samples:    g.sdb.Len(),
-		Start:      g.sdb.Start(),
-		Step:       g.sdb.Step(),
-		Shards:     d.shards,
-		Generation: g.gen,
-		ShardSeqs:  shardSeqs,
-		CreatedAt:  d.createdAt,
+		ID:            d.id,
+		Name:          d.name,
+		Series:        names,
+		Samples:       g.src.Len(),
+		Start:         g.src.Start(),
+		Step:          g.src.Step(),
+		Shards:        d.shards,
+		Generation:    g.gen,
+		Storage:       g.storage(),
+		ResidentBytes: g.residentBytes(),
+		SegmentBytes:  g.segBytes,
+		Segments:      len(g.segments),
+		ShardSeqs:     shardSeqs,
+		CreatedAt:     d.createdAt,
 	}
 }
 
@@ -197,14 +238,23 @@ func (d *Dataset) prepared(g *dsGen, opt ftpm.SplitOptions) (*ftpm.Prepared, err
 // append broke the extension contract) is dropped from the cache rather
 // than carried stale. Callers hold d.appendMu.
 func (d *Dataset) nextGen(sdb *ftpm.SymbolicDB) *dsGen {
+	return d.advanceTo(genFromSDB(0, sdb))
+}
+
+// nextGenSource assembles the generation a segment-mode append produces:
+// the chained view over the previous generation plus the new delta
+// segment, with the fingerprint computed by the caller (the append
+// handler hashes the chain before sealing, so the segment footer and the
+// WAL record carry the same value). Callers hold d.appendMu.
+func (d *Dataset) nextGenSource(src ftpm.SymbolSource, segments []string, segBytes int64, fingerprint string) *dsGen {
+	return d.advanceTo(genFromSource(0, src, fingerprint, segments, segBytes))
+}
+
+// advanceTo numbers next after the current generation and carries the
+// Prepared cache forward, advancing handle by handle.
+func (d *Dataset) advanceTo(next *dsGen) *dsGen {
 	cur := d.view()
-	next := &dsGen{
-		gen:         cur.gen + 1,
-		sdb:         sdb,
-		fingerprint: fingerprintSDB(sdb),
-		analysis:    ftpm.NewAnalysis(sdb),
-		prep:        make(map[string]*ftpm.Prepared),
-	}
+	next.gen = cur.gen + 1
 	d.mu.Lock()
 	keys := append([]string(nil), cur.keys...)
 	preps := make([]*ftpm.Prepared, len(keys))
@@ -257,10 +307,38 @@ func newRegistry(persist *persister) *registry {
 	return &registry{persist: persist, byID: make(map[string]*Dataset)}
 }
 
-// newDataset assembles a Dataset at generation gen, re-deriving the
+// genFromSDB assembles a memory-backed generation, re-deriving the
 // content fingerprint and the shared NMI analysis from the symbolic
 // payload.
-func newDataset(id, name string, createdAt time.Time, sdb *ftpm.SymbolicDB, shards int, threshold float64, gen int64) *Dataset {
+func genFromSDB(gen int64, sdb *ftpm.SymbolicDB) *dsGen {
+	return &dsGen{
+		gen:         gen,
+		src:         sdb,
+		sdb:         sdb,
+		fingerprint: fingerprintSDB(sdb),
+		analysis:    ftpm.NewAnalysis(sdb),
+		prep:        make(map[string]*ftpm.Prepared),
+	}
+}
+
+// genFromSource assembles a segment-backed generation around an mmap'd
+// view. The fingerprint is taken, not recomputed: it was hashed when the
+// content was sealed (and is recorded in the segment footer and the WAL),
+// so restart never pays an O(samples) rehash.
+func genFromSource(gen int64, src ftpm.SymbolSource, fingerprint string, segments []string, segBytes int64) *dsGen {
+	return &dsGen{
+		gen:         gen,
+		src:         src,
+		segments:    segments,
+		segBytes:    segBytes,
+		fingerprint: fingerprint,
+		analysis:    ftpm.NewAnalysisSource(src),
+		prep:        make(map[string]*ftpm.Prepared),
+	}
+}
+
+// newDataset assembles a Dataset around a prebuilt generation.
+func newDataset(id, name string, createdAt time.Time, g *dsGen, shards int, threshold float64) *Dataset {
 	if shards < 1 {
 		shards = 1
 	}
@@ -270,22 +348,33 @@ func newDataset(id, name string, createdAt time.Time, sdb *ftpm.SymbolicDB, shar
 		createdAt: createdAt,
 		shards:    shards,
 		threshold: threshold,
-		cur: &dsGen{
-			gen:         gen,
-			sdb:         sdb,
-			fingerprint: fingerprintSDB(sdb),
-			analysis:    ftpm.NewAnalysis(sdb),
-			prep:        make(map[string]*ftpm.Prepared),
-		},
+		cur:       g,
 	}
 }
 
+// reserveID issues the next dataset id without registering anything.
+// The durable upload path needs the id before registration: the segment
+// file is named after it and must be sealed (and the seal survive a
+// crash as a collectible orphan) before the dataset becomes visible.
+// Ids are never reissued, so an id whose upload fails is simply skipped.
+func (r *registry) reserveID() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	return fmt.Sprintf("ds-%d", r.seq)
+}
+
 func (r *registry) add(name string, sdb *ftpm.SymbolicDB, shards int, threshold float64) *Dataset {
+	d := newDataset(r.reserveID(), name, time.Now(), genFromSDB(0, sdb), shards, threshold)
+	return r.addPrepared(d)
+}
+
+// addPrepared registers a fully-assembled dataset under its (reserved)
+// id and logs the addition.
+func (r *registry) addPrepared(d *Dataset) *Dataset {
 	r.logMu.Lock()
 	defer r.logMu.Unlock()
 	r.mu.Lock()
-	r.seq++
-	d := newDataset(fmt.Sprintf("ds-%d", r.seq), name, time.Now(), sdb, shards, threshold, 0)
 	r.byID[d.id] = d
 	r.ids = append(r.ids, d.id)
 	r.mu.Unlock()
@@ -319,14 +408,17 @@ func (r *registry) appendDataset(d *Dataset, next *dsGen, rec appendRecord) bool
 }
 
 // restore re-inserts a recovered dataset under its original id (and
-// replayed generation) without logging a new event. defaultThreshold
-// covers records from before thresholds were persisted.
-func (r *registry) restore(rec datasetRecord, sdb *ftpm.SymbolicDB, defaultThreshold float64) *Dataset {
+// replayed generation) without logging a new event; the caller builds the
+// generation (memory- or segment-backed, matching how the record was
+// persisted). defaultThreshold covers records from before thresholds were
+// persisted.
+func (r *registry) restore(rec datasetRecord, g *dsGen, defaultThreshold float64) *Dataset {
 	threshold := defaultThreshold
 	if rec.Threshold != nil {
 		threshold = *rec.Threshold
 	}
-	d := newDataset(rec.ID, rec.Name, rec.CreatedAt, sdb, rec.Shards, threshold, rec.Generation)
+	g.gen = rec.Generation
+	d := newDataset(rec.ID, rec.Name, rec.CreatedAt, g, rec.Shards, threshold)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.byID[d.id] = d
@@ -394,6 +486,44 @@ func (r *registry) remove(id string) bool {
 	r.mu.Unlock()
 	r.persist.datasetRemoved(id)
 	return true
+}
+
+// liveSegments returns the set of segment file names referenced by any
+// dataset's current generation — the files startup orphan collection
+// must keep.
+func (r *registry) liveSegments() map[string]bool {
+	r.mu.RLock()
+	datasets := make([]*Dataset, 0, len(r.ids))
+	for _, id := range r.ids {
+		datasets = append(datasets, r.byID[id])
+	}
+	r.mu.RUnlock()
+	live := make(map[string]bool)
+	for _, d := range datasets {
+		for _, name := range d.view().segments {
+			live[name] = true
+		}
+	}
+	return live
+}
+
+// storageTotals sums the storage gauges across all datasets' current
+// generations for /metrics: heap-resident payload bytes, on-disk segment
+// bytes, and the live segment count.
+func (r *registry) storageTotals() (resident, segBytes int64, segments int) {
+	r.mu.RLock()
+	datasets := make([]*Dataset, 0, len(r.ids))
+	for _, id := range r.ids {
+		datasets = append(datasets, r.byID[id])
+	}
+	r.mu.RUnlock()
+	for _, d := range datasets {
+		g := d.view()
+		resident += g.residentBytes()
+		segBytes += g.segBytes
+		segments += len(g.segments)
+	}
+	return resident, segBytes, segments
 }
 
 // generations snapshots every dataset's current generation number, for

@@ -8,15 +8,19 @@ import (
 	"math"
 	"net/http"
 	"net/url"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"ftpm"
 	"ftpm/internal/csvio"
 	"ftpm/internal/par"
 	"ftpm/internal/server/events"
+	"ftpm/internal/server/store"
 )
 
 // Options configures a Server.
@@ -67,6 +71,12 @@ type Options struct {
 	// EventRing is how many recent job events the broadcast hub retains
 	// for Last-Event-ID resume. Defaults to 1024.
 	EventRing int
+	// MaxStreamSubscribers caps concurrently open firehose streams
+	// (GET /v1/events): connections beyond it are rejected with 429 so a
+	// subscriber herd cannot pin unbounded per-connection buffers.
+	// Per-job streams are not counted — they end with their job. 0 (the
+	// default) leaves the firehose uncapped.
+	MaxStreamSubscribers int
 	// Logger, when non-nil, receives one line per request and job
 	// transition.
 	Logger *log.Logger
@@ -80,12 +90,18 @@ type Server struct {
 	jobs    *jobManager
 	hub     *events.Hub
 	persist *persister // nil when Options.DataDir is unset
+	segDir  string     // DataDir/segments; "" when not durable
 	closed  atomic.Bool
 
 	// appends / appendRows are the service-lifetime append counters
 	// surfaced on /metrics.
 	appends    atomic.Int64
 	appendRows atomic.Int64
+	// streamSubs counts open firehose streams against
+	// Options.MaxStreamSubscribers; streamRejected counts connections
+	// turned away at the cap.
+	streamSubs     atomic.Int64
+	streamRejected atomic.Int64
 }
 
 // New builds a Server and starts its worker pool. With Options.DataDir
@@ -123,6 +139,11 @@ func New(opts Options) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.segDir = filepath.Join(opts.DataDir, "segments")
+		if err := os.MkdirAll(s.segDir, 0o755); err != nil {
+			s.persist.close()
+			return nil, fmt.Errorf("server: segments dir: %w", err)
+		}
 	}
 	s.hub = events.NewHub(opts.EventRing)
 	s.reg = newRegistry(s.persist)
@@ -137,6 +158,10 @@ func New(opts Options) (*Server, error) {
 			s.persist.close()
 			return nil, err
 		}
+		// A crash between sealing a segment and logging its record leaves
+		// the sealed file unreferenced; the retry re-seals under the same
+		// name, but an abandoned upload's file would otherwise leak forever.
+		s.cleanOrphanSegments()
 		// Compaction needs the gather callback and must not fire during
 		// replay, so it is installed after restore; an oversized replayed
 		// WAL is then collapsed into a fresh snapshot immediately.
@@ -146,9 +171,12 @@ func New(opts Options) (*Server, error) {
 	return s, nil
 }
 
-// restore loads the replayed datasets and jobs. Datasets rebuild their
-// fingerprints and analyses from the persisted symbolic payloads; jobs
-// that were live at crash time surface as failed ("lost to restart").
+// restore loads the replayed datasets and jobs. Segment-backed datasets
+// mmap their sealed files and trust the recorded fingerprint — no
+// payload re-read, no rehash — which is what makes restart near-instant;
+// legacy payload records rebuild memory-backed datasets exactly as
+// before. Jobs that were live at crash time surface as failed ("lost to
+// restart").
 func (s *Server) restore(st *recoveredState) error {
 	if st.snapshotDamaged {
 		s.logf("persist: snapshot failed verification and was ignored")
@@ -156,21 +184,109 @@ func (s *Server) restore(st *recoveredState) error {
 	if st.truncatedBytes > 0 {
 		s.logf("persist: truncated %d bytes of torn WAL tail", st.truncatedBytes)
 	}
+	restored := 0
 	for _, rec := range st.datasets {
-		sdb, err := rec.symbolicDB()
-		if err != nil {
-			return fmt.Errorf("server: dataset %s does not replay: %w", rec.ID, err)
+		var g *dsGen
+		if len(rec.Segments) > 0 {
+			var err error
+			g, err = s.segmentGen(rec)
+			if err != nil {
+				// A lost or corrupt segment loses this dataset (its live
+				// jobs fail as "lost to restart"), not the whole service:
+				// the rest of the log is intact and serveable.
+				s.logf("persist: dataset %s dropped: %v", rec.ID, err)
+				continue
+			}
+		} else {
+			sdb, err := rec.symbolicDB()
+			if err != nil {
+				return fmt.Errorf("server: dataset %s does not replay: %w", rec.ID, err)
+			}
+			g = genFromSDB(rec.Generation, sdb)
 		}
-		s.reg.restore(rec, sdb, *s.opts.DefaultThreshold)
+		s.reg.restore(rec, g, *s.opts.DefaultThreshold)
+		restored++
 	}
 	// Seq counters apply even when nothing survived replay (the highest
 	// id's dataset or job may have been removed or evicted).
 	s.reg.advanceSeq(st.maxDatasetSeq)
+	// Reseed event ids past every persisted record, with ring-sized slack
+	// for events published after the last record hit the log — ids stay
+	// monotone across the bounce, so Last-Event-ID resume keeps working.
+	slack := uint64(s.opts.EventRing)
+	if slack < 1024 {
+		slack = 1024
+	}
+	if st.maxEventSeq > 0 {
+		s.hub.SeedIDs(st.maxEventSeq + slack)
+	}
 	s.jobs.restore(st.jobs, st.maxJobSeq, s.reg)
-	if len(st.datasets) > 0 || len(st.jobs) > 0 {
-		s.logf("recovered %d datasets and %d jobs from %s", len(st.datasets), len(st.jobs), s.opts.DataDir)
+	if restored > 0 || len(st.jobs) > 0 {
+		s.logf("recovered %d datasets and %d jobs from %s", restored, len(st.jobs), s.opts.DataDir)
 	}
 	return nil
+}
+
+// segmentGen opens a segment-backed dataset record's sealed files and
+// chains them (base segment, then one delta per append) into the
+// generation's content view. Only footers are read — the column bytes
+// are mapped, not loaded — so this is O(appends), not O(samples).
+func (s *Server) segmentGen(rec datasetRecord) (*dsGen, error) {
+	var src ftpm.SymbolSource
+	var segBytes int64
+	fp := rec.Fingerprint
+	for _, name := range rec.Segments {
+		seg, err := store.OpenSegment(filepath.Join(s.segDir, name))
+		if err != nil {
+			return nil, fmt.Errorf("segment %s: %w", name, err)
+		}
+		segBytes += seg.Size()
+		if fp == "" {
+			// Records always carry the fingerprint; the footer of the
+			// newest segment is the belt-and-suspenders fallback.
+			fp = seg.Fingerprint()
+		}
+		if src == nil {
+			src = seg
+		} else {
+			src = &chainSource{base: src, tail: seg}
+		}
+	}
+	if src == nil {
+		return nil, fmt.Errorf("record references no segments")
+	}
+	if rec.Samples != 0 && src.Len() != rec.Samples {
+		return nil, fmt.Errorf("segments hold %d samples, record expects %d", src.Len(), rec.Samples)
+	}
+	return genFromSource(rec.Generation, src, fp, append([]string(nil), rec.Segments...), segBytes), nil
+}
+
+// cleanOrphanSegments removes files under the segments directory that no
+// restored dataset references: seal tmp files, segments whose WAL record
+// never made it, and segments of removed datasets whose unlink was lost
+// to a crash. Referenced files are exactly the live generations' segment
+// lists, so this runs strictly after restore.
+func (s *Server) cleanOrphanSegments() {
+	entries, err := os.ReadDir(s.segDir)
+	if err != nil {
+		s.logf("persist: segment scan failed: %v", err)
+		return
+	}
+	live := s.reg.liveSegments()
+	removed := 0
+	for _, e := range entries {
+		if e.IsDir() || live[e.Name()] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.segDir, e.Name())); err != nil {
+			s.logf("persist: orphan segment %s not removed: %v", e.Name(), err)
+			continue
+		}
+		removed++
+	}
+	if removed > 0 {
+		s.logf("persist: removed %d orphan segment file(s)", removed)
+	}
 }
 
 // snapshotState gathers the whole service state for a compacting
@@ -180,6 +296,7 @@ func (s *Server) snapshotState() snapshotRecord {
 	return snapshotRecord{
 		DatasetSeq: s.reg.seqNo(),
 		JobSeq:     s.jobs.seqNo(),
+		EventSeq:   s.hub.LastID(),
 		Datasets:   s.reg.records(),
 		Jobs:       s.jobs.records(),
 	}
@@ -342,10 +459,13 @@ func (s *Server) routeDatasets(w http.ResponseWriter, r *http.Request, rest []st
 			writeError(w, http.StatusServiceUnavailable, codeUnavailable, "server shutting down")
 			return
 		}
-		if !s.reg.remove(rest[0]) {
+		ds, ok := s.reg.get(rest[0])
+		if !ok || !s.reg.remove(rest[0]) {
 			writeError(w, http.StatusNotFound, codeNotFound, "no such dataset: %s", rest[0])
 			return
 		}
+		// Only the request that won the removal unlinks the files.
+		s.removeSegments(ds.view())
 		w.WriteHeader(http.StatusNoContent)
 	case len(rest) == 2 && rest[1] == "append" && r.Method == http.MethodPost:
 		if s.closed.Load() {
@@ -437,9 +557,65 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ds := s.reg.add(name, sdb, shards, threshold)
+	var ds *Dataset
+	if s.persist != nil {
+		ds, err = s.addSegmentDataset(name, sdb, shards, threshold)
+		if err != nil {
+			s.logf("dataset seal failed: %v", err)
+			writeError(w, http.StatusServiceUnavailable, codeUnavailable, "dataset storage failed: %v", err)
+			return
+		}
+	} else {
+		ds = s.reg.add(name, sdb, shards, threshold)
+	}
 	s.logf("dataset %s ingested: %q, %d series, %d samples, %d shards", ds.id, name, len(sdb.Series), sdb.Len(), shards)
 	writeJSON(w, http.StatusCreated, ds.info())
+}
+
+// addSegmentDataset is the durable ingestion path: the symbolized upload
+// is sealed into an immutable columnar segment file, the file is mapped
+// back as the dataset's content view, and only then is the dataset
+// registered (logging an O(1) record that references the segment). The
+// in-heap symbol slices are dropped on return — the dataset is served
+// from the mapping from its first job on. A crash after the seal but
+// before the log append leaves an orphan file that the next startup
+// collects; the sealed name is deterministic (id + generation), so a
+// client retry overwrites rather than accumulates.
+func (s *Server) addSegmentDataset(name string, sdb *ftpm.SymbolicDB, shards int, threshold float64) (*Dataset, error) {
+	id := s.reg.reserveID()
+	fp := fingerprintSDB(sdb)
+	segName := segmentName(id, 0)
+	path := filepath.Join(s.segDir, segName)
+	size, err := store.WriteSegment(path, sdb, fp)
+	if err != nil {
+		return nil, err
+	}
+	seg, err := store.OpenSegment(path)
+	if err != nil {
+		return nil, err
+	}
+	g := genFromSource(0, seg, fp, []string{segName}, size)
+	return s.reg.addPrepared(newDataset(id, name, time.Now(), g, shards, threshold)), nil
+}
+
+// segmentName is the sealed-file name of one dataset generation's
+// segment. Deterministic on (id, generation) so a crashed-and-retried
+// seal replaces its own leftover instead of leaking it.
+func segmentName(id string, gen int64) string {
+	return fmt.Sprintf("%s-g%d.seg", id, gen)
+}
+
+// removeSegments unlinks a removed dataset's segment files. The mappings
+// of the current generation are left alone: a running job may still be
+// mining the view, and on Unix the pages outlive the unlink — the disk
+// space returns when the last mapping goes away (at the latest, process
+// exit). Unlink failures are left for startup orphan collection.
+func (s *Server) removeSegments(g *dsGen) {
+	for _, name := range g.segments {
+		if err := os.Remove(filepath.Join(s.segDir, name)); err != nil {
+			s.logf("persist: segment %s not removed: %v", name, err)
+		}
+	}
 }
 
 // symbolizeConcurrent applies the On/Off threshold mapper to every series

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// mapFile reads path into memory on platforms without the unix mmap
+// syscalls. Segments still work; they just cost their file size in heap.
+func mapFile(path string) (data []byte, mapped bool, err error) {
+	data, err = os.ReadFile(path)
+	return data, false, err
+}
+
+// unmapFile is a no-op for heap-backed images.
+func unmapFile([]byte) error { return nil }

@@ -1,0 +1,40 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only. The kernel pages column bytes in on
+// demand and may evict them under memory pressure — resident cost is
+// the touched working set, not the file size. Empty files fall back to
+// a plain read (zero-length mmap is an error on some platforms).
+func mapFile(path string) (data []byte, mapped bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	if st.Size() == 0 {
+		return nil, false, nil
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems without mmap support (some network mounts): degrade
+		// to a heap copy rather than failing the open.
+		data, rerr := os.ReadFile(path)
+		return data, false, rerr
+	}
+	return data, true, nil
+}
+
+// unmapFile releases a mapping created by mapFile.
+func unmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -1,28 +1,5 @@
-// Package store implements the durable log behind the mining service's
-// persistence: a write-ahead log of opaque service events plus an
-// atomically-replaced compacting snapshot, both fsync'd and CRC-framed.
-//
-// The format is deliberately simple. Every file starts with an 8-byte
-// magic that bakes in the format version ("FTPMLOG1"); after it come
-// length-prefixed records:
-//
-//	[u32 crc32][u32 payload len][u8 kind][u64 lsn][payload]
-//
-// The CRC (IEEE) covers everything after itself — length, kind, LSN and
-// payload — so a torn or bit-flipped tail fails verification no matter
-// which byte was damaged. Recovery keeps the longest valid prefix and
-// truncates the rest: a crash mid-append loses at most the record being
-// written, never the file.
-//
-// Records carry a monotonically increasing log sequence number (LSN).
-// The snapshot file holds a single record stamped with the LSN of the
-// last event it covers; on open, WAL records at or below the snapshot's
-// LSN are skipped, so a crash between "snapshot renamed into place" and
-// "WAL truncated" replays nothing twice. Snapshot replacement is atomic
-// (write to a temp file, fsync, rename, fsync the directory).
-//
-// The package stores bytes, not service state: callers choose the
-// payload encoding (the mining service uses JSON) and the record kinds.
+// The write-ahead log and snapshot files; see doc.go for the format.
+
 package store
 
 import (
@@ -142,6 +119,17 @@ func parseRecords(data []byte) (recs []Record, valid int) {
 	}
 }
 
+// sameLSN reports whether every record carries the same LSN — the shape
+// of a valid (possibly chunked) snapshot file.
+func sameLSN(recs []Record) bool {
+	for _, r := range recs[1:] {
+		if r.LSN != recs[0].LSN {
+			return false
+		}
+	}
+	return true
+}
+
 // checkMagic splits a file image into its record stream, reporting
 // whether the magic matched.
 func checkMagic(data []byte) (body []byte, ok bool) {
@@ -178,8 +166,23 @@ func Open(dir string) (*Log, Recovery, error) {
 	snapPath := filepath.Join(dir, snapName)
 	if data, err := os.ReadFile(snapPath); err == nil {
 		if body, ok := checkMagic(data); ok {
-			if recs, valid := parseRecords(body); len(recs) == 1 && valid == len(body) {
-				rec.Snapshot = recs[0].Data
+			// A snapshot is one or more records all stamped with the same
+			// LSN: WriteSnapshot emits one, a streaming SnapshotWriter
+			// emits a chunk per record. Their payloads concatenate into
+			// the snapshot image.
+			if recs, valid := parseRecords(body); len(recs) >= 1 && valid == len(body) && sameLSN(recs) {
+				if len(recs) == 1 {
+					rec.Snapshot = recs[0].Data
+				} else {
+					total := 0
+					for _, r := range recs {
+						total += len(r.Data)
+					}
+					rec.Snapshot = make([]byte, 0, total)
+					for _, r := range recs {
+						rec.Snapshot = append(rec.Snapshot, r.Data...)
+					}
+				}
 				rec.SnapshotLSN = recs[0].LSN
 				l.lsn = recs[0].LSN
 				if st, err := os.Stat(snapPath); err == nil {
@@ -379,6 +382,178 @@ func (l *Log) WriteSnapshot(data []byte) error {
 	}
 	l.walRecords = 0
 	l.snapTime = time.Now()
+	return nil
+}
+
+// SnapshotWriter streams one compacting snapshot in bounded chunks at a
+// captured LSN. BeginSnapshot captures the log position; WriteChunk calls
+// append CRC-framed records (all stamped with the captured LSN) to a temp
+// file without holding the log lock, so appends keep flowing while the
+// snapshot is gathered and written; Commit atomically installs the
+// snapshot and then rewrites the WAL keeping only the records appended
+// after the capture — partial WAL retention, so nothing logged during the
+// snapshot is lost and nothing covered by it is replayed.
+//
+// One snapshot may be in flight at a time (the persister's compacting
+// guard enforces this); a concurrent WriteSnapshot or second writer would
+// race the WAL rewrite.
+type SnapshotWriter struct {
+	l    *Log
+	lsn  uint64 // LSN the snapshot covers
+	off  int64  // WAL byte offset at capture; bytes after it are retained
+	recs int    // walRecords at capture
+	tmp  string
+	f    *os.File
+	buf  []byte
+	err  error
+}
+
+// BeginSnapshot captures the current LSN and opens the snapshot temp
+// file. The caller gathers state after this call: anything that changes
+// later is re-logged in the WAL past the captured offset and survives the
+// rewrite, so a record doubly present (in the snapshot and the retained
+// WAL) must replay idempotently — which service replay guarantees.
+func (l *Log) BeginSnapshot() (*SnapshotWriter, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wal == nil {
+		return nil, ErrClosed
+	}
+	tmp := filepath.Join(l.dir, snapName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write([]byte(fileMagic)); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &SnapshotWriter{l: l, lsn: l.lsn, off: l.off, recs: l.walRecords, tmp: tmp, f: f}, nil
+}
+
+// WriteChunk appends one chunk of the snapshot image. Chunks concatenate
+// on recovery; boundaries are free, so callers size them to bound memory
+// (the service streams ~4 MiB at a time). A failed write poisons the
+// writer: later calls and Commit return the first error.
+func (w *SnapshotWriter) WriteChunk(data []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.f == nil {
+		return ErrClosed
+	}
+	if len(data) > maxRecord {
+		w.fail(fmt.Errorf("store: snapshot chunk of %d bytes exceeds the %d-byte cap", len(data), maxRecord))
+		return w.err
+	}
+	w.buf = appendRecord(w.buf[:0], 0, w.lsn, data)
+	if _, err := w.f.Write(w.buf); err != nil {
+		w.fail(fmt.Errorf("store: %w", err))
+		return w.err
+	}
+	return nil
+}
+
+// fail poisons the writer and removes the temp file.
+func (w *SnapshotWriter) fail(err error) {
+	w.err = err
+	if w.f != nil {
+		w.f.Close()
+		os.Remove(w.tmp)
+		w.f = nil
+	}
+}
+
+// Abort discards the snapshot, leaving the log untouched.
+func (w *SnapshotWriter) Abort() {
+	if w.f != nil {
+		w.fail(ErrClosed)
+	}
+}
+
+// Commit durably installs the snapshot (fsync, atomic rename), then
+// truncates the covered prefix out of the WAL by rewriting it with only
+// the records appended since the capture. The rewrite goes through a temp
+// file whose descriptor becomes the live WAL handle after the rename, so
+// every crash window is safe: before the snapshot rename nothing changed;
+// between rename and rewrite the WAL still holds covered records, which
+// the next Open skips by LSN; a torn rewrite temp file is invisible until
+// its own rename. If the rewrite fails the snapshot is still committed —
+// the WAL just stays fat until the next compaction — and the error is
+// reported for the failure gauges.
+func (w *SnapshotWriter) Commit() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.f == nil {
+		return ErrClosed
+	}
+	werr := w.f.Sync()
+	if cerr := w.f.Close(); werr == nil {
+		werr = cerr
+	}
+	w.f = nil
+	if werr != nil {
+		os.Remove(w.tmp)
+		w.err = fmt.Errorf("store: %w", werr)
+		return w.err
+	}
+	l := w.l
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wal == nil {
+		os.Remove(w.tmp)
+		w.err = ErrClosed
+		return w.err
+	}
+	if err := os.Rename(w.tmp, filepath.Join(l.dir, snapName)); err != nil {
+		os.Remove(w.tmp)
+		w.err = fmt.Errorf("store: %w", err)
+		return w.err
+	}
+	syncDir(l.dir)
+	l.snapTime = time.Now()
+
+	// Rewrite the WAL with the retained suffix: records appended after
+	// the capture, i.e. LSNs above the snapshot's.
+	retained := make([]byte, l.off-w.off)
+	if _, err := l.wal.ReadAt(retained, w.off); err != nil {
+		w.err = fmt.Errorf("store: %w", err)
+		return w.err
+	}
+	tmpPath := filepath.Join(l.dir, walName+".tmp")
+	nf, err := os.Create(tmpPath)
+	if err != nil {
+		w.err = fmt.Errorf("store: %w", err)
+		return w.err
+	}
+	_, werr = nf.Write([]byte(fileMagic))
+	if werr == nil {
+		_, werr = nf.Write(retained)
+	}
+	if serr := nf.Sync(); werr == nil {
+		werr = serr
+	}
+	if werr != nil {
+		nf.Close()
+		os.Remove(tmpPath)
+		w.err = fmt.Errorf("store: %w", werr)
+		return w.err
+	}
+	if err := os.Rename(tmpPath, filepath.Join(l.dir, walName)); err != nil {
+		nf.Close()
+		os.Remove(tmpPath)
+		w.err = fmt.Errorf("store: %w", err)
+		return w.err
+	}
+	syncDir(l.dir)
+	// nf's descriptor now refers to the file named "wal"; its write
+	// position sits at the end of what was just written. Swap it in.
+	l.wal.Close()
+	l.wal = nf
+	l.off = int64(len(fileMagic)) + int64(len(retained))
+	l.walRecords -= w.recs
 	return nil
 }
 

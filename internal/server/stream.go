@@ -89,6 +89,20 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, jobID stri
 			writeError(w, http.StatusNotFound, codeNotFound, "no such job: %s", jobID)
 			return
 		}
+	} else if max := int64(s.opts.MaxStreamSubscribers); max > 0 {
+		// Firehose quota: each stream pins a delivery buffer and a
+		// handler goroutine for its whole lifetime, so the count is
+		// admission-controlled like job submissions are. Per-job streams
+		// stay uncounted — they end with their job.
+		if s.streamSubs.Add(1) > max {
+			s.streamSubs.Add(-1)
+			s.streamRejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, codeQuotaExceeded,
+				"too many event stream subscribers (limit %d); retry later or narrow to per-job streams", max)
+			return
+		}
+		defer s.streamSubs.Add(-1)
 	}
 
 	lastEventID := r.Header.Get("Last-Event-ID")

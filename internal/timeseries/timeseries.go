@@ -198,21 +198,25 @@ type Run struct {
 // Runs returns the maximal runs of identical consecutive symbols, the raw
 // material of temporal events (Def 3.4: "combining identical consecutive
 // symbols into one time interval").
-func (s *SymbolicSeries) Runs() []Run {
+func (s *SymbolicSeries) Runs() []Run { return s.AppendRuns(nil) }
+
+// AppendRuns appends the maximal symbol runs of the series to dst and
+// returns the extended slice — the allocation-free form of Runs for
+// callers that sweep many series with one scratch buffer.
+func (s *SymbolicSeries) AppendRuns(dst []Run) []Run {
 	if len(s.Symbols) == 0 {
-		return nil
+		return dst
 	}
-	var runs []Run
 	cur := Run{Symbol: s.Symbols[0], First: 0, Last: 0}
 	for i := 1; i < len(s.Symbols); i++ {
 		if s.Symbols[i] == cur.Symbol {
 			cur.Last = i
 			continue
 		}
-		runs = append(runs, cur)
+		dst = append(dst, cur)
 		cur = Run{Symbol: s.Symbols[i], First: i, Last: i}
 	}
-	return append(runs, cur)
+	return append(dst, cur)
 }
 
 // Interval returns the continuous-time extent of run r within s: it begins
@@ -306,6 +310,52 @@ func (db *SymbolicDB) Restrict(names []string) (*SymbolicDB, error) {
 	}
 	return NewSymbolicDB(out...)
 }
+
+// SymbolSource is a read-only columnar view of a symbolic database: the
+// minimal surface the DSEQ conversion and the mutual-information analysis
+// actually consume. Both the in-memory SymbolicDB and the server's
+// mmap'd segment files implement it, and mining through either view is
+// byte-identical — the conversion only ever looks at maximal symbol runs
+// and the shared sampling grid, never at individual samples.
+//
+// Implementations must present mutually aligned series: every series
+// covers samples [0, Len()) on the grid Start() + i*Step(), and
+// AppendRuns(i, ...) yields the maximal runs of series i in ascending
+// sample order, partitioning [0, Len()).
+type SymbolSource interface {
+	// NumSeries returns the number of series in the view.
+	NumSeries() int
+	// SeriesName returns the name of series i.
+	SeriesName(i int) string
+	// SeriesAlphabet returns the alphabet of series i, in symbol-id
+	// order. Callers must not mutate the returned slice.
+	SeriesAlphabet(i int) []string
+	// AppendRuns appends the maximal symbol runs of series i to dst and
+	// returns the extended slice.
+	AppendRuns(i int, dst []Run) []Run
+	// Len returns the number of samples per series.
+	Len() int
+	// Start returns the common start time.
+	Start() temporal.Time
+	// Step returns the common sampling step.
+	Step() temporal.Duration
+	// End returns Start() + Len()*Step().
+	End() temporal.Time
+}
+
+var _ SymbolSource = (*SymbolicDB)(nil)
+
+// NumSeries implements SymbolSource.
+func (db *SymbolicDB) NumSeries() int { return len(db.Series) }
+
+// SeriesName implements SymbolSource.
+func (db *SymbolicDB) SeriesName(i int) string { return db.Series[i].Name }
+
+// SeriesAlphabet implements SymbolSource.
+func (db *SymbolicDB) SeriesAlphabet(i int) []string { return db.Series[i].Alphabet }
+
+// AppendRuns implements SymbolSource.
+func (db *SymbolicDB) AppendRuns(i int, dst []Run) []Run { return db.Series[i].AppendRuns(dst) }
 
 // SliceSamples returns a copy of the database restricted to the sample
 // range [from, to) — used by the %-of-data scalability sweeps.

@@ -104,7 +104,7 @@ type CacheInfo struct {
 // over the same database (PrepareWith), the way a served registry keeps
 // one analysis per dataset across all requested window geometries.
 type Analysis struct {
-	sdb *SymbolicDB
+	src SymbolSource
 
 	pw  cached[*mi.Pairwise]
 	epw cached[*mi.EventPairwise]
@@ -112,7 +112,18 @@ type Analysis struct {
 
 // NewAnalysis wraps a symbolic database for NMI-table sharing across
 // Prepared handles. The tables build lazily on first use.
-func NewAnalysis(sdb *SymbolicDB) *Analysis { return &Analysis{sdb: sdb} }
+func NewAnalysis(sdb *SymbolicDB) *Analysis {
+	if sdb == nil {
+		return &Analysis{}
+	}
+	return &Analysis{src: sdb}
+}
+
+// NewAnalysisSource wraps any SymbolSource — the in-memory database or an
+// out-of-core columnar view such as the server's mmap'd segments — for
+// NMI-table sharing across Prepared handles. Mining through the wrapped
+// source is byte-identical to mining the equivalent in-memory database.
+func NewAnalysisSource(src SymbolSource) *Analysis { return &Analysis{src: src} }
 
 // Prepared is a reusable mining handle over one dataset geometry: a
 // symbolic database, a window split, and a shard width, fixed at Prepare
@@ -122,7 +133,7 @@ func NewAnalysis(sdb *SymbolicDB) *Analysis { return &Analysis{sdb: sdb} }
 // are safe for concurrent use; concurrent first accesses of an artifact
 // block on one build instead of duplicating it.
 type Prepared struct {
-	sdb    *SymbolicDB
+	src    SymbolSource
 	split  SplitOptions
 	shards int
 	an     *Analysis
@@ -157,16 +168,16 @@ func Prepare(sdb *SymbolicDB, split SplitOptions, shards int) (*Prepared, error)
 // own cache counters still account its accesses: a table built by a
 // sibling handle counts as a hit here.
 func PrepareWith(an *Analysis, split SplitOptions, shards int) (*Prepared, error) {
-	if an == nil || an.sdb == nil {
+	if an == nil || an.src == nil {
 		return nil, fmt.Errorf("ftpm: Prepare requires a symbolic database")
 	}
-	if err := split.Validate(an.sdb); err != nil {
+	if err := split.Validate(an.src); err != nil {
 		return nil, err
 	}
 	if shards < 1 {
 		shards = 1
 	}
-	return &Prepared{sdb: an.sdb, split: split, shards: shards, an: an}, nil
+	return &Prepared{src: an.src, split: split, shards: shards, an: an}, nil
 }
 
 // Shards returns the shard width the handle was prepared with (>= 1).
@@ -194,27 +205,28 @@ func (p *Prepared) peekPrev() *Prepared {
 // is a documented contract of the append path rather than a checked one —
 // verifying it would re-read every old sample and erase the point of a
 // delta conversion.
-func extends(old, next *SymbolicDB) error {
-	if len(next.Series) != len(old.Series) {
-		return fmt.Errorf("series count changed (%d -> %d)", len(old.Series), len(next.Series))
+func extends(old, next SymbolSource) error {
+	if next.NumSeries() != old.NumSeries() {
+		return fmt.Errorf("series count changed (%d -> %d)", old.NumSeries(), next.NumSeries())
 	}
-	for i, os := range old.Series {
-		ns := next.Series[i]
-		if ns.Name != os.Name {
-			return fmt.Errorf("series %d renamed (%q -> %q)", i, os.Name, ns.Name)
+	if next.Start() != old.Start() || next.Step() != old.Step() {
+		return fmt.Errorf("sampling grid changed")
+	}
+	if next.Len() < old.Len() {
+		return fmt.Errorf("database shrank (%d -> %d samples)", old.Len(), next.Len())
+	}
+	for i := 0; i < old.NumSeries(); i++ {
+		name := old.SeriesName(i)
+		if nn := next.SeriesName(i); nn != name {
+			return fmt.Errorf("series %d renamed (%q -> %q)", i, name, nn)
 		}
-		if ns.Start != os.Start || ns.Step != os.Step {
-			return fmt.Errorf("series %q grid changed", ns.Name)
+		oa, na := old.SeriesAlphabet(i), next.SeriesAlphabet(i)
+		if len(na) < len(oa) {
+			return fmt.Errorf("series %q alphabet shrank", name)
 		}
-		if ns.Len() < os.Len() {
-			return fmt.Errorf("series %q shrank (%d -> %d samples)", ns.Name, os.Len(), ns.Len())
-		}
-		if len(ns.Alphabet) < len(os.Alphabet) {
-			return fmt.Errorf("series %q alphabet shrank", ns.Name)
-		}
-		for j, a := range os.Alphabet {
-			if ns.Alphabet[j] != a {
-				return fmt.Errorf("series %q alphabet renumbered at %d (%q -> %q)", ns.Name, j, a, ns.Alphabet[j])
+		for j, a := range oa {
+			if na[j] != a {
+				return fmt.Errorf("series %q alphabet renumbered at %d (%q -> %q)", name, j, a, na[j])
 			}
 		}
 	}
@@ -240,7 +252,7 @@ func (p *Prepared) Advance(next *Analysis) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := extends(p.sdb, next.sdb); err != nil {
+	if err := extends(p.src, next.src); err != nil {
 		return nil, fmt.Errorf("ftpm: Advance: new database does not extend the prepared one: %v", err)
 	}
 	// Link to the nearest generation with a completed conversion, so a
@@ -280,16 +292,16 @@ func (p *Prepared) sequences() (*preparedSeqs, bool, error) {
 		var prevEnd Time
 		if prev := p.takePrev(); prev != nil {
 			if m, ok := prev.seq.peek(); ok {
-				memo, prevEnd = m, prev.sdb.End()
+				memo, prevEnd = m, prev.src.End()
 			}
 		}
 		if p.shards <= 1 {
 			var db *SequenceDB
 			var err error
 			if memo != nil && memo.view == nil {
-				db, _, err = events.ConvertDelta(p.sdb, p.split, memo.db, prevEnd)
+				db, _, err = events.ConvertDelta(p.src, p.split, memo.db, prevEnd)
 			} else {
-				db, err = events.Convert(p.sdb, p.split)
+				db, err = events.Convert(p.src, p.split)
 			}
 			if err != nil {
 				return nil, err
@@ -300,7 +312,7 @@ func (p *Prepared) sequences() (*preparedSeqs, bool, error) {
 			return &preparedSeqs{db: db}, nil
 		}
 		if memo != nil && memo.view != nil && len(memo.view.Shards) == p.shards {
-			shards, stable, err := events.ConvertShardsDelta(p.sdb, p.split, p.shards, memo.view.Shards, prevEnd)
+			shards, stable, err := events.ConvertShardsDelta(p.src, p.split, p.shards, memo.view.Shards, prevEnd)
 			if err != nil {
 				return nil, err
 			}
@@ -310,7 +322,7 @@ func (p *Prepared) sequences() (*preparedSeqs, bool, error) {
 			}
 			return &preparedSeqs{db: view.Merged, view: view}, nil
 		}
-		shards, err := events.ConvertShards(p.sdb, p.split, p.shards)
+		shards, err := events.ConvertShards(p.src, p.split, p.shards)
 		if err != nil {
 			return nil, err
 		}
@@ -335,7 +347,7 @@ func (p *Prepared) sequences() (*preparedSeqs, bool, error) {
 // Analysis.
 func (p *Prepared) pairwise() (*mi.Pairwise, bool, error) {
 	pw, hit, err := p.an.pw.get(func() (*mi.Pairwise, error) {
-		return mi.ComputePairwise(p.sdb)
+		return mi.ComputePairwise(p.src)
 	})
 	if err != nil {
 		return nil, hit, err
@@ -352,7 +364,7 @@ func (p *Prepared) pairwise() (*mi.Pairwise, bool, error) {
 // Analysis.
 func (p *Prepared) eventPairwise() (*mi.EventPairwise, bool, error) {
 	epw, hit, err := p.an.epw.get(func() (*mi.EventPairwise, error) {
-		return mi.ComputeEventPairwise(p.sdb)
+		return mi.ComputeEventPairwise(p.src)
 	})
 	if err != nil {
 		return nil, hit, err
