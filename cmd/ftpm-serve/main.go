@@ -63,6 +63,12 @@
 //	  '{"time":86400,"values":{"Kitchen":0.07,"Toaster":0.0}}'
 //	curl -X POST --data-binary @delta.csv 'localhost:8080/v1/datasets/ds-1/append?format=csv'
 //
+// /healthz (liveness) answers 200 while the process serves HTTP;
+// /readyz (readiness) answers 200 only while the server accepts work —
+// not shutting down and not in degraded read-only mode after a fatal
+// storage fault. Point load-balancer readiness checks at /readyz;
+// -ready-timeout additionally gates startup on the same signal.
+//
 // See internal/server for the full API.
 package main
 
@@ -118,6 +124,7 @@ func main() {
 		tenantWeights = flag.String("tenant-weights", "", "fair-share weights as name=weight,... (unlisted tenants weigh 1)")
 		eventRing     = flag.Int("event-ring", 0, "job events retained for stream replay/resume (0 = 1024)")
 		maxStreamSubs = flag.Int("max-stream-subscribers", 0, "concurrent firehose (/v1/events) streams allowed; connections beyond it get 429 (0 = unlimited)")
+		readyTimeout  = flag.Duration("ready-timeout", 0, "max time to wait for the server to report ready before serving; 0 skips the gate (GET /readyz polls the same signal)")
 	)
 	flag.Parse()
 
@@ -143,6 +150,22 @@ func main() {
 	})
 	if err != nil {
 		logger.Fatal(err)
+	}
+
+	// -ready-timeout gates listening on readiness: recovery happens in
+	// server.New, so once New returns the signal is normally immediate —
+	// the gate exists to refuse to serve a process that came up already
+	// degraded (e.g. a full disk at first WAL touch), which orchestrators
+	// treat as a failed start rather than a live-but-broken backend.
+	if *readyTimeout > 0 {
+		deadline := time.Now().Add(*readyTimeout)
+		for !srv.Ready() {
+			if time.Now().After(deadline) {
+				srv.Close()
+				logger.Fatalf("server not ready within %s", *readyTimeout)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
 	}
 
 	hs := &http.Server{

@@ -342,8 +342,7 @@ func (s *Server) handleAppendDataset(w http.ResponseWriter, r *http.Request, id 
 		}
 		next, rec, err = s.sealAppend(ds, g, delta)
 		if err != nil {
-			s.logf("append seal failed: %v", err)
-			writeError(w, http.StatusServiceUnavailable, codeUnavailable, "append storage failed: %v", err)
+			s.storeFailure(w, "append storage", err)
 			return
 		}
 	}
@@ -374,11 +373,11 @@ func (s *Server) sealAppend(ds *Dataset, g *dsGen, delta *ftpm.SymbolicDB) (*dsG
 	fp := fingerprintSource(&chainSource{base: g.src, tail: delta})
 	segName := segmentName(ds.id, g.gen+1)
 	path := filepath.Join(s.segDir, segName)
-	size, err := store.WriteSegment(path, delta, fp)
+	size, err := store.WriteSegmentFS(s.fsys, path, delta, fp)
 	if err != nil {
 		return nil, appendRecord{}, err
 	}
-	seg, err := store.OpenSegment(path)
+	seg, err := store.OpenSegmentFS(s.fsys, path)
 	if err != nil {
 		return nil, appendRecord{}, err
 	}

@@ -98,7 +98,10 @@ func (h *Hub) Publish(typ, job string, final bool, data any) uint64 {
 		h.head = (h.head + 1) % len(h.ring)
 	}
 	for s := range h.subs {
-		if s.job != "" && s.job != job {
+		// An event published with job "" is a server-wide broadcast (e.g.
+		// the degraded-mode frame) and reaches every subscriber, filtered
+		// or not.
+		if s.job != "" && job != "" && s.job != job {
 			continue
 		}
 		select {
@@ -178,7 +181,9 @@ func (h *Hub) Subscribe(job string, afterID uint64, buf int) (s *Sub, seededFina
 		if ev.ID <= afterID {
 			continue
 		}
-		if job != "" && ev.Job != job {
+		// Server-wide broadcasts (job "") replay to everyone, matching
+		// live delivery.
+		if job != "" && ev.Job != "" && ev.Job != job {
 			continue
 		}
 		select {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -301,6 +302,9 @@ type jobManager struct {
 	// the fair share divides (GOMAXPROCS).
 	workerCount int
 	budgetTotal int
+	// logf receives worker-pool diagnostics (panic stacks, notably);
+	// never nil.
+	logf func(format string, args ...any)
 
 	mu   sync.Mutex
 	cond *sync.Cond // signalled when a job is enqueued or a slot frees
@@ -327,13 +331,16 @@ type jobManager struct {
 	seq          int
 }
 
-func newJobManager(workers, queueDepth int, persist *persister, hub *events.Hub, qos qosOptions) *jobManager {
+func newJobManager(workers, queueDepth int, persist *persister, hub *events.Hub, qos qosOptions, logf func(string, ...any)) *jobManager {
 	ctx, cancel := context.WithCancel(context.Background())
 	if hub == nil {
 		hub = events.NewHub(1)
 	}
 	if qos.maxQueued <= 0 {
 		qos.maxQueued = queueDepth
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
 	}
 	m := &jobManager{
 		baseCtx:     ctx,
@@ -345,6 +352,7 @@ func newJobManager(workers, queueDepth int, persist *persister, hub *events.Hub,
 		qos:         qos,
 		workerCount: workers,
 		budgetTotal: runtime.GOMAXPROCS(0),
+		logf:        logf,
 		tenants:     make(map[string]*tenantState),
 		queueCap:    queueDepth,
 		byID:        make(map[string]*job),
@@ -742,6 +750,11 @@ func resultKey(fingerprint string, shards int, req MiningRequest) string {
 }
 
 // run executes one job end to end on the calling worker goroutine. The
+// testMineHook, when non-nil, runs inside the panic-isolated mining
+// section of every job; the panic-isolation tests use it to detonate a
+// chosen job.
+var testMineHook func(*job)
+
 // dataset's current generation is captured once, before anything else:
 // the cache key, the Prepared handle and the mine all resolve against
 // that one immutable view, so an append landing mid-run can neither tear
@@ -829,12 +842,28 @@ func (m *jobManager) run(j *job) {
 
 	// Every job — exact, approx, event-level, sharded or not — mines
 	// through the dataset's geometry-keyed Prepared handle and shares its
-	// cached DSEQ conversion and NMI tables.
+	// cached DSEQ conversion and NMI tables. The closure isolates a panic
+	// anywhere in the prepare/mine pipeline to this job: it fails with
+	// the panic reason (stack to the log) and the worker — and every
+	// other job — keeps going.
 	var res *ftpm.Result
-	prep, err := j.ds.prepared(g, j.req.splitOptions())
-	if err == nil {
-		res, err = prep.Mine(ctx, opt)
-	}
+	var err error
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("panic: %v", p)
+				m.logf("job %s panicked: %v\n%s", j.id, p, debug.Stack())
+			}
+		}()
+		if h := testMineHook; h != nil {
+			h(j)
+		}
+		var prep *ftpm.Prepared
+		prep, err = j.ds.prepared(g, j.req.splitOptions())
+		if err == nil {
+			res, err = prep.Mine(ctx, opt)
+		}
+	}()
 
 	j.mu.Lock()
 	j.finishedAt = time.Now()

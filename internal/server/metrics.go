@@ -146,13 +146,25 @@ type AppendMetricsJSON struct {
 	DatasetGenerations map[string]int64 `json:"dataset_generations,omitempty"`
 }
 
+// HealthMetricsJSON gauges the server's fault state: whether it is in
+// degraded read-only mode (and why), every store fault observed, and
+// how many transient WAL-append retries were attempted.
+type HealthMetricsJSON struct {
+	Degraded          bool   `json:"degraded"`
+	Reason            string `json:"reason,omitempty"`
+	StoreFaultsTotal  int64  `json:"store_faults_total"`
+	StoreRetriesTotal int64  `json:"store_retries_total"`
+}
+
 // MetricsJSON is the GET /metrics document. QueueDepth counts jobs
 // genuinely waiting for a worker — entries cancelled while queued but
 // not yet popped are excluded.
 type MetricsJSON struct {
-	QueueDepth int              `json:"queue_depth"`
-	JobStates  map[string]int   `json:"job_states"`
-	Cache      CacheMetricsJSON `json:"cache"`
+	QueueDepth int `json:"queue_depth"`
+	// Health reports degraded mode and the store fault/retry counters.
+	Health    HealthMetricsJSON `json:"health"`
+	JobStates map[string]int    `json:"job_states"`
+	Cache     CacheMetricsJSON  `json:"cache"`
 	// Tenants reports the per-tenant scheduler state; absent until the
 	// first job is submitted.
 	Tenants map[string]TenantMetricsJSON `json:"tenants,omitempty"`
@@ -218,6 +230,15 @@ func (m *jobManager) metrics() MetricsJSON {
 func (s *Server) metricsDoc() MetricsJSON {
 	doc := s.jobs.metrics()
 	doc.Persistence = s.persist.metrics()
+	degraded, reason := s.degradedState()
+	doc.Health = HealthMetricsJSON{
+		Degraded:         degraded,
+		Reason:           reason,
+		StoreFaultsTotal: s.storeFaults.Load(),
+	}
+	if s.persist != nil {
+		doc.Health.StoreRetriesTotal = s.persist.retries.Load()
+	}
 	doc.Appends = AppendMetricsJSON{
 		AppendsTotal:       s.appends.Load(),
 		AppendRowsTotal:    s.appendRows.Load(),

@@ -70,6 +70,14 @@ const defaultSnapshotEvery = 256
 // keeps startup's whole-WAL read bounded regardless of record mix.
 const maxWALBytes = 128 << 20
 
+// Transient WAL-append faults (interrupted syscalls, briefly-busy
+// devices) are retried this many times with doubling backoff before the
+// append is declared failed; see persister.append.
+const (
+	appendMaxRetries     = 3
+	appendInitialBackoff = 5 * time.Millisecond
+)
+
 // lostToRestart is the error restored onto live-at-crash jobs whose
 // dataset did not survive replay (jobs whose dataset is present re-queue
 // instead). The wording is part of the API: clients distinguish it from
@@ -282,6 +290,16 @@ type persister struct {
 	// compaction holds the lock.
 	snapshotFailures atomic.Int64
 	lastErr          atomic.Value // string
+	// retries counts transient-append retry attempts (the
+	// store_retries_total gauge); maxRetries and backoff are the retry
+	// policy, fields so the fault tests can shrink the waits.
+	retries    atomic.Int64
+	maxRetries int
+	backoff    time.Duration
+	// noteFault (nil-safe) reports an ultimately-failed durable write to
+	// the server, which counts it and — for fatal faults — flips into
+	// degraded read-only mode.
+	noteFault func(err error, fatal bool)
 	// gather assembles the current service state for a compacting
 	// snapshot; the server installs it after restore, so replay itself
 	// never triggers compaction.
@@ -323,15 +341,21 @@ func parseSeq(id, prefix string) int {
 
 // openPersister opens the data directory and replays its snapshot and
 // WAL into a recoveredState.
-func openPersister(dir string, snapshotEvery int, logf func(string, ...any)) (*persister, *recoveredState, error) {
-	log, rec, err := store.Open(dir)
+func openPersister(fsys store.FS, dir string, snapshotEvery int, logf func(string, ...any)) (*persister, *recoveredState, error) {
+	log, rec, err := store.OpenFS(fsys, dir)
 	if err != nil {
 		return nil, nil, err
 	}
 	if snapshotEvery <= 0 {
 		snapshotEvery = defaultSnapshotEvery
 	}
-	p := &persister{log: log, snapshotEvery: snapshotEvery, logf: logf}
+	p := &persister{
+		log:           log,
+		snapshotEvery: snapshotEvery,
+		maxRetries:    appendMaxRetries,
+		backoff:       appendInitialBackoff,
+		logf:          logf,
+	}
 	st, err := replay(rec)
 	if err != nil {
 		log.Close()
@@ -513,9 +537,34 @@ func (p *persister) append(kind store.Kind, v any) {
 		return
 	}
 	p.mu.Lock()
-	if err := p.log.Append(kind, data); err != nil {
+	for attempt := 0; ; attempt++ {
+		err = p.log.Append(kind, data)
+		if err == nil {
+			break
+		}
+		// Only transient faults are worth retrying; fatal ones (ENOSPC,
+		// EIO) won't clear in milliseconds, and a corrupting fault means
+		// the log itself refused further writes. The sleep holds p.mu —
+		// deliberate: letting other appends interleave against a disk
+		// that just faulted would only reorder their failures.
+		if store.Classify(err) != store.FaultTransient || attempt >= p.maxRetries {
+			break
+		}
+		p.retries.Add(1)
+		time.Sleep(p.backoff << attempt)
+	}
+	if err != nil {
 		p.mu.Unlock()
-		p.logf("persist: append failed: %v", err)
+		if errors.Is(err, store.ErrClosed) {
+			// A hook racing shutdown: the event is covered by the final
+			// snapshot (or legitimately lost with the process), not a
+			// storage fault.
+			return
+		}
+		p.logf("persist: append failed (%s fault): %v", store.Classify(err), err)
+		if f := p.noteFault; f != nil {
+			f(err, true)
+		}
 		return
 	}
 	trigger := !p.compacting && p.gather != nil &&
@@ -585,6 +634,13 @@ func (p *persister) noteSnapshotErr(err error) {
 	p.snapshotFailures.Add(1)
 	p.lastErr.Store(err.Error())
 	p.logf("persist: snapshot failed: %v", err)
+	// A failed compaction is a counted store fault but not a fatal one:
+	// the WAL still holds every record the snapshot would have covered,
+	// so durability is intact — the server stays writable and the next
+	// trigger retries.
+	if f := p.noteFault; f != nil {
+		f(err, false)
+	}
 }
 
 // maybeCompact compacts if the WAL (e.g. as replayed at open) is already

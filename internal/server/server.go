@@ -8,9 +8,9 @@ import (
 	"math"
 	"net/http"
 	"net/url"
-	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -77,6 +77,11 @@ type Options struct {
 	// Per-job streams are not counted — they end with their job. 0 (the
 	// default) leaves the firehose uncapped.
 	MaxStreamSubscribers int
+	// FS is the filesystem every durable write goes through (WAL,
+	// snapshots, segment files). nil means the real filesystem; the
+	// fault-injection tests substitute a store.ErrFS. Ignored without
+	// DataDir.
+	FS store.FS
 	// Logger, when non-nil, receives one line per request and job
 	// transition.
 	Logger *log.Logger
@@ -90,8 +95,17 @@ type Server struct {
 	jobs    *jobManager
 	hub     *events.Hub
 	persist *persister // nil when Options.DataDir is unset
+	fsys    store.FS   // filesystem for segment files; store.OS() by default
 	segDir  string     // DataDir/segments; "" when not durable
 	closed  atomic.Bool
+
+	// degraded flips (sticky) when a fatal store fault is observed: the
+	// server keeps serving reads but rejects mutations with 503
+	// code "degraded" until restart. degradedReason holds the operator-
+	// facing cause; storeFaults counts every observed store fault.
+	degraded       atomic.Bool
+	degradedReason atomic.Value // string
+	storeFaults    atomic.Int64
 
 	// appends / appendRows are the service-lifetime append counters
 	// surfaced on /metrics.
@@ -131,16 +145,20 @@ func New(opts Options) (*Server, error) {
 	if opts.EventRing <= 0 {
 		opts.EventRing = 1024
 	}
-	s := &Server{opts: opts}
+	s := &Server{opts: opts, fsys: opts.FS}
+	if s.fsys == nil {
+		s.fsys = store.OS()
+	}
 	var recovered *recoveredState
 	if opts.DataDir != "" {
 		var err error
-		s.persist, recovered, err = openPersister(opts.DataDir, opts.SnapshotEvery, s.logf)
+		s.persist, recovered, err = openPersister(s.fsys, opts.DataDir, opts.SnapshotEvery, s.logf)
 		if err != nil {
 			return nil, err
 		}
+		s.persist.noteFault = s.noteStoreFault
 		s.segDir = filepath.Join(opts.DataDir, "segments")
-		if err := os.MkdirAll(s.segDir, 0o755); err != nil {
+		if err := s.fsys.MkdirAll(s.segDir, 0o755); err != nil {
 			s.persist.close()
 			return nil, fmt.Errorf("server: segments dir: %w", err)
 		}
@@ -151,7 +169,7 @@ func New(opts Options) (*Server, error) {
 		maxQueued:  opts.TenantMaxQueued,
 		maxRunning: opts.TenantMaxRunning,
 		weights:    opts.TenantWeights,
-	})
+	}, s.logf)
 	if recovered != nil {
 		if err := s.restore(recovered); err != nil {
 			s.jobs.close()
@@ -236,7 +254,7 @@ func (s *Server) segmentGen(rec datasetRecord) (*dsGen, error) {
 	var segBytes int64
 	fp := rec.Fingerprint
 	for _, name := range rec.Segments {
-		seg, err := store.OpenSegment(filepath.Join(s.segDir, name))
+		seg, err := store.OpenSegmentFS(s.fsys, filepath.Join(s.segDir, name))
 		if err != nil {
 			return nil, fmt.Errorf("segment %s: %w", name, err)
 		}
@@ -267,7 +285,7 @@ func (s *Server) segmentGen(rec datasetRecord) (*dsGen, error) {
 // to a crash. Referenced files are exactly the live generations' segment
 // lists, so this runs strictly after restore.
 func (s *Server) cleanOrphanSegments() {
-	entries, err := os.ReadDir(s.segDir)
+	entries, err := s.fsys.ReadDir(s.segDir)
 	if err != nil {
 		s.logf("persist: segment scan failed: %v", err)
 		return
@@ -278,7 +296,7 @@ func (s *Server) cleanOrphanSegments() {
 		if e.IsDir() || live[e.Name()] {
 			continue
 		}
-		if err := os.Remove(filepath.Join(s.segDir, e.Name())); err != nil {
+		if err := s.fsys.Remove(filepath.Join(s.segDir, e.Name())); err != nil {
 			s.logf("persist: orphan segment %s not removed: %v", e.Name(), err)
 			continue
 		}
@@ -342,8 +360,97 @@ const (
 	codeConflict         = "conflict"           // 409
 	codePayloadTooLarge  = "payload_too_large"  // 413
 	codeQuotaExceeded    = "quota_exceeded"     // 429
+	codeInternal         = "internal"           // 500
 	codeUnavailable      = "unavailable"        // 503
+	codeDegraded         = "degraded"           // 503, read-only until restart
 )
+
+// degradedRetryAfter is the Retry-After (seconds) on degraded-mode 503s.
+// Degraded mode is sticky until an operator restarts the server, so the
+// hint is a polling cadence, not a recovery estimate.
+const degradedRetryAfter = 30
+
+// degradedEventData is the payload of the "degraded" event broadcast on
+// every stream when the server flips read-only.
+type degradedEventData struct {
+	Degraded bool   `json:"degraded"`
+	Reason   string `json:"reason"`
+}
+
+// noteStoreFault counts one observed store fault; a fatal one flips the
+// server into degraded read-only mode. Wired as the persister's fault
+// callback and called directly by the segment-seal paths.
+func (s *Server) noteStoreFault(err error, fatal bool) {
+	s.storeFaults.Add(1)
+	if fatal {
+		s.enterDegraded(err)
+	}
+}
+
+// enterDegraded flips the server read-only (idempotent; the first fault
+// wins the reason). Existing datasets and finished results stay
+// servable; mutations 503 with code "degraded" until restart. Every
+// open event stream gets a broadcast "degraded" frame so streaming
+// clients learn the state change without polling.
+func (s *Server) enterDegraded(cause error) {
+	if !s.degraded.CompareAndSwap(false, true) {
+		return
+	}
+	reason := fmt.Sprintf("store fault (%s): %v", store.Classify(cause), cause)
+	s.degradedReason.Store(reason)
+	s.logf("entering degraded read-only mode: %s", reason)
+	s.hub.Publish("degraded", "", false, degradedEventData{Degraded: true, Reason: reason})
+}
+
+// degradedState returns the sticky degraded flag and its reason.
+func (s *Server) degradedState() (bool, string) {
+	if !s.degraded.Load() {
+		return false, ""
+	}
+	reason, _ := s.degradedReason.Load().(string)
+	return true, reason
+}
+
+// Ready reports whether the server accepts work: not shut down and not
+// degraded. The /readyz endpoint and ftpm-serve's -ready-timeout gate
+// poll it.
+func (s *Server) Ready() bool {
+	return !s.closed.Load() && !s.degraded.Load()
+}
+
+// rejectUnwritable writes the 503 a mutation gets while the server is
+// shutting down or degraded and reports whether it did. Every write
+// endpoint calls it first, so the two read-only states are rejected
+// uniformly.
+func (s *Server) rejectUnwritable(w http.ResponseWriter) bool {
+	if s.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, codeUnavailable, "server shutting down")
+		return true
+	}
+	if degraded, reason := s.degradedState(); degraded {
+		w.Header().Set("Retry-After", strconv.Itoa(degradedRetryAfter))
+		writeError(w, http.StatusServiceUnavailable, codeDegraded, "server is in degraded read-only mode: %s", reason)
+		return true
+	}
+	return false
+}
+
+// storeFailure reports a failed durable write (segment seal, typically)
+// to the client and the fault accounting. Fatal faults degrade the
+// server and answer with code "degraded"; transient ones answer
+// "unavailable" — the client may simply retry.
+func (s *Server) storeFailure(w http.ResponseWriter, op string, err error) {
+	class := store.Classify(err)
+	fatal := class != store.FaultTransient
+	s.logf("%s failed (%s fault): %v", op, class, err)
+	s.noteStoreFault(err, fatal)
+	if fatal {
+		w.Header().Set("Retry-After", strconv.Itoa(degradedRetryAfter))
+		writeError(w, http.StatusServiceUnavailable, codeDegraded, "%s failed: %v", op, err)
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, codeUnavailable, "%s failed: %v", op, err)
+}
 
 // apiErrorBody is the inner object of the error envelope.
 type apiErrorBody struct {
@@ -370,13 +477,62 @@ func writeError(w http.ResponseWriter, status int, code string, format string, a
 	writeJSON(w, status, apiError{Error: apiErrorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
-// ServeHTTP routes requests by hand on net/http only, so the server works
+// recoverWriter tracks whether a handler already wrote its header, so
+// the panic recovery knows whether a 500 envelope can still be sent.
+// It always implements http.Flusher (a no-op when the underlying writer
+// cannot flush) because the streaming handlers type-assert for it.
+type recoverWriter struct {
+	http.ResponseWriter
+	wroteHeader bool
+}
+
+func (rw *recoverWriter) WriteHeader(status int) {
+	rw.wroteHeader = true
+	rw.ResponseWriter.WriteHeader(status)
+}
+
+func (rw *recoverWriter) Write(p []byte) (int, error) {
+	rw.wroteHeader = true
+	return rw.ResponseWriter.Write(p)
+}
+
+func (rw *recoverWriter) Flush() {
+	if f, ok := rw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// testRouteHook, when non-nil, runs at the top of every routed request;
+// the panic-isolation tests use it to detonate inside a handler.
+var testRouteHook func(*http.Request)
+
+// ServeHTTP wraps the routing in panic isolation: a panicking handler
+// answers 500 with the uniform error envelope (when its header is still
+// unsent) and the server keeps serving every other connection. The
+// stack goes to the logger, not the client.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rw := &recoverWriter{ResponseWriter: w}
+	defer func() {
+		if p := recover(); p != nil {
+			s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			if !rw.wroteHeader {
+				writeError(rw, http.StatusInternalServerError, codeInternal, "internal error")
+			}
+		}
+	}()
+	if h := testRouteHook; h != nil {
+		h(r)
+	}
+	s.route(rw, r)
+}
+
+// route dispatches requests by hand on net/http only, so the server works
 // identically across toolchain versions. The canonical surface lives
 // under /v1; the original unversioned paths answer identically but carry
 // Deprecation and successor-version Link headers. The event streams are
 // v1-only — they postdate the unversioned surface, so aliasing them would
 // grow the deprecated API.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 	seg := strings.Split(strings.Trim(r.URL.Path, "/"), "/")
 	v1 := len(seg) > 0 && seg[0] == "v1"
 	if v1 {
@@ -388,6 +544,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case len(seg) == 1 && seg[0] == "healthz":
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	case len(seg) == 1 && seg[0] == "readyz":
+		s.handleReadyz(w, r)
 	case len(seg) == 1 && seg[0] == "metrics":
 		if r.Method != http.MethodGet {
 			writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "method %s not allowed", r.Method)
@@ -409,6 +567,28 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleReadyz is the readiness probe, the liveness/readiness split's
+// second half: /healthz answers 200 as long as the process serves HTTP,
+// /readyz answers 200 only while the server can accept work — not
+// shutting down and not degraded. Load balancers drain on readyz while
+// clients with running jobs keep reading results through the same
+// process.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	if s.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, codeUnavailable, "not ready: server shutting down")
+		return
+	}
+	if degraded, reason := s.degradedState(); degraded {
+		writeError(w, http.StatusServiceUnavailable, codeDegraded, "not ready: %s", reason)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
 // pageParams parses the shared limit/page_token pagination parameters.
 func pageParams(q url.Values) (limit int, token string, err error) {
 	limit = defaultPageLimit
@@ -425,8 +605,7 @@ func pageParams(q url.Values) (limit int, token string, err error) {
 func (s *Server) routeDatasets(w http.ResponseWriter, r *http.Request, rest []string) {
 	switch {
 	case len(rest) == 0 && r.Method == http.MethodPost:
-		if s.closed.Load() {
-			writeError(w, http.StatusServiceUnavailable, codeUnavailable, "server shutting down")
+		if s.rejectUnwritable(w) {
 			return
 		}
 		s.handleUploadDataset(w, r)
@@ -455,8 +634,7 @@ func (s *Server) routeDatasets(w http.ResponseWriter, r *http.Request, rest []st
 		}
 		writeJSON(w, http.StatusOK, ds.info())
 	case len(rest) == 1 && r.Method == http.MethodDelete:
-		if s.closed.Load() {
-			writeError(w, http.StatusServiceUnavailable, codeUnavailable, "server shutting down")
+		if s.rejectUnwritable(w) {
 			return
 		}
 		ds, ok := s.reg.get(rest[0])
@@ -468,8 +646,7 @@ func (s *Server) routeDatasets(w http.ResponseWriter, r *http.Request, rest []st
 		s.removeSegments(ds.view())
 		w.WriteHeader(http.StatusNoContent)
 	case len(rest) == 2 && rest[1] == "append" && r.Method == http.MethodPost:
-		if s.closed.Load() {
-			writeError(w, http.StatusServiceUnavailable, codeUnavailable, "server shutting down")
+		if s.rejectUnwritable(w) {
 			return
 		}
 		s.handleAppendDataset(w, r, rest[0])
@@ -561,8 +738,7 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 	if s.persist != nil {
 		ds, err = s.addSegmentDataset(name, sdb, shards, threshold)
 		if err != nil {
-			s.logf("dataset seal failed: %v", err)
-			writeError(w, http.StatusServiceUnavailable, codeUnavailable, "dataset storage failed: %v", err)
+			s.storeFailure(w, "dataset storage", err)
 			return
 		}
 	} else {
@@ -586,11 +762,11 @@ func (s *Server) addSegmentDataset(name string, sdb *ftpm.SymbolicDB, shards int
 	fp := fingerprintSDB(sdb)
 	segName := segmentName(id, 0)
 	path := filepath.Join(s.segDir, segName)
-	size, err := store.WriteSegment(path, sdb, fp)
+	size, err := store.WriteSegmentFS(s.fsys, path, sdb, fp)
 	if err != nil {
 		return nil, err
 	}
-	seg, err := store.OpenSegment(path)
+	seg, err := store.OpenSegmentFS(s.fsys, path)
 	if err != nil {
 		return nil, err
 	}
@@ -612,7 +788,7 @@ func segmentName(id string, gen int64) string {
 // exit). Unlink failures are left for startup orphan collection.
 func (s *Server) removeSegments(g *dsGen) {
 	for _, name := range g.segments {
-		if err := os.Remove(filepath.Join(s.segDir, name)); err != nil {
+		if err := s.fsys.Remove(filepath.Join(s.segDir, name)); err != nil {
 			s.logf("persist: segment %s not removed: %v", name, err)
 		}
 	}
@@ -695,6 +871,14 @@ func (s *Server) routeJobs(w http.ResponseWriter, r *http.Request, rest []string
 }
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	// Submits are gated like uploads: a degraded server cannot make the
+	// submission (or its terminal record) durable, so accepting the job
+	// would promise state a restart forgets.
+	if degraded, reason := s.degradedState(); degraded {
+		w.Header().Set("Retry-After", strconv.Itoa(degradedRetryAfter))
+		writeError(w, http.StatusServiceUnavailable, codeDegraded, "server is in degraded read-only mode: %s", reason)
+		return
+	}
 	tenant, ok := tenantOf(r.Header.Get(tenantHeader))
 	if !ok {
 		writeError(w, http.StatusBadRequest, codeInvalidArgument,

@@ -50,4 +50,30 @@
 // With payloads in segments, the WAL records only metadata plus segment
 // references: dataset records shrink from O(samples) to O(1) and restart
 // becomes a footer read per segment instead of a payload replay.
+//
+// # Fault injection and the VFS seam
+//
+// Every filesystem touch — WAL, snapshots, segments, directory syncs,
+// mmaps — goes through the FS interface. Production code uses OS();
+// tests swap in ErrFS, which counts mutating operations and injects a
+// chosen error at the Nth one: sticky (a yanked disk — everything after
+// the first failure fails too) or bounded via SetFailCount (a hiccup the
+// retry path must absorb), optionally tearing a prefix of the failed
+// write onto disk (SetTearBytes) or silently dropping fsyncs
+// (SetDropSyncs, the lying-cache model). The fail-every-Nth-op sweep
+// tests drive a full workload once per operation and assert that a
+// restart from the surviving files replays exactly the acknowledged
+// state.
+//
+// Errors surfacing from the log are classified by Classify into
+// FaultTransient (EINTR-family: retry with backoff), FaultFatal
+// (ENOSPC, EIO and everything else: the caller should stop writing and
+// degrade), and FaultCorrupting (ErrPoisoned: a failed append whose
+// rollback also failed left the in-memory offsets and the file
+// disagreeing, so the log latches shut and only a reopen — which
+// re-derives state from disk and truncates the torn tail — is safe).
+// Sync errors are never discarded anywhere in this package: a failed
+// fsync means the bytes may not be durable, and the caller must not
+// acknowledge them (scripts/check_sync_errors.sh enforces this
+// repo-wide).
 package store

@@ -1,0 +1,263 @@
+package store
+
+import (
+	"io/fs"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// ErrFS is the fault-injecting FS used by the crash-consistency tests.
+// It wraps a base FS (usually OS() over a temp dir) and counts every
+// MUTATING operation — creates, opens-for-write, renames, removes,
+// writes, truncates, syncs — in program order. Reads pass through
+// uncounted: a fault model for durability only needs to break the
+// write path.
+//
+// Arm it with SetFailAt(n, err): operation number n (1-based) and every
+// mutating operation after it fail with err, which models a disk that
+// stops cooperating and stays broken ("sticky"). FailCount bounds the
+// number of injected failures for transient-fault tests (0 = unlimited).
+// TearBytes makes a failing Write first persist a prefix of that many
+// bytes — a torn write. DropSyncs makes every Sync/SyncDir report
+// success without syncing, modelling a lying disk cache.
+//
+// The zero value of the knobs injects nothing; Ops still counts, which
+// is how tests size a fail-Nth sweep.
+type ErrFS struct {
+	base FS
+
+	mu           sync.Mutex
+	ops          int64 // mutating operations observed so far
+	failAt       int64 // fail ops numbered >= failAt; 0 disables injection
+	failCount    int   // max injected failures; 0 = unlimited
+	failed       int
+	err          error // injected error; nil means ENOSPC
+	tearBytes    int
+	dropSyncs    bool
+	droppedSyncs int64
+}
+
+// NewErrFS wraps base with fault injection disabled.
+func NewErrFS(base FS) *ErrFS {
+	if base == nil {
+		base = OS()
+	}
+	return &ErrFS{base: base}
+}
+
+// SetFailAt arms the filesystem: mutating operation number n (1-based)
+// and all that follow fail with err (ENOSPC when err is nil). n <= 0
+// disarms. The operation counter keeps running either way.
+func (e *ErrFS) SetFailAt(n int64, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.failAt = n
+	e.err = err
+	e.failed = 0
+}
+
+// SetFailCount bounds the number of injected failures (0 = unlimited).
+// With a bound, the disk "recovers" after n failures — the shape of a
+// transient fault.
+func (e *ErrFS) SetFailCount(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.failCount = n
+}
+
+// SetTearBytes makes a failing Write persist a prefix of n bytes before
+// reporting the error.
+func (e *ErrFS) SetTearBytes(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tearBytes = n
+}
+
+// SetDropSyncs toggles sync dropping: Sync and SyncDir count as
+// operations and report success, but nothing reaches the disk.
+func (e *ErrFS) SetDropSyncs(drop bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.dropSyncs = drop
+}
+
+// Ops returns the number of mutating operations observed.
+func (e *ErrFS) Ops() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ops
+}
+
+// Failures returns the number of injected failures so far.
+func (e *ErrFS) Failures() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.failed
+}
+
+// DroppedSyncs returns how many Sync/SyncDir calls were swallowed.
+func (e *ErrFS) DroppedSyncs() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.droppedSyncs
+}
+
+// op records one mutating operation and reports the error to inject,
+// if any.
+func (e *ErrFS) op() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ops++
+	if e.failAt > 0 && e.ops >= e.failAt && (e.failCount == 0 || e.failed < e.failCount) {
+		e.failed++
+		if e.err != nil {
+			return e.err
+		}
+		return syscall.ENOSPC
+	}
+	return nil
+}
+
+func (e *ErrFS) MkdirAll(path string, perm os.FileMode) error {
+	if err := e.op(); err != nil {
+		return &os.PathError{Op: "mkdir", Path: path, Err: err}
+	}
+	return e.base.MkdirAll(path, perm)
+}
+
+func (e *ErrFS) Create(name string) (File, error) {
+	if err := e.op(); err != nil {
+		return nil, &os.PathError{Op: "create", Path: name, Err: err}
+	}
+	f, err := e.base.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &errFile{fs: e, f: f, name: name}, nil
+}
+
+func (e *ErrFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	writable := flag&(os.O_WRONLY|os.O_RDWR|os.O_CREATE|os.O_TRUNC|os.O_APPEND) != 0
+	if writable {
+		if err := e.op(); err != nil {
+			return nil, &os.PathError{Op: "open", Path: name, Err: err}
+		}
+	}
+	f, err := e.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	if !writable {
+		return f, nil
+	}
+	return &errFile{fs: e, f: f, name: name}, nil
+}
+
+func (e *ErrFS) ReadFile(name string) ([]byte, error) { return e.base.ReadFile(name) }
+
+func (e *ErrFS) Rename(oldpath, newpath string) error {
+	if err := e.op(); err != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: err}
+	}
+	return e.base.Rename(oldpath, newpath)
+}
+
+func (e *ErrFS) Remove(name string) error {
+	if err := e.op(); err != nil {
+		return &os.PathError{Op: "remove", Path: name, Err: err}
+	}
+	return e.base.Remove(name)
+}
+
+func (e *ErrFS) ReadDir(name string) ([]fs.DirEntry, error) { return e.base.ReadDir(name) }
+
+func (e *ErrFS) Stat(name string) (fs.FileInfo, error) { return e.base.Stat(name) }
+
+func (e *ErrFS) SyncDir(dir string) error {
+	e.mu.Lock()
+	drop := e.dropSyncs
+	e.mu.Unlock()
+	if err := e.op(); err != nil {
+		return &os.PathError{Op: "syncdir", Path: dir, Err: err}
+	}
+	if drop {
+		e.mu.Lock()
+		e.droppedSyncs++
+		e.mu.Unlock()
+		return nil
+	}
+	return e.base.SyncDir(dir)
+}
+
+func (e *ErrFS) MapFile(name string) ([]byte, bool, error) { return e.base.MapFile(name) }
+
+func (e *ErrFS) UnmapFile(data []byte) error { return e.base.UnmapFile(data) }
+
+// errFile wraps a writable File so its mutating methods are counted and
+// injectable.
+type errFile struct {
+	fs   *ErrFS
+	f    File
+	name string
+}
+
+func (f *errFile) Write(p []byte) (int, error) {
+	if err := f.fs.op(); err != nil {
+		f.fs.mu.Lock()
+		tear := f.fs.tearBytes
+		f.fs.mu.Unlock()
+		n := 0
+		if tear > 0 {
+			if tear > len(p) {
+				tear = len(p)
+			}
+			// A torn write: the prefix reached the disk, the rest did
+			// not, and the caller sees the failure.
+			n, _ = f.f.Write(p[:tear])
+		}
+		return n, &os.PathError{Op: "write", Path: f.name, Err: err}
+	}
+	return f.f.Write(p)
+}
+
+func (f *errFile) WriteAt(p []byte, off int64) (int, error) {
+	if err := f.fs.op(); err != nil {
+		return 0, &os.PathError{Op: "write", Path: f.name, Err: err}
+	}
+	return f.f.WriteAt(p, off)
+}
+
+func (f *errFile) ReadAt(p []byte, off int64) (int, error) { return f.f.ReadAt(p, off) }
+
+func (f *errFile) Stat() (fs.FileInfo, error) { return f.f.Stat() }
+
+func (f *errFile) Seek(offset int64, whence int) (int64, error) { return f.f.Seek(offset, whence) }
+
+func (f *errFile) Truncate(size int64) error {
+	if err := f.fs.op(); err != nil {
+		return &os.PathError{Op: "truncate", Path: f.name, Err: err}
+	}
+	return f.f.Truncate(size)
+}
+
+func (f *errFile) Sync() error {
+	f.fs.mu.Lock()
+	drop := f.fs.dropSyncs
+	f.fs.mu.Unlock()
+	if err := f.fs.op(); err != nil {
+		return &os.PathError{Op: "sync", Path: f.name, Err: err}
+	}
+	if drop {
+		f.fs.mu.Lock()
+		f.fs.droppedSyncs++
+		f.fs.mu.Unlock()
+		return nil
+	}
+	return f.f.Sync()
+}
+
+// Close is not counted: the store never relies on Close for
+// durability (every durable path syncs first), and failing closes
+// would double-count the sweep without modelling anything new.
+func (f *errFile) Close() error { return f.f.Close() }

@@ -37,7 +37,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 
 	"ftpm/internal/temporal"
@@ -66,6 +65,7 @@ type segSeries struct {
 // allocates only the caller's destination slice. Safe for concurrent use:
 // all state is immutable after Open.
 type Segment struct {
+	fs          FS
 	path        string
 	data        []byte // full file image, mmap'd or read
 	mapped      bool   // data came from mmap (must munmap on Close)
@@ -78,12 +78,21 @@ type Segment struct {
 
 var _ timeseries.SymbolSource = (*Segment)(nil)
 
-// WriteSegment seals src into a segment file at path, atomically
-// (tmp + fsync + rename + dir sync), and returns its size in bytes.
-// Adjacent equal-symbol runs are merged on write, so the stored column is
-// always in canonical maximal-run form even when src is a chained view
-// whose seam duplicates a symbol.
+// WriteSegment seals src into a segment file on the real filesystem.
+// See WriteSegmentFS.
 func WriteSegment(path string, src timeseries.SymbolSource, fingerprint string) (int64, error) {
+	return WriteSegmentFS(OS(), path, src, fingerprint)
+}
+
+// WriteSegmentFS seals src into a segment file at path on fsys,
+// atomically (tmp + fsync + rename + dir sync), and returns its size in
+// bytes. Adjacent equal-symbol runs are merged on write, so the stored
+// column is always in canonical maximal-run form even when src is a
+// chained view whose seam duplicates a symbol.
+func WriteSegmentFS(fsys FS, path string, src timeseries.SymbolSource, fingerprint string) (int64, error) {
+	if fsys == nil {
+		fsys = OS()
+	}
 	buf := append(make([]byte, 0, 4096), segMagic...)
 	n := src.NumSeries()
 	offsets := make([]int, n)
@@ -127,7 +136,7 @@ func WriteSegment(path string, src timeseries.SymbolSource, fingerprint string) 
 	buf = append(buf, tr[:]...)
 
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return 0, fmt.Errorf("store: %w", err)
 	}
@@ -139,14 +148,19 @@ func WriteSegment(path string, src timeseries.SymbolSource, fingerprint string) 
 		werr = cerr
 	}
 	if werr != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return 0, fmt.Errorf("store: %w", werr)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return 0, fmt.Errorf("store: %w", err)
 	}
-	syncDir(filepath.Dir(path))
+	// Until the directory entry is durable the segment can vanish in a
+	// crash while the WAL already references it; the caller must not
+	// acknowledge the seal, so surface the failure.
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
 	return int64(len(buf)), nil
 }
 
@@ -223,11 +237,19 @@ func (r *segReader) str() string {
 // half-served. The walk is O(total runs), so opening is near-instant even
 // for segments encoding billions of samples.
 func OpenSegment(path string) (*Segment, error) {
-	data, mapped, err := mapFile(path)
+	return OpenSegmentFS(OS(), path)
+}
+
+// OpenSegmentFS is OpenSegment on an explicit filesystem.
+func OpenSegmentFS(fsys FS, path string) (*Segment, error) {
+	if fsys == nil {
+		fsys = OS()
+	}
+	data, mapped, err := fsys.MapFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Segment{path: path, data: data, mapped: mapped}
+	s := &Segment{fs: fsys, path: path, data: data, mapped: mapped}
 	if err := s.validate(); err != nil {
 		s.Close()
 		return nil, fmt.Errorf("store: segment %s: %w", filepath.Base(path), err)
@@ -326,7 +348,7 @@ func (s *Segment) Close() error {
 	data, mapped := s.data, s.mapped
 	s.data, s.mapped = nil, false
 	if mapped {
-		return unmapFile(data)
+		return s.fs.UnmapFile(data)
 	}
 	return nil
 }

@@ -67,8 +67,10 @@ type Recovery struct {
 // locking.
 type Log struct {
 	mu         sync.Mutex
+	fs         FS
 	dir        string
-	wal        *os.File
+	wal        File
+	poisoned   bool   // a failed rollback left memory and disk diverged
 	off        int64  // current end of the valid WAL prefix
 	lsn        uint64 // last assigned LSN
 	walRecords int    // records appended since the last snapshot
@@ -139,32 +141,40 @@ func checkMagic(data []byte) (body []byte, ok bool) {
 	return data[len(fileMagic):], true
 }
 
-// syncDir fsyncs the directory so a just-renamed or just-created file
-// name is durable. Best-effort: some platforms cannot sync directories.
-func syncDir(dir string) {
-	d, err := os.Open(dir)
-	if err != nil {
-		return
-	}
-	_ = d.Sync()
-	_ = d.Close()
+// Open opens the log directory on the real filesystem. See OpenFS.
+func Open(dir string) (*Log, Recovery, error) {
+	return OpenFS(OS(), dir)
 }
 
-// Open opens (or initializes) the log directory, verifies the snapshot
-// and WAL, truncates any torn WAL tail in place, and returns the
-// recovered state. The returned Log is ready for Append.
-func Open(dir string) (*Log, Recovery, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// OpenFS opens (or initializes) the log directory on fsys, verifies the
+// snapshot and WAL, truncates any torn WAL tail in place, removes
+// leftover temp files from an interrupted snapshot or WAL rewrite, and
+// returns the recovered state. The returned Log is ready for Append.
+func OpenFS(fsys FS, dir string) (*Log, Recovery, error) {
+	if fsys == nil {
+		fsys = OS()
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, Recovery{}, fmt.Errorf("store: %w", err)
 	}
-	l := &Log{dir: dir}
+	l := &Log{fs: fsys, dir: dir}
 	var rec Recovery
+
+	// A crash mid-snapshot or mid-rewrite leaves a temp file that no
+	// code path will ever rename; clear it so it cannot be mistaken for
+	// live state (and so disk is not leaked). Best-effort: a failure
+	// here only postpones the cleanup to the next open.
+	for _, tmp := range []string{snapName + ".tmp", walName + ".tmp"} {
+		if err := fsys.Remove(filepath.Join(dir, tmp)); err != nil && !os.IsNotExist(err) {
+			_ = err // the file stays; the next open retries
+		}
+	}
 
 	// Snapshot: a damaged one is ignored, not fatal — it is replaced
 	// atomically, so damage means external corruption, and the WAL may
 	// still hold usable history.
 	snapPath := filepath.Join(dir, snapName)
-	if data, err := os.ReadFile(snapPath); err == nil {
+	if data, err := fsys.ReadFile(snapPath); err == nil {
 		if body, ok := checkMagic(data); ok {
 			// A snapshot is one or more records all stamped with the same
 			// LSN: WriteSnapshot emits one, a streaming SnapshotWriter
@@ -185,7 +195,7 @@ func Open(dir string) (*Log, Recovery, error) {
 				}
 				rec.SnapshotLSN = recs[0].LSN
 				l.lsn = recs[0].LSN
-				if st, err := os.Stat(snapPath); err == nil {
+				if st, err := fsys.Stat(snapPath); err == nil {
 					l.snapTime = st.ModTime()
 				}
 			} else {
@@ -202,7 +212,7 @@ func Open(dir string) (*Log, Recovery, error) {
 	// snapshot, and truncate the file to the valid prefix so the next
 	// append extends a clean log.
 	walPath := filepath.Join(dir, walName)
-	data, err := os.ReadFile(walPath)
+	data, err := fsys.ReadFile(walPath)
 	if err != nil && !os.IsNotExist(err) {
 		return nil, Recovery{}, fmt.Errorf("store: %w", err)
 	}
@@ -227,7 +237,7 @@ func Open(dir string) (*Log, Recovery, error) {
 		}
 	}
 
-	wal, err := os.OpenFile(walPath, os.O_RDWR|os.O_CREATE, 0o644)
+	wal, err := fsys.OpenFile(walPath, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, Recovery{}, fmt.Errorf("store: %w", err)
 	}
@@ -246,7 +256,7 @@ func Open(dir string) (*Log, Recovery, error) {
 // initWAL makes the WAL file a clean, positioned log: the magic is
 // (re)written when the file is new or its header was untrusted, a torn
 // tail is cut off, and the write offset is left at the end.
-func initWAL(wal *os.File, validLen int64, rewrite bool) error {
+func initWAL(wal File, validLen int64, rewrite bool) error {
 	st, err := wal.Stat()
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -273,12 +283,25 @@ func initWAL(wal *os.File, validLen int64, rewrite bool) error {
 	return nil
 }
 
+// unusableLocked reports why the log cannot accept operations (nil when
+// it can). Caller holds l.mu.
+func (l *Log) unusableLocked() error {
+	if l.wal != nil {
+		return nil
+	}
+	if l.poisoned {
+		return ErrPoisoned
+	}
+	return ErrClosed
+}
+
 // rollbackLocked restores the WAL to the last known-good prefix after a
 // failed append, so torn bytes never sit in front of later successful
 // records (replay truncates at the first bad record — everything after
 // it would be silently lost). If the rollback itself fails the log is
-// poisoned: further operations return ErrClosed, failing loudly instead
-// of diverging from disk. Caller holds l.mu.
+// poisoned: in-memory offsets and the file no longer agree, so further
+// operations return ErrPoisoned (a corrupting fault — only a reopen,
+// which re-derives state from disk, is safe). Caller holds l.mu.
 func (l *Log) rollbackLocked() {
 	if l.wal.Truncate(l.off) == nil {
 		if _, err := l.wal.Seek(l.off, io.SeekStart); err == nil {
@@ -287,6 +310,7 @@ func (l *Log) rollbackLocked() {
 	}
 	l.wal.Close()
 	l.wal = nil
+	l.poisoned = true
 }
 
 // Append durably writes one record (fsync before returning) and assigns
@@ -295,8 +319,8 @@ func (l *Log) rollbackLocked() {
 func (l *Log) Append(kind Kind, data []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.wal == nil {
-		return ErrClosed
+	if err := l.unusableLocked(); err != nil {
+		return err
 	}
 	if len(data) > maxRecord {
 		return fmt.Errorf("store: record of %d bytes exceeds the %d-byte cap", len(data), maxRecord)
@@ -330,8 +354,8 @@ func (l *Log) Append(kind Kind, data []byte) error {
 func (l *Log) WriteSnapshot(data []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.wal == nil {
-		return ErrClosed
+	if err := l.unusableLocked(); err != nil {
+		return err
 	}
 	// Mirror Append's cap: parseRecords rejects larger records, so an
 	// oversized snapshot would write "successfully" and then be discarded
@@ -342,7 +366,7 @@ func (l *Log) WriteSnapshot(data []byte) error {
 	}
 	buf := append([]byte(fileMagic), appendRecord(nil, 0, l.lsn, data)...)
 	tmp := filepath.Join(l.dir, snapName+".tmp")
-	f, err := os.Create(tmp)
+	f, err := l.fs.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -354,14 +378,20 @@ func (l *Log) WriteSnapshot(data []byte) error {
 		werr = cerr
 	}
 	if werr != nil {
-		os.Remove(tmp)
+		l.fs.Remove(tmp)
 		return fmt.Errorf("store: %w", werr)
 	}
-	if err := os.Rename(tmp, filepath.Join(l.dir, snapName)); err != nil {
-		os.Remove(tmp)
+	if err := l.fs.Rename(tmp, filepath.Join(l.dir, snapName)); err != nil {
+		l.fs.Remove(tmp)
 		return fmt.Errorf("store: %w", err)
 	}
-	syncDir(l.dir)
+	// Until the directory entry is durable, a crash can resurrect the
+	// old snapshot — which the untouched WAL still covers, so state is
+	// safe, but this snapshot cannot be treated as committed: keep the
+	// WAL intact and report the failure.
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
 
 	// If the WAL reset fails the old records remain, but all of them are
 	// at or below the snapshot's LSN, so replay skips them — the off
@@ -374,6 +404,7 @@ func (l *Log) WriteSnapshot(data []byte) error {
 	if _, err := l.wal.Seek(int64(len(fileMagic)), io.SeekStart); err != nil {
 		l.wal.Close()
 		l.wal = nil
+		l.poisoned = true
 		return fmt.Errorf("store: %w", err)
 	}
 	l.off = int64(len(fileMagic))
@@ -403,7 +434,7 @@ type SnapshotWriter struct {
 	off  int64  // WAL byte offset at capture; bytes after it are retained
 	recs int    // walRecords at capture
 	tmp  string
-	f    *os.File
+	f    File
 	buf  []byte
 	err  error
 }
@@ -416,17 +447,17 @@ type SnapshotWriter struct {
 func (l *Log) BeginSnapshot() (*SnapshotWriter, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.wal == nil {
-		return nil, ErrClosed
+	if err := l.unusableLocked(); err != nil {
+		return nil, err
 	}
 	tmp := filepath.Join(l.dir, snapName+".tmp")
-	f, err := os.Create(tmp)
+	f, err := l.fs.Create(tmp)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	if _, err := f.Write([]byte(fileMagic)); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		l.fs.Remove(tmp)
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	return &SnapshotWriter{l: l, lsn: l.lsn, off: l.off, recs: l.walRecords, tmp: tmp, f: f}, nil
@@ -460,7 +491,7 @@ func (w *SnapshotWriter) fail(err error) {
 	w.err = err
 	if w.f != nil {
 		w.f.Close()
-		os.Remove(w.tmp)
+		w.l.fs.Remove(w.tmp)
 		w.f = nil
 	}
 }
@@ -495,24 +526,31 @@ func (w *SnapshotWriter) Commit() error {
 	}
 	w.f = nil
 	if werr != nil {
-		os.Remove(w.tmp)
+		w.l.fs.Remove(w.tmp)
 		w.err = fmt.Errorf("store: %w", werr)
 		return w.err
 	}
 	l := w.l
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.wal == nil {
-		os.Remove(w.tmp)
-		w.err = ErrClosed
+	if err := l.unusableLocked(); err != nil {
+		l.fs.Remove(w.tmp)
+		w.err = err
 		return w.err
 	}
-	if err := os.Rename(w.tmp, filepath.Join(l.dir, snapName)); err != nil {
-		os.Remove(w.tmp)
+	if err := l.fs.Rename(w.tmp, filepath.Join(l.dir, snapName)); err != nil {
+		l.fs.Remove(w.tmp)
 		w.err = fmt.Errorf("store: %w", err)
 		return w.err
 	}
-	syncDir(l.dir)
+	// A crash before the directory entry is durable resurrects the old
+	// snapshot; the WAL (still holding the covered records) makes that
+	// safe, but the commit cannot be acknowledged: leave the WAL fat and
+	// surface the failure.
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		w.err = fmt.Errorf("store: %w", err)
+		return w.err
+	}
 	l.snapTime = time.Now()
 
 	// Rewrite the WAL with the retained suffix: records appended after
@@ -523,7 +561,7 @@ func (w *SnapshotWriter) Commit() error {
 		return w.err
 	}
 	tmpPath := filepath.Join(l.dir, walName+".tmp")
-	nf, err := os.Create(tmpPath)
+	nf, err := l.fs.Create(tmpPath)
 	if err != nil {
 		w.err = fmt.Errorf("store: %w", err)
 		return w.err
@@ -537,23 +575,31 @@ func (w *SnapshotWriter) Commit() error {
 	}
 	if werr != nil {
 		nf.Close()
-		os.Remove(tmpPath)
+		l.fs.Remove(tmpPath)
 		w.err = fmt.Errorf("store: %w", werr)
 		return w.err
 	}
-	if err := os.Rename(tmpPath, filepath.Join(l.dir, walName)); err != nil {
+	if err := l.fs.Rename(tmpPath, filepath.Join(l.dir, walName)); err != nil {
 		nf.Close()
-		os.Remove(tmpPath)
+		l.fs.Remove(tmpPath)
 		w.err = fmt.Errorf("store: %w", err)
 		return w.err
 	}
-	syncDir(l.dir)
+	serr := l.fs.SyncDir(l.dir)
 	// nf's descriptor now refers to the file named "wal"; its write
-	// position sits at the end of what was just written. Swap it in.
+	// position sits at the end of what was just written. Swap it in even
+	// when the directory sync failed: in this process the rename already
+	// happened, and if a crash resurrects the fat WAL its covered LSNs
+	// are skipped on replay — so the swap is correct either way, but a
+	// failed sync is still reported for the failure gauges.
 	l.wal.Close()
 	l.wal = nf
 	l.off = int64(len(fileMagic)) + int64(len(retained))
 	l.walRecords -= w.recs
+	if serr != nil {
+		w.err = fmt.Errorf("store: %w", serr)
+		return w.err
+	}
 	return nil
 }
 
@@ -599,6 +645,7 @@ func (l *Log) Close() error {
 	}
 	err := l.wal.Close()
 	l.wal = nil
+	l.poisoned = false
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}

@@ -1,0 +1,145 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"syscall"
+)
+
+// File is the subset of *os.File the store writes through. Every byte
+// the store persists — WAL frames, snapshot chunks, segment images —
+// goes through one of these methods, which is what makes the seam a
+// complete fault-injection surface.
+type File interface {
+	io.Writer
+	io.WriterAt
+	io.ReaderAt
+	io.Closer
+	Seek(offset int64, whence int) (int64, error)
+	Stat() (fs.FileInfo, error)
+	Truncate(size int64) error
+	Sync() error
+}
+
+// FS is the filesystem seam the store runs on. Production code uses
+// OS(); tests substitute an ErrFS to fail the Nth operation, tear a
+// write, or drop an fsync. The interface deliberately mirrors the os
+// package so the default implementation is a thin pass-through.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	Create(name string) (File, error)
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Stat(name string) (fs.FileInfo, error)
+
+	// SyncDir fsyncs a directory so a preceding rename is durable. It
+	// returns the sync error (filesystems that cannot sync directories
+	// report success — there is nothing actionable to surface).
+	SyncDir(dir string) error
+
+	// MapFile maps (or reads) name for zero-copy segment serving;
+	// mapped reports whether UnmapFile must release the data.
+	MapFile(name string) (data []byte, mapped bool, err error)
+	UnmapFile(data []byte) error
+}
+
+// osFS is the production FS: a pass-through to the os package.
+type osFS struct{}
+
+var theOSFS FS = osFS{}
+
+// OS returns the production filesystem.
+func OS() FS { return theOSFS }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		// Some filesystems cannot fsync a directory handle (EINVAL /
+		// ENOTSUP on certain network mounts); that is not a durability
+		// fault we can act on.
+		if errors.Is(serr, syscall.EINVAL) || errors.Is(serr, syscall.ENOTSUP) {
+			return nil
+		}
+		return serr
+	}
+	return cerr
+}
+
+func (osFS) MapFile(name string) ([]byte, bool, error) { return mapFile(name) }
+
+func (osFS) UnmapFile(data []byte) error { return unmapFile(data) }
+
+// ErrPoisoned marks a log whose in-memory state may have diverged from
+// disk: an append failed and the rollback of the partial frame also
+// failed. The only safe recovery is a reopen, which re-derives state
+// from the surviving files.
+var ErrPoisoned = errors.New("store: log poisoned by failed append rollback; reopen required")
+
+// FaultClass buckets a storage error by the recovery it admits.
+type FaultClass int
+
+const (
+	// FaultTransient errors (interrupted syscall, resource briefly
+	// busy) are worth a bounded retry.
+	FaultTransient FaultClass = iota
+	// FaultFatal errors (no space, I/O error, anything unrecognized)
+	// mean the store can no longer accept writes; the server degrades
+	// to read-only rather than guessing.
+	FaultFatal
+	// FaultCorrupting errors mean in-memory and on-disk state may
+	// disagree; only a restart (replay from disk) is safe.
+	FaultCorrupting
+)
+
+func (c FaultClass) String() string {
+	switch c {
+	case FaultTransient:
+		return "transient"
+	case FaultCorrupting:
+		return "corrupting"
+	default:
+		return "fatal"
+	}
+}
+
+// Classify buckets err into the fault taxonomy. Unknown errors are
+// fatal: treating a surprise as retryable risks hammering a broken
+// disk, while treating it as fatal merely degrades to read-only.
+func Classify(err error) FaultClass {
+	if errors.Is(err, ErrPoisoned) {
+		return FaultCorrupting
+	}
+	if errors.Is(err, syscall.EINTR) || errors.Is(err, syscall.EAGAIN) ||
+		errors.Is(err, syscall.EBUSY) || errors.Is(err, syscall.ETIMEDOUT) {
+		return FaultTransient
+	}
+	return FaultFatal
+}

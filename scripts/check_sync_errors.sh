@@ -1,0 +1,17 @@
+#!/bin/sh
+# Vet-style guard for durability: production code must never discard the
+# error from an fsync. `_ = f.Sync()` turns a failed flush into a silent
+# lie — the caller acknowledges data the disk never accepted, and the
+# degraded-mode machinery (internal/server/store taxonomy) never hears
+# about the fault. Sync errors must be returned, retried, or routed into
+# the fault taxonomy; tests are exempt.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if matches=$(grep -rnE '_ = [A-Za-z0-9_.]+\.Sync\(\)' internal cmd --include='*.go' | grep -v '_test\.go'); then
+    echo "error: discarded Sync() error; return it or classify it via the store fault taxonomy:" >&2
+    echo "$matches" >&2
+    exit 1
+fi
+echo "sync error check: ok"
