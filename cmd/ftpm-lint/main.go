@@ -1,0 +1,71 @@
+// Command ftpm-lint runs the repository's invariant analyzers
+// (internal/lint) over Go packages. It is a go/analysis multichecker
+// with two faces:
+//
+//   - Invoked with package patterns — `go run ./cmd/ftpm-lint ./...` —
+//     it re-executes itself under `go vet -vettool`, which handles
+//     package loading, build tags, and test files, and exits non-zero
+//     if any analyzer reports a diagnostic.
+//
+//   - Invoked by the go command itself (go vet passes -V=full, -flags,
+//     or a *.cfg file), it behaves as a unitchecker plugin.
+//
+// The analyzers and their invariants are documented in internal/lint.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"ftpm/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	if invokedByGoVet(args) {
+		unitchecker.Main(lint.Analyzers()...) // does not return
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(runStandalone(args))
+}
+
+// invokedByGoVet reports whether the go command is driving us as a
+// vet tool: it probes with -V=full (version) and -flags (flag schema),
+// then invokes the tool once per package with a vet config file.
+func invokedByGoVet(args []string) bool {
+	for _, a := range args {
+		if a == "-V=full" || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}
+
+// runStandalone re-executes the current binary as `go vet -vettool`,
+// letting the go command do package loading, and returns the exit code
+// to propagate (non-zero when diagnostics were reported).
+func runStandalone(patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftpm-lint: cannot locate own binary: %v\n", err)
+		return 2
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "ftpm-lint: %v\n", err)
+		return 2
+	}
+	return 0
+}

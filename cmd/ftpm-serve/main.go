@@ -134,7 +134,15 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "ftpm-serve: ", log.LstdFlags)
+
+	// The signal context doubles as the server's BaseContext: on
+	// SIGTERM, queued and running jobs observe cancellation immediately
+	// instead of mining on until the shutdown deadline forces them out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	srv, err := server.New(server.Options{
+		BaseContext:          ctx,
 		Workers:              *workers,
 		QueueDepth:           *queue,
 		MaxUploadBytes:       *maxUpload,
@@ -178,8 +186,6 @@ func main() {
 	// can finish inside its deadline.
 	hs.RegisterOnShutdown(srv.CloseStreams)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	go func() {
 		<-ctx.Done()
 		logger.Print("shutting down")

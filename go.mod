@@ -1,3 +1,8 @@
 module ftpm
 
-go 1.21
+go 1.22.0
+
+// Pinned at the exact revision vendored under vendor/golang.org/x/tools
+// (the go/analysis framework behind cmd/ftpm-lint). The tree builds in
+// vendor mode, so the pin and vendor/modules.txt are the source of truth.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

@@ -187,6 +187,7 @@ func (db *DB) Stats() Stats {
 	if st.NumSequences > 0 {
 		st.AvgInstancesPerSeq = float64(st.TotalInstances) / float64(st.NumSequences)
 	}
+	//ftpm:ordered max over map values is commutative; no iteration order reaches the result
 	for _, n := range perEvent {
 		if n > st.MaxInstancesPerEvent {
 			st.MaxInstancesPerEvent = n

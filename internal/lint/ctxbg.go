@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// CtxBg keeps request and job paths attached to the server's lifecycle:
+// inside internal/server (and its subpackages), context.Background()
+// and context.TODO() mint fresh roots that outlive shutdown and escape
+// cancellation, so work keeps running after Close and tests leak
+// goroutines. Derive from the server's base context (Options.BaseContext)
+// instead. Package main (the process owns its root there) and tests are
+// exempt; the single structural root — the default applied when
+// Options.BaseContext is nil — carries a `//ftpm:ctx <reason>`
+// justification.
+var CtxBg = &analysis.Analyzer{
+	Name:     "ctxbg",
+	Doc:      "no context.Background()/TODO() in internal/server request/job paths; derive from the server's base context",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runCtxBg,
+}
+
+const ctxMarker = "ftpm:ctx"
+
+func runCtxBg(pass *analysis.Pass) (any, error) {
+	if !pathWithin(pass.Pkg.Path(), "internal/server") {
+		return nil, nil
+	}
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if inTestFile(pass, call.Pos()) {
+			return
+		}
+		fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return
+		}
+		if fn.Name() != "Background" && fn.Name() != "TODO" {
+			return
+		}
+		if reason, found := justification(pass, call.Pos(), ctxMarker); found {
+			if strings.TrimSpace(reason) == "" {
+				pass.Reportf(call.Pos(), "//%s needs a reason: state why this root context is safe", ctxMarker)
+			}
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"context.%s() mints a root detached from server shutdown; derive from the server's base context (Options.BaseContext) or justify with //%s <reason>",
+			fn.Name(), ctxMarker)
+	})
+	return nil, nil
+}

@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// DetMap defends the paper's merge-then-threshold correctness argument:
+// mining output is byte-identical across shard counts and worker
+// counts, which can only hold if Go's randomized map iteration order
+// never leaks into results. In the mining packages, a `for range` over
+// a map may not, in iteration order, append to a slice (unless the
+// slice is sorted afterwards in the same function), plainly assign a
+// field, send on a channel, or invoke a function-typed value such as a
+// progress callback. Loops that are provably order-insensitive carry a
+// `//ftpm:ordered <reason>` comment on or directly above the `for`.
+var DetMap = &analysis.Analyzer{
+	Name:     "detmap",
+	Doc:      "map iteration order must not leak into mining results (byte-identity across shards and workers)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runDetMap,
+}
+
+// detMapPackages are the mining packages whose results are covered by
+// the byte-identity guarantee.
+var detMapPackages = []string{
+	"internal/core",
+	"internal/hpg",
+	"internal/mi",
+	"internal/events",
+	"internal/pattern",
+}
+
+const orderedMarker = "ftpm:ordered"
+
+func runDetMap(pass *analysis.Pass) (any, error) {
+	scoped := false
+	for _, p := range detMapPackages {
+		if pathMatches(pass.Pkg.Path(), p) {
+			scoped = true
+			break
+		}
+	}
+	if !scoped {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.WithStack([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		rng := n.(*ast.RangeStmt)
+		if inTestFile(pass, rng.Pos()) {
+			return true
+		}
+		if _, ok := pass.TypesInfo.TypeOf(rng.X).Underlying().(*types.Map); !ok {
+			return true
+		}
+		if reason, found := justification(pass, rng.For, orderedMarker); found {
+			if strings.TrimSpace(reason) == "" {
+				pass.Reportf(rng.For, "//%s needs a reason: state why this map loop is order-insensitive", orderedMarker)
+			}
+			return true
+		}
+		checkMapRange(pass, rng, enclosingFunc(stack))
+		return true
+	})
+	return nil, nil
+}
+
+// enclosingFunc returns the body of the innermost function declaration
+// or literal on the stack.
+func enclosingFunc(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// checkMapRange walks the body of a map-range statement for operations
+// whose effect depends on iteration order.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, fn *ast.BlockStmt) {
+	declaredInLoop := func(e ast.Expr) bool {
+		id := rootIdent(e)
+		if id == nil {
+			return false
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		return obj != nil && obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End()
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map range gets its own visit (and its own
+			// justification); don't attribute its body twice.
+			if _, ok := pass.TypesInfo.TypeOf(n.X).Underlying().(*types.Map); ok {
+				return false
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+					if i >= len(n.Lhs) || declaredInLoop(n.Lhs[i]) {
+						continue
+					}
+					target := types.ExprString(n.Lhs[i])
+					if sortedAfter(pass, fn, rng, target) {
+						continue
+					}
+					pass.Reportf(n.Pos(),
+						"appends to %s in map-iteration order; results must be byte-identical across shards/workers — sort it afterwards, iterate sorted keys, or justify with //%s <reason>",
+						target, orderedMarker)
+					return true
+				}
+			}
+			if n.Tok.String() == "=" {
+				for _, lhs := range n.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok || declaredInLoop(sel) {
+						continue
+					}
+					// x.F = append(x.F, ...) was handled above.
+					if len(n.Rhs) == 1 {
+						if call, ok := n.Rhs[0].(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+							continue
+						}
+					}
+					pass.Reportf(n.Pos(),
+						"assigns %s in map-iteration order (last write wins nondeterministically); iterate sorted keys or justify with //%s <reason>",
+						types.ExprString(sel), orderedMarker)
+				}
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"sends on a channel in map-iteration order; the receiver observes a nondeterministic sequence — iterate sorted keys or justify with //%s <reason>",
+				orderedMarker)
+		case *ast.CallExpr:
+			if v, ok := typeutil.Callee(pass.TypesInfo, n).(*types.Var); ok {
+				if v.Pos() < rng.Pos() || v.Pos() > rng.End() {
+					pass.Reportf(n.Pos(),
+						"calls %s in map-iteration order; callbacks observe a nondeterministic sequence — iterate sorted keys or justify with //%s <reason>",
+						types.ExprString(n.Fun), orderedMarker)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rootIdent returns the leftmost identifier of an expression like
+// x, x.F, x.F[i], or (*x).F.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, ok = pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	return ok
+}
+
+// sortedAfter reports whether target (the printed form of an append
+// destination) is passed to a sort.* or slices.Sort* call after the
+// range statement in the same function — the canonical
+// collect-then-sort idiom, which is deterministic.
+func sortedAfter(pass *analysis.Pass, fn *ast.BlockStmt, rng *ast.RangeStmt, target string) bool {
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		callee, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+		if !ok || callee.Pkg() == nil {
+			return true
+		}
+		pkg := callee.Pkg().Path()
+		if pkg != "sort" && !(pkg == "slices" && strings.HasPrefix(callee.Name(), "Sort")) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if strings.Contains(types.ExprString(arg), target) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,53 @@
+// Package lint is the ftpm-lint analyzer suite: five type-aware
+// go/analysis passes that enforce repository invariants the compiler
+// cannot check. They run as one multichecker (cmd/ftpm-lint) in CI and
+// replace the earlier grep-based shell guards, which were blind to
+// aliasing, formatting, and whole syntactic forms (a bare `f.Sync()`
+// statement, `defer f.Sync()`).
+//
+// The analyzers and the invariants they defend:
+//
+//   - syncerr: no discarded error from a Sync() call. A dropped fsync
+//     error acknowledges data the disk never accepted and hides the
+//     fault from the store's degraded-mode taxonomy (store.Classify).
+//     Catches `_ = f.Sync()`, the bare statement form `f.Sync()`, and
+//     `defer f.Sync()` / `go f.Sync()`.
+//
+//   - envelope: every error response flows through writeError, the only
+//     builder of the versioned /v1 error envelope. http.Error (text/plain
+//     bodies) and apiError composite literals outside
+//     internal/server/server.go are violations, resolved through the type
+//     checker rather than string matching.
+//
+//   - rawfs: inside internal/server/store and internal/server/persist.go,
+//     production I/O must go through the store.FS seam (vfs.go) so errfs
+//     fault sweeps cover every byte that reaches disk. Direct
+//     os.Create/OpenFile/Rename/Remove/MkdirAll/ReadDir and syscall.Mmap
+//     calls outside the seam files are violations.
+//
+//   - detmap: in the mining packages (internal/core, internal/hpg,
+//     internal/mi, internal/events, internal/pattern), Go's randomized
+//     map iteration order must not leak into results — the paper's
+//     merge-then-threshold correctness argument promises byte-identical
+//     output across shard counts and worker counts. Flags `for range`
+//     over a map whose body appends to a slice (unless the slice is
+//     sorted afterwards), plainly assigns a field, sends on a channel,
+//     or invokes a function-typed value (callback). A loop that is
+//     provably order-insensitive carries a `//ftpm:ordered <reason>`
+//     comment on or directly above the `for` line.
+//
+//   - ctxbg: no context.Background()/context.TODO() in internal/server
+//     request/job paths outside package main and tests. Fresh root
+//     contexts detach work from server shutdown; derive from the
+//     server's base context instead. The single structural root (the
+//     default when Options.BaseContext is nil) carries a
+//     `//ftpm:ctx <reason>` justification.
+//
+// Run the suite with:
+//
+//	go run ./cmd/ftpm-lint ./...
+//
+// Exceptions are justified in-source: `//ftpm:ordered <reason>` for
+// detmap, `//ftpm:ctx <reason>` for ctxbg. A marker without a reason is
+// itself a violation — the reason is the reviewable part.
+package lint

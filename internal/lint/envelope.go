@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// Envelope enforces the uniform /v1 error envelope: every error
+// response is written by writeError (internal/server/server.go), the
+// only function allowed to construct the apiError envelope. http.Error
+// writes text/plain bodies that break API clients, and a hand-rolled
+// apiError literal elsewhere would drift from the envelope's contract.
+// Unlike the grep guard it replaces, the callee and the literal's type
+// are resolved through the type checker, so package aliasing
+// (`web "net/http"`), dot-imports, and pointer literals are covered.
+var Envelope = &analysis.Analyzer{
+	Name:     "envelope",
+	Doc:      "error responses must flow through writeError: no http.Error calls, no apiError literals outside server.go",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runEnvelope,
+}
+
+func runEnvelope(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	nodeFilter := []ast.Node{
+		(*ast.CallExpr)(nil),
+		(*ast.CompositeLit)(nil),
+	}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		if inTestFile(pass, n.Pos()) {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn, ok := typeutil.Callee(pass.TypesInfo, n).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return
+			}
+			if fn.Pkg().Path() == "net/http" && fn.Name() == "Error" {
+				pass.Reportf(n.Pos(),
+					"http.Error bypasses the v1 error envelope (text/plain body); route the response through writeError")
+			}
+		case *ast.CompositeLit:
+			tv, ok := pass.TypesInfo.Types[n]
+			if !ok {
+				return
+			}
+			named, ok := tv.Type.(*types.Named)
+			if !ok || named.Obj().Name() != "apiError" {
+				return
+			}
+			if filename(pass, n.Pos()) == "server.go" {
+				return // writeError's home file, the one allowed builder
+			}
+			pass.Reportf(n.Pos(),
+				"apiError envelope constructed outside internal/server/server.go; only writeError may build it")
+		}
+	})
+	return nil, nil
+}

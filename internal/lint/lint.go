@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzers returns the full ftpm-lint suite in a stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{SyncErr, Envelope, RawFS, DetMap, CtxBg}
+}
+
+// filename returns the base name of the file containing pos.
+func filename(pass *analysis.Pass, pos token.Pos) string {
+	full := pass.Fset.Position(pos).Filename
+	if i := strings.LastIndexByte(full, '/'); i >= 0 {
+		return full[i+1:]
+	}
+	return full
+}
+
+// inTestFile reports whether pos lies in a _test.go file. Tests set up
+// fixtures with raw I/O and fresh contexts on purpose; every analyzer
+// in the suite exempts them.
+func inTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(filename(pass, pos), "_test.go")
+}
+
+// pathMatches reports whether pkgPath is exactly suffix or ends with
+// "/"+suffix. Matching by suffix keeps the analyzers testable: fixture
+// packages live under synthetic paths like "fix/internal/server/store".
+func pathMatches(pkgPath, suffix string) bool {
+	return pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix)
+}
+
+// pathWithin reports whether pkgPath contains dir as a path-segment
+// run, i.e. the package is dir itself or any package below it.
+func pathWithin(pkgPath, dir string) bool {
+	return pathMatches(pkgPath, dir) ||
+		strings.Contains("/"+pkgPath+"/", "/"+dir+"/")
+}
+
+// justification looks for a "//ftpm:<marker>" comment on the same line
+// as pos or on the line directly above it, and returns the reason text
+// that follows the marker. found reports whether the marker is present
+// at all; a found marker with an empty reason is a lint violation in
+// its own right (the reason is what reviewers audit).
+func justification(pass *analysis.Pass, pos token.Pos, marker string) (reason string, found bool) {
+	tf := pass.Fset.File(pos)
+	if tf == nil {
+		return "", false
+	}
+	var file *ast.File
+	for _, f := range pass.Files {
+		if pass.Fset.File(f.Pos()) == tf {
+			file = f
+			break
+		}
+	}
+	if file == nil {
+		return "", false
+	}
+	target := tf.Line(pos)
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, marker) {
+				continue
+			}
+			line := tf.Line(c.Pos())
+			if line == target || line == target-1 {
+				return strings.TrimSpace(strings.TrimPrefix(text, marker)), true
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,77 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ftpm/internal/lint"
+	"ftpm/internal/lint/linttest"
+)
+
+// The fixtures live under testdata/src; scoped analyzers match on
+// import-path suffixes, so each Run picks the path that puts the
+// fixture in (or out of) scope. These suites run in the -short suite:
+// they are the proof that each analyzer reports its seeded violations
+// and stays silent on the idiomatic forms.
+
+func fixture(parts ...string) string {
+	return filepath.Join(append([]string{"testdata", "src"}, parts...)...)
+}
+
+func TestSyncErr(t *testing.T) {
+	linttest.Run(t, fixture("syncerr"), "fix/syncerr", lint.SyncErr)
+}
+
+func TestEnvelope(t *testing.T) {
+	linttest.Run(t, fixture("envelope"), "fix/internal/server", lint.Envelope)
+}
+
+func TestRawFS(t *testing.T) {
+	linttest.Run(t, fixture("rawfs", "store"), "fix/internal/server/store", lint.RawFS)
+}
+
+func TestRawFSPersister(t *testing.T) {
+	linttest.Run(t, fixture("rawfs", "server"), "fix/internal/server", lint.RawFS)
+}
+
+func TestRawFSOutOfScope(t *testing.T) {
+	linttest.Run(t, fixture("rawfs", "unscoped"), "fix/internal/experiments", lint.RawFS)
+}
+
+func TestDetMap(t *testing.T) {
+	linttest.Run(t, fixture("detmap", "core"), "fix/internal/core", lint.DetMap)
+}
+
+func TestDetMapAllMiningPackages(t *testing.T) {
+	// The same fixture must trip under every mining package path the
+	// byte-identity guarantee covers.
+	for _, path := range []string{
+		"fix/internal/hpg", "fix/internal/mi", "fix/internal/events", "fix/internal/pattern",
+	} {
+		linttest.Run(t, fixture("detmap", "core"), path, lint.DetMap)
+	}
+}
+
+func TestDetMapOutOfScope(t *testing.T) {
+	linttest.Run(t, fixture("detmap", "unscoped"), "fix/internal/experiments", lint.DetMap)
+	// internal/server/events is the SSE hub, not the mining events
+	// package; the suffix match must not catch it.
+	linttest.Run(t, fixture("detmap", "unscoped"), "fix/internal/server/events", lint.DetMap)
+}
+
+func TestCtxBg(t *testing.T) {
+	linttest.Run(t, fixture("ctxbg", "server"), "fix/internal/server", lint.CtxBg)
+}
+
+func TestCtxBgSubpackage(t *testing.T) {
+	// Subpackages of internal/server are request/job paths too.
+	linttest.Run(t, fixture("ctxbg", "server"), "fix/internal/server/store", lint.CtxBg)
+}
+
+func TestCtxBgMainExempt(t *testing.T) {
+	linttest.Run(t, fixture("ctxbg", "mainpkg"), "fix/internal/server/cmd/lintmain", lint.CtxBg)
+}
+
+func TestCtxBgOutOfScope(t *testing.T) {
+	linttest.Run(t, fixture("ctxbg", "outside"), "fix/internal/core", lint.CtxBg)
+}

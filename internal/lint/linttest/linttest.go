@@ -1,0 +1,264 @@
+// Package linttest is a self-contained analysistest: it loads a fixture
+// package from a testdata directory, type-checks it, runs an analyzer
+// (and its Requires closure), and compares the diagnostics against
+// `// want "regexp"` comments in the fixtures.
+//
+// It exists because the full golang.org/x/tools/go/analysis/analysistest
+// depends on go/packages, which is not part of the x/tools subset the
+// Go distribution vendors (the subset this repo vendors offline). The
+// subset we need — load one package of plain Go files, std-only
+// imports, no facts — fits in this file. Std imports are resolved from
+// compiled export data via `go list -export`, so fixtures may import
+// heavyweight packages like net/http without paying source
+// type-checking costs.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// exportData maps std import paths to their compiled export archives,
+// resolved lazily via `go list -export -deps` and shared process-wide.
+var (
+	exportMu   sync.Mutex
+	exportData = map[string]string{}
+	stdImp     types.ImporterFrom
+	impFset    = token.NewFileSet()
+)
+
+func init() {
+	stdImp = importer.ForCompiler(impFset, "gc", func(path string) (io.ReadCloser, error) {
+		exportMu.Lock()
+		file, ok := exportData[path]
+		exportMu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("linttest: no export data resolved for %q", path)
+		}
+		return os.Open(file)
+	}).(types.ImporterFrom)
+}
+
+// resolveExports runs `go list -export -deps` once for any paths not
+// yet resolved, filling exportData.
+func resolveExports(t *testing.T, paths []string) {
+	t.Helper()
+	exportMu.Lock()
+	var missing []string
+	for _, p := range paths {
+		if p == "unsafe" || p == "C" {
+			continue
+		}
+		if _, ok := exportData[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	exportMu.Unlock()
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	args := append([]string{"list", "-export", "-deps", "-f", "{{.ImportPath}}\t{{.Export}}"}, missing...)
+	out, err := exec.Command("go", args...).Output()
+	if err != nil {
+		msg := err.Error()
+		if ee, ok := err.(*exec.ExitError); ok {
+			msg = string(ee.Stderr)
+		}
+		t.Fatalf("linttest: go list -export %v: %s", missing, msg)
+	}
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		path, file, ok := strings.Cut(line, "\t")
+		if !ok || file == "" {
+			continue
+		}
+		exportData[path] = file
+	}
+}
+
+// expectation is one `// want "re"` comment.
+type expectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// diagnostic is one reported analysis.Diagnostic, located.
+type diagnostic struct {
+	file    string
+	line    int
+	message string
+}
+
+// Run loads the single package of Go files in dir (relative to the
+// caller's testdata/src), type-checks it under importPath — scoped
+// analyzers match on path suffixes, so fixtures choose their scope by
+// the importPath they ask for — runs a, and compares diagnostics
+// against the fixtures' `// want` comments.
+func Run(t *testing.T, dir, importPath string, a *analysis.Analyzer) {
+	t.Helper()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var imports []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("linttest: parse %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports = append(imports, p)
+			}
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no Go files in %s", dir)
+	}
+	resolveExports(t, imports)
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: stdImp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err.Error()) },
+	}
+	pkg, _ := conf.Check(importPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		t.Fatalf("linttest: fixture %s does not type-check:\n  %s", dir, strings.Join(typeErrs, "\n  "))
+	}
+
+	var got []diagnostic
+	results := map[*analysis.Analyzer]any{}
+	var runOne func(an *analysis.Analyzer)
+	runOne = func(an *analysis.Analyzer) {
+		if _, done := results[an]; done {
+			return
+		}
+		for _, req := range an.Requires {
+			runOne(req)
+		}
+		pass := &analysis.Pass{
+			Analyzer:   an,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+			ResultOf:   results,
+			ReadFile:   os.ReadFile,
+			Report: func(d analysis.Diagnostic) {
+				if an != a {
+					return // diagnostics of prerequisites are not under test
+				}
+				pos := fset.Position(d.Pos)
+				got = append(got, diagnostic{
+					file:    filepath.Base(pos.Filename),
+					line:    pos.Line,
+					message: d.Message,
+				})
+			},
+		}
+		res, err := an.Run(pass)
+		if err != nil {
+			t.Fatalf("linttest: analyzer %s: %v", an.Name, err)
+		}
+		results[an] = res
+	}
+	runOne(a)
+
+	wants := collectWants(t, fset, files)
+	for i := range got {
+		d := &got[i]
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.file && w.line == d.line && w.re.MatchString(d.message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", a.Name, d.file, d.line, d.message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", a.Name, w.file, w.line, w.re)
+		}
+	}
+}
+
+// wantRE extracts the quoted patterns of a want comment: both
+// `// want "re"` and backquoted forms, several per comment allowed.
+var wantRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[len("want "):], -1) {
+					pat := m[1]
+					if m[2] != "" {
+						pat = m[2]
+					} else if unq, err := strconv.Unquote(`"` + pat + `"`); err == nil {
+						pat = unq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("linttest: bad want pattern %q at %s: %v", pat, pos, err)
+					}
+					wants = append(wants, &expectation{
+						file: filepath.Base(pos.Filename),
+						line: pos.Line,
+						re:   re,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// RawFS keeps the durable store's I/O on the fault-injection seam:
+// inside internal/server/store (and the persister, persist.go), every
+// filesystem mutation must go through the store.FS interface so errfs
+// crash-consistency sweeps cover it. A direct os or syscall call is a
+// write the fault harness can never fail, i.e. an untested failure
+// path. The seam's own backing files (vfs.go and the build-tagged
+// mmap helpers it delegates to) are the only exemption.
+var RawFS = &analysis.Analyzer{
+	Name:     "rawfs",
+	Doc:      "store/persister I/O must go through the store.FS seam (vfs.go), not direct os/syscall calls",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runRawFS,
+}
+
+// rawFSBanned maps qualified function names to the seam method that
+// replaces them.
+var rawFSBanned = map[string]string{
+	"os.Create":    "FS.Create",
+	"os.OpenFile":  "FS.OpenFile",
+	"os.Rename":    "FS.Rename",
+	"os.Remove":    "FS.Remove",
+	"os.MkdirAll":  "FS.MkdirAll",
+	"os.ReadDir":   "FS.ReadDir",
+	"syscall.Mmap": "FS.MapFile",
+}
+
+// rawFSSeamFiles are the files that implement the seam itself and so
+// necessarily make raw calls: the production FS and the build-tagged
+// mmap fallbacks it delegates to.
+var rawFSSeamFiles = map[string]bool{
+	"vfs.go":        true,
+	"mmap_unix.go":  true,
+	"mmap_other.go": true,
+}
+
+func runRawFS(pass *analysis.Pass) (any, error) {
+	storePkg := pathMatches(pass.Pkg.Path(), "internal/server/store")
+	serverPkg := pathMatches(pass.Pkg.Path(), "internal/server")
+	if !storePkg && !serverPkg {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		seam, banned := rawFSBanned[fn.Pkg().Path()+"."+fn.Name()]
+		if !banned {
+			return
+		}
+		name := filename(pass, call.Pos())
+		if inTestFile(pass, call.Pos()) {
+			return // tests stage real directories on purpose
+		}
+		if storePkg && rawFSSeamFiles[name] {
+			return // the seam's own implementation
+		}
+		if serverPkg && name != "persist.go" {
+			return // only the persister is inside the durability boundary
+		}
+		pass.Reportf(call.Pos(),
+			"direct %s.%s bypasses the store FS seam (use %s); errfs fault sweeps cannot reach this write",
+			fn.Pkg().Name(), fn.Name(), seam)
+	})
+	return nil, nil
+}

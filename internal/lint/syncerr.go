@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// SyncErr reports discarded errors from Sync() calls. The grep guard it
+// replaces only matched the literal `_ = x.Sync()`; the analyzer also
+// catches the bare statement form `f.Sync()` and `defer f.Sync()` /
+// `go f.Sync()`, and resolves the callee through the type checker, so
+// renamed receivers, method values on the store.File seam interface,
+// and embedded *os.File fields are all covered.
+var SyncErr = &analysis.Analyzer{
+	Name:     "syncerr",
+	Doc:      "report discarded errors from Sync() calls (fsync failures must be returned, retried, or classified)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runSyncErr,
+}
+
+func runSyncErr(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	report := func(call *ast.CallExpr, form string) {
+		pass.Reportf(call.Pos(),
+			"%s discards the Sync error; a dropped fsync acknowledges data the disk never accepted — return it, retry it, or classify it via the store fault taxonomy", form)
+	}
+	nodeFilter := []ast.Node{
+		(*ast.ExprStmt)(nil),
+		(*ast.DeferStmt)(nil),
+		(*ast.GoStmt)(nil),
+		(*ast.AssignStmt)(nil),
+	}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		if inTestFile(pass, n.Pos()) {
+			return
+		}
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok && isSyncCall(pass, call) {
+				report(call, "bare statement")
+			}
+		case *ast.DeferStmt:
+			if isSyncCall(pass, st.Call) {
+				report(st.Call, "defer")
+			}
+		case *ast.GoStmt:
+			if isSyncCall(pass, st.Call) {
+				report(st.Call, "go statement")
+			}
+		case *ast.AssignStmt:
+			// `_ = f.Sync()` — the only form the old shell guard caught.
+			if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+				return
+			}
+			if id, ok := st.Lhs[0].(*ast.Ident); !ok || id.Name != "_" {
+				return
+			}
+			if call, ok := st.Rhs[0].(*ast.CallExpr); ok && isSyncCall(pass, call) {
+				report(call, "assignment to blank identifier")
+			}
+		}
+	})
+	return nil, nil
+}
+
+// isSyncCall reports whether call invokes a method named Sync with
+// signature func() error — the shape shared by *os.File and the
+// store.File seam interface (and anything that implements it).
+func isSyncCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+	if !ok || fn.Name() != "Sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	if sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	return ok && named.Obj() == types.Universe.Lookup("error").(*types.TypeName)
+}

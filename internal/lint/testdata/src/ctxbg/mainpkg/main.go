@@ -1,0 +1,11 @@
+package main
+
+import "context"
+
+// Package main owns the process root; exempt even under
+// internal/server.
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

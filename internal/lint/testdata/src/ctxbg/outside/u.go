@@ -1,0 +1,10 @@
+package outside
+
+import "context"
+
+// Packages outside internal/server are not request/job paths: nothing
+// here may be reported.
+
+func anywhere() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,28 @@
+package server
+
+import "context"
+
+func fresh() context.Context {
+	return context.Background() // want `context.Background\(\) mints a root detached from server shutdown`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context.TODO\(\) mints a root detached from server shutdown`
+}
+
+// The one structural root carries a justification.
+func justified() context.Context {
+	//ftpm:ctx library default root for callers that leave Options.BaseContext nil
+	return context.Background()
+}
+
+// A marker without a reason is itself a violation.
+func missingReason() context.Context {
+	//ftpm:ctx
+	return context.Background() // want `ftpm:ctx needs a reason`
+}
+
+// Deriving from a caller's context is the point; silent.
+func derived(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}

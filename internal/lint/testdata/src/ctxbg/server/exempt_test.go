@@ -1,0 +1,9 @@
+package server
+
+import "context"
+
+// Tests own their lifetimes; exempt.
+
+func inTestHelper() context.Context {
+	return context.Background()
+}

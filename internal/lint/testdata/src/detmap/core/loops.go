@@ -1,0 +1,151 @@
+package core
+
+import "sort"
+
+type result struct {
+	names []string
+	total int
+	first string
+}
+
+type pair struct {
+	k string
+	v int
+}
+
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `appends to out in map-iteration order`
+	}
+	return out
+}
+
+// The canonical collect-then-sort idiom is deterministic and silent.
+func appendThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func appendThenSortSlice(m map[string]int) []pair {
+	var out []pair
+	for k, v := range m {
+		out = append(out, pair{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].k < out[j].k })
+	return out
+}
+
+// Appending to a slice declared inside the loop body is per-iteration
+// state; no order leaks out.
+func appendLoopLocal(m map[string][]int) map[string]int {
+	sum := make(map[string]int, len(m))
+	for k, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		sum[k] = len(local)
+	}
+	return sum
+}
+
+func fieldAssign(m map[string]int, r *result) {
+	for k := range m {
+		r.first = k // want `assigns r.first in map-iteration order`
+	}
+}
+
+// Compound assignment is commutative accumulation; silent.
+func fieldAccumulate(m map[string]int, r *result) {
+	for _, v := range m {
+		r.total += v
+	}
+}
+
+// Writing another map is per-key independent; silent.
+func mapWrite(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// A field of a struct declared inside the loop is per-iteration state.
+func fieldOfLoopLocal(m map[string]int) map[string]pair {
+	out := make(map[string]pair, len(m))
+	for k, v := range m {
+		var p pair
+		p.k = k
+		p.v = v
+		out[k] = p
+	}
+	return out
+}
+
+func chanSend(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want `sends on a channel in map-iteration order`
+	}
+}
+
+func callback(m map[string]int, emit func(string)) {
+	for k := range m {
+		emit(k) // want `calls emit in map-iteration order`
+	}
+}
+
+// Static and builtin calls are resolved at compile time; silent.
+func staticCalls(m map[string]int) int {
+	n := 0
+	for k := range m {
+		n += len(k)
+		n += helper(k)
+	}
+	return n
+}
+
+func helper(s string) int { return len(s) }
+
+// A function value declared inside the loop body is per-iteration
+// state; calling it leaks nothing.
+func localFuncValue(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		double := func(x int) int { return 2 * x }
+		out[k] = double(v)
+	}
+	return out
+}
+
+// An order-dependent operation reached through a nested (non-map) loop
+// still runs in map-iteration order.
+func nested(m map[string][]string) []string {
+	var out []string
+	for _, vs := range m {
+		for _, v := range vs {
+			out = append(out, v) // want `appends to out in map-iteration order`
+		}
+	}
+	return out
+}
+
+// A justified loop with a reason is silent.
+func justified(m map[string]int, ch chan<- string) {
+	//ftpm:ordered the consumer deduplicates into a set; arrival order never reaches results
+	for k := range m {
+		ch <- k
+	}
+}
+
+// A marker without a reason is itself a violation: the reason is the
+// reviewable part.
+func missingReason(m map[string]int, ch chan<- string) {
+	//ftpm:ordered
+	for k := range m { // want `ftpm:ordered needs a reason`
+		ch <- k
+	}
+}

@@ -1,0 +1,12 @@
+package unscoped
+
+// A package outside the mining set is not covered by the byte-identity
+// guarantee: nothing here may be reported.
+
+func anywhere(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,30 @@
+package envelope
+
+import (
+	"net/http"
+
+	web "net/http"
+)
+
+func rawError(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `http.Error bypasses the v1 error envelope`
+}
+
+// aliased would slip past a grep for "http.Error(": the analyzer
+// resolves the callee through the type checker.
+func aliased(w web.ResponseWriter) {
+	web.Error(w, "boom", web.StatusTeapot) // want `http.Error bypasses the v1 error envelope`
+}
+
+func handRolled(w http.ResponseWriter) {
+	e := apiError{Error: apiErrorBody{Code: "internal", Message: "boom"}} // want `apiError envelope constructed outside`
+	_ = e
+}
+
+func handRolledPointer() *apiError {
+	return &apiError{} // want `apiError envelope constructed outside`
+}
+
+func okThroughHelper(w http.ResponseWriter) {
+	writeError(w, http.StatusBadRequest, "invalid_argument", "bad request")
+}

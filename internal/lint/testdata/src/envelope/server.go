@@ -1,0 +1,24 @@
+package envelope
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// apiErrorBody / apiError mirror the server's envelope types; this
+// file is named server.go, the one file allowed to construct them.
+type apiErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type apiError struct {
+	Error apiErrorBody `json:"error"`
+}
+
+// writeError is the single allowed builder of the envelope.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	e := apiError{Error: apiErrorBody{Code: code, Message: fmt.Sprintf(format, args...)}}
+	_ = e
+	w.WriteHeader(status)
+}

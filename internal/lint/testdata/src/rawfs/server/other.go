@@ -1,0 +1,10 @@
+package server
+
+import "os"
+
+// Files other than persist.go in the server package are outside the
+// durability boundary; raw calls here are not the seam's concern.
+
+func scratch(dir string) error {
+	return os.MkdirAll(dir, 0o755)
+}

@@ -1,0 +1,10 @@
+package server
+
+import "os"
+
+// persist.go is inside the durability boundary: its writes must go
+// through the store.FS seam so fault sweeps cover them.
+
+func compact(old, new string) error {
+	return os.Rename(old, new) // want `direct os.Rename bypasses the store FS seam \(use FS.Rename\)`
+}

@@ -1,0 +1,50 @@
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// The fixture package is loaded under an import path ending in
+// internal/server/store, so every raw mutating call here must be
+// reported — with the seam method that replaces it named in the
+// message.
+
+func seal(dir, path string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil { // want `direct os.MkdirAll bypasses the store FS seam \(use FS.MkdirAll\)`
+		return err
+	}
+	f, err := os.Create(path + ".tmp") // want `direct os.Create bypasses the store FS seam \(use FS.Create\)`
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	g, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644) // want `direct os.OpenFile bypasses the store FS seam \(use FS.OpenFile\)`
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	return os.Rename(path+".tmp", path) // want `direct os.Rename bypasses the store FS seam \(use FS.Rename\)`
+}
+
+func collect(dir, path string) error {
+	if _, err := os.ReadDir(dir); err != nil { // want `direct os.ReadDir bypasses the store FS seam \(use FS.ReadDir\)`
+		return err
+	}
+	return os.Remove(path) // want `direct os.Remove bypasses the store FS seam \(use FS.Remove\)`
+}
+
+func mapRaw(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED) // want `direct syscall.Mmap bypasses the store FS seam \(use FS.MapFile\)`
+}
+
+// Reads outside the mutating set are not the seam's concern.
+func okReads(path string) error {
+	if _, err := os.Stat(path); err != nil {
+		return err
+	}
+	_, err := os.ReadFile(path)
+	return err
+}

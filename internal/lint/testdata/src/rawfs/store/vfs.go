@@ -1,0 +1,13 @@
+package store
+
+import "os"
+
+// vfs.go is the seam's own implementation: raw calls are its job.
+
+type osFS struct{}
+
+func (osFS) Create(name string) (*os.File, error) { return os.Create(name) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }

@@ -1,0 +1,14 @@
+package unscoped
+
+import "os"
+
+// A package outside internal/server/store and internal/server is not
+// the seam's concern: nothing here may be reported.
+
+func anywhere(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,22 @@
+package syncerr
+
+import "os"
+
+// Regression fixtures for the two forms the retired grep guard
+// (scripts/check_sync_errors.sh) could not see: its pattern only
+// matched the literal `_ = x.Sync()`, so a bare statement or a defer
+// sailed through review with the fsync error silently dropped. The
+// analyzer resolves the callee through the type checker and flags both.
+
+func bareStatement(f *os.File) {
+	f.Sync() // want `bare statement discards the Sync error`
+}
+
+func deferred(f *os.File) error {
+	defer f.Sync() // want `defer discards the Sync error`
+	return nil
+}
+
+func goStatement(f *os.File) {
+	go f.Sync() // want `go statement discards the Sync error`
+}

@@ -1,0 +1,55 @@
+package syncerr
+
+import "os"
+
+// file mirrors the store.File seam: a named type whose Sync() error
+// method wraps an *os.File.
+type file struct{ f *os.File }
+
+func (f *file) Sync() error { return f.f.Sync() }
+
+// seam mirrors the store.File interface shape.
+type seam interface {
+	Sync() error
+}
+
+func blankAssign(f *os.File) {
+	_ = f.Sync() // want `assignment to blank identifier discards the Sync error`
+}
+
+func blankAssignSeam(f *file) {
+	_ = f.Sync() // want `assignment to blank identifier discards the Sync error`
+}
+
+func viaInterface(s seam) {
+	s.Sync() // want `bare statement discards the Sync error`
+}
+
+func handled(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func collected(f *os.File) error {
+	err := f.Sync()
+	return err
+}
+
+// differentShape has a Sync with parameters: not the fsync shape, so
+// discarding its error is out of scope for this analyzer.
+type differentShape struct{}
+
+func (differentShape) Sync(force bool) error { return nil }
+
+func okDifferentShape(d differentShape) {
+	_ = d.Sync(true)
+}
+
+// Sync the free function is not a method; out of scope.
+func Sync() error { return nil }
+
+func okFreeFunction() {
+	_ = Sync()
+}

@@ -105,7 +105,10 @@ func assertEnvelope(t *testing.T, resp *http.Response, status int, code, fragmen
 // TestNoRawErrorWritesInHandlers is the vet-style guard from the API
 // redesign: production server and CLI code must route every error
 // response through writeError, never http.Error and never a hand-rolled
-// envelope literal outside the helper's home file.
+// envelope literal outside the helper's home file. The envelope
+// analyzer in internal/lint is the type-checker-resolved version of
+// this invariant (it also catches aliased net/http imports); this test
+// stays as the in-process mirror that runs even without cmd/ftpm-lint.
 func TestNoRawErrorWritesInHandlers(t *testing.T) {
 	roots := []string{".", "../../cmd"}
 	for _, root := range roots {

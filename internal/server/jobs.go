@@ -331,8 +331,11 @@ type jobManager struct {
 	seq          int
 }
 
-func newJobManager(workers, queueDepth int, persist *persister, hub *events.Hub, qos qosOptions, logf func(string, ...any)) *jobManager {
-	ctx, cancel := context.WithCancel(context.Background())
+func newJobManager(base context.Context, workers, queueDepth int, persist *persister, hub *events.Hub, qos qosOptions, logf func(string, ...any)) *jobManager {
+	// Every job context derives from base (Options.BaseContext): cancel
+	// it and queued/running jobs observe cancellation, in addition to
+	// the manager's own close.
+	ctx, cancel := context.WithCancel(base)
 	if hub == nil {
 		hub = events.NewHub(1)
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -77,6 +78,12 @@ type Options struct {
 	// Per-job streams are not counted — they end with their job. 0 (the
 	// default) leaves the firehose uncapped.
 	MaxStreamSubscribers int
+	// BaseContext is the root context every job context derives from:
+	// cancel it and queued or running jobs observe cancellation just as
+	// they do on Close. nil defaults to a fresh root that only Close
+	// cancels; processes that want SIGTERM to stop mining promptly
+	// (ftpm-serve does) pass their signal context here.
+	BaseContext context.Context
 	// FS is the filesystem every durable write goes through (WAL,
 	// snapshots, segment files). nil means the real filesystem; the
 	// fault-injection tests substitute a store.ErrFS. Ignored without
@@ -163,9 +170,14 @@ func New(opts Options) (*Server, error) {
 			return nil, fmt.Errorf("server: segments dir: %w", err)
 		}
 	}
+	base := opts.BaseContext
+	if base == nil {
+		//ftpm:ctx the one structural root: a library default for callers that did not wire Options.BaseContext; Close still cancels every job derived from it
+		base = context.Background()
+	}
 	s.hub = events.NewHub(opts.EventRing)
 	s.reg = newRegistry(s.persist)
-	s.jobs = newJobManager(opts.Workers, opts.QueueDepth, s.persist, s.hub, qosOptions{
+	s.jobs = newJobManager(base, opts.Workers, opts.QueueDepth, s.persist, s.hub, qosOptions{
 		maxQueued:  opts.TenantMaxQueued,
 		maxRunning: opts.TenantMaxRunning,
 		weights:    opts.TenantWeights,

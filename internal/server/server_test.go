@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -433,7 +434,7 @@ func TestCancelTerminalJobConflict(t *testing.T) {
 	}
 
 	// Cancelled jobs conflict the same way on a second DELETE.
-	m := newJobManager(0, 4, nil, nil, qosOptions{}, nil)
+	m := newJobManager(context.Background(), 0, 4, nil, nil, qosOptions{}, nil)
 	defer m.close()
 	ds := &Dataset{id: "d", shards: 1, cur: &dsGen{prep: map[string]*ftpm.Prepared{}}}
 	j, err := m.submit(ds, MiningRequest{DatasetID: "d", MinSupport: 0.5, NumWindows: 2}, DefaultTenant)
@@ -452,7 +453,7 @@ func TestCancelTerminalJobConflict(t *testing.T) {
 // queue_depth gauge: a job cancelled while queued leaves its tenant's
 // queue immediately and must not be counted as backlog.
 func TestQueueDepthExcludesCancelled(t *testing.T) {
-	m := newJobManager(0, 8, nil, nil, qosOptions{}, nil) // no workers: nothing is ever popped
+	m := newJobManager(context.Background(), 0, 8, nil, nil, qosOptions{}, nil) // no workers: nothing is ever popped
 	defer m.close()
 	ds := &Dataset{id: "d", shards: 1, cur: &dsGen{prep: map[string]*ftpm.Prepared{}}}
 	req := MiningRequest{DatasetID: "d", MinSupport: 0.5, NumWindows: 2}
@@ -631,7 +632,7 @@ func TestQueueFullRejection(t *testing.T) {
 func TestTerminalJobEviction(t *testing.T) {
 	// No workers: submitted jobs stay queued until cancelled, giving
 	// direct control over terminal states.
-	m := newJobManager(0, maxRetainedJobs+200, nil, nil, qosOptions{}, nil)
+	m := newJobManager(context.Background(), 0, maxRetainedJobs+200, nil, nil, qosOptions{}, nil)
 	defer m.close()
 	ds := &Dataset{id: "d", shards: 1, cur: &dsGen{prep: map[string]*ftpm.Prepared{}}}
 	req := MiningRequest{DatasetID: "d", MinSupport: 0.5, NumWindows: 2}
@@ -976,7 +977,7 @@ func TestResultCacheSizeAwareEviction(t *testing.T) {
 
 func TestQueueDepthExposed(t *testing.T) {
 	// No workers: everything submitted stays queued.
-	m := newJobManager(0, 8, nil, nil, qosOptions{}, nil)
+	m := newJobManager(context.Background(), 0, 8, nil, nil, qosOptions{}, nil)
 	defer m.close()
 	ds := &Dataset{id: "d", shards: 1, cur: &dsGen{prep: map[string]*ftpm.Prepared{}}}
 	req := MiningRequest{DatasetID: "d", MinSupport: 0.5, NumWindows: 2}

@@ -74,6 +74,6 @@
 // re-derives state from disk and truncates the torn tail — is safe).
 // Sync errors are never discarded anywhere in this package: a failed
 // fsync means the bytes may not be durable, and the caller must not
-// acknowledge them (scripts/check_sync_errors.sh enforces this
-// repo-wide).
+// acknowledge them (the syncerr analyzer in internal/lint, run by CI as
+// cmd/ftpm-lint, enforces this repo-wide).
 package store

@@ -63,7 +63,7 @@ func TestInvalidTenantHeaderRejected(t *testing.T) {
 // TestGrantMath pins the weighted fair-share arithmetic with a fixed
 // budget, independent of the machine's GOMAXPROCS.
 func TestGrantMath(t *testing.T) {
-	m := newJobManager(0, 8, nil, nil, qosOptions{weights: map[string]int{"gold": 3, "bronze": 1}}, nil)
+	m := newJobManager(context.Background(), 0, 8, nil, nil, qosOptions{weights: map[string]int{"gold": 3, "bronze": 1}}, nil)
 	defer m.close()
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -105,7 +105,7 @@ func TestGrantMath(t *testing.T) {
 // recomputed at a level boundary shrinks when another tenant has started
 // running since the previous level.
 func TestGrantRebalancesMidRun(t *testing.T) {
-	m := newJobManager(0, 8, nil, nil, qosOptions{}, nil)
+	m := newJobManager(context.Background(), 0, 8, nil, nil, qosOptions{}, nil)
 	defer m.close()
 	m.mu.Lock()
 	m.budgetTotal = 8
@@ -129,7 +129,7 @@ func TestGrantRebalancesMidRun(t *testing.T) {
 }
 
 func TestPickOrder(t *testing.T) {
-	m := newJobManager(0, 8, nil, nil, qosOptions{
+	m := newJobManager(context.Background(), 0, 8, nil, nil, qosOptions{
 		weights: map[string]int{"gold": 3},
 	}, nil)
 	defer m.close()
